@@ -1,0 +1,495 @@
+(* dsvc — dataset version control: the Git/SVN-like command-line
+   interface over Versioning_store.Repo. *)
+
+open Cmdliner
+module Repo = Versioning_store.Repo
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "dsvc: %s\n" e;
+      exit 1
+
+let repo_dir =
+  let doc = "Repository directory." in
+  Arg.(value & opt string "." & info [ "C"; "repo" ] ~docv:"DIR" ~doc)
+
+let open_repo dir = or_die (Repo.open_repo ~path:dir)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error e -> Error e
+
+(* -- init -- *)
+
+let init_cmd =
+  let run dir =
+    let _repo = or_die (Repo.init ~path:dir) in
+    Printf.printf "Initialized empty dsvc repository in %s/.dsvc\n" dir
+  in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create an empty repository")
+    Term.(const run $ repo_dir)
+
+(* -- commit -- *)
+
+let commit_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Dataset file to commit.")
+  in
+  let message =
+    Arg.(value & opt string "" & info [ "m"; "message" ] ~docv:"MSG" ~doc:"Commit message.")
+  in
+  let parents =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "p"; "parents" ] ~docv:"IDS"
+          ~doc:"Explicit parent versions (two ids record a merge).")
+  in
+  let run dir file message parents =
+    let repo = open_repo dir in
+    let content = or_die (read_file file) in
+    let parents = if parents = [] then None else Some parents in
+    let id = or_die (Repo.commit repo ~message ?parents content) in
+    Printf.printf "[%s] version %d (%d bytes)\n"
+      (Repo.current_branch repo)
+      id (String.length content)
+  in
+  Cmd.v
+    (Cmd.info "commit" ~doc:"Record a new version of a dataset")
+    Term.(const run $ repo_dir $ file $ message $ parents)
+
+(* -- checkout -- *)
+
+let checkout_cmd =
+  let version =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"VERSION" ~doc:"Version id.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let run dir version output =
+    let repo = open_repo dir in
+    let content = or_die (Repo.checkout repo version) in
+    match output with
+    | None -> print_string content
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc content);
+        Printf.printf "version %d -> %s (%d bytes)\n" version path
+          (String.length content)
+  in
+  Cmd.v
+    (Cmd.info "checkout" ~doc:"Reconstruct a version")
+    Term.(const run $ repo_dir $ version $ output)
+
+(* -- log -- *)
+
+let log_cmd =
+  let run dir =
+    let repo = open_repo dir in
+    List.iter
+      (fun (c : Repo.commit_info) ->
+        let parents =
+          match c.parents with
+          | [] -> "(root)"
+          | ps -> String.concat ", " (List.map string_of_int ps)
+        in
+        Printf.printf "version %d  <- %s\n    %s\n" c.id parents
+          (if c.message = "" then "(no message)" else c.message))
+      (Repo.log repo)
+  in
+  Cmd.v (Cmd.info "log" ~doc:"List versions, newest first") Term.(const run $ repo_dir)
+
+(* -- branch -- *)
+
+let branch_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Branch to create (omit to list).")
+  in
+  let at =
+    Arg.(value & opt (some int) None & info [ "at" ] ~docv:"VERSION" ~doc:"Branch point.")
+  in
+  let run dir name at =
+    let repo = open_repo dir in
+    match name with
+    | None ->
+        List.iter
+          (fun (n, v) ->
+            let marker = if n = Repo.current_branch repo then "*" else " " in
+            Printf.printf "%s %s -> version %d\n" marker n v)
+          (Repo.branches repo)
+    | Some name ->
+        or_die (Repo.create_branch repo name ?at ());
+        Printf.printf "Created and switched to branch %s\n" name
+  in
+  Cmd.v
+    (Cmd.info "branch" ~doc:"List branches or create one")
+    Term.(const run $ repo_dir $ name_arg $ at)
+
+let switch_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Branch name.")
+  in
+  let run dir name =
+    let repo = open_repo dir in
+    or_die (Repo.switch repo name);
+    Printf.printf "Switched to branch %s\n" name
+  in
+  Cmd.v (Cmd.info "switch" ~doc:"Switch branches") Term.(const run $ repo_dir $ name_arg)
+
+(* -- directory datasets -- *)
+
+let commit_dir_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Dataset directory to commit as one version.")
+  in
+  let message =
+    Arg.(value & opt string "" & info [ "m"; "message" ] ~docv:"MSG" ~doc:"Commit message.")
+  in
+  let run repo_path dataset_dir message =
+    let repo = open_repo repo_path in
+    let entries = or_die (Versioning_store.Archive.of_directory dataset_dir) in
+    let archive = or_die (Versioning_store.Archive.pack entries) in
+    let id = or_die (Repo.commit repo ~message archive) in
+    Printf.printf "[%s] version %d (%d files, %d bytes)\n"
+      (Repo.current_branch repo)
+      id (List.length entries) (String.length archive)
+  in
+  Cmd.v
+    (Cmd.info "commit-dir" ~doc:"Record a directory tree as one version")
+    Term.(const run $ repo_dir $ dir_arg $ message)
+
+let checkout_dir_cmd =
+  let version =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"VERSION" ~doc:"Version id.")
+  in
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run repo_path version out =
+    let repo = open_repo repo_path in
+    let archive = or_die (Repo.checkout repo version) in
+    let entries = or_die (Versioning_store.Archive.unpack archive) in
+    or_die (Versioning_store.Archive.to_directory out entries);
+    Printf.printf "version %d -> %s (%d files)\n" version out
+      (List.length entries)
+  in
+  Cmd.v
+    (Cmd.info "checkout-dir" ~doc:"Reconstruct a directory-tree version")
+    Term.(const run $ repo_dir $ version $ out)
+
+(* -- tag / diff / verify -- *)
+
+let tag_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Tag to create (omit to list).")
+  in
+  let at =
+    Arg.(value & opt (some int) None & info [ "at" ] ~docv:"VERSION" ~doc:"Version to tag.")
+  in
+  let run dir name at =
+    let repo = open_repo dir in
+    match name with
+    | None ->
+        List.iter
+          (fun (n, v) -> Printf.printf "%s -> version %d\n" n v)
+          (Repo.tags repo)
+    | Some name ->
+        or_die (Repo.tag repo name ?at ());
+        Printf.printf "Tagged version %d as %s\n"
+          (Option.get (Repo.resolve repo name))
+          name
+  in
+  Cmd.v
+    (Cmd.info "tag" ~doc:"List tags or create one")
+    Term.(const run $ repo_dir $ name_arg $ at)
+
+let diff_cmd =
+  let from_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FROM" ~doc:"Version, tag or branch.")
+  in
+  let to_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TO" ~doc:"Version, tag or branch.")
+  in
+  let run dir from_name to_name =
+    let repo = open_repo dir in
+    let resolve name =
+      match Repo.resolve repo name with
+      | Some v -> v
+      | None ->
+          Printf.eprintf "dsvc: cannot resolve %s\n" name;
+          exit 1
+    in
+    print_string (or_die (Repo.diff repo (resolve from_name) (resolve to_name)))
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Show the delta between two versions")
+    Term.(const run $ repo_dir $ from_arg $ to_arg)
+
+let verify_cmd =
+  let run dir =
+    let repo = open_repo dir in
+    match Repo.verify repo with
+    | Ok () -> print_endline "repository is consistent"
+    | Error problems ->
+        List.iter (Printf.eprintf "dsvc: %s\n") problems;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check repository integrity")
+    Term.(const run $ repo_dir)
+
+(* -- stats -- *)
+
+let print_stats (s : Repo.stats) =
+  Printf.printf "versions:        %d\n" s.n_versions;
+  Printf.printf "materialized:    %d\n" s.n_full;
+  Printf.printf "delta-stored:    %d\n" s.n_delta;
+  Printf.printf "storage bytes:   %d\n" s.storage_bytes;
+  Printf.printf "longest chain:   %d deltas\n" s.max_chain;
+  Printf.printf "sum recreation:  %.0f bytes\n" s.sum_recreation_bytes;
+  Printf.printf "max recreation:  %.0f bytes\n" s.max_recreation_bytes
+
+let stats_cmd =
+  let run dir =
+    let repo = open_repo dir in
+    print_stats (Repo.stats repo)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show storage/recreation statistics")
+    Term.(const run $ repo_dir)
+
+(* -- serve -- *)
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt int 8077 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Bind address.")
+  in
+  let max_requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N" ~doc:"Stop after N requests (for scripting/tests).")
+  in
+  let run dir port host max_requests =
+    let repo = open_repo dir in
+    or_die (Versioning_store.Server.serve repo ~port ~host ?max_requests ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the repository over HTTP (the paper's client-server mode)")
+    Term.(const run $ repo_dir $ port $ host $ max_requests)
+
+(* -- export-graph -- *)
+
+let export_graph_cmd =
+  let output =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output path for the dsvc-graph file.")
+  in
+  let hops =
+    Arg.(value & opt int 3 & info [ "hops" ] ~docv:"N" ~doc:"Reveal deltas within N hops.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Write Graphviz DOT instead of the dsvc-graph format.")
+  in
+  let run dir output hops dot =
+    let repo = open_repo dir in
+    let g, _ = or_die (Repo.reveal_graph repo ~max_hops:hops ()) in
+    if dot then begin
+      let oc = open_out output in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Versioning_core.Dot.of_aux_graph g));
+      Printf.printf "wrote DOT graph to %s\n" output
+    end
+    else begin
+      or_die (Versioning_core.Graph_io.save g ~path:output);
+      Printf.printf
+        "wrote %d-version instance (%d edges) to %s\n"
+        (Versioning_core.Aux_graph.n_versions g)
+        (Versioning_graph.Digraph.n_edges (Versioning_core.Aux_graph.graph g))
+        output
+    end
+  in
+  Cmd.v
+    (Cmd.info "export-graph"
+       ~doc:"Export the repository's revealed cost graph for offline analysis")
+    Term.(const run $ repo_dir $ output $ hops $ dot)
+
+(* -- optimize -- *)
+
+let optimize_cmd =
+  let strategy =
+    let conv_strategy s =
+      match String.split_on_char '=' s with
+      | [ "min-storage" ] -> Ok Repo.Min_storage
+      | [ "min-recreation" ] -> Ok Repo.Min_recreation
+      | [ "balanced"; f ] | [ "budgeted-sum"; f ] -> (
+          match float_of_string_opt f with
+          | Some f when f >= 1.0 -> Ok (Repo.Budgeted_sum f)
+          | _ -> Error (`Msg "balanced=FACTOR needs FACTOR >= 1"))
+      | [ "bounded-max"; f ] -> (
+          match float_of_string_opt f with
+          | Some f when f >= 1.0 -> Ok (Repo.Bounded_max f)
+          | _ -> Error (`Msg "bounded-max=FACTOR needs FACTOR >= 1"))
+      | [ "git" ] -> Ok (Repo.Git_window (10, 50))
+      | [ "svn" ] -> Ok Repo.Svn_skip
+      | _ ->
+          Error
+            (`Msg
+              "expected min-storage | min-recreation | balanced=F | \
+               bounded-max=F | git | svn")
+    in
+    let pp ppf = function
+      | Repo.Min_storage -> Format.fprintf ppf "min-storage"
+      | Repo.Min_recreation -> Format.fprintf ppf "min-recreation"
+      | Repo.Budgeted_sum f -> Format.fprintf ppf "balanced=%g" f
+      | Repo.Bounded_max f -> Format.fprintf ppf "bounded-max=%g" f
+      | Repo.Git_window _ -> Format.fprintf ppf "git"
+      | Repo.Svn_skip -> Format.fprintf ppf "svn"
+    in
+    Arg.conv (conv_strategy, pp)
+  in
+  let strat =
+    Arg.(
+      value
+      & opt strategy (Repo.Budgeted_sum 1.5)
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Storage plan: min-storage (MCA), min-recreation (SPT), \
+             balanced=F (LMG, budget F x minimum), bounded-max=F (MP, \
+             bound F x optimum), git (GitH), svn (skip-deltas).")
+  in
+  let hops =
+    Arg.(value & opt int 3 & info [ "hops" ] ~docv:"N" ~doc:"Reveal deltas within N hops.")
+  in
+  let run dir strat hops =
+    let repo = open_repo dir in
+    let stats = or_die (Repo.optimize repo ~max_hops:hops strat) in
+    print_stats stats
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Re-plan version storage with one of the paper's algorithms")
+    Term.(const run $ repo_dir $ strat $ hops)
+
+(* -- remote (HTTP client) -- *)
+
+let remote_cmd =
+  let url_args =
+    let host =
+      Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+    in
+    let port =
+      Arg.(value & opt int 8077 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+    in
+    (host, port)
+  in
+  let host, port = url_args in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION"
+          ~doc:"One of: log, checkout NAME [FILE], commit FILE [MSG],                 stats, optimize STRATEGY, verify.")
+  in
+  let rest = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS") in
+  let run host port action rest =
+    let client = Versioning_store.Client.connect ~host ~port in
+    let module C = Versioning_store.Client in
+    match (action, rest) with
+    | "log", [] ->
+        List.iter
+          (fun (id, parents, msg) ->
+            Printf.printf "version %d  <- %s\n    %s\n" id
+              (match parents with
+              | [] -> "(root)"
+              | ps -> String.concat ", " (List.map string_of_int ps))
+              (if msg = "" then "(no message)" else msg))
+          (or_die (C.versions client))
+    | "checkout", [ name ] -> print_string (or_die (C.checkout client name))
+    | "checkout", [ name; file ] ->
+        let content = or_die (C.checkout client name) in
+        let oc = open_out_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc content);
+        Printf.printf "%s -> %s (%d bytes)\n" name file (String.length content)
+    | "commit", (file :: msg_parts) ->
+        let content = or_die (read_file file) in
+        let message = String.concat " " msg_parts in
+        let id = or_die (C.commit client ~message content) in
+        Printf.printf "committed as version %d\n" id
+    | "stats", [] ->
+        List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v)
+          (or_die (C.stats client))
+    | "optimize", [ strategy ] ->
+        List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v)
+          (or_die (C.optimize client strategy))
+    | "verify", [] ->
+        or_die (C.verify client);
+        print_endline "remote repository is consistent"
+    | _ ->
+        Printf.eprintf "dsvc remote: unknown action %s %s\n" action
+          (String.concat " " rest);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "remote" ~doc:"Operate on a served repository over HTTP")
+    Term.(const run $ host $ port $ action $ rest)
+
+let () =
+  let info =
+    Cmd.info "dsvc" ~version:"1.0.0"
+      ~doc:"Dataset version control with a principled storage/recreation tradeoff"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            init_cmd;
+            commit_cmd;
+            checkout_cmd;
+            commit_dir_cmd;
+            checkout_dir_cmd;
+            log_cmd;
+            branch_cmd;
+            switch_cmd;
+            tag_cmd;
+            diff_cmd;
+            verify_cmd;
+            stats_cmd;
+            export_graph_cmd;
+            serve_cmd;
+            remote_cmd;
+            optimize_cmd;
+          ]))

@@ -1,0 +1,86 @@
+(* Fork-style workloads (the paper's BF/LF real-world datasets): many
+   checked-out fork tips of one artifact, no derivation chain, deltas
+   revealed only between similarly-sized pairs. Compares the version
+   control strategies of §5.2 plus the paper's algorithms, and shows
+   workload-aware optimization under a Zipfian access pattern
+   (Figure 16's setting).
+
+     dune exec examples/fork_analysis.exe *)
+
+open Versioning_core
+open Versioning_workload
+module Prng = Versioning_util.Prng
+module Zipf = Versioning_util.Zipf
+
+let () =
+  let rng = Prng.create ~seed:99 in
+  let forks =
+    Fork_gen.generate ~name:"forks"
+      {
+        Fork_gen.default_params with
+        n_forks = 80;
+        base_rows = 300;
+        divergence = 0.05;
+        reveal = Fork_gen.Size_threshold 2500.0;
+      }
+      rng
+  in
+  let g = forks.Fork_gen.aux in
+  let n = Aux_graph.n_versions g in
+  Printf.printf "%d forks, %d revealed deltas\n\n" n forks.Fork_gen.n_deltas;
+
+  let base = Result.get_ok (Solver.min_storage_tree g) in
+  let spt = Result.get_ok (Spt.solve g) in
+  let cmin = Storage_graph.storage_cost base in
+
+  Printf.printf "%-26s %12s %14s %10s\n" "strategy" "storage" "sum recreation"
+    "max chain";
+  let depth sg =
+    let d = ref 0 in
+    for v = 1 to n do
+      if Storage_graph.depth sg v > !d then d := Storage_graph.depth sg v
+    done;
+    !d
+  in
+  let row name sg =
+    Printf.printf "%-26s %12.0f %14.0f %10d\n" name
+      (Storage_graph.storage_cost sg)
+      (Storage_graph.sum_recreation sg)
+      (depth sg)
+  in
+  row "MCA (min storage)" base;
+  (match Gith.solve g ~window:10 ~max_depth:50 with
+  | Ok sg -> row "GitH (w=10, d=50)" sg
+  | Error e -> Printf.printf "GitH: %s\n" e);
+  (match Skip_delta.solve g ~order:(Array.init n (fun i -> i + 1)) with
+  | Ok sg -> row "SVN skip-deltas" sg
+  | Error _ ->
+      (* Skip pairs are usually unrevealed under the size threshold —
+         the realistic outcome: SVN's fixed chain ignores similarity. *)
+      print_endline
+        "SVN skip-deltas           : needs deltas the threshold never \
+         revealed (SVN ignores similarity structure)");
+  row "LMG budget 1.2x" (Lmg.solve g ~base ~spt ~budget:(1.2 *. cmin) ());
+  row "SPT (all materialized)" spt;
+
+  (* Workload-aware planning: a few forks get nearly all checkouts. *)
+  let zipf = Zipf.create ~n ~exponent:2.0 in
+  let freqs = Array.make (n + 1) 0.0 in
+  let masses = Zipf.masses zipf in
+  (* Rank forks by id: fork 1 (upstream) most accessed. *)
+  for v = 1 to n do
+    freqs.(v) <- masses.(v - 1) *. 10_000.0
+  done;
+  let budget = 1.2 *. cmin in
+  let uniform = Lmg.solve g ~base ~spt ~budget () in
+  let aware = Lmg.solve g ~base ~spt ~budget ~freqs () in
+  Printf.printf
+    "\nZipf(2) checkout workload, LMG budget 1.2x:\n\
+    \  workload-blind : weighted recreation %.0f\n\
+    \  workload-aware : weighted recreation %.0f  (%.1f%% better)\n"
+    (Storage_graph.weighted_recreation uniform ~freqs)
+    (Storage_graph.weighted_recreation aware ~freqs)
+    (100.0
+    *. (1.0
+       -. Storage_graph.weighted_recreation aware ~freqs
+          /. Storage_graph.weighted_recreation uniform ~freqs))

@@ -1,0 +1,88 @@
+(* Quickstart: the paper's running example (Figure 1 / Figure 2),
+   solved for all six problem formulations.
+
+     dune exec examples/quickstart.exe
+
+   Five versions; V2 and V3 derive from V1 and merge into V5; V4
+   derives from V2. The ⟨Δ, Φ⟩ matrices are the ones printed in
+   Figure 2 of the paper (including the extra revealed entries). *)
+
+open Versioning_core
+
+let () =
+  (* Versions 1..5; the dummy root V0 is implicit. *)
+  let g = Aux_graph.create ~n_versions:5 in
+  (* Diagonal entries ⟨Δi,i, Φi,i⟩: full-version storage/recreation. *)
+  List.iter
+    (fun (v, c) -> Aux_graph.add_materialization g ~version:v ~delta:c ~phi:c)
+    [ (1, 10000.); (2, 10100.); (3, 9700.); (4, 9800.); (5, 10120.) ];
+  (* Off-diagonal entries ⟨Δi,j, Φi,j⟩ from Figure 2. *)
+  List.iter
+    (fun (i, j, delta, phi) -> Aux_graph.add_delta g ~src:i ~dst:j ~delta ~phi)
+    [
+      (1, 2, 200., 200.);
+      (1, 3, 1000., 3000.);
+      (2, 1, 500., 600.);
+      (2, 4, 50., 400.);
+      (2, 5, 800., 2500.);
+      (3, 2, 1100., 3200.);
+      (3, 5, 200., 550.);
+      (5, 4, 800., 2300.);
+      (4, 5, 900., 2500.);
+    ];
+
+  let report name = function
+    | Error e -> Printf.printf "%-42s : infeasible (%s)\n" name e
+    | Ok sg ->
+        let mats =
+          Storage_graph.materialized_versions sg
+          |> List.map (fun v -> "V" ^ string_of_int v)
+          |> String.concat ","
+        in
+        Printf.printf
+          "%-42s : C=%7.0f  sumR=%7.0f  maxR=%6.0f  materialized={%s}\n" name
+          (Storage_graph.storage_cost sg)
+          (Storage_graph.sum_recreation sg)
+          (Storage_graph.max_recreation sg)
+          mats
+  in
+
+  print_endline "Figure 1 example — all six problems:";
+  report "P1 min storage (MCA)" (Solver.solve g Solver.Minimize_storage);
+  report "P2 min recreation (SPT)" (Solver.solve g Solver.Minimize_recreation);
+  report "P3 min sumR s.t. C<=13000 (LMG)"
+    (Solver.solve g (Solver.Min_sum_recreation_bounded_storage 13000.));
+  report "P4 min maxR s.t. C<=13000 (MP)"
+    (Solver.solve g (Solver.Min_max_recreation_bounded_storage 13000.));
+  report "P5 min C s.t. sumR<=35000 (LMG)"
+    (Solver.solve g (Solver.Min_storage_bounded_sum_recreation 35000.));
+  report "P6 min C s.t. maxR<=13000 (MP)"
+    (Solver.solve g (Solver.Min_storage_bounded_max_recreation 13000.));
+
+  (* The paper's three hand-worked solutions, for comparison. *)
+  print_endline "\nFigure 1's three storage graphs, re-costed by the library:";
+  let show name parents =
+    match Storage_graph.of_parents g ~parents with
+    | Ok sg ->
+        Printf.printf "%-42s : C=%7.0f  sumR=%7.0f  maxR=%6.0f\n" name
+          (Storage_graph.storage_cost sg)
+          (Storage_graph.sum_recreation sg)
+          (Storage_graph.max_recreation sg)
+    | Error e -> Printf.printf "%-42s : invalid (%s)\n" name e
+  in
+  show "(ii) everything materialized"
+    [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5) ];
+  show "(iii) only V1 materialized"
+    [ (0, 1); (1, 2); (1, 3); (2, 4); (3, 5) ];
+  show "(iv) V1 and V3 materialized"
+    [ (0, 1); (1, 2); (0, 3); (2, 4); (3, 5) ];
+
+  (* Exact solution for Problem 6 on this toy instance. *)
+  let exact = Exact.solve_p6 g ~theta:13000. () in
+  (match exact.Exact.tree with
+  | Some sg ->
+      Printf.printf
+        "\nExact P6 (theta=13000): C=%.0f (optimal=%b, %d B&B nodes)\n"
+        (Storage_graph.storage_cost sg)
+        exact.Exact.optimal exact.Exact.nodes
+  | None -> print_endline "\nExact P6: infeasible")

@@ -1,0 +1,55 @@
+module Digraph = Versioning_graph.Digraph
+
+let quote s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
+let default_label v = if v = 0 then "V0 (root)" else Printf.sprintf "V%d" v
+
+let of_storage_graph ?(name = "storage_plan") ?(labels = default_label) sg =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "digraph %s {\n" name;
+  addf "  rankdir=TB;\n";
+  addf "  n0 [label=%s shape=point];\n" (quote (labels 0));
+  for v = 1 to Storage_graph.n_versions sg do
+    let shape =
+      if Storage_graph.is_materialized sg v then
+        "shape=box peripheries=2"
+      else "shape=ellipse"
+    in
+    addf "  n%d [label=%s %s];\n" v (quote (labels v)) shape
+  done;
+  for v = 1 to Storage_graph.n_versions sg do
+    let p = Storage_graph.parent sg v in
+    let w = Storage_graph.edge_weight sg v in
+    addf "  n%d -> n%d [label=%s];\n" p v
+      (quote (Printf.sprintf "d=%.0f, f=%.0f" w.Aux_graph.delta w.Aux_graph.phi))
+  done;
+  addf "}\n";
+  Buffer.contents buf
+
+let of_aux_graph ?(name = "aux_graph") ?(labels = default_label)
+    ?(max_edges = 2000) g =
+  let dg = Aux_graph.graph g in
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "digraph %s {\n" name;
+  let total = Digraph.n_edges dg in
+  if total > max_edges then
+    addf "  // %d of %d edges shown (truncated)\n" max_edges total;
+  addf "  n0 [label=%s shape=point];\n" (quote (labels 0));
+  for v = 1 to Aux_graph.n_versions g do
+    addf "  n%d [label=%s shape=ellipse];\n" v (quote (labels v))
+  done;
+  let emitted = ref 0 in
+  Digraph.iter_edges dg (fun e ->
+      if !emitted < max_edges then begin
+        incr emitted;
+        let style = if e.src = 0 then " style=bold" else "" in
+        addf "  n%d -> n%d [label=%s%s];\n" e.src e.dst
+          (quote
+             (Printf.sprintf "d=%.0f, f=%.0f" e.label.Aux_graph.delta
+                e.label.Aux_graph.phi))
+          style
+      end);
+  addf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Graphviz DOT rendering of version structures — for inspecting
+    storage plans and auxiliary graphs ([dot -Tsvg] downstream).
+
+    Materialized versions are drawn as doubled boxes, delta-stored
+    versions as ellipses; edges carry ⟨Δ, Φ⟩ labels. Output is
+    deterministic (vertices ascending). *)
+
+val of_storage_graph :
+  ?name:string -> ?labels:(int -> string) -> Storage_graph.t -> string
+(** The storage plan as a tree rooted at [V0]. [labels] overrides the
+    default ["V<i>"] naming. *)
+
+val of_aux_graph :
+  ?name:string ->
+  ?labels:(int -> string) ->
+  ?max_edges:int ->
+  Aux_graph.t ->
+  string
+(** The full revealed graph; [max_edges] (default 2000) truncates very
+    dense graphs, noting the truncation in a graph comment. *)

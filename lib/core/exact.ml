@@ -1,0 +1,376 @@
+module Digraph = Versioning_graph.Digraph
+
+type result = {
+  tree : Storage_graph.t option;
+  optimal : bool;
+  nodes : int;
+}
+
+type in_edge = { src : int; w : Aux_graph.weight }
+
+exception Budget_exhausted
+
+let solve_p6 g ~theta ?(node_budget = 2_000_000) ?time_budget () =
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) time_budget
+  in
+  let n = Aux_graph.n_versions g in
+  let dg = Aux_graph.graph g in
+  (* In-edges per version, ascending Δ; source 0 is materialization. *)
+  let in_edges = Array.make (n + 1) [] in
+  Digraph.iter_edges dg (fun e ->
+      in_edges.(e.dst) <- { src = e.src; w = e.label } :: in_edges.(e.dst));
+  for v = 1 to n do
+    in_edges.(v) <-
+      List.sort
+        (fun a b -> compare (a.w.Aux_graph.delta, a.src) (b.w.Aux_graph.delta, b.src))
+        in_edges.(v)
+  done;
+  (* Dijkstra distances: lower bounds on any achievable recreation. *)
+  let spt_min = Spt.distances g in
+  (* Incumbent: MP's solution for the same θ. *)
+  let best_cost = ref infinity in
+  let best_choices = ref None in
+  (match Mp.solve g ~theta with
+  | { tree = Some sg; _ } ->
+      best_cost := Storage_graph.storage_cost sg;
+      best_choices :=
+        Some
+          (List.map
+             (fun (p, v) -> (p, v, Storage_graph.edge_weight sg v))
+             (Storage_graph.to_parents sg))
+  | _ -> ());
+  let nodes = ref 0 in
+  let attached = Array.make (n + 1) false in
+  let r = Array.make (n + 1) infinity in
+  attached.(0) <- true;
+  r.(0) <- 0.0;
+  (* [allowed.(v) = None] means unrestricted; [Some l] restricts v's
+     parent to sources in l (the defer bookkeeping). *)
+  let allowed : int list option array = Array.make (n + 1) None in
+  let edge_allowed v (e : in_edge) =
+    match allowed.(v) with
+    | None -> true
+    | Some l -> List.mem e.src l
+  in
+  (* Optimistic feasibility: can edge e into v possibly respect θ? *)
+  let optimistic v (e : in_edge) =
+    edge_allowed v e
+    &&
+    if attached.(e.src) then r.(e.src) +. e.w.phi <= theta
+    else spt_min.(e.src) +. e.w.phi <= theta
+  in
+  let lower_bound () =
+    let lb = ref 0.0 in
+    let feasible = ref true in
+    for v = 1 to n do
+      if !feasible && not attached.(v) then begin
+        (* in_edges are Δ-ascending: the first optimistic one is the
+           cheapest. *)
+        let rec first = function
+          | [] -> None
+          | e :: tl -> if optimistic v e then Some e else first tl
+        in
+        match first in_edges.(v) with
+        | Some e -> lb := !lb +. e.w.Aux_graph.delta
+        | None -> feasible := false
+      end
+    done;
+    if !feasible then Some !lb else None
+  in
+  let rec search cost choices n_attached =
+    incr nodes;
+    if !nodes > node_budget then raise Budget_exhausted;
+    (match deadline with
+    | Some d when !nodes land 1023 = 0 && Unix.gettimeofday () > d ->
+        raise Budget_exhausted
+    | _ -> ());
+    if n_attached = n then begin
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best_choices := Some choices
+      end
+    end
+    else
+      match lower_bound () with
+      | None -> ()
+      | Some lb ->
+          if cost +. lb < !best_cost -. 1e-9 then begin
+            (* Branch vertex: smallest unattached with a feasible
+               attached-source edge. *)
+            let v = ref 0 in
+            (try
+               for u = 1 to n do
+                 if
+                   (not attached.(u))
+                   && List.exists
+                        (fun e ->
+                          edge_allowed u e && attached.(e.src)
+                          && r.(e.src) +. e.w.Aux_graph.phi <= theta)
+                        in_edges.(u)
+                 then begin
+                   v := u;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !v <> 0 then begin
+              let v = !v in
+              (* Attach branches, cheapest Δ first. *)
+              List.iter
+                (fun (e : in_edge) ->
+                  if
+                    edge_allowed v e && attached.(e.src)
+                    && r.(e.src) +. e.w.phi <= theta
+                  then begin
+                    attached.(v) <- true;
+                    r.(v) <- r.(e.src) +. e.w.phi;
+                    search
+                      (cost +. e.w.Aux_graph.delta)
+                      ((e.src, v, e.w) :: choices)
+                      (n_attached + 1);
+                    attached.(v) <- false;
+                    r.(v) <- infinity
+                  end)
+                in_edges.(v);
+              (* Defer branch: v's parent must be one of the currently
+                 unattached sources. Strictly shrinks v's allowed set
+                 (the attached feasible source just found is dropped),
+                 so the search terminates. *)
+              let unattached_sources =
+                List.filter_map
+                  (fun (e : in_edge) ->
+                    if edge_allowed v e && not attached.(e.src) then Some e.src
+                    else None)
+                  in_edges.(v)
+              in
+              if unattached_sources <> [] then begin
+                let saved = allowed.(v) in
+                allowed.(v) <- Some unattached_sources;
+                search cost choices n_attached;
+                allowed.(v) <- saved
+              end
+            end
+            (* No vertex attachable now and not all attached: dead
+               end (deferred constraints made this branch infeasible). *)
+          end
+  in
+  let optimal =
+    try
+      search 0.0 [] 0;
+      true
+    with Budget_exhausted -> false
+  in
+  let tree =
+    match !best_choices with
+    | None -> None
+    | Some choices -> (
+        match Storage_graph.of_parent_edges ~n choices with
+        | Ok sg -> Some sg
+        | Error e -> invalid_arg ("Exact: corrupt incumbent: " ^ e))
+  in
+  { tree; optimal; nodes = !nodes }
+
+let brute_force_p6 g ~theta =
+  let n = Aux_graph.n_versions g in
+  let best = ref None in
+  let parents = Array.make (n + 1) 0 in
+  let rec go v =
+    if v > n then begin
+      let choice = List.init n (fun i -> (parents.(i + 1), i + 1)) in
+      match Storage_graph.of_parents g ~parents:choice with
+      | Ok sg when Storage_graph.max_recreation sg <= theta -> (
+          match !best with
+          | Some b when Storage_graph.storage_cost b <= Storage_graph.storage_cost sg
+            ->
+              ()
+          | _ -> best := Some sg)
+      | Ok _ | Error _ -> ()
+    end
+    else
+      for p = 0 to n do
+        if p <> v then begin
+          parents.(v) <- p;
+          go (v + 1)
+        end
+      done
+  in
+  go 1;
+  !best
+
+
+(* ---- Problem 3: min Σ R s.t. C <= budget ---- *)
+
+let solve_p3 g ~budget ?(node_budget = 2_000_000) ?time_budget () =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) time_budget in
+  let n = Aux_graph.n_versions g in
+  let dg = Aux_graph.graph g in
+  let in_edges = Array.make (n + 1) [] in
+  Digraph.iter_edges dg (fun e ->
+      in_edges.(e.dst) <- { src = e.src; w = e.label } :: in_edges.(e.dst));
+  for v = 1 to n do
+    (* ascending Δ: cheapest storage first gives good first incumbents
+       under the budget *)
+    in_edges.(v) <-
+      List.sort
+        (fun a b ->
+          compare (a.w.Aux_graph.delta, a.src) (b.w.Aux_graph.delta, b.src))
+        in_edges.(v)
+  done;
+  let spt_min = Spt.distances g in
+  (* Incumbent: LMG at the same budget (mirroring the MP seed for P6). *)
+  let best_obj = ref infinity in
+  let best_choices = ref None in
+  (match (Solver.min_storage_tree g, Spt.solve g) with
+  | Ok base, Ok spt when Storage_graph.storage_cost base <= budget ->
+      let sg = Lmg.solve g ~base ~spt ~budget () in
+      best_obj := Storage_graph.sum_recreation sg;
+      best_choices :=
+        Some
+          (List.map
+             (fun (p, v) -> (p, v, Storage_graph.edge_weight sg v))
+             (Storage_graph.to_parents sg))
+  | _ -> ());
+  let nodes = ref 0 in
+  let attached = Array.make (n + 1) false in
+  let r = Array.make (n + 1) infinity in
+  attached.(0) <- true;
+  r.(0) <- 0.0;
+  let allowed : int list option array = Array.make (n + 1) None in
+  let edge_allowed v (e : in_edge) =
+    match allowed.(v) with None -> true | Some l -> List.mem e.src l
+  in
+  (* Admissible bounds for the unattached set: Σ of min Δ (for the
+     budget check) and Σ of best-possible R (for the objective). *)
+  let bounds () =
+    let lb_delta = ref 0.0 and lb_r = ref 0.0 in
+    let feasible = ref true in
+    for v = 1 to n do
+      if !feasible && not attached.(v) then begin
+        let best_d = ref infinity in
+        List.iter
+          (fun (e : in_edge) ->
+            if edge_allowed v e && e.w.Aux_graph.delta < !best_d then
+              best_d := e.w.Aux_graph.delta)
+          in_edges.(v);
+        if !best_d = infinity then feasible := false
+        else begin
+          lb_delta := !lb_delta +. !best_d;
+          lb_r := !lb_r +. spt_min.(v)
+        end
+      end
+    done;
+    if !feasible then Some (!lb_delta, !lb_r) else None
+  in
+  let rec search storage obj choices n_attached =
+    incr nodes;
+    if !nodes > node_budget then raise Budget_exhausted;
+    (match deadline with
+    | Some d when !nodes land 1023 = 0 && Unix.gettimeofday () > d ->
+        raise Budget_exhausted
+    | _ -> ());
+    if n_attached = n then begin
+      (* the admissible bound uses each vertex's cheapest edge, so the
+         real storage must be re-checked at the leaf *)
+      if obj < !best_obj && storage <= budget +. 1e-9 then begin
+        best_obj := obj;
+        best_choices := Some choices
+      end
+    end
+    else
+      match bounds () with
+      | None -> ()
+      | Some (lb_delta, lb_r) ->
+          if
+            storage +. lb_delta <= budget +. 1e-9
+            && obj +. lb_r < !best_obj -. 1e-9
+          then begin
+            let v = ref 0 in
+            (try
+               for u = 1 to n do
+                 if
+                   (not attached.(u))
+                   && List.exists
+                        (fun e -> edge_allowed u e && attached.(e.src))
+                        in_edges.(u)
+                 then begin
+                   v := u;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !v <> 0 then begin
+              let v = !v in
+              List.iter
+                (fun (e : in_edge) ->
+                  if edge_allowed v e && attached.(e.src) then begin
+                    attached.(v) <- true;
+                    r.(v) <- r.(e.src) +. e.w.phi;
+                    search
+                      (storage +. e.w.Aux_graph.delta)
+                      (obj +. r.(v))
+                      ((e.src, v, e.w) :: choices)
+                      (n_attached + 1);
+                    attached.(v) <- false;
+                    r.(v) <- infinity
+                  end)
+                in_edges.(v);
+              let unattached_sources =
+                List.filter_map
+                  (fun (e : in_edge) ->
+                    if edge_allowed v e && not attached.(e.src) then Some e.src
+                    else None)
+                  in_edges.(v)
+              in
+              if unattached_sources <> [] then begin
+                let saved = allowed.(v) in
+                allowed.(v) <- Some unattached_sources;
+                search storage obj choices n_attached;
+                allowed.(v) <- saved
+              end
+            end
+          end
+  in
+  let optimal =
+    try
+      search 0.0 0.0 [] 0;
+      true
+    with Budget_exhausted -> false
+  in
+  let tree =
+    match !best_choices with
+    | None -> None
+    | Some choices -> (
+        match Storage_graph.of_parent_edges ~n choices with
+        | Ok sg -> Some sg
+        | Error e -> invalid_arg ("Exact: corrupt incumbent: " ^ e))
+  in
+  { tree; optimal; nodes = !nodes }
+
+let brute_force_p3 g ~budget =
+  let n = Aux_graph.n_versions g in
+  let best = ref None in
+  let parents = Array.make (n + 1) 0 in
+  let rec go v =
+    if v > n then begin
+      let choice = List.init n (fun i -> (parents.(i + 1), i + 1)) in
+      match Storage_graph.of_parents g ~parents:choice with
+      | Ok sg when Storage_graph.storage_cost sg <= budget +. 1e-9 -> (
+          match !best with
+          | Some b
+            when Storage_graph.sum_recreation b
+                 <= Storage_graph.sum_recreation sg ->
+              ()
+          | _ -> best := Some sg)
+      | Ok _ | Error _ -> ()
+    end
+    else
+      for p = 0 to n do
+        if p <> v then begin
+          parents.(v) <- p;
+          go (v + 1)
+        end
+      done
+  in
+  go 1;
+  !best

@@ -1,0 +1,63 @@
+(** Exact solver for Problem 6 (minimize storage under a max-recreation
+    bound) — the reproduction's substitute for the paper's Gurobi ILP
+    (§2.3, Table 2).
+
+    The model is identical to the paper's integer program: binary
+    parent choices [x(i,j)], one parent per version, recreation
+    variables [r(j) ≥ r(i) + Φ(i,j)] when [x(i,j) = 1], [r(i) ≤ θ];
+    minimize [Σ x(i,j)·Δ(i,j)]. It is solved by branch-and-bound over
+    root-down tree growth:
+
+    - branch: the smallest unattached version with a θ-feasible edge
+      from the attached set is attached via each such edge (cheapest
+      first), plus one "defer" branch restricting its parent to
+      currently-unattached versions (needed for completeness, since
+      its optimal parent may not be attached yet);
+    - bound: each unattached version contributes the cheapest
+      Δ among its optimistically-feasible in-edges (using Dijkstra
+      distances as lower bounds on unattached sources' recreation);
+    - the incumbent is initialized with MP's solution, matching the
+      paper's comparison setup.
+
+    Like the paper's runs (where "the optimizer did not finish" on
+    larger instances), the search is budgeted: an exhausted node
+    budget yields the best incumbent with [optimal = false]. *)
+
+type result = {
+  tree : Storage_graph.t option;  (** best solution found, if any *)
+  optimal : bool;  (** true iff the search space was exhausted *)
+  nodes : int;  (** branch-and-bound nodes explored *)
+}
+
+val solve_p6 :
+  Aux_graph.t ->
+  theta:float ->
+  ?node_budget:int ->
+  ?time_budget:float ->
+  unit ->
+  result
+(** [node_budget] defaults to 2_000_000 B&B nodes; [time_budget] is an
+    optional wall-clock cap in seconds (checked every 1024 nodes).
+    Exhausting either returns the incumbent with [optimal = false]. *)
+
+val solve_p3 :
+  Aux_graph.t ->
+  budget:float ->
+  ?node_budget:int ->
+  ?time_budget:float ->
+  unit ->
+  result
+(** Exact Problem 3: minimize [Σ Ri] subject to [C ≤ budget]. Same
+    branch-and-bound skeleton with the roles of the two costs swapped:
+    the bound sums each unattached version's Dijkstra distance (its
+    best possible recreation cost) and prunes on the storage budget.
+    Extends the paper's Table 2 comparison to the sum-recreation side
+    (LMG vs optimal); subject to the same search budgets. *)
+
+val brute_force_p3 :
+  Aux_graph.t -> budget:float -> Storage_graph.t option
+(** Exhaustive Problem 3 for tiny instances, for cross-validation. *)
+
+val brute_force_p6 : Aux_graph.t -> theta:float -> Storage_graph.t option
+(** Exhaustive enumeration of all parent vectors — O((n+1)!)-ish; for
+    cross-validation on tiny instances (n ≤ 8) in tests. *)

@@ -1,0 +1,87 @@
+module Digraph = Versioning_graph.Digraph
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "dsvc-graph 1 %d\n" (Aux_graph.n_versions g));
+  Digraph.iter_edges (Aux_graph.graph g) (fun e ->
+      if e.src = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "m %d %h %h\n" e.dst e.label.Aux_graph.delta
+             e.label.Aux_graph.phi)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "d %d %d %h %h\n" e.src e.dst
+             e.label.Aux_graph.delta e.label.Aux_graph.phi));
+  Buffer.contents buf
+
+let of_string s =
+  let fail msg = Error ("Graph_io: " ^ msg) in
+  match String.split_on_char '\n' s with
+  | [] -> fail "empty input"
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ "dsvc-graph"; "1"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> (
+              let g = Aux_graph.create ~n_versions:n in
+              let parse_line line =
+                if line = "" then Ok ()
+                else
+                  match String.split_on_char ' ' line with
+                  | [ "m"; v; delta; phi ] -> (
+                      match
+                        ( int_of_string_opt v,
+                          float_of_string_opt delta,
+                          float_of_string_opt phi )
+                      with
+                      | Some v, Some delta, Some phi -> (
+                          try
+                            Aux_graph.add_materialization g ~version:v ~delta
+                              ~phi;
+                            Ok ()
+                          with Invalid_argument e -> fail e)
+                      | _ -> fail ("bad materialization line: " ^ line))
+                  | [ "d"; src; dst; delta; phi ] -> (
+                      match
+                        ( int_of_string_opt src,
+                          int_of_string_opt dst,
+                          float_of_string_opt delta,
+                          float_of_string_opt phi )
+                      with
+                      | Some src, Some dst, Some delta, Some phi -> (
+                          try
+                            Aux_graph.add_delta g ~src ~dst ~delta ~phi;
+                            Ok ()
+                          with Invalid_argument e -> fail e)
+                      | _ -> fail ("bad delta line: " ^ line))
+                  | _ -> fail ("unknown line: " ^ line)
+              in
+              let rec go = function
+                | [] -> Ok g
+                | l :: tl -> (
+                    match parse_line l with Ok () -> go tl | Error _ as e -> e)
+              in
+              go rest)
+          | _ -> fail "bad version count")
+      | _ -> fail "not a dsvc-graph file")
+
+let save g ~path =
+  try
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string g));
+    Ok ()
+  with Sys_error e -> Error e
+
+let load ~path =
+  try
+    let ic = open_in_bin path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_string content
+  with Sys_error e -> Error e

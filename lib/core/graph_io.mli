@@ -1,0 +1,23 @@
+(** Plain-text serialization of auxiliary graphs.
+
+    Lets problem instances be saved, shared, and re-solved — e.g.
+    exporting a repository's revealed ⟨Δ, Φ⟩ graph for offline
+    analysis, or checking experiment inputs into a repo. The format is
+    line-oriented and stable:
+
+    {v
+    dsvc-graph 1 <n_versions>
+    m <version> <delta> <phi>         (materialization)
+    d <src> <dst> <delta> <phi>       (delta edge)
+    v}
+
+    Costs print with enough precision to round-trip exactly. *)
+
+val to_string : Aux_graph.t -> string
+
+val of_string : string -> (Aux_graph.t, string) result
+(** Rebuilds the graph; edge insertion order is preserved, so
+    first-revealed lookup semantics survive the round trip. *)
+
+val save : Aux_graph.t -> path:string -> (unit, string) result
+val load : path:string -> (Aux_graph.t, string) result

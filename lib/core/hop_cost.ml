@@ -1,0 +1,37 @@
+module Digraph = Versioning_graph.Digraph
+
+let of_aux g =
+  let n = Aux_graph.n_versions g in
+  let g' = Aux_graph.create ~n_versions:n in
+  Digraph.iter_edges (Aux_graph.graph g) (fun e ->
+      if e.src = 0 then
+        Aux_graph.add_materialization g' ~version:e.dst
+          ~delta:e.label.Aux_graph.delta ~phi:1.0
+      else
+        Aux_graph.add_delta g' ~src:e.src ~dst:e.dst
+          ~delta:e.label.Aux_graph.delta ~phi:1.0);
+  g'
+
+let solve_bounded_depth g ~max_depth =
+  if max_depth < 0 then invalid_arg "Hop_cost.solve_bounded_depth";
+  let hop = of_aux g in
+  (* Recreation cost on the hop graph = 1 (materialization) + chain
+     length, so depth <= d means theta = d + 1. *)
+  match Mp.solve hop ~theta:(float_of_int (max_depth + 1)) with
+  | { Mp.tree = Some sg; _ } ->
+      (* Re-cost the chosen tree on the original graph so recreation
+         costs are real again. *)
+      Storage_graph.of_parents g ~parents:(Storage_graph.to_parents sg)
+  | { Mp.tree = None; infeasible } ->
+      Error
+        (Printf.sprintf "%d versions cannot meet depth %d (first: %d)"
+           (List.length infeasible) max_depth
+           (match infeasible with v :: _ -> v | [] -> -1))
+
+let max_depth sg =
+  let m = ref 0 in
+  for v = 1 to Storage_graph.n_versions sg do
+    let d = Storage_graph.depth sg v in
+    if d > !m then m := d
+  done;
+  !m

@@ -1,0 +1,28 @@
+(** The hop-based variant of §3: recreation cost as chain length.
+
+    Setting [Φij = 1] for every edge makes a version's recreation cost
+    the {e number of deltas} applied to rebuild it — meaningful when
+    each application has roughly constant cost (e.g. one network round
+    trip per object). Problem 6 then becomes the bounded-diameter
+    minimum spanning tree / d-MinimumSteinerTree special case whose
+    hardness (and ln n inapproximability) the paper cites from
+    Kortsarz & Peleg.
+
+    This module derives the hop-cost twin of any auxiliary graph and
+    offers the natural solvers: MP for a bound on chain length, and a
+    direct greedy for the common "depth ≤ d" policy that version
+    control systems expose (git's [--depth], SVN's skip-delta design
+    target). *)
+
+val of_aux : Aux_graph.t -> Aux_graph.t
+(** Same revealed entries and Δ weights; every Φ replaced by 1 (the
+    materialization edges keep Φ = 1 as well: one retrieval). *)
+
+val solve_bounded_depth :
+  Aux_graph.t -> max_depth:int -> (Storage_graph.t, string) result
+(** Minimize storage subject to every version's delta-chain length
+    being ≤ [max_depth]: Problem 6 on the hop graph via MP.
+    [max_depth = 0] forces full materialization. *)
+
+val max_depth : Storage_graph.t -> int
+(** Longest delta chain in a solution. *)

@@ -1,0 +1,114 @@
+module Digraph = Versioning_graph.Digraph
+
+let big_m g problem =
+  match problem with
+  | Solver.Min_storage_bounded_max_recreation theta -> 2.0 *. theta
+  | Solver.Min_storage_bounded_sum_recreation theta -> 2.0 *. theta
+  | _ ->
+      2.0
+      *. Digraph.fold_edges (Aux_graph.graph g) ~init:0.0 ~f:(fun acc e ->
+             acc +. e.label.Aux_graph.phi)
+
+(* Edge variable names: x_<i>_<j>; several parallel reveals of the
+   same (i, j) get a disambiguating suffix. *)
+let edge_vars g =
+  let counts = Hashtbl.create 64 in
+  Digraph.fold_edges (Aux_graph.graph g) ~init:[] ~f:(fun acc e ->
+      let k = (e.src, e.dst) in
+      let idx = Option.value (Hashtbl.find_opt counts k) ~default:0 in
+      Hashtbl.replace counts k (idx + 1);
+      let name =
+        if idx = 0 then Printf.sprintf "x_%d_%d" e.src e.dst
+        else Printf.sprintf "x_%d_%d__%d" e.src e.dst idx
+      in
+      (name, e) :: acc)
+  |> List.rev
+
+let emit g problem =
+  (match problem with
+  | Solver.Minimize_recreation ->
+      invalid_arg
+        "Ilp.emit: Problem 2 has no single-objective ILP; use Spt.solve"
+  | _ -> ());
+  let n = Aux_graph.n_versions g in
+  let vars = edge_vars g in
+  let m = big_m g problem in
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let storage_terms =
+    vars
+    |> List.map (fun (name, (e : Aux_graph.weight Digraph.edge)) ->
+           Printf.sprintf "%g %s" e.label.Aux_graph.delta name)
+    |> String.concat " + "
+  in
+  let sum_r_terms =
+    List.init n (fun i -> Printf.sprintf "r_%d" (i + 1)) |> String.concat " + "
+  in
+  (* Objective. *)
+  (match problem with
+  | Solver.Minimize_storage
+  | Solver.Min_storage_bounded_sum_recreation _
+  | Solver.Min_storage_bounded_max_recreation _ ->
+      addf "Minimize\n obj: %s\n" storage_terms
+  | Solver.Min_sum_recreation_bounded_storage _ ->
+      addf "Minimize\n obj: %s\n" sum_r_terms
+  | Solver.Min_max_recreation_bounded_storage _ ->
+      (* minimize the auxiliary max variable *)
+      addf "Minimize\n obj: rmax\n"
+  | Solver.Minimize_recreation -> assert false);
+  addf "Subject To\n";
+  (* One parent per version. *)
+  for j = 1 to n do
+    let terms =
+      vars
+      |> List.filter_map (fun (name, (e : _ Digraph.edge)) ->
+             if e.dst = j then Some name else None)
+    in
+    if terms <> [] then
+      addf " parent_%d: %s = 1\n" j (String.concat " + " terms)
+    else
+      (* no revealed in-edge: the model is infeasible, surfaced as an
+         explicitly impossible constraint rather than silence *)
+      addf " parent_%d: 0 x_0_0_dummy = 1\n" j
+  done;
+  (* Recreation ordering: phi + r_i - r_j <= (1 - x) * M, i.e.
+     r_i - r_j + M x <= M - phi. For i = 0, r_0 = 0 is folded in. *)
+  List.iter
+    (fun (name, (e : Aux_graph.weight Digraph.edge)) ->
+      let phi = e.label.Aux_graph.phi in
+      if e.src = 0 then
+        addf " rec_%s: - r_%d + %g %s <= %g\n" name e.dst m name (m -. phi)
+      else
+        addf " rec_%s: r_%d - r_%d + %g %s <= %g\n" name e.src e.dst m name
+          (m -. phi))
+    vars;
+  (* Problem-specific constraints. *)
+  (match problem with
+  | Solver.Min_storage_bounded_max_recreation theta ->
+      for i = 1 to n do
+        addf " theta_%d: r_%d <= %g\n" i i theta
+      done
+  | Solver.Min_storage_bounded_sum_recreation theta ->
+      addf " theta_sum: %s <= %g\n" sum_r_terms theta
+  | Solver.Min_sum_recreation_bounded_storage beta ->
+      addf " beta: %s <= %g\n" storage_terms beta
+  | Solver.Min_max_recreation_bounded_storage beta ->
+      addf " beta: %s <= %g\n" storage_terms beta;
+      for i = 1 to n do
+        addf " maxdef_%d: r_%d - rmax <= 0\n" i i
+      done
+  | Solver.Minimize_storage -> ()
+  | Solver.Minimize_recreation -> assert false);
+  (* Bounds. *)
+  addf "Bounds\n";
+  for i = 1 to n do
+    addf " 0 <= r_%d\n" i
+  done;
+  (match problem with
+  | Solver.Min_max_recreation_bounded_storage _ -> addf " 0 <= rmax\n"
+  | _ -> ());
+  (* Binaries. *)
+  addf "Binary\n";
+  List.iter (fun (name, _) -> addf " %s\n" name) vars;
+  addf "End\n";
+  Buffer.contents buf

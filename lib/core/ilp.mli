@@ -1,0 +1,31 @@
+(** The §2.3 integer linear program, exported in CPLEX LP format.
+
+    The paper solves its formulation with Gurobi; this repository
+    solves the same model natively with {!Exact}. For users who do
+    have an external solver, this module writes the model out exactly
+    as the paper states it:
+
+    - binary [x_i_j] per revealed edge (is edge (Vi, Vj) in the
+      storage graph?);
+    - continuous [r_j ≥ 0] per version (its recreation cost);
+    - [Σ_i x_i_j = 1] for every version [j] (one parent each);
+    - the conditional [r_j − r_i ≥ Φ_i_j if x_i_j = 1] linearized with
+      the big-M constant [C] the paper describes
+      ([Φij + ri − rj ≤ (1 − xij)·C]);
+    - per-problem objective and bound ([r_i ≤ θ] for Problem 6, etc.).
+
+    Subtour elimination beyond the recreation-variable ordering is not
+    needed: as the paper's Lemma 4 argues, the [r] ordering constraints
+    already rule out cycles for Φ > 0. *)
+
+val emit : Aux_graph.t -> Solver.problem -> string
+(** LP-format text for the given problem instance.
+    @raise Invalid_argument for {!Solver.Minimize_recreation}
+    (Problem 2 has no single linear objective; it is solved per-version
+    by Dijkstra, and the paper's ILP section likewise targets the
+    constrained problems). *)
+
+val big_m : Aux_graph.t -> Solver.problem -> float
+(** The "sufficiently large" constant used in the linearization: twice
+    the recreation bound when one is given (the paper suggests [2θ]),
+    otherwise twice the sum of all revealed Φ. *)

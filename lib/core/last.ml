@@ -1,0 +1,91 @@
+module Digraph = Versioning_graph.Digraph
+
+let solve g ~base ~alpha =
+  if alpha <= 1.0 then invalid_arg "Last.solve: alpha must exceed 1";
+  let n = Aux_graph.n_versions g in
+  let spt =
+    match Spt.solve g with
+    | Ok s -> s
+    | Error e -> invalid_arg ("Last.solve: " ^ e)
+  in
+  let sp_dist = Array.make (n + 1) 0.0 in
+  for v = 1 to n do
+    sp_dist.(v) <- Storage_graph.recreation_cost spt v
+  done;
+  let d = Array.make (n + 1) infinity in
+  let parent = Array.make (n + 1) (-1) in
+  let weight =
+    Array.make (n + 1) ({ delta = 0.0; phi = 0.0 } : Aux_graph.weight)
+  in
+  d.(0) <- 0.0;
+  (* Children lists of the base tree, for the DFS. *)
+  let children = Array.make (n + 1) [] in
+  for v = n downto 1 do
+    let p = Storage_graph.parent base v in
+    children.(p) <- v :: children.(p)
+  done;
+  (* Root path of [v] in the SPT, root end first. *)
+  let spt_path v =
+    let rec go v acc = if v = 0 then acc else go (Storage_graph.parent spt v) (v :: acc) in
+    go v []
+  in
+  let graft v =
+    List.iter
+      (fun y ->
+        if sp_dist.(y) < d.(y) then begin
+          d.(y) <- sp_dist.(y);
+          parent.(y) <- Storage_graph.parent spt y;
+          weight.(y) <- Storage_graph.edge_weight spt y
+        end)
+      (spt_path v)
+  in
+  let dg = Aux_graph.graph g in
+  let relax ~src ~dst (w : Aux_graph.weight) =
+    if d.(src) +. w.phi < d.(dst) then begin
+      d.(dst) <- d.(src) +. w.phi;
+      parent.(dst) <- src;
+      weight.(dst) <- w
+    end
+  in
+  (* Cheapest-Φ edge [src → dst], honoring parallel reveals. *)
+  let min_phi_edge src dst =
+    let best = ref None in
+    Digraph.iter_out dg src (fun e ->
+        if e.dst = dst then
+          match !best with
+          | Some (b : Aux_graph.weight) when b.phi <= e.label.phi -> ()
+          | _ -> best := Some e.label);
+    !best
+  in
+  (* DFS over the base tree. On entering child [c] from [u]: relax the
+     tree edge (with the tree's own chosen weight), then check the α
+     bound; after the subtree returns, relax the reverse edge (the
+     paper's "back-edge" step, Example 6) — for directed graphs it may
+     be absent. *)
+  let rec dfs u =
+    List.iter
+      (fun c ->
+        relax ~src:u ~dst:c (Storage_graph.edge_weight base c);
+        if d.(c) > alpha *. sp_dist.(c) then graft c;
+        dfs c;
+        match min_phi_edge c u with
+        | Some w ->
+            if u <> 0 && d.(c) +. w.phi < d.(u) then begin
+              (* Guard against cycles through zero-cost edges: only
+                 re-parent [u] to [c] when [c]'s current root path
+                 does not pass through [u]. *)
+              let rec through x = x <> -1 && x <> 0 && (x = u || through parent.(x)) in
+              if not (through c) then relax ~src:c ~dst:u w
+            end
+        | None -> ())
+      children.(u)
+  in
+  dfs 0;
+  let choices =
+    List.init n (fun i ->
+        let v = i + 1 in
+        (parent.(v), v, weight.(v)))
+  in
+  match Storage_graph.of_parent_edges ~n choices with
+  | Ok sg -> sg
+  | Error e -> invalid_arg ("Last.solve: internal tree corrupt: " ^ e)

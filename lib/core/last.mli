@@ -1,0 +1,23 @@
+(** LAST — light approximate shortest-path tree (§4.3, Algorithm 3,
+    after Khuller, Raghavachari & Young 1995).
+
+    Depth-first traversal of the minimum-storage tree, maintaining
+    tentative root distances [d]; whenever a node's distance exceeds
+    [α ×] its shortest-path distance, the shortest path to it is
+    grafted into the tree. On undirected graphs with Δ = Φ the result
+    satisfies, for every version [i]:
+
+    - [Ri ≤ α · SP(V0, Vi)], and
+    - total storage ≤ [(1 + 2/(α−1)) ×] the MST weight.
+
+    Following the paper, the same procedure is applied to directed
+    graphs without the guarantees. *)
+
+val solve :
+  Aux_graph.t ->
+  base:Storage_graph.t ->
+  alpha:float ->
+  Storage_graph.t
+(** [solve g ~base ~alpha] where [base] is the MST/MCA.
+    @raise Invalid_argument if [alpha <= 1.0] (the tradeoff parameter
+    must exceed 1) or if the graph has unreachable versions. *)

@@ -1,0 +1,185 @@
+(* Mutable tree state for the greedy loop: parent/weight per version,
+   children lists, exact recreation costs, and per-round subtree
+   weights (node counts, or frequency sums in the workload-aware
+   variant). *)
+
+type state = {
+  n : int;
+  parent : int array;
+  weight : Aux_graph.weight array;
+  children : int list array;
+  recreation : float array;
+  freq : float array;  (* all-ones when unweighted *)
+  subtree : float array;  (* Σ freq over the subtree, refreshed per round *)
+  tin : int array;  (* Euler-tour entry times, refreshed per round *)
+  tout : int array;  (* Euler-tour exit times *)
+}
+
+let init_state g base ~freqs =
+  let n = Aux_graph.n_versions g in
+  let parent = Array.make (n + 1) (-1) in
+  let weight =
+    Array.make (n + 1) ({ delta = 0.0; phi = 0.0 } : Aux_graph.weight)
+  in
+  let children = Array.make (n + 1) [] in
+  for v = 1 to n do
+    parent.(v) <- Storage_graph.parent base v;
+    weight.(v) <- Storage_graph.edge_weight base v;
+    children.(parent.(v)) <- v :: children.(parent.(v))
+  done;
+  let recreation = Storage_graph.recreation_costs base in
+  let freq =
+    match freqs with
+    | Some f ->
+        if Array.length f < n + 1 then invalid_arg "Lmg: freqs too short";
+        Array.copy f
+    | None -> Array.make (n + 1) 1.0
+  in
+  {
+    n;
+    parent;
+    weight;
+    children;
+    recreation;
+    freq;
+    subtree = Array.make (n + 1) 0.0;
+    tin = Array.make (n + 1) 0;
+    tout = Array.make (n + 1) 0;
+  }
+
+(* Refresh subtree weights and Euler-tour intervals in one iterative
+   DFS. After this, [u] lies in the subtree of [v] iff
+   [tin v <= tin u && tout u <= tout v]. *)
+let refresh_subtrees st =
+  for v = 0 to st.n do
+    st.subtree.(v) <- (if v = 0 then 0.0 else st.freq.(v))
+  done;
+  let clock = ref 0 in
+  let stack = ref [ `Enter 0 ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | `Enter v :: rest ->
+        incr clock;
+        st.tin.(v) <- !clock;
+        stack := List.fold_left (fun acc c -> `Enter c :: acc) (`Exit v :: rest) st.children.(v)
+    | `Exit v :: rest ->
+        st.tout.(v) <- !clock;
+        if v <> 0 then
+          st.subtree.(st.parent.(v)) <- st.subtree.(st.parent.(v)) +. st.subtree.(v);
+        stack := rest
+  done
+
+let is_descendant st ~anc v =
+  st.tin.(anc) <= st.tin.(v) && st.tout.(v) <= st.tout.(anc)
+
+(* Apply the swap: re-parent [v] to [u] with weight [w], shifting the
+   recreation cost of every vertex in v's subtree by the same amount. *)
+let apply_swap st ~u ~v ~(w : Aux_graph.weight) =
+  let shift = st.recreation.(u) +. w.phi -. st.recreation.(v) in
+  let old_parent = st.parent.(v) in
+  st.children.(old_parent) <- List.filter (fun c -> c <> v) st.children.(old_parent);
+  st.parent.(v) <- u;
+  st.weight.(v) <- w;
+  st.children.(u) <- v :: st.children.(u);
+  let stack = ref [ v ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+        stack := rest;
+        st.recreation.(x) <- st.recreation.(x) +. shift;
+        List.iter (fun c -> stack := c :: !stack) st.children.(x)
+  done
+
+let to_storage_graph st =
+  let choices =
+    List.init st.n (fun i ->
+        let v = i + 1 in
+        (st.parent.(v), v, st.weight.(v)))
+  in
+  match Storage_graph.of_parent_edges ~n:st.n choices with
+  | Ok sg -> sg
+  | Error e -> invalid_arg ("Lmg: internal tree corrupt: " ^ e)
+
+let solve g ~base ~spt ~budget ?freqs () =
+  let st = init_state g base ~freqs in
+  let storage = ref (Storage_graph.storage_cost base) in
+  (* Candidate pool ξ: SPT in-edges that differ from the current tree.
+     Entries are (spt_parent, v, weight); consumed when used. *)
+  let candidates = ref [] in
+  for v = 1 to st.n do
+    let pu = Storage_graph.parent spt v in
+    if pu <> st.parent.(v) then
+      candidates := (pu, v, Storage_graph.edge_weight spt v) :: !candidates
+  done;
+  let continue = ref true in
+  while !continue && !candidates <> [] do
+    refresh_subtrees st;
+    (* Score every candidate; keep the best applicable one. *)
+    let best = ref None in
+    List.iter
+      (fun (u, v, (w : Aux_graph.weight)) ->
+        let gain =
+          st.subtree.(v) *. (st.recreation.(v) -. (st.recreation.(u) +. w.phi))
+        in
+        let cost = w.delta -. st.weight.(v).delta in
+        if
+          gain > 0.0
+          && !storage +. cost <= budget
+          && u <> st.parent.(v)
+          && not (is_descendant st ~anc:v u)
+        then begin
+          let rho = if cost <= 0.0 then infinity else gain /. cost in
+          match !best with
+          | Some (rho', _, _, _, _) when rho' >= rho -> ()
+          | _ -> best := Some (rho, u, v, w, cost)
+        end)
+      !candidates;
+    match !best with
+    | None -> continue := false
+    | Some (_, u, v, w, cost) ->
+        apply_swap st ~u ~v ~w;
+        storage := !storage +. cost;
+        candidates :=
+          List.filter (fun (_, v', _) -> v' <> v) !candidates
+  done;
+  to_storage_graph st
+
+let solve_p5 g ~base ~spt ~sum_bound ?freqs ?(iterations = 40) () =
+  let measure sg =
+    match freqs with
+    | Some f -> Storage_graph.weighted_recreation sg ~freqs:f
+    | None -> Storage_graph.sum_recreation sg
+  in
+  if measure spt > sum_bound then
+    Error
+      (Printf.sprintf
+         "sum-recreation bound %.1f is below the SPT optimum %.1f" sum_bound
+         (measure spt))
+  else begin
+    let lo = ref (Storage_graph.storage_cost base) in
+    let hi = ref (Storage_graph.storage_cost spt) in
+    let best = ref None in
+    (* Check the cheap end first: the base tree may already satisfy
+       the bound. *)
+    if measure base <= sum_bound then best := Some base
+    else begin
+      for _ = 1 to iterations do
+        let mid = (!lo +. !hi) /. 2.0 in
+        let sg = solve g ~base ~spt ~budget:mid ?freqs () in
+        if measure sg <= sum_bound then begin
+          (match !best with
+          | Some b when Storage_graph.storage_cost b <= Storage_graph.storage_cost sg
+            ->
+              ()
+          | _ -> best := Some sg);
+          hi := mid
+        end
+        else lo := mid
+      done;
+      (* The SPT itself is always a fallback. *)
+      if !best = None then best := Some spt
+    end;
+    match !best with Some sg -> Ok sg | None -> assert false
+  end

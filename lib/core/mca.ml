@@ -1,0 +1,243 @@
+module Digraph = Versioning_graph.Digraph
+
+(* Chu–Liu/Edmonds with explicit contraction history.
+
+   Levels: level 0 is the input graph. Each round selects the
+   cheapest in-edge of every non-root vertex; if the selection is
+   acyclic it is the arborescence of that level, otherwise every
+   selected cycle is contracted into a fresh supernode and edge
+   weights entering a cycle are reduced by the weight of the selected
+   in-edge of their target (the classic reduced costs), producing
+   level k+1. Each rebuilt edge keeps a pointer to the level-k edge it
+   came from, so the final selection can be unwound level by level:
+   the edge chosen into a supernode displaces exactly one cycle edge —
+   the one entering the vertex that the underlying edge enters. *)
+
+type redge = {
+  src : int;
+  dst : int;
+  w : float;
+  below : redge option;  (* the edge this one was rebuilt from *)
+  level : int;  (* contraction round that rebuilt it; 0 = original *)
+  choice : int * int * Aux_graph.weight;  (* original (parent, child, weight) *)
+}
+
+type cycle_record = {
+  supernode : int;
+  members : (int * redge) list;  (* (vertex, its selected cycle in-edge) *)
+}
+
+let weight = Storage_graph.storage_cost
+
+let solve g =
+  let dg = Aux_graph.graph g in
+  let n_orig = Digraph.n_vertices dg in
+  let root = 0 in
+  (* Each contraction round removes at least one vertex net of the
+     supernode it adds, so ids stay below 2 * n_orig + 1. *)
+  let max_ids = (2 * n_orig) + 1 in
+  let edges0 =
+    Digraph.fold_edges dg ~init:[] ~f:(fun acc e ->
+        {
+          src = e.src;
+          dst = e.dst;
+          w = e.label.Aux_graph.delta;
+          below = None;
+          level = 0;
+          choice = (e.src, e.dst, e.label);
+        }
+        :: acc)
+  in
+  let active = Array.make max_ids false in
+  let active_list = ref [] in
+  for v = n_orig - 1 downto 0 do
+    active.(v) <- true;
+    active_list := v :: !active_list
+  done;
+  let next_id = ref n_orig in
+  let round = ref 0 in
+  let history : cycle_record list list ref = ref [] in
+  let edges = ref edges0 in
+  let final_selection = ref None in
+  let error = ref None in
+  while !final_selection = None && !error = None do
+    (* Cheapest in-edge per active non-root vertex. *)
+    let best : redge option array = Array.make max_ids None in
+    List.iter
+      (fun e ->
+        if e.dst <> root && active.(e.src) && active.(e.dst) && e.src <> e.dst
+        then
+          match best.(e.dst) with
+          | None -> best.(e.dst) <- Some e
+          | Some b ->
+              if e.w < b.w || (e.w = b.w && e.src < b.src) then
+                best.(e.dst) <- Some e)
+      !edges;
+    let missing = ref None in
+    List.iter
+      (fun v ->
+        if v <> root && best.(v) = None && !missing = None then
+          missing := Some v)
+      !active_list;
+    (match !missing with
+    | Some _ ->
+        error :=
+          Some "some version has no revealed in-edge: no valid solution exists"
+    | None -> ());
+    if !error = None then begin
+      (* Find cycles among selected edges by pointer-chasing. *)
+      let color = Array.make max_ids 0 in
+      (* 0 unvisited / 1 on current path / 2 done *)
+      let cycles = ref [] in
+      color.(root) <- 2;
+      List.iter
+        (fun start ->
+        if active.(start) && color.(start) = 0 then begin
+          let path = ref [] in
+          let v = ref start in
+          while active.(!v) && color.(!v) = 0 do
+            color.(!v) <- 1;
+            path := !v :: !path;
+            match best.(!v) with
+            | Some e -> v := e.src
+            | None -> (* root only *) ()
+          done;
+          if color.(!v) = 1 then begin
+            (* Extract the cycle: the suffix of [path] from !v. *)
+            let cycle_start = !v in
+            let members = ref [] in
+            let collecting = ref false in
+            List.iter
+              (fun u ->
+                if u = cycle_start then collecting := true;
+                if !collecting then
+                  match best.(u) with
+                  | Some e -> members := (u, e) :: !members
+                  | None -> assert false)
+              (List.rev !path);
+            cycles := !members :: !cycles
+          end;
+          List.iter (fun u -> color.(u) <- 2) !path
+        end)
+        !active_list;
+      if !cycles = [] then begin
+        let selection = ref [] in
+        List.iter
+          (fun v ->
+            if v <> root then
+              match best.(v) with
+              | Some e -> selection := (v, e) :: !selection
+              | None -> assert false)
+          !active_list;
+        final_selection := Some !selection
+      end
+      else begin
+        (* Contract every cycle. *)
+        let comp = Array.make max_ids (-1) in
+        List.iter (fun v -> comp.(v) <- v) !active_list;
+        let records =
+          List.map
+            (fun members ->
+              let s = !next_id in
+              incr next_id;
+              assert (s < max_ids);
+              List.iter (fun (v, _) -> comp.(v) <- s) members;
+              { supernode = s; members })
+            !cycles
+        in
+        (* Reduced cost for edges entering a contracted vertex. *)
+        let reduced e =
+          match best.(e.dst) with
+          | Some b when comp.(e.dst) <> e.dst -> e.w -. b.w
+          | _ -> e.w
+        in
+        incr round;
+        (* Only edges touching a contracted vertex are rebuilt; the
+           rest survive untouched (their [level] stays older, so the
+           unwind skips them until their own round). *)
+        let new_edges =
+          List.filter_map
+            (fun e ->
+              let s = comp.(e.src) and d = comp.(e.dst) in
+              if s = d then None
+              else if s = e.src && d = e.dst then Some e
+              else
+                Some
+                  { src = s; dst = d; w = reduced e; below = Some e;
+                    level = !round; choice = e.choice })
+            !edges
+        in
+        List.iter
+          (fun r ->
+            List.iter (fun (v, _) -> active.(v) <- false) r.members;
+            active.(r.supernode) <- true)
+          records;
+        active_list :=
+          List.map (fun r -> r.supernode) records
+          @ List.filter (fun v -> active.(v)) !active_list;
+        history := records :: !history;
+        edges := new_edges
+      end
+    end
+  done;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      let selection = Option.get !final_selection in
+      (* Unwind the contraction history. [m] maps each vertex at the
+         current level to its selected in-edge (an edge of that same
+         level). Each transition unwraps every surviving edge exactly
+         one level and replaces each supernode by its members. *)
+      let m = Hashtbl.create (2 * n_orig) in
+      List.iter (fun (v, e) -> Hashtbl.replace m v e) selection;
+      (* [history] lists transitions newest first; unwrap an edge only
+         when processing the round that rebuilt it. *)
+      let level = ref !round in
+      let unwrap e =
+        if e.level = !level then
+          match e.below with Some u -> u | None -> assert false
+        else e
+      in
+      List.iter
+        (fun records ->
+          (* pull out this transition's supernode entries first *)
+          let super_edges =
+            List.map
+              (fun r ->
+                let e =
+                  match Hashtbl.find_opt m r.supernode with
+                  | Some e -> e
+                  | None -> assert false
+                in
+                Hashtbl.remove m r.supernode;
+                (r, e))
+              records
+          in
+          (* every surviving entry rebuilt at this round moves down *)
+          let snapshot = Hashtbl.fold (fun v e acc -> (v, e) :: acc) m [] in
+          List.iter
+            (fun (v, e) ->
+              if e.level = !level then Hashtbl.replace m v (unwrap e))
+            snapshot;
+          (* expand each cycle: the member the incoming edge really
+             enters keeps it, all other members keep their cycle
+             edges *)
+          List.iter
+            (fun (r, e) ->
+              let under = unwrap e in
+              List.iter
+                (fun (v, cyc_edge) ->
+                  if v = under.dst then Hashtbl.replace m v under
+                  else Hashtbl.replace m v cyc_edge)
+                r.members)
+            super_edges;
+          decr level)
+        !history;
+      let choices =
+        List.init (n_orig - 1) (fun i ->
+            let v = i + 1 in
+            match Hashtbl.find_opt m v with
+            | Some e -> e.choice
+            | None -> assert false)
+      in
+      Storage_graph.of_parent_edges ~n:(n_orig - 1) choices)

@@ -1,0 +1,56 @@
+type action =
+  | Materialize of int
+  | Write_delta of { parent : int; child : int }
+  | Drop_materialization of int
+  | Drop_delta of { parent : int; child : int }
+
+type plan = {
+  actions : action list;
+  unchanged : int;
+  bytes_written : float;
+  bytes_freed : float;
+}
+
+let plan ~from_ ~to_ =
+  let n = Storage_graph.n_versions from_ in
+  if Storage_graph.n_versions to_ <> n then
+    invalid_arg "Migration.plan: version counts differ";
+  let writes = ref [] and drops = ref [] in
+  let written = ref 0.0 and freed = ref 0.0 and unchanged = ref 0 in
+  for v = 1 to n do
+    let pf = Storage_graph.parent from_ v in
+    let pt = Storage_graph.parent to_ v in
+    if pf = pt then incr unchanged
+    else begin
+      (let w = Storage_graph.edge_weight to_ v in
+       written := !written +. w.Aux_graph.delta;
+       writes :=
+         (if pt = 0 then Materialize v else Write_delta { parent = pt; child = v })
+         :: !writes);
+      let w = Storage_graph.edge_weight from_ v in
+      freed := !freed +. w.Aux_graph.delta;
+      drops :=
+        (if pf = 0 then Drop_materialization v
+         else Drop_delta { parent = pf; child = v })
+        :: !drops
+    end
+  done;
+  {
+    actions = List.rev !writes @ List.rev !drops;
+    unchanged = !unchanged;
+    bytes_written = !written;
+    bytes_freed = !freed;
+  }
+
+let net_bytes p = p.bytes_written -. p.bytes_freed
+
+let pp ppf p =
+  let writes =
+    List.length
+      (List.filter
+         (function Materialize _ | Write_delta _ -> true | _ -> false)
+         p.actions)
+  in
+  Format.fprintf ppf
+    "@[migration: %d rewrites, %d kept; +%.0f written, -%.0f freed (net %+.0f)@]"
+    writes p.unchanged p.bytes_written p.bytes_freed (net_bytes p)

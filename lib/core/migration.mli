@@ -1,0 +1,36 @@
+(** Migration planning between storage solutions.
+
+    When a repository re-plans its storage (a new budget, new access
+    pattern, or simply more versions), moving from plan [A] to plan
+    [B] is itself work: new deltas must be computed and written, and
+    obsolete objects deleted. This module diffs two plans into the
+    minimal action list and estimates the transition's cost — the
+    operational face of the paper's "adaptive algorithms that
+    reevaluate the optimization decisions" (§7).
+
+    Actions reference versions by id; executing them against a store
+    is the caller's job ({!Versioning_store.Repo.optimize} follows
+    exactly this shape). *)
+
+type action =
+  | Materialize of int  (** write version in full *)
+  | Write_delta of { parent : int; child : int }
+      (** compute and store the delta [parent → child] *)
+  | Drop_materialization of int
+  | Drop_delta of { parent : int; child : int }
+
+type plan = {
+  actions : action list;  (** writes first, then drops *)
+  unchanged : int;  (** versions whose storage entry is kept *)
+  bytes_written : float;  (** Σ Δ of new entries *)
+  bytes_freed : float;  (** Σ Δ of dropped entries *)
+}
+
+val plan : from_:Storage_graph.t -> to_:Storage_graph.t -> plan
+(** @raise Invalid_argument when the two solutions cover different
+    version counts. *)
+
+val net_bytes : plan -> float
+(** [bytes_written − bytes_freed] — the storage delta of migrating. *)
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,125 @@
+module Digraph = Versioning_graph.Digraph
+module Heap = Versioning_util.Binary_heap
+
+type outcome = { tree : Storage_graph.t option; infeasible : int list }
+
+(* Is [anc] an ancestor of [v] (or equal)? Used as a cycle guard when
+   re-parenting in-tree versions: the paper's conditions already make
+   a cycle impossible for strictly positive Φ, but zero-cost deltas
+   (identical versions) do occur in real workloads. *)
+let is_ancestor parent ~anc v =
+  let u = ref v in
+  let found = ref false in
+  while (not !found) && !u <> -1 do
+    if !u = anc then found := true else u := parent.(!u)
+  done;
+  !found
+
+let solve g ~theta =
+  let dg = Aux_graph.graph g in
+  let n = Aux_graph.n_versions g in
+  let in_tree = Array.make (n + 1) false in
+  let parent = Array.make (n + 1) (-1) in
+  let weight =
+    Array.make (n + 1) ({ delta = 0.0; phi = 0.0 } : Aux_graph.weight)
+  in
+  let l = Array.make (n + 1) infinity in
+  (* marginal storage *)
+  let d = Array.make (n + 1) infinity in
+  (* recreation; an overestimate for in-tree versions after upstream
+     re-parenting, which only strengthens the θ check *)
+  let heap = Heap.create ~capacity:(n + 1) in
+  l.(0) <- 0.0;
+  d.(0) <- 0.0;
+  Heap.insert heap 0 0.0;
+  while not (Heap.is_empty heap) do
+    let vi, _ = Heap.pop_min heap in
+    if not in_tree.(vi) then begin
+      in_tree.(vi) <- true;
+      Digraph.iter_out dg vi (fun e ->
+          let vj = e.dst in
+          let w = e.label in
+          if in_tree.(vj) then begin
+            (* Possible improvement for an in-tree version: cheaper
+               storage, no worse recreation. *)
+            if
+              w.Aux_graph.phi +. d.(vi) <= d.(vj)
+              && w.Aux_graph.delta < l.(vj)
+              && not (is_ancestor parent ~anc:vj vi)
+            then begin
+              parent.(vj) <- vi;
+              weight.(vj) <- w;
+              d.(vj) <- w.Aux_graph.phi +. d.(vi);
+              l.(vj) <- w.Aux_graph.delta
+            end
+          end
+          else if
+            w.Aux_graph.phi +. d.(vi) <= theta && w.Aux_graph.delta < l.(vj)
+          then begin
+            parent.(vj) <- vi;
+            weight.(vj) <- w;
+            d.(vj) <- w.Aux_graph.phi +. d.(vi);
+            l.(vj) <- w.Aux_graph.delta;
+            Heap.insert heap vj l.(vj)
+          end)
+    end
+  done;
+  let infeasible = ref [] in
+  for v = n downto 1 do
+    if not in_tree.(v) then infeasible := v :: !infeasible
+  done;
+  if !infeasible <> [] then { tree = None; infeasible = !infeasible }
+  else begin
+    let choices =
+      List.init n (fun i ->
+          let v = i + 1 in
+          (parent.(v), v, weight.(v)))
+    in
+    match Storage_graph.of_parent_edges ~n choices with
+    | Ok sg -> { tree = Some sg; infeasible = [] }
+    | Error e -> invalid_arg ("Mp: internal tree corrupt: " ^ e)
+  end
+
+let solve_p4 g ~budget ?(iterations = 40) () =
+  let n = Aux_graph.n_versions g in
+  let spt_dist = Spt.distances g in
+  let lo0 = ref 0.0 in
+  for v = 1 to n do
+    if spt_dist.(v) > !lo0 then lo0 := spt_dist.(v)
+  done;
+  (* A θ that never constrains MP: the sum of every revealed Φ (no
+     root path can exceed it). *)
+  let hi0 =
+    Versioning_graph.Digraph.fold_edges (Aux_graph.graph g) ~init:!lo0
+      ~f:(fun acc e -> acc +. e.label.Aux_graph.phi)
+  in
+  let lo = ref !lo0 and hi = ref hi0 in
+  let best = ref None in
+  let try_theta theta =
+    match solve g ~theta with
+    | { tree = Some sg; _ } when Storage_graph.storage_cost sg <= budget ->
+        Some sg
+    | _ -> None
+  in
+  (match try_theta !hi with
+  | Some sg -> best := Some sg
+  | None -> ());
+  if !best = None then
+    Error
+      (Printf.sprintf "storage budget %.1f is below what MP can reach" budget)
+  else begin
+    for _ = 1 to iterations do
+      let mid = (!lo +. !hi) /. 2.0 in
+      match try_theta mid with
+      | Some sg ->
+          (match !best with
+          | Some b
+            when Storage_graph.max_recreation b
+                 <= Storage_graph.max_recreation sg ->
+              ()
+          | _ -> best := Some sg);
+          hi := mid
+      | None -> lo := mid
+    done;
+    match !best with Some sg -> Ok sg | None -> assert false
+  end

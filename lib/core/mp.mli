@@ -1,0 +1,34 @@
+(** MP — the Modified Prim heuristic (§4.2, Algorithm 2), for the
+    problems with a {e maximum} recreation-cost criterion (Problems 4
+    and 6).
+
+    A Prim-style greedy grows the tree from [V0], always dequeuing the
+    version with the smallest marginal storage cost [l(Vi)] whose
+    recreation cost [d(Vi)] stays within the threshold θ. Unlike
+    Prim's algorithm, a version already in the tree may later be
+    re-parented when a newly added version offers a strictly cheaper
+    delta without worsening its recreation cost (the paper's lines
+    10–17). O(E log V). *)
+
+type outcome = {
+  tree : Storage_graph.t option;
+      (** [None] when some version cannot meet θ at all. *)
+  infeasible : int list;
+      (** Versions that could not be attached within θ (empty on
+          success). *)
+}
+
+val solve : Aux_graph.t -> theta:float -> outcome
+(** Problem 6: minimize storage s.t. [max Ri ≤ theta]. *)
+
+val solve_p4 :
+  Aux_graph.t ->
+  budget:float ->
+  ?iterations:int ->
+  unit ->
+  (Storage_graph.t, string) result
+(** Problem 4: minimize [max Ri] s.t. [C ≤ budget], by binary search
+    on θ over [\[max SPT distance, Σ materialization Φ\]] (the paper's
+    "solution for Problem 4 is similar"). [iterations] defaults
+    to 40. [Error] when even θ = ∞ cannot meet the budget (budget
+    below minimum storage). *)

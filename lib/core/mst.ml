@@ -1,0 +1,99 @@
+module Digraph = Versioning_graph.Digraph
+module Heap = Versioning_util.Binary_heap
+module Uf = Versioning_util.Union_find
+
+(* Both algorithms view the auxiliary graph as undirected: an edge in
+   either direction connects its endpoints, with its own label. On
+   symmetric graphs (the intended use) direction is immaterial. *)
+
+let weight = Storage_graph.storage_cost
+
+let prim g =
+  let dg = Aux_graph.graph g in
+  let n = Digraph.n_vertices dg in
+  let in_tree = Array.make n false in
+  let best = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let pred_w = Array.make n ({ delta = 0.0; phi = 0.0 } : Aux_graph.weight) in
+  let heap = Heap.create ~capacity:n in
+  best.(0) <- 0.0;
+  Heap.insert heap 0 0.0;
+  let relax v other (label : Aux_graph.weight) =
+    if (not in_tree.(other)) && label.delta < best.(other) then begin
+      best.(other) <- label.delta;
+      pred.(other) <- v;
+      pred_w.(other) <- label;
+      Heap.insert heap other label.delta
+    end
+  in
+  while not (Heap.is_empty heap) do
+    let v, _ = Heap.pop_min heap in
+    if not in_tree.(v) then begin
+      in_tree.(v) <- true;
+      Digraph.iter_out dg v (fun e -> relax v e.dst e.label);
+      Digraph.iter_in dg v (fun e -> relax v e.src e.label)
+    end
+  done;
+  let rec missing v =
+    if v >= n then None else if not in_tree.(v) then Some v else missing (v + 1)
+  in
+  match missing 1 with
+  | Some v -> Error (Printf.sprintf "graph is disconnected at version %d" v)
+  | None ->
+      let choices =
+        List.init (n - 1) (fun i ->
+            let v = i + 1 in
+            (pred.(v), v, pred_w.(v)))
+      in
+      Storage_graph.of_parent_edges ~n:(n - 1) choices
+
+let kruskal g =
+  let dg = Aux_graph.graph g in
+  let n = Digraph.n_vertices dg in
+  let edges =
+    Digraph.fold_edges dg ~init:[] ~f:(fun acc e -> e :: acc)
+    |> List.sort (fun (a : _ Digraph.edge) b ->
+           compare
+             (a.label.Aux_graph.delta, a.src, a.dst)
+             (b.label.Aux_graph.delta, b.src, b.dst))
+  in
+  let uf = Uf.create n in
+  let chosen = ref [] in
+  List.iter
+    (fun (e : Aux_graph.weight Digraph.edge) ->
+      if Uf.union uf e.src e.dst then chosen := e :: !chosen)
+    edges;
+  if Uf.count_sets uf <> 1 then Error "graph is disconnected"
+  else begin
+    (* Orient the undirected tree away from the root by BFS. *)
+    let adj = Array.make n [] in
+    List.iter
+      (fun (e : Aux_graph.weight Digraph.edge) ->
+        adj.(e.src) <- (e.dst, e.label) :: adj.(e.src);
+        adj.(e.dst) <- (e.src, e.label) :: adj.(e.dst))
+      !chosen;
+    let pred = Array.make n (-1) in
+    let pred_w = Array.make n ({ delta = 0.0; phi = 0.0 } : Aux_graph.weight) in
+    let visited = Array.make n false in
+    visited.(0) <- true;
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun (u, label) ->
+          if not visited.(u) then begin
+            visited.(u) <- true;
+            pred.(u) <- v;
+            pred_w.(u) <- label;
+            Queue.add u queue
+          end)
+        adj.(v)
+    done;
+    let choices =
+      List.init (n - 1) (fun i ->
+          let v = i + 1 in
+          (pred.(v), v, pred_w.(v)))
+    in
+    Storage_graph.of_parent_edges ~n:(n - 1) choices
+  end

@@ -1,0 +1,21 @@
+(** Minimum spanning tree over the Δ weights — the optimal storage
+    graph for Problem 1 in the {e undirected} case (Lemma 2).
+
+    The auxiliary graph must be symmetric on version–version edges
+    (see {!Aux_graph.symmetrize}); materialization edges [0 → i] are
+    treated as undirected edges to the root. Two classical algorithms
+    are provided; they return trees of equal total weight (possibly
+    differing on cost ties), which the test suite exploits as an
+    invariant. *)
+
+val prim : Aux_graph.t -> (Storage_graph.t, string) result
+(** Prim's algorithm from the root, O(E log V) with a binary heap.
+    [Error] when the graph is disconnected. *)
+
+val kruskal : Aux_graph.t -> (Storage_graph.t, string) result
+(** Kruskal's algorithm with union–find, O(E log E). The resulting
+    undirected tree is oriented away from the root to produce the
+    storage solution. [Error] when the graph is disconnected. *)
+
+val weight : Storage_graph.t -> float
+(** Alias for {!Storage_graph.storage_cost} — the tree weight. *)

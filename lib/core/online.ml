@@ -1,0 +1,172 @@
+type policy =
+  | Min_delta
+  | Bounded_max of float
+
+type t = {
+  policy : policy;
+  mutable n : int;
+  mutable capacity : int;
+  mutable parents : int array;  (* index 1.. *)
+  mutable weights : Aux_graph.weight array;
+  mutable recreation : float array;
+  mutable storage : float;
+  mutable entries :
+    (int * Aux_graph.weight * (int * Aux_graph.weight) list) list;
+      (* reveal log, newest first: (version, diag, candidates) *)
+}
+
+let create policy =
+  {
+    policy;
+    n = 0;
+    capacity = 8;
+    parents = Array.make 9 0;
+    weights = Array.make 9 ({ delta = 0.0; phi = 0.0 } : Aux_graph.weight);
+    recreation = Array.make 9 0.0;
+    storage = 0.0;
+    entries = [];
+  }
+
+let n_versions t = t.n
+
+let grow t =
+  if t.n >= t.capacity then begin
+    let cap = 2 * t.capacity in
+    let parents = Array.make (cap + 1) 0 in
+    let weights =
+      Array.make (cap + 1) ({ delta = 0.0; phi = 0.0 } : Aux_graph.weight)
+    in
+    let recreation = Array.make (cap + 1) 0.0 in
+    Array.blit t.parents 0 parents 0 (t.n + 1);
+    Array.blit t.weights 0 weights 0 (t.n + 1);
+    Array.blit t.recreation 0 recreation 0 (t.n + 1);
+    t.parents <- parents;
+    t.weights <- weights;
+    t.recreation <- recreation;
+    t.capacity <- cap
+  end
+
+let add_version t ~materialization ~candidates =
+  let bad =
+    List.find_opt (fun (src, _) -> src < 1 || src > t.n) candidates
+  in
+  match bad with
+  | Some (src, _) ->
+      Error (Printf.sprintf "unknown candidate source version %d" src)
+  | None ->
+      grow t;
+      let v = t.n + 1 in
+      t.n <- v;
+      let choose_min_delta ok =
+        (* cheapest Δ among the admissible in-edges, materialization
+           included; ties to materialization, then smaller source *)
+        let best = ref (0, materialization) in
+        List.iter
+          (fun (src, (w : Aux_graph.weight)) ->
+            let _, bw = !best in
+            if ok src w && w.delta < bw.Aux_graph.delta then best := (src, w))
+          candidates;
+        !best
+      in
+      let parent, weight =
+        match t.policy with
+        | Min_delta -> choose_min_delta (fun _ _ -> true)
+        | Bounded_max theta ->
+            let fits src (w : Aux_graph.weight) =
+              t.recreation.(src) +. w.phi <= theta
+            in
+            let p, w = choose_min_delta fits in
+            (* materialization itself might violate θ; store it anyway
+               (there is no better option for a mandatory version) *)
+            (p, w)
+      in
+      t.parents.(v) <- parent;
+      t.weights.(v) <- weight;
+      t.recreation.(v) <-
+        (if parent = 0 then weight.phi
+         else t.recreation.(parent) +. weight.phi);
+      t.storage <- t.storage +. weight.Aux_graph.delta;
+      t.entries <- (v, materialization, candidates) :: t.entries;
+      Ok v
+
+let parent t v =
+  if v < 1 || v > t.n then invalid_arg "Online.parent";
+  t.parents.(v)
+
+let recreation_cost t v =
+  if v < 1 || v > t.n then invalid_arg "Online.recreation_cost";
+  t.recreation.(v)
+
+let storage_cost t = t.storage
+
+let max_recreation t =
+  let m = ref 0.0 in
+  for v = 1 to t.n do
+    if t.recreation.(v) > !m then m := t.recreation.(v)
+  done;
+  !m
+
+let sum_recreation t =
+  let s = ref 0.0 in
+  for v = 1 to t.n do
+    s := !s +. t.recreation.(v)
+  done;
+  !s
+
+let aux_graph t =
+  let g = Aux_graph.create ~n_versions:t.n in
+  List.iter
+    (fun (v, diag, candidates) ->
+      Aux_graph.add_materialization g ~version:v
+        ~delta:diag.Aux_graph.delta ~phi:diag.Aux_graph.phi;
+      List.iter
+        (fun (src, (w : Aux_graph.weight)) ->
+          Aux_graph.add_delta g ~src ~dst:v ~delta:w.delta ~phi:w.phi)
+        candidates)
+    t.entries;
+  g
+
+let to_storage_graph t =
+  let choices =
+    List.init t.n (fun i ->
+        let v = i + 1 in
+        (t.parents.(v), v, t.weights.(v)))
+  in
+  match Storage_graph.of_parent_edges ~n:t.n choices with
+  | Ok sg -> sg
+  | Error e -> invalid_arg ("Online: corrupt state: " ^ e)
+
+let reoptimize t problem =
+  if t.n = 0 then Ok ()
+  else
+    match Solver.solve (aux_graph t) problem with
+    | Error _ as e -> Result.map (fun _ -> ()) e
+    | Ok sg ->
+        for v = 1 to t.n do
+          t.parents.(v) <- Storage_graph.parent sg v;
+          t.weights.(v) <- Storage_graph.edge_weight sg v;
+          t.recreation.(v) <- Storage_graph.recreation_cost sg v
+        done;
+        t.storage <- Storage_graph.storage_cost sg;
+        Ok ()
+
+let drift t problem =
+  if t.n = 0 then Ok 1.0
+  else
+    match Solver.solve (aux_graph t) problem with
+    | Error _ as e -> Result.map (fun _ -> 1.0) e
+    | Ok sg ->
+        let objective online offline =
+          if offline <= 0.0 then 1.0 else online /. offline
+        in
+        Ok
+          (match problem with
+          | Solver.Minimize_storage
+          | Solver.Min_storage_bounded_sum_recreation _
+          | Solver.Min_storage_bounded_max_recreation _ ->
+              objective t.storage (Storage_graph.storage_cost sg)
+          | Solver.Minimize_recreation
+          | Solver.Min_sum_recreation_bounded_storage _ ->
+              objective (sum_recreation t) (Storage_graph.sum_recreation sg)
+          | Solver.Min_max_recreation_bounded_storage _ ->
+              objective (max_recreation t) (Storage_graph.max_recreation sg))

@@ -1,0 +1,67 @@
+(** Online storage decisions — the paper's announced future work
+    (§7: "we plan to develop online algorithms for making the
+    optimization decisions as new datasets or versions are being
+    created"), implemented here as an extension.
+
+    Versions arrive one at a time with their revealed in-edges; each
+    must be assigned a parent immediately (materialize, or delta from
+    an already-stored version), and earlier choices are not revisited
+    except through an explicit {!reoptimize}. Two greedy policies:
+
+    - {!Min_delta}: always the cheapest in-edge — the online analogue
+      of Problem 1. Chains can grow without bound.
+    - {!Bounded_max}: cheapest in-edge whose recreation cost stays
+      within θ, materializing when none qualifies — the online
+      analogue of Problem 6 (MP's invariant, applied greedily).
+
+    {!reoptimize} re-solves the accumulated graph offline with any
+    {!Solver.problem} and adopts that solution, modelling the
+    "repack" a production system would schedule; {!drift} quantifies
+    how far the online tree has fallen behind the offline optimum —
+    the measurement motivating such repacks. *)
+
+type policy =
+  | Min_delta
+  | Bounded_max of float  (** θ on every version's recreation cost *)
+
+type t
+
+val create : policy -> t
+
+val n_versions : t -> int
+
+val add_version :
+  t ->
+  materialization:Aux_graph.weight ->
+  candidates:(int * Aux_graph.weight) list ->
+  (int, string) result
+(** [add_version t ~materialization ~candidates] registers the next
+    version (ids are assigned 1, 2, … in arrival order) with its
+    revealed diagonal entry and delta candidates [(source, weight)];
+    sources must be already-registered versions. Returns the new
+    version's id. The parent chosen by the policy is readable via
+    {!parent}. [Error] on an unknown source. *)
+
+val parent : t -> int -> int
+(** Current parent of a version (0 = materialized). *)
+
+val recreation_cost : t -> int -> float
+val storage_cost : t -> float
+val max_recreation : t -> float
+val sum_recreation : t -> float
+
+val to_storage_graph : t -> Storage_graph.t
+(** Snapshot of the current decisions. *)
+
+val aux_graph : t -> Aux_graph.t
+(** The accumulated auxiliary graph (all revealed entries so far). *)
+
+val reoptimize : t -> Solver.problem -> (unit, string) result
+(** Re-solve offline over everything revealed so far and adopt the
+    result; subsequent online decisions continue from it. *)
+
+val drift : t -> Solver.problem -> (float, string) result
+(** [storage_cost t /. storage_cost offline_optimum] for storage-
+    objective problems (how much the online greedy overpays); uses
+    the corresponding objective for the recreation-objective
+    problems. 1.0 = no drift. *)

@@ -1,0 +1,21 @@
+let skip_base r =
+  if r <= 0 then invalid_arg "Skip_delta.skip_base: r must be positive";
+  r land (r - 1)
+
+let chain_length r =
+  let rec go r acc = if r = 0 then acc else go (r land (r - 1)) (acc + 1) in
+  if r < 0 then invalid_arg "Skip_delta.chain_length" else go r 0
+
+let parents ~order =
+  Array.to_list
+    (Array.mapi
+       (fun p v -> if p = 0 then (0, v) else (order.(skip_base p), v))
+       order)
+
+let solve g ~order =
+  let n = Aux_graph.n_versions g in
+  if Array.length order <> n then
+    Error
+      (Printf.sprintf "order lists %d versions, graph has %d"
+         (Array.length order) n)
+  else Storage_graph.of_parents g ~parents:(parents ~order)

@@ -1,0 +1,28 @@
+(** SVN-style skip-deltas — the baseline behind the §5.2 comparison.
+
+    Subversion's FSFS backend stores revision [r] as a delta against
+    revision [skip_base r], chosen so that any revision is
+    reconstructible through O(log n) deltas: the base of [r] is [r]
+    with its lowest set bit cleared ([r land (r-1)]), and revision 0
+    is stored in full. The price is storage redundancy — the same
+    changes are re-encoded by many skip deltas — which is exactly the
+    behaviour the paper measures against Git's heuristic and MCA. *)
+
+val skip_base : int -> int
+(** [skip_base r = r land (r - 1)]. @raise Invalid_argument for
+    [r <= 0] (revision 0 is materialized, not delta'd). *)
+
+val chain_length : int -> int
+(** Number of deltas applied to reconstruct revision [r] (its popcount
+    — O(log r)). *)
+
+val parents : order:int array -> (int * int) list
+(** [(parent, child)] pairs over versions: [order] lists version ids
+    in revision order; position 0 is materialized (parent 0), position
+    [p > 0] gets parent [order.(skip_base p)]. *)
+
+val solve :
+  Aux_graph.t -> order:int array -> (Storage_graph.t, string) result
+(** Evaluate the skip-delta plan against revealed edges of [g] —
+    [Error] when a required skip edge or the root materialization is
+    missing. *)

@@ -1,0 +1,43 @@
+type problem =
+  | Minimize_storage
+  | Minimize_recreation
+  | Min_sum_recreation_bounded_storage of float
+  | Min_max_recreation_bounded_storage of float
+  | Min_storage_bounded_sum_recreation of float
+  | Min_storage_bounded_max_recreation of float
+
+let min_storage_tree g =
+  if Aux_graph.is_symmetric g then Mst.prim g else Mca.solve g
+
+let dispatch g ?freqs problem =
+  match problem with
+  | Minimize_storage -> min_storage_tree g
+  | Minimize_recreation -> Spt.solve g
+  | Min_sum_recreation_bounded_storage budget -> (
+      match (min_storage_tree g, Spt.solve g) with
+      | Ok base, Ok spt ->
+          if Storage_graph.storage_cost base > budget then
+            Error
+              (Printf.sprintf
+                 "storage budget %.1f is below the minimum %.1f" budget
+                 (Storage_graph.storage_cost base))
+          else Ok (Lmg.solve g ~base ~spt ~budget ?freqs ())
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | Min_storage_bounded_sum_recreation bound -> (
+      match (min_storage_tree g, Spt.solve g) with
+      | Ok base, Ok spt -> Lmg.solve_p5 g ~base ~spt ~sum_bound:bound ?freqs ()
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | Min_max_recreation_bounded_storage budget -> Mp.solve_p4 g ~budget ()
+  | Min_storage_bounded_max_recreation theta -> (
+      match Mp.solve g ~theta with
+      | { tree = Some sg; _ } -> Ok sg
+      | { tree = None; infeasible } ->
+          Error
+            (Printf.sprintf
+               "%d versions cannot meet the recreation bound %.1f (first: %d)"
+               (List.length infeasible) theta
+               (match infeasible with v :: _ -> v | [] -> -1)))
+
+let solve g problem = dispatch g problem
+
+let solve_weighted g ~freqs problem = dispatch g ~freqs problem

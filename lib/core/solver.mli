@@ -1,0 +1,39 @@
+(** One-stop façade over the six problem formulations of Table 1.
+
+    Picks the right algorithm for the graph's scenario: minimum
+    spanning tree (Prim) for undirected Problem 1 vs. minimum-cost
+    arborescence (Edmonds) for directed; LMG for the sum-recreation
+    problems; MP for the max-recreation problems (with LAST available
+    separately as the undirected Δ = Φ alternative the paper marks
+    with †). *)
+
+type problem =
+  | Minimize_storage  (** Problem 1 *)
+  | Minimize_recreation  (** Problem 2 *)
+  | Min_sum_recreation_bounded_storage of float
+      (** Problem 3: [C ≤ β] *)
+  | Min_max_recreation_bounded_storage of float
+      (** Problem 4: [C ≤ β] *)
+  | Min_storage_bounded_sum_recreation of float
+      (** Problem 5: [Σ Ri ≤ θ] *)
+  | Min_storage_bounded_max_recreation of float
+      (** Problem 6: [max Ri ≤ θ] *)
+
+val min_storage_tree : Aux_graph.t -> (Storage_graph.t, string) result
+(** MST (via Prim) when the graph is symmetric, MCA (via Edmonds)
+    otherwise — the Problem 1 optimum and the canonical "base" tree
+    for the heuristics. *)
+
+val solve : Aux_graph.t -> problem -> (Storage_graph.t, string) result
+(** Dispatch. Problems 1 and 2 are solved optimally; 3 and 5 by LMG
+    (binary search for 5), 4 and 6 by MP (binary search for 4). *)
+
+val solve_weighted :
+  Aux_graph.t ->
+  freqs:float array ->
+  problem ->
+  (Storage_graph.t, string) result
+(** Workload-aware variant: Problems 3 and 5 optimize the
+    frequency-weighted sum of recreation costs (only LMG supports
+    this; other problems ignore the weights, matching the paper's
+    observation that MP/LAST do not adapt naturally). *)

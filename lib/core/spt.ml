@@ -1,0 +1,57 @@
+module Digraph = Versioning_graph.Digraph
+module Heap = Versioning_util.Binary_heap
+
+(* Dijkstra, also recording the chosen in-edge (predecessor and
+   weight) per settled vertex. *)
+let run g =
+  let dg = Aux_graph.graph g in
+  let n = Digraph.n_vertices dg in
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let pred_w = Array.make n ({ delta = 0.0; phi = 0.0 } : Aux_graph.weight) in
+  let heap = Heap.create ~capacity:n in
+  dist.(0) <- 0.0;
+  Heap.insert heap 0 0.0;
+  let settled = Array.make n false in
+  while not (Heap.is_empty heap) do
+    let v, dv = Heap.pop_min heap in
+    if not settled.(v) then begin
+      settled.(v) <- true;
+      Digraph.iter_out dg v (fun e ->
+          let alt = dv +. e.label.phi in
+          if
+            alt < dist.(e.dst)
+            || (alt = dist.(e.dst) && pred.(e.dst) > v && not settled.(e.dst))
+          then begin
+            dist.(e.dst) <- alt;
+            pred.(e.dst) <- v;
+            pred_w.(e.dst) <- e.label;
+            Heap.insert heap e.dst alt
+          end)
+    end
+  done;
+  (dist, pred, pred_w)
+
+let distances g =
+  let dist, _, _ = run g in
+  dist
+
+let solve g =
+  let n = Aux_graph.n_versions g in
+  let dist, pred, pred_w = run g in
+  let rec unreachable v =
+    if v > n then None
+    else if dist.(v) = infinity then Some v
+    else unreachable (v + 1)
+  in
+  match unreachable 1 with
+  | Some v ->
+      Error
+        (Printf.sprintf "version %d cannot be recreated from the root" v)
+  | None ->
+      let choices =
+        List.init n (fun i ->
+            let v = i + 1 in
+            (pred.(v), v, pred_w.(v)))
+      in
+      Storage_graph.of_parent_edges ~n choices

@@ -1,0 +1,14 @@
+(** Shortest-path tree rooted at the dummy vertex [V0] — the optimal
+    storage graph for Problem 2 (minimize every recreation cost,
+    Lemma 3). Dijkstra over the Φ weights, O(E log V). *)
+
+val distances : Aux_graph.t -> float array
+(** [distances g] is the array of shortest Φ-distances from [V0];
+    index [v ∈ 0..n], [infinity] for unreachable versions. These are
+    the per-version lower bounds on any solution's recreation cost. *)
+
+val solve : Aux_graph.t -> (Storage_graph.t, string) result
+(** The shortest-path tree as a storage solution. [Error] when some
+    version is unreachable from [V0] (i.e. not every version can be
+    recreated). Ties are broken toward the smaller predecessor id, so
+    the result is deterministic. *)

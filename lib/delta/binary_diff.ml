@@ -1,0 +1,162 @@
+type op =
+  | Copy of { src_off : int; len : int }
+  | Add of string
+
+type t = { script : op list }
+
+let block_size = 64
+
+(* Polynomial rolling hash over a [block_size] window. *)
+let base = 1000003
+let pow_top =
+  (* base^(block_size-1) in the native-int ring *)
+  let p = ref 1 in
+  for _ = 1 to block_size - 1 do
+    p := !p * base
+  done;
+  !p
+
+let hash_block s off =
+  let h = ref 0 in
+  for i = off to off + block_size - 1 do
+    h := (!h * base) + Char.code (String.unsafe_get s i)
+  done;
+  !h
+
+let roll h ~out ~in_ = ((h - (Char.code out * pow_top)) * base) + Char.code in_
+
+let diff source target =
+  let ns = String.length source and nt = String.length target in
+  if nt = 0 then { script = [] }
+  else if ns < block_size then { script = [ Add target ] }
+  else begin
+    (* Index every aligned source block. *)
+    let index = Hashtbl.create (max 16 (ns / block_size)) in
+    let off = ref (ns - block_size) in
+    (* Insert right-to-left so earlier offsets win lookups. *)
+    while !off >= 0 do
+      Hashtbl.replace index (hash_block source !off) !off;
+      off := !off - block_size
+    done;
+    let script = ref [] in
+    let lit_start = ref 0 in
+    let flush_until pos =
+      if pos > !lit_start then
+        script := Add (String.sub target !lit_start (pos - !lit_start)) :: !script
+    in
+    let verify s_off t_off =
+      let rec go k =
+        k >= block_size
+        || (source.[s_off + k] = target.[t_off + k] && go (k + 1))
+      in
+      go 0
+    in
+    let i = ref 0 in
+    let h = ref (if nt >= block_size then hash_block target 0 else 0) in
+    while !i + block_size <= nt do
+      let matched =
+        match Hashtbl.find_opt index !h with
+        | Some s_off when verify s_off !i ->
+            (* Extend forward. *)
+            let fwd = ref block_size in
+            while
+              s_off + !fwd < ns
+              && !i + !fwd < nt
+              && source.[s_off + !fwd] = target.[!i + !fwd]
+            do
+              incr fwd
+            done;
+            (* Extend backward into the pending literal. *)
+            let back = ref 0 in
+            while
+              s_off - !back > 0
+              && !i - !back > !lit_start
+              && source.[s_off - !back - 1] = target.[!i - !back - 1]
+            do
+              incr back
+            done;
+            flush_until (!i - !back);
+            script :=
+              Copy { src_off = s_off - !back; len = !fwd + !back } :: !script;
+            i := !i + !fwd;
+            lit_start := !i;
+            if !i + block_size <= nt then h := hash_block target !i;
+            true
+        | _ -> false
+      in
+      if not matched then begin
+        if !i + block_size < nt then
+          h := roll !h ~out:target.[!i] ~in_:target.[!i + block_size];
+        incr i
+      end
+    done;
+    flush_until nt;
+    { script = List.rev !script }
+  end
+
+let apply source { script } =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun op ->
+      match op with
+      | Add s -> Buffer.add_string buf s
+      | Copy { src_off; len } ->
+          if src_off < 0 || len < 0 || src_off + len > String.length source
+          then invalid_arg "Binary_diff.apply: copy out of source bounds";
+          Buffer.add_substring buf source src_off len)
+    script;
+  Buffer.contents buf
+
+let ops { script } = script
+
+let encode { script } =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun op ->
+      match op with
+      | Copy { src_off; len } ->
+          Buffer.add_char buf 'C';
+          Varint.add buf src_off;
+          Varint.add buf len
+      | Add s ->
+          Buffer.add_char buf 'A';
+          Varint.add buf (String.length s);
+          Buffer.add_string buf s)
+    script;
+  Buffer.contents buf
+
+let decode s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let script = ref [] in
+  while !pos < n do
+    let tag = s.[!pos] in
+    incr pos;
+    match tag with
+    | 'C' ->
+        let src_off, p = Varint.read s !pos in
+        let len, p = Varint.read s p in
+        pos := p;
+        script := Copy { src_off; len } :: !script
+    | 'A' ->
+        let len, p = Varint.read s !pos in
+        pos := p;
+        if !pos + len > n then invalid_arg "Binary_diff.decode: truncated add";
+        script := Add (String.sub s !pos len) :: !script;
+        pos := !pos + len
+    | _ -> invalid_arg "Binary_diff.decode: unknown op"
+  done;
+  { script = List.rev !script }
+
+let size t = String.length (encode t)
+
+let copy_ratio { script } =
+  let copied, total =
+    List.fold_left
+      (fun (c, t) op ->
+        match op with
+        | Copy { len; _ } -> (c + len, t + len)
+        | Add s -> (c, t + String.length s))
+      (0, 0) script
+  in
+  if total = 0 then 1.0 else float_of_int copied /. float_of_int total

@@ -1,0 +1,46 @@
+(** Binary deltas in the xdelta/vcdiff family the paper cites (§6):
+    COPY/ADD instructions against the source, found by block hashing.
+
+    Unlike {!Line_diff}, this differ is line-agnostic: it works on
+    arbitrary byte strings (images, columnar files, archives) and
+    tolerates unaligned moves. The source is indexed in fixed-size
+    blocks by a 64-bit hash; the target is scanned with a rolling
+    window, extending block hits forwards and backwards — essentially
+    rsync's algorithm applied to delta storage, and the same
+    construction as git's pack deltas.
+
+    The result is a self-contained script: [Copy] ranges refer to the
+    source, [Add] carries literal bytes. Directed (the reverse
+    direction needs its own delta), like the paper's asymmetric
+    scenario. *)
+
+type op =
+  | Copy of { src_off : int; len : int }
+  | Add of string
+
+type t
+
+val block_size : int
+(** The indexing granularity (64 bytes). Matches below this length
+    are not detected unless adjacent to a block hit. *)
+
+val diff : string -> string -> t
+(** [diff source target] — O(|source| + |target|) expected. *)
+
+val apply : string -> t -> string
+(** [apply source d] reconstructs the target.
+    @raise Invalid_argument if a [Copy] exceeds the source bounds. *)
+
+val ops : t -> op list
+
+val size : t -> int
+(** Encoded byte size. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val copy_ratio : t -> float
+(** Fraction of the target bytes produced by [Copy] (1.0 = pure
+    reuse); a cheap similarity signal, usable to decide which Δ
+    entries to reveal (§2.1 mentions resemblance detection). *)

@@ -1,0 +1,389 @@
+type row_op =
+  | Keep of int
+  | Delete of int
+  | Insert of string array array
+  | Modify of (int * string) list list
+      (* [Modify patches] consumes (length patches) source rows; row i
+         of the run gets cells (col, value) overwritten. *)
+
+type alignment =
+  | Raw  (* headerless fallback: row script over the whole table *)
+  | Inherited  (* shared columns = source order minus dropped *)
+  | Explicit of string list  (* b's ordering of the shared columns *)
+
+type t = {
+  dropped : string list;  (* header names of a-columns absent from b *)
+  added : (int * string array) list;
+      (* (position in b, full column incl. header), ascending position *)
+  alignment : alignment;
+  rows : row_op list;  (* script over the shared-column projection *)
+}
+
+(* ---- helpers ---- *)
+
+let header t = if Array.length t = 0 then [||] else t.(0)
+
+let headers_unique h =
+  let module SS = Set.Make (String) in
+  let rec go seen = function
+    | [] -> true
+    | x :: tl -> (not (SS.mem x seen)) && go (SS.add x seen) tl
+  in
+  go SS.empty (Array.to_list h)
+
+let headered t =
+  Array.length t > 0 && Csv.is_rect t && headers_unique (header t)
+  && Array.length (header t) > 0
+
+let find_col h name =
+  let rec go i =
+    if i >= Array.length h then None
+    else if h.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let project table cols =
+  Array.map (fun row -> Array.map (fun c -> row.(c)) cols) table
+
+let column table c = Array.map (fun row -> row.(c)) table
+
+(* ---- row script construction ---- *)
+
+let row_equal (r1 : string array) (r2 : string array) = r1 = r2
+
+let cell_patch_cost patches =
+  List.fold_left
+    (fun acc (_, v) -> acc + String.length v + 8)
+    0 patches
+
+let row_cost row =
+  Array.fold_left (fun acc f -> acc + String.length f + 1) 2 row
+
+(* Patches turning [old_row] into [new_row], or [None] when the rows
+   have different widths or outright replacement is cheaper. *)
+let patchable old_row new_row =
+  if Array.length old_row <> Array.length new_row then None
+  else begin
+    let patches = ref [] in
+    Array.iteri
+      (fun c v -> if old_row.(c) <> v then patches := (c, v) :: !patches)
+      new_row;
+    let patches = List.rev !patches in
+    if cell_patch_cost patches < row_cost new_row then Some patches
+    else None
+  end
+
+(* Turn paired delete/insert runs into cell patches when cheaper. The
+   source offset of each run is tracked while walking the script. *)
+let refine a_rows b_rows script =
+  let rec go acc src_pos = function
+    | [] -> List.rev acc
+    | Myers.Delete dk :: Myers.Insert (off, ik) :: rest ->
+        let paired = min dk ik in
+        let patches =
+          List.init paired (fun i ->
+              patchable a_rows.(src_pos + i) b_rows.(off + i))
+        in
+        if paired > 0 && List.for_all Option.is_some patches then begin
+          let modify = Modify (List.filter_map Fun.id patches) in
+          let acc = modify :: acc in
+          let acc = if dk > paired then Delete (dk - paired) :: acc else acc in
+          let acc =
+            if ik > paired then
+              Insert (Array.sub b_rows (off + paired) (ik - paired)) :: acc
+            else acc
+          in
+          go acc (src_pos + dk) rest
+        end
+        else
+          go
+            (Insert (Array.sub b_rows off ik) :: Delete dk :: acc)
+            (src_pos + dk) rest
+    | Myers.Keep k :: rest -> go (Keep k :: acc) (src_pos + k) rest
+    | Myers.Delete k :: rest -> go (Delete k :: acc) (src_pos + k) rest
+    | Myers.Insert (off, k) :: rest ->
+        go (Insert (Array.sub b_rows off k) :: acc) src_pos rest
+  in
+  go [] 0 script
+
+let diff_rows a_rows b_rows =
+  let script = Myers.diff ~equal:row_equal a_rows b_rows in
+  refine a_rows b_rows script
+
+let apply_rows a_rows script =
+  let out = ref [] in
+  let pos = ref 0 in
+  let n = Array.length a_rows in
+  List.iter
+    (fun op ->
+      match op with
+      | Keep k ->
+          if !pos + k > n then invalid_arg "Cell_diff.apply: Keep overrun";
+          for i = !pos to !pos + k - 1 do
+            out := a_rows.(i) :: !out
+          done;
+          pos := !pos + k
+      | Delete k ->
+          if !pos + k > n then invalid_arg "Cell_diff.apply: Delete overrun";
+          pos := !pos + k
+      | Insert rows -> Array.iter (fun r -> out := r :: !out) rows
+      | Modify patch_rows ->
+          List.iter
+            (fun patches ->
+              if !pos >= n then invalid_arg "Cell_diff.apply: Modify overrun";
+              let row = Array.copy a_rows.(!pos) in
+              List.iter
+                (fun (c, v) ->
+                  if c < 0 || c >= Array.length row then
+                    invalid_arg "Cell_diff.apply: cell index out of range";
+                  row.(c) <- v)
+                patches;
+              out := row :: !out;
+              incr pos)
+            patch_rows)
+    script;
+  if !pos <> n then
+    invalid_arg "Cell_diff.apply: script does not consume the whole source";
+  Array.of_list (List.rev !out)
+
+(* ---- public diff / apply ---- *)
+
+let diff a b =
+  if headered a && headered b then begin
+    let ha = header a and hb = header b in
+    let shared =
+      Array.to_list hb
+      |> List.filter (fun name -> find_col ha name <> None)
+    in
+    let dropped =
+      Array.to_list ha
+      |> List.filter (fun name -> find_col hb name = None)
+    in
+    let added =
+      Array.to_list hb
+      |> List.mapi (fun i name -> (i, name))
+      |> List.filter (fun (_, name) -> find_col ha name = None)
+      |> List.map (fun (i, _) -> (i, column b i))
+    in
+    let a_cols =
+      Array.of_list
+        (List.map
+           (fun name ->
+             match find_col ha name with
+             | Some c -> c
+             | None -> assert false)
+           shared)
+    in
+    let b_cols =
+      Array.of_list
+        (List.map
+           (fun name ->
+             match find_col hb name with
+             | Some c -> c
+             | None -> assert false)
+           shared)
+    in
+    let a_proj = project a a_cols in
+    let b_proj = project b b_cols in
+    (* Most deltas keep the surviving columns in source order; storing
+       the name list is only needed on reorder. *)
+    let inherited_order =
+      Array.to_list ha |> List.filter (fun n -> find_col hb n <> None)
+    in
+    let alignment = if shared = inherited_order then Inherited else Explicit shared in
+    { dropped; added; alignment; rows = diff_rows a_proj b_proj }
+  end
+  else
+    (* Headerless / ragged fallback: whole-table row script. *)
+    { dropped = []; added = []; alignment = Raw; rows = diff_rows a b }
+
+let apply a t =
+  match t.alignment with
+  | Raw -> apply_rows a t.rows
+  | Inherited | Explicit _ ->
+      if not (headered a) then
+        invalid_arg "Cell_diff.apply: source table lost its header";
+      let ha = header a in
+      let shared_order =
+        match t.alignment with
+        | Explicit names -> names
+        | Inherited | Raw ->
+            Array.to_list ha
+            |> List.filter (fun n -> not (List.mem n t.dropped))
+      in
+      let a_cols =
+        Array.of_list
+          (List.map
+             (fun name ->
+               match find_col ha name with
+               | Some c -> c
+               | None ->
+                   invalid_arg
+                     ("Cell_diff.apply: source misses column " ^ name))
+             shared_order)
+      in
+      let a_proj = project a a_cols in
+      let b_shared = apply_rows a_proj t.rows in
+      let n_out = Array.length b_shared in
+      List.iter
+        (fun (_, col) ->
+          if Array.length col <> n_out then
+            invalid_arg "Cell_diff.apply: added-column length mismatch")
+        t.added;
+      (* Weave added columns (ascending positions) into each row. *)
+      let added = t.added in
+      Array.mapi
+        (fun r row ->
+          let width = Array.length row + List.length added in
+          let out = Array.make width "" in
+          let next_add = ref added in
+          let src = ref 0 in
+          for c = 0 to width - 1 do
+            match !next_add with
+            | (pos, col) :: tl when pos = c ->
+                out.(c) <- col.(r);
+                next_add := tl
+            | _ ->
+                out.(c) <- row.(!src);
+                incr src
+          done;
+          out)
+        b_shared
+
+(* ---- size model & encoding ---- *)
+
+let n_cell_edits t =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Modify rows ->
+          acc + List.fold_left (fun a p -> a + List.length p) 0 rows
+      | Keep _ | Delete _ | Insert _ -> acc)
+    0 t.rows
+
+let encode t =
+  let buf = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "drop %d\n" (List.length t.dropped);
+  List.iter (fun name -> addf "%s\n" name) t.dropped;
+  (match t.alignment with
+  | Raw -> addf "align raw\n"
+  | Inherited -> addf "align inherited\n"
+  | Explicit names ->
+      addf "align %d\n" (List.length names);
+      List.iter (fun name -> addf "%s\n" name) names);
+  addf "add %d\n" (List.length t.added);
+  List.iter
+    (fun (pos, col) ->
+      addf "@ %d %d\n" pos (Array.length col);
+      Array.iter (fun v -> addf "%s\n" v) col)
+    t.added;
+  addf "rows %d\n" (List.length t.rows);
+  List.iter
+    (fun op ->
+      match op with
+      | Keep k -> addf "K %d\n" k
+      | Delete k -> addf "D %d\n" k
+      | Insert rows ->
+          addf "I %d\n" (Array.length rows);
+          Array.iter
+            (fun row ->
+              addf "%s\n" (String.concat "," (Array.to_list row)))
+            rows
+      | Modify patch_rows ->
+          addf "M %d\n" (List.length patch_rows);
+          List.iter
+            (fun patches ->
+              addf "%d" (List.length patches);
+              List.iter (fun (c, v) -> addf " %d:%s" c v) patches;
+              addf "\n")
+            patch_rows)
+    t.rows;
+  Buffer.contents buf
+
+let decode s =
+  let fail msg = invalid_arg ("Cell_diff.decode: " ^ msg) in
+  let lines = ref (String.split_on_char '\n' s) in
+  let next () =
+    match !lines with
+    | [] -> fail "truncated"
+    | l :: tl ->
+        lines := tl;
+        l
+  in
+  let expect_header tag =
+    let line = next () in
+    match String.split_on_char ' ' line with
+    | [ t; n ] when t = tag -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> n
+        | _ -> fail ("bad count in " ^ tag))
+    | _ -> fail ("expected header " ^ tag ^ ", got " ^ line)
+  in
+  let read_n n = List.init n (fun _ -> next ()) in
+  let n_drop = expect_header "drop" in
+  let dropped = read_n n_drop in
+  let alignment =
+    let line = next () in
+    match String.split_on_char ' ' line with
+    | [ "align"; "raw" ] -> Raw
+    | [ "align"; "inherited" ] -> Inherited
+    | [ "align"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> Explicit (read_n n)
+        | _ -> fail "bad alignment count")
+    | _ -> fail "bad alignment line"
+  in
+  let n_add = expect_header "add" in
+  let added =
+    List.init n_add (fun _ ->
+        let line = next () in
+        match String.split_on_char ' ' line with
+        | [ "@"; pos; len ] -> (
+            match (int_of_string_opt pos, int_of_string_opt len) with
+            | Some pos, Some len when pos >= 0 && len >= 0 ->
+                (pos, Array.of_list (read_n len))
+            | _ -> fail "bad added-column header")
+        | _ -> fail "bad added-column header")
+  in
+  let n_ops = expect_header "rows" in
+  let rows =
+    List.init n_ops (fun _ ->
+        let line = next () in
+        match String.split_on_char ' ' line with
+        | [ "K"; k ] -> Keep (int_of_string k)
+        | [ "D"; k ] -> Delete (int_of_string k)
+        | [ "I"; k ] ->
+            let k = int_of_string k in
+            Insert
+              (Array.of_list
+                 (List.map
+                    (fun row ->
+                      Array.of_list (String.split_on_char ',' row))
+                    (read_n k)))
+        | [ "M"; k ] ->
+            let k = int_of_string k in
+            Modify
+              (List.init k (fun _ ->
+                   let line = next () in
+                   match String.split_on_char ' ' line with
+                   | count :: cells -> (
+                       match int_of_string_opt count with
+                       | Some c when c = List.length cells ->
+                           List.map
+                             (fun cell ->
+                               match String.index_opt cell ':' with
+                               | Some i ->
+                                   ( int_of_string (String.sub cell 0 i),
+                                     String.sub cell (i + 1)
+                                       (String.length cell - i - 1) )
+                               | None -> fail "bad cell patch")
+                             cells
+                       | _ -> fail "bad patch count")
+                   | [] -> fail "bad patch line"))
+        | _ -> fail ("bad row op " ^ line))
+  in
+  { dropped; added; alignment; rows }
+
+let size t = String.length (encode t)

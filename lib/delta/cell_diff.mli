@@ -1,0 +1,39 @@
+(** Cell-level deltas for tabular (relational) data — the paper's
+    fourth delta variant (§2.1): "for tabular data, recording the
+    differences at the cell level".
+
+    Tables are {!Csv.table}s whose first row is a header of unique
+    column names; columns are aligned by name, rows by a Myers diff
+    refined with per-cell patches. The delta from [a] to [b] records:
+
+    - names of columns of [a] dropped in [b] (tiny forward, making the
+      delta naturally {e asymmetric} — recovering the dropped contents
+      needs the inverse delta, exactly the paper's "delete all tuples
+      with age > 60" asymmetry);
+    - full contents of columns added in [b];
+    - a row script over the shared columns, where rows that changed in
+      only a few cells are stored as cell patches rather than full
+      replacements.
+
+    Non-rectangular or headerless tables degrade gracefully to a
+    whole-table row script. *)
+
+type t
+
+val diff : Csv.table -> Csv.table -> t
+(** [diff a b] is the delta from [a] to [b]. *)
+
+val apply : Csv.table -> t -> Csv.table
+(** [apply a d] reconstructs [b]. @raise Invalid_argument when [a]'s
+    shape is incompatible with the recorded script. *)
+
+val size : t -> int
+(** Storage cost in bytes of {!encode}. *)
+
+val n_cell_edits : t -> int
+(** Number of individual cell patches (not counting whole-row or
+    whole-column operations). *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Invalid_argument on malformed input. *)

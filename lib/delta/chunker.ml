@@ -1,0 +1,97 @@
+type chunk = { offset : int; length : int; digest : string }
+
+(* Gear hashing: h = (h << 1) + gear[byte]; a boundary is declared
+   when the top bits selected by [mask] are all zero. The gear table
+   is a fixed pseudo-random permutation derived from splitmix64 so
+   chunking is fully deterministic across runs. *)
+let gear =
+  let rng = Versioning_util.Prng.create ~seed:0x6765617268617368 in
+  Array.init 256 (fun _ -> Int64.to_int (Versioning_util.Prng.next_int64 rng) land max_int)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let chunk ?(min_size = 128) ?(avg_size = 512) ?(max_size = 4096) input =
+  if min_size < 16 || min_size > avg_size || avg_size > max_size then
+    invalid_arg "Chunker.chunk: need 16 <= min_size <= avg_size <= max_size";
+  if not (is_pow2 avg_size) then
+    invalid_arg "Chunker.chunk: avg_size must be a power of two";
+  let mask = (avg_size - 1) lsl 16 in
+  let n = String.length input in
+  let chunks = ref [] in
+  let start = ref 0 in
+  let emit stop =
+    let length = stop - !start in
+    if length > 0 then begin
+      let digest =
+        (* content digest via the store-grade hash *)
+        Digest.string (String.sub input !start length)
+      in
+      chunks := { offset = !start; length; digest } :: !chunks;
+      start := stop
+    end
+  in
+  let h = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    h := ((!h lsl 1) + gear.(Char.code (String.unsafe_get input !i))) land max_int;
+    incr i;
+    let len = !i - !start in
+    if
+      (len >= min_size && !h land mask = 0) || len >= max_size
+    then begin
+      emit !i;
+      h := 0
+    end
+  done;
+  emit n;
+  List.rev !chunks
+
+let reassemble doc chunks =
+  let rec go pos = function
+    | [] ->
+        if pos = String.length doc then Ok doc
+        else Error "chunks do not cover the document"
+    | { offset; length; _ } :: tl ->
+        if offset <> pos then Error "chunks are not contiguous"
+        else go (pos + length) tl
+  in
+  go 0 chunks
+
+type store = {
+  blobs : (string, string) Hashtbl.t;  (* digest -> bytes *)
+  mutable bytes : int;
+}
+
+let store_create () = { blobs = Hashtbl.create 256; bytes = 0 }
+
+let store_add store doc =
+  let chunks = chunk doc in
+  List.iter
+    (fun { offset; length; digest } ->
+      if not (Hashtbl.mem store.blobs digest) then begin
+        Hashtbl.replace store.blobs digest (String.sub doc offset length);
+        store.bytes <- store.bytes + length
+      end)
+    chunks;
+  chunks
+
+let store_get store chunks =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | [] -> Ok (Buffer.contents buf)
+    | { digest; length; _ } :: tl -> (
+        match Hashtbl.find_opt store.blobs digest with
+        | Some bytes when String.length bytes = length ->
+            Buffer.add_string buf bytes;
+            go tl
+        | Some _ -> Error "chunk length mismatch"
+        | None -> Error ("missing chunk " ^ Digest.to_hex digest))
+  in
+  go chunks
+
+let store_bytes store = store.bytes
+let store_chunks store = Hashtbl.length store.blobs
+
+let dedup_ratio store ~originals =
+  if store.bytes = 0 then 1.0
+  else float_of_int originals /. float_of_int store.bytes

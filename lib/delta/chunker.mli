@@ -1,0 +1,46 @@
+(** Content-defined chunking (CDC) — the deduplication baseline of the
+    paper's related work (§6: Quinlan & Dorward's Venti, Kulkarni
+    et al.'s redundancy elimination).
+
+    A document is split at positions where a Gear rolling hash hits a
+    boundary mask, so equal content regions chunk identically even
+    after insertions shift offsets. Storing each distinct chunk once
+    gives block-level dedup across a version collection — an
+    alternative storage strategy to delta chains, with O(1) recreation
+    depth but coarser redundancy capture. The ablation bench compares
+    it against the paper's delta-based plans. *)
+
+type chunk = { offset : int; length : int; digest : string }
+
+val chunk :
+  ?min_size:int -> ?avg_size:int -> ?max_size:int -> string -> chunk list
+(** Split a document; defaults 128 / 512 / 4096 bytes. Chunks cover
+    the input exactly (offsets contiguous, lengths sum to the total).
+    @raise Invalid_argument unless [min_size <= avg_size <= max_size],
+    [min_size >= 16], and [avg_size] is a power of two. *)
+
+val reassemble : string -> chunk list -> (string, string) result
+(** [reassemble doc chunks] checks contiguity against [doc] and
+    returns it — a self-test helper. *)
+
+type store
+(** A chunk store: digest → bytes, reference-counted. *)
+
+val store_create : unit -> store
+
+val store_add : store -> string -> chunk list
+(** Chunk a document and add its chunks (deduplicating by digest);
+    returns the document's chunk list (its "recipe"). *)
+
+val store_get : store -> chunk list -> (string, string) result
+(** Rebuild a document from its recipe. *)
+
+val store_bytes : store -> int
+(** Total bytes of distinct chunks held — the dedup storage cost. *)
+
+val store_chunks : store -> int
+(** Number of distinct chunks. *)
+
+val dedup_ratio : store -> originals:int -> float
+(** [originals / stored] — how many times the raw bytes were
+    shrunk. *)

@@ -1,0 +1,204 @@
+(* LZ77 wire format: a sequence of tokens.
+     0x00 varint(len) <len bytes>        literal run
+     0x01 varint(len) varint(dist)       copy [len] bytes from [dist] back
+   Varints are LEB128. Matches may overlap their output (dist < len),
+   which encodes runs. Minimum match length 4. *)
+
+let window_size = 32768
+let min_match = 4
+let max_chain = 32
+
+let add_varint = Varint.add
+
+let read_varint s pos =
+  try Varint.read s pos
+  with Invalid_argument _ -> invalid_arg "Compress: truncated varint"
+
+let hash4 s i =
+  (* Multiplicative hash of 4 bytes; table size 2^15. *)
+  let b k = Char.code (String.unsafe_get s (i + k)) in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  (v * 2654435761) lsr 17 land 0x7fff
+
+let lz77 input =
+  let n = String.length input in
+  let buf = Buffer.create (n / 2) in
+  if n = 0 then ""
+  else begin
+    let heads = Array.make 0x8000 (-1) in
+    let chains = Array.make n (-1) in
+    let lit_start = ref 0 in
+    let flush_literals upto =
+      if upto > !lit_start then begin
+        Buffer.add_char buf '\x00';
+        add_varint buf (upto - !lit_start);
+        Buffer.add_substring buf input !lit_start (upto - !lit_start)
+      end
+    in
+    let insert_pos i =
+      if i + min_match <= n then begin
+        let h = hash4 input i in
+        chains.(i) <- heads.(h);
+        heads.(h) <- i
+      end
+    in
+    let match_len i j =
+      (* Length of the common run input[i..] = input[j..], j < i. *)
+      let len = ref 0 in
+      while i + !len < n && input.[j + !len] = input.[i + !len] do
+        incr len
+      done;
+      !len
+    in
+    let i = ref 0 in
+    while !i < n do
+      let best_len = ref 0 and best_dist = ref 0 in
+      if !i + min_match <= n then begin
+        let h = hash4 input !i in
+        let cand = ref heads.(h) in
+        let tries = ref 0 in
+        while !cand >= 0 && !tries < max_chain do
+          if !i - !cand <= window_size then begin
+            let len = match_len !i !cand in
+            if len > !best_len then begin
+              best_len := len;
+              best_dist := !i - !cand
+            end;
+            cand := chains.(!cand);
+            incr tries
+          end
+          else begin
+            (* Beyond the window: the chain only gets older. *)
+            cand := -1
+          end
+        done
+      end;
+      (* A match must beat its own framing: the token costs 1 tag byte
+         plus the two varints, and taking it may split a literal run
+         (≈2 bytes of extra header). *)
+      let profitable =
+        !best_len >= min_match
+        && !best_len >= 3 + Varint.size !best_len + Varint.size !best_dist
+      in
+      if profitable then begin
+        flush_literals !i;
+        Buffer.add_char buf '\x01';
+        add_varint buf !best_len;
+        add_varint buf !best_dist;
+        (* Index every covered position so later matches can refer
+           into this region; the next cursor position is indexed when
+           its own turn comes. *)
+        for j = !i to !i + !best_len - 1 do
+          insert_pos j
+        done;
+        i := !i + !best_len;
+        lit_start := !i
+      end
+      else begin
+        insert_pos !i;
+        incr i
+      end
+    done;
+    flush_literals n;
+    Buffer.contents buf
+  end
+
+let unlz77 s =
+  let out = Buffer.create (String.length s * 2) in
+  let pos = ref 0 in
+  let n = String.length s in
+  while !pos < n do
+    let tag = s.[!pos] in
+    incr pos;
+    match tag with
+    | '\x00' ->
+        let len, p = read_varint s !pos in
+        pos := p;
+        if !pos + len > n then invalid_arg "Compress.unlz77: truncated literal";
+        Buffer.add_substring out s !pos len;
+        pos := !pos + len
+    | '\x01' ->
+        let len, p = read_varint s !pos in
+        let dist, p = read_varint s p in
+        pos := p;
+        let start = Buffer.length out - dist in
+        if dist = 0 || start < 0 then
+          invalid_arg "Compress.unlz77: bad match distance";
+        for k = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + k))
+        done
+    | _ -> invalid_arg "Compress.unlz77: unknown token"
+  done;
+  Buffer.contents out
+
+(* Zero-RLE wire format: tokens
+     0x00 varint(len)                    a run of [len] zero bytes
+     0x01 varint(len) <len bytes>        verbatim bytes *)
+
+let rle_zeros input =
+  (* Zero runs shorter than this stay verbatim: a zero token costs ≥2
+     bytes itself and splits the surrounding verbatim run (≥2 more),
+     so short runs would expand the output. *)
+  let min_zero_run = 5 in
+  let n = String.length input in
+  let buf = Buffer.create (n / 4) in
+  let zero_run_at i =
+    let j = ref i in
+    while !j < n && input.[!j] = '\x00' do
+      incr j
+    done;
+    !j - i
+  in
+  let i = ref 0 in
+  while !i < n do
+    let run = if input.[!i] = '\x00' then zero_run_at !i else 0 in
+    if run >= min_zero_run then begin
+      Buffer.add_char buf '\x00';
+      add_varint buf run;
+      i := !i + run
+    end
+    else begin
+      (* Verbatim until the next long-enough zero run. *)
+      let j = ref !i in
+      let stop = ref false in
+      while !j < n && not !stop do
+        if input.[!j] = '\x00' && zero_run_at !j >= min_zero_run then
+          stop := true
+        else incr j
+      done;
+      Buffer.add_char buf '\x01';
+      add_varint buf (!j - !i);
+      Buffer.add_substring buf input !i (!j - !i);
+      i := !j
+    end
+  done;
+  Buffer.contents buf
+
+let un_rle_zeros s =
+  let out = Buffer.create (String.length s * 2) in
+  let pos = ref 0 in
+  let n = String.length s in
+  while !pos < n do
+    let tag = s.[!pos] in
+    incr pos;
+    match tag with
+    | '\x00' ->
+        let len, p = read_varint s !pos in
+        pos := p;
+        for _ = 1 to len do
+          Buffer.add_char out '\x00'
+        done
+    | '\x01' ->
+        let len, p = read_varint s !pos in
+        pos := p;
+        if !pos + len > n then
+          invalid_arg "Compress.un_rle_zeros: truncated run";
+        Buffer.add_substring out s !pos len;
+        pos := !pos + len
+    | _ -> invalid_arg "Compress.un_rle_zeros: unknown token"
+  done;
+  Buffer.contents out
+
+let ratio ~original ~compressed =
+  if original = 0 then 1.0
+  else float_of_int compressed /. float_of_int original

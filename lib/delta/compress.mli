@@ -1,0 +1,31 @@
+(** Byte-string compression for stored deltas.
+
+    The paper distinguishes deltas stored compressed from uncompressed
+    ones — compression decouples the storage cost Δ from the
+    recreation cost Φ (a compressed delta is smaller but costs CPU to
+    expand). Two codecs are provided:
+
+    - {!lz77}/{!unlz77}: a greedy LZ77 with a 32 KiB window and
+      hash-chain match finding — the general-purpose codec, in the
+      spirit of the gzip/xdelta family the paper references.
+    - {!rle_zeros}/{!un_rle_zeros}: zero-run-length coding, a cheap
+      fast path for the zero-heavy payloads of {!Xor_delta}.
+
+    Both are self-describing: decoding needs no out-of-band length. *)
+
+val lz77 : string -> string
+(** Compress. Output is never catastrophically larger than the input
+    (worst-case overhead is the token framing, ≈ 1/255 + O(1)). *)
+
+val unlz77 : string -> string
+(** Inverse of {!lz77}. @raise Invalid_argument on corrupt input. *)
+
+val rle_zeros : string -> string
+(** Zero-run-length encode. *)
+
+val un_rle_zeros : string -> string
+(** Inverse of {!rle_zeros}. @raise Invalid_argument on corrupt
+    input. *)
+
+val ratio : original:int -> compressed:int -> float
+(** [compressed / original]; 1.0 when [original = 0]. *)

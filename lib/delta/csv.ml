@@ -1,0 +1,35 @@
+type table = string array array
+
+let field_ok s =
+  let ok = ref true in
+  String.iter
+    (fun c -> if c = ',' || c = '\n' || c = '\r' then ok := false)
+    s;
+  !ok
+
+let parse s =
+  if s = "" then [||]
+  else
+    String.split_on_char '\n' s
+    |> List.map (fun row ->
+           Array.of_list (String.split_on_char ',' row))
+    |> Array.of_list
+
+let print table =
+  Array.iter
+    (Array.iter (fun f ->
+         if not (field_ok f) then
+           invalid_arg ("Csv.print: illegal field " ^ String.escaped f)))
+    table;
+  String.concat "\n"
+    (Array.to_list
+       (Array.map (fun row -> String.concat "," (Array.to_list row)) table))
+
+let n_rows t = Array.length t
+let n_cols t = if Array.length t = 0 then 0 else Array.length t.(0)
+
+let is_rect t =
+  let w = n_cols t in
+  Array.for_all (fun row -> Array.length row = w) t
+
+let equal (a : table) (b : table) = a = b

@@ -1,0 +1,34 @@
+(** Minimal CSV handling for the tabular datasets used throughout the
+    experiments.
+
+    Deliberately restricted: fields must not contain commas, newlines,
+    or carriage returns (the workload generator guarantees this; see
+    {!Versioning_workload.Dataset_gen}). No quoting or escaping — the
+    format is a strict round-tripping bijection between well-formed
+    tables and strings, which the delta machinery relies on. *)
+
+type table = string array array
+(** Rows of fields. Rows may have differing widths mid-edit, but
+    {!print} accepts any table and {!parse} returns what was
+    printed. *)
+
+val field_ok : string -> bool
+(** True iff the string is usable as a field (no [','], ['\n'],
+    ['\r']). *)
+
+val parse : string -> table
+(** [parse s] splits rows on ['\n'] and fields on [',']. The empty
+    string is the empty table; a trailing newline is not expected
+    (tables are printed without one). *)
+
+val print : table -> string
+(** @raise Invalid_argument if some field violates {!field_ok}. *)
+
+val n_rows : table -> int
+val n_cols : table -> int
+(** Width of the first row, or 0 for an empty table. *)
+
+val is_rect : table -> bool
+(** All rows the same width. *)
+
+val equal : table -> table -> bool

@@ -1,0 +1,93 @@
+type mechanism =
+  | Line of Line_diff.t
+  | Cell of Cell_diff.t
+  | Xor of Xor_delta.t
+
+type t =
+  | Materialized of { bytes : int; compressed : int option }
+  | Delta of { mech : mechanism; bytes : int; compressed : int option }
+
+type cost_model = {
+  io_weight : float;
+  decompress_weight : float;
+  apply_weight : float;
+}
+
+let proportional_model =
+  { io_weight = 1.0; decompress_weight = 0.0; apply_weight = 0.0 }
+
+let io_cpu_model =
+  (* Transfer dominates, decompression costs ~1/4 of transfer per
+     output byte, patch application ~1/2: plausible ratios for a
+     disk-backed store, and enough to decouple Φ from Δ. *)
+  { io_weight = 1.0; decompress_weight = 0.25; apply_weight = 0.5 }
+
+let maybe_compress compress payload =
+  if compress then Some (String.length (Compress.lz77 payload)) else None
+
+let materialize ?(compress = false) content =
+  Materialized
+    { bytes = String.length content; compressed = maybe_compress compress content }
+
+let line_delta ?(compress = false) a b =
+  let d = Line_diff.diff a b in
+  let encoded = Line_diff.encode d in
+  Delta
+    {
+      mech = Line d;
+      bytes = String.length encoded;
+      compressed = maybe_compress compress encoded;
+    }
+
+let cell_delta ?(compress = false) a b =
+  let d = Cell_diff.diff a b in
+  let encoded = Cell_diff.encode d in
+  Delta
+    {
+      mech = Cell d;
+      bytes = String.length encoded;
+      compressed = maybe_compress compress encoded;
+    }
+
+let xor_delta ?(compress = false) a b =
+  let d = Xor_delta.make a b in
+  let encoded = Xor_delta.encode d in
+  (* XOR payloads are zero-heavy: RLE them before LZ for the size. *)
+  let compressed =
+    if compress then
+      Some (String.length (Compress.lz77 (Compress.rle_zeros encoded)))
+    else None
+  in
+  Delta { mech = Xor d; bytes = String.length encoded; compressed }
+
+let stored_bytes = function
+  | Materialized { bytes; compressed } | Delta { bytes; compressed; _ } -> (
+      match compressed with Some c -> c | None -> bytes)
+
+let storage_cost t = float_of_int (stored_bytes t)
+
+let recreation_cost model t ~output_bytes =
+  let stored = float_of_int (stored_bytes t) in
+  let out = float_of_int output_bytes in
+  let io = model.io_weight *. stored in
+  let decompress =
+    match t with
+    | Materialized { compressed = Some _; _ } | Delta { compressed = Some _; _ }
+      ->
+        model.decompress_weight *. out
+    | _ -> 0.0
+  in
+  let apply =
+    match t with
+    | Delta _ -> model.apply_weight *. out
+    | Materialized _ -> 0.0
+  in
+  io +. decompress +. apply
+
+let is_materialized = function Materialized _ -> true | Delta _ -> false
+
+let mechanism_name = function
+  | Materialized _ -> "full"
+  | Delta { mech = Line _; _ } -> "line"
+  | Delta { mech = Cell _; _ } -> "cell"
+  | Delta { mech = Xor _; _ } -> "xor"

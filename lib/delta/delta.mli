@@ -1,0 +1,70 @@
+(** Unified delta representation and the ⟨Δ, Φ⟩ cost model.
+
+    The optimization layer ({!Versioning_core}) works purely on cost
+    matrices; this module is where those numbers come from. A stored
+    object is either a fully {e materialized} version or a delta of
+    one of the supported mechanisms (line diff, cell diff, XOR),
+    optionally compressed.
+
+    Storage cost [Δ] is the byte size of the encoded (and, if
+    requested, compressed) object. Recreation cost [Φ] is produced by
+    a {!cost_model} combining I/O transfer time, decompression CPU
+    time, and patch-application CPU time — this is what lets the
+    library represent all three of the paper's scenarios:
+
+    - [proportional_model]: Φ equals Δ (scenario Φ = Δ, e.g. when I/O
+      is the bottleneck);
+    - [io_cpu_model]: Φ and Δ diverge (scenario Φ ≠ Δ): a compressed
+      delta is small on disk but pays decompression and apply costs,
+      and a "command"-style column drop is tiny yet expensive to
+      reverse. *)
+
+type mechanism =
+  | Line of Line_diff.t
+  | Cell of Cell_diff.t
+  | Xor of Xor_delta.t
+
+type t =
+  | Materialized of { bytes : int; compressed : int option }
+      (** A full version: its raw size and, when stored compressed,
+          the compressed size. *)
+  | Delta of { mech : mechanism; bytes : int; compressed : int option }
+      (** A delta: its encoded size and optional compressed size. *)
+
+type cost_model = {
+  io_weight : float;
+      (** cost per stored byte read (network or disk transfer) *)
+  decompress_weight : float;
+      (** extra cost per {e output} byte of decompression *)
+  apply_weight : float;
+      (** extra cost per byte of patch output when replaying a
+          delta *)
+}
+
+val proportional_model : cost_model
+(** [io_weight = 1.0], no CPU terms: Φ = Δ for uncompressed objects —
+    the paper's scenarios 1 and 2. *)
+
+val io_cpu_model : cost_model
+(** A model with non-trivial decompression and apply weights,
+    realizing scenario 3 (Φ ≠ Δ). *)
+
+(* Constructors. [compress] defaults to false. *)
+
+val materialize : ?compress:bool -> string -> t
+val line_delta : ?compress:bool -> string -> string -> t
+val cell_delta : ?compress:bool -> Csv.table -> Csv.table -> t
+val xor_delta : ?compress:bool -> string -> string -> t
+
+val storage_cost : t -> float
+(** Δ: compressed size when compressed, raw encoded size otherwise. *)
+
+val recreation_cost : cost_model -> t -> output_bytes:int -> float
+(** Φ under a model. [output_bytes] is the size of the version being
+    produced (the patch/decompression output), which the CPU terms
+    scale with. *)
+
+val is_materialized : t -> bool
+
+val mechanism_name : t -> string
+(** ["full"], ["line"], ["cell"] or ["xor"] — for reporting. *)

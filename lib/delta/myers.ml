@@ -1,0 +1,208 @@
+type op =
+  | Keep of int
+  | Delete of int
+  | Insert of int * int
+
+(* Linear-space Myers: find the "middle snake" of an optimal edit path
+   with forward and reverse furthest-reaching D-paths, then recurse on
+   the two halves. Reverse paths are realized as forward paths over
+   the reversed ranges; a reversed-space point (xr, yr) corresponds to
+   the original-space point (n - xr, m - yr) and reversed-space
+   diagonal kr to original diagonal (n - m) - kr. *)
+
+let diff ?(equal = ( = )) a b =
+  let total = Array.length a + Array.length b in
+  let vsize = (2 * total) + 3 in
+  let center = total + 1 in
+  let vf = Array.make vsize 0 in
+  let vr = Array.make vsize 0 in
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+
+  (* Middle snake of the subproblem a[alo..ahi) / b[blo..bhi), returned
+     in local coordinates (x1, y1, x2, y2). Requires n > 0 && m > 0. *)
+  let find_mid alo ahi blo bhi =
+    let n = ahi - alo and m = bhi - blo in
+    let delta = n - m in
+    let odd = delta land 1 = 1 in
+    vf.(center + 1) <- 0;
+    vr.(center + 1) <- 0;
+    let dmax = ((n + m) / 2) + 1 in
+    let result = ref None in
+    let d = ref 0 in
+    while !result = None && !d <= dmax do
+      let dd = !d in
+      (* Forward D-paths. *)
+      let k = ref (-dd) in
+      while !result = None && !k <= dd do
+        let kk = !k in
+        let x =
+          if
+            kk = -dd
+            || (kk <> dd && vf.(center + kk - 1) < vf.(center + kk + 1))
+          then vf.(center + kk + 1)
+          else vf.(center + kk - 1) + 1
+        in
+        let y = x - kk in
+        let x0 = x and y0 = y in
+        let x = ref x and y = ref y in
+        while !x < n && !y < m && equal a.(alo + !x) b.(blo + !y) do
+          incr x;
+          incr y
+        done;
+        vf.(center + kk) <- !x;
+        if odd then begin
+          let kr = delta - kk in
+          if kr >= -(dd - 1) && kr <= dd - 1 then begin
+            let x_rev = n - vr.(center + kr) in
+            if !x >= x_rev then result := Some (x0, y0, !x, !y)
+          end
+        end;
+        k := !k + 2
+      done;
+      (* Reverse D-paths (forward over reversed ranges). *)
+      let k = ref (-dd) in
+      while !result = None && !k <= dd do
+        let kk = !k in
+        let xr =
+          if
+            kk = -dd
+            || (kk <> dd && vr.(center + kk - 1) < vr.(center + kk + 1))
+          then vr.(center + kk + 1)
+          else vr.(center + kk - 1) + 1
+        in
+        let yr = xr - kk in
+        let xr0 = xr and yr0 = yr in
+        let xr = ref xr and yr = ref yr in
+        while
+          !xr < n && !yr < m
+          && equal a.(alo + n - 1 - !xr) b.(blo + m - 1 - !yr)
+        do
+          incr xr;
+          incr yr
+        done;
+        vr.(center + kk) <- !xr;
+        if not odd then begin
+          let ko = delta - kk in
+          if ko >= -dd && ko <= dd then begin
+            if n - !xr <= vf.(center + ko) then
+              result := Some (n - !xr, m - !yr, n - xr0, m - yr0)
+          end
+        end;
+        k := !k + 2
+      done;
+      incr d
+    done;
+    match !result with
+    | Some r -> r
+    | None ->
+        (* Unreachable: a middle snake always exists for n, m > 0. *)
+        assert false
+  in
+
+  let rec solve alo ahi blo bhi =
+    (* Strip common prefix and suffix first; they become Keep runs and
+       guarantee the middle-snake recursion always makes progress. *)
+    let alo = ref alo and blo = ref blo in
+    let ahi = ref ahi and bhi = ref bhi in
+    let prefix = ref 0 in
+    while
+      !alo < !ahi && !blo < !bhi && equal a.(!alo) b.(!blo)
+    do
+      incr alo;
+      incr blo;
+      incr prefix
+    done;
+    if !prefix > 0 then emit (Keep !prefix);
+    let suffix = ref 0 in
+    while
+      !alo < !ahi && !blo < !bhi && equal a.(!ahi - 1) b.(!bhi - 1)
+    do
+      decr ahi;
+      decr bhi;
+      incr suffix
+    done;
+    let alo = !alo and ahi = !ahi and blo = !blo and bhi = !bhi in
+    if alo = ahi then begin
+      if blo < bhi then emit (Insert (blo, bhi - blo))
+    end
+    else if blo = bhi then emit (Delete (ahi - alo))
+    else begin
+      let x1, y1, x2, y2 = find_mid alo ahi blo bhi in
+      solve alo (alo + x1) blo (blo + y1);
+      if x2 > x1 then emit (Keep (x2 - x1));
+      solve (alo + x2) ahi (blo + y2) bhi
+    end;
+    if !suffix > 0 then emit (Keep !suffix)
+  in
+
+  solve 0 (Array.length a) 0 (Array.length b);
+  (* Coalesce adjacent same-kind operations. *)
+  let coalesced =
+    List.fold_left
+      (fun acc op ->
+        match (op, acc) with
+        | Keep k, Keep k' :: rest -> Keep (k + k') :: rest
+        | Delete k, Delete k' :: rest -> Delete (k + k') :: rest
+        | Insert (off, k), Insert (off', k') :: rest when off' + k' = off ->
+            Insert (off', k' + k) :: rest
+        | _ -> op :: acc)
+      []
+      (List.rev !ops)
+  in
+  List.rev coalesced
+
+let apply a b script =
+  let out = ref [] in
+  let out_len = ref 0 in
+  let pos = ref 0 in
+  let push src off len =
+    out := (src, off, len) :: !out;
+    out_len := !out_len + len
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Keep k ->
+          if !pos + k > Array.length a then
+            invalid_arg "Myers.apply: Keep overruns source";
+          push `A !pos k;
+          pos := !pos + k
+      | Delete k ->
+          if !pos + k > Array.length a then
+            invalid_arg "Myers.apply: Delete overruns source";
+          pos := !pos + k
+      | Insert (off, k) ->
+          if off < 0 || off + k > Array.length b then
+            invalid_arg "Myers.apply: Insert overruns payload";
+          push `B off k)
+    script;
+  if !pos <> Array.length a then
+    invalid_arg "Myers.apply: script does not consume the whole source";
+  if !out_len = 0 then [||]
+  else begin
+    let any =
+      match List.rev !out with
+      | (`A, off, _) :: _ -> a.(off)
+      | (`B, off, _) :: _ -> b.(off)
+      | [] -> assert false
+    in
+    let result = Array.make !out_len any in
+    let cursor = ref 0 in
+    List.iter
+      (fun (src, off, len) ->
+        let arr = match src with `A -> a | `B -> b in
+        Array.blit arr off result !cursor len;
+        cursor := !cursor + len)
+      (List.rev !out);
+    result
+  end
+
+let edit_distance script =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Keep _ -> acc
+      | Delete k -> acc + k
+      | Insert (_, k) -> acc + k)
+    0 script

@@ -1,0 +1,32 @@
+(** Myers O(ND) shortest-edit-script algorithm over arrays.
+
+    This is the differencing engine behind UNIX-style line diffs
+    ({!Line_diff}); it works on any element type given an equality.
+    The output is a minimal-length script of keep/insert/delete
+    operations transforming the first array into the second. *)
+
+type op =
+  | Keep of int
+      (** [Keep k]: copy the next [k] elements of the source. *)
+  | Delete of int
+      (** [Delete k]: skip the next [k] elements of the source. *)
+  | Insert of int * int
+      (** [Insert (off, k)]: emit [k] elements of the {e target}
+          starting at target offset [off]. Offsets refer to the target
+          array passed to {!diff}, so scripts remain compact without
+          copying payloads. *)
+
+val diff : ?equal:('a -> 'a -> bool) -> 'a array -> 'a array -> op list
+(** [diff a b] is a minimal edit script turning [a] into [b].
+    Consecutive operations of one kind are coalesced. Uses the
+    linear-space divide-and-conquer refinement (Myers 1986, §4b), so
+    memory is O(a+b) while time stays O((a+b)·D). *)
+
+val apply : 'a array -> 'a array -> op list -> 'a array
+(** [apply a b script] replays [script] against source [a], taking
+    inserted payloads from [b]. When [script = diff a b] the result
+    equals [b]. @raise Invalid_argument on a script that overruns
+    either array or fails to consume the whole source. *)
+
+val edit_distance : op list -> int
+(** Total number of inserted plus deleted elements. *)

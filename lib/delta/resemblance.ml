@@ -1,0 +1,93 @@
+type sketch = { k : int; mins : int array }
+
+(* Each slot s applies an independent tabulation-free mixer to the
+   shingle hash: splitmix64's finalizer over (hash lxor seed_s). Slot
+   seeds come from a fixed splitmix stream, so sketches are stable
+   across runs and processes. *)
+
+let slot_seeds k =
+  let rng = Versioning_util.Prng.create ~seed:0x7265_73656d626c65 in
+  Array.init k (fun _ -> Int64.to_int (Versioning_util.Prng.next_int64 rng) land max_int)
+
+let seeds_cache : (int, int array) Hashtbl.t = Hashtbl.create 4
+
+let seeds k =
+  match Hashtbl.find_opt seeds_cache k with
+  | Some s -> s
+  | None ->
+      let s = slot_seeds k in
+      Hashtbl.replace seeds_cache k s;
+      s
+
+let mix64 z =
+  (* splitmix64 finalizer on the native-int ring *)
+  let z = z * 0x9E3779B97F4A7C1 in
+  let z = (z lxor (z lsr 30)) * 0xBF58476D1CE4E5B in
+  let z = (z lxor (z lsr 27)) * 0x94D049BB133111E in
+  (z lxor (z lsr 31)) land max_int
+
+(* Polynomial rolling hash of the shingle window. *)
+let shingle_hashes ~w doc =
+  let n = String.length doc in
+  if n = 0 then [ 0 ]
+  else if n < w then [ mix64 (Hashtbl.hash doc) ]
+  else begin
+    let base = 1000003 in
+    let pow_top = ref 1 in
+    for _ = 1 to w - 1 do
+      pow_top := !pow_top * base
+    done;
+    let h = ref 0 in
+    for i = 0 to w - 1 do
+      h := (!h * base) + Char.code doc.[i]
+    done;
+    let acc = ref [ !h land max_int ] in
+    for i = w to n - 1 do
+      h := ((!h - (Char.code doc.[i - w] * !pow_top)) * base) + Char.code doc.[i];
+      acc := (!h land max_int) :: !acc
+    done;
+    !acc
+  end
+
+let sketch ?(shingle = 16) ?(k = 64) doc =
+  if shingle < 1 || k < 1 then invalid_arg "Resemblance.sketch";
+  let seeds = seeds k in
+  let mins = Array.make k max_int in
+  List.iter
+    (fun h ->
+      for s = 0 to k - 1 do
+        let v = mix64 (h lxor seeds.(s)) in
+        if v < mins.(s) then mins.(s) <- v
+      done)
+    (shingle_hashes ~w:shingle doc);
+  { k; mins }
+
+let similarity a b =
+  if a.k <> b.k then invalid_arg "Resemblance.similarity: sketch sizes differ";
+  let agree = ref 0 in
+  for s = 0 to a.k - 1 do
+    if a.mins.(s) = b.mins.(s) then incr agree
+  done;
+  float_of_int !agree /. float_of_int a.k
+
+let candidate_pairs ?(threshold = 0.25) sketches =
+  let n = Array.length sketches in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let sim = similarity sketches.(i) sketches.(j) in
+      if sim >= threshold then acc := (i, j, sim) :: !acc
+    done
+  done;
+  List.sort (fun (_, _, a) (_, _, b) -> compare b a) !acc
+
+let top_candidates ~k sketches i =
+  let n = Array.length sketches in
+  if i < 0 || i >= n then invalid_arg "Resemblance.top_candidates";
+  let others =
+    List.init n (fun j -> j)
+    |> List.filter (fun j -> j <> i)
+    |> List.map (fun j -> (j, similarity sketches.(i) sketches.(j)))
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) others
+  |> List.filteri (fun idx _ -> idx < k)

@@ -1,0 +1,36 @@
+(** Resemblance detection — the reveal-policy mechanism the paper
+    points to in §2.1 ("prior work has also suggested mechanisms
+    (e.g., based on hashing) to find versions that are close to each
+    other", citing Douglis & Iyengar's application-specific
+    delta-encoding via resemblance detection).
+
+    Documents are shingled (w-byte sliding windows), each shingle
+    hashed, and a MinHash sketch of [k] minima kept per document. The
+    fraction of agreeing sketch slots is an unbiased estimate of the
+    Jaccard similarity of the shingle sets, so candidate pairs for
+    delta revealing can be found in O(n·k log n) instead of computing
+    O(n²) real deltas — exactly what fork-style collections (no
+    derivation hints) need. *)
+
+type sketch
+
+val sketch : ?shingle:int -> ?k:int -> string -> sketch
+(** [sketch doc] with shingle width [shingle] (default 16 bytes) and
+    [k] hash slots (default 64). Deterministic. Documents shorter
+    than the shingle width get a degenerate single-shingle sketch. *)
+
+val similarity : sketch -> sketch -> float
+(** Estimated Jaccard similarity in [\[0, 1\]].
+    @raise Invalid_argument when the sketches have different [k]. *)
+
+val candidate_pairs :
+  ?threshold:float -> sketch array -> (int * int * float) list
+(** [candidate_pairs sketches] — all index pairs [(i, j, sim)] with
+    [i < j] and estimated similarity ≥ [threshold] (default 0.25),
+    most similar first. O(n²·k) pair scan with an early slot-count
+    cutoff; n here is collection size (hundreds–thousands), which is
+    the regime the paper's reveal step runs in. *)
+
+val top_candidates : k:int -> sketch array -> int -> (int * float) list
+(** [top_candidates ~k sketches i]: the [k] most similar other
+    documents to document [i], most similar first. *)

@@ -1,0 +1,30 @@
+let add buf n =
+  if n < 0 then invalid_arg "Varint.add: negative";
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let read s pos =
+  let n = ref 0 and shift = ref 0 and p = ref pos in
+  let continue = ref true in
+  while !continue do
+    if !p >= String.length s then invalid_arg "Varint.read: truncated";
+    let b = Char.code s.[!p] in
+    incr p;
+    n := !n lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  (!n, !p)
+
+let size n =
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go (max n 0) 1

@@ -1,0 +1,47 @@
+type t = { len_a : int; len_b : int; payload : string }
+
+let byte s i = if i < String.length s then Char.code s.[i] else 0
+
+let make a b =
+  let n = max (String.length a) (String.length b) in
+  let payload =
+    String.init n (fun i -> Char.chr (byte a i lxor byte b i))
+  in
+  { len_a = String.length a; len_b = String.length b; payload }
+
+let xor_trunc payload x out_len =
+  String.init out_len (fun i -> Char.chr (byte x i lxor byte payload i))
+
+let recover t x =
+  let n = String.length x in
+  if n = t.len_a then xor_trunc t.payload x t.len_b
+  else if n = t.len_b then xor_trunc t.payload x t.len_a
+  else
+    invalid_arg
+      (Printf.sprintf
+         "Xor_delta.recover: input length %d matches neither side (%d, %d)" n
+         t.len_a t.len_b)
+
+let payload t = t.payload
+let len_a t = t.len_a
+let len_b t = t.len_b
+
+let encode t = Printf.sprintf "%d %d\n%s" t.len_a t.len_b t.payload
+
+let decode s =
+  match String.index_opt s '\n' with
+  | None -> invalid_arg "Xor_delta.decode: missing header"
+  | Some nl -> (
+      let header = String.sub s 0 nl in
+      let payload = String.sub s (nl + 1) (String.length s - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ la; lb ] -> (
+          match (int_of_string_opt la, int_of_string_opt lb) with
+          | Some len_a, Some len_b
+            when len_a >= 0 && len_b >= 0
+                 && String.length payload = max len_a len_b ->
+              { len_a; len_b; payload }
+          | _ -> invalid_arg "Xor_delta.decode: bad header")
+      | _ -> invalid_arg "Xor_delta.decode: bad header")
+
+let size t = String.length (encode t)

@@ -1,0 +1,36 @@
+(** XOR deltas — the paper's canonical {e symmetric} differencing
+    mechanism (§2.1): the delta from [a] to [b] is identical to the
+    delta from [b] to [a], so one stored payload serves both
+    directions and the resulting Δ matrix is symmetric.
+
+    The payload XORs the two byte strings padded to the longer length;
+    both original lengths are recorded so either side can be recovered
+    exactly. XOR deltas of similar artifacts are zero-heavy, which is
+    what makes them compress well (see {!Compress.rle_zeros}). *)
+
+type t
+
+val make : string -> string -> t
+(** [make a b] — order-independent up to the recorded direction:
+    [make a b] and [make b a] have equal payloads. *)
+
+val recover : t -> string -> string
+(** [recover d x] returns the {e other} document: given [a] it yields
+    [b], given [b] it yields [a]. The side is chosen by length match
+    against the recorded lengths; when both lengths are equal the
+    payload is its own inverse so either answer is the same
+    computation. @raise Invalid_argument if [x] matches neither
+    recorded length. *)
+
+val payload : t -> string
+(** Raw XOR bytes (length = max of the two document lengths). *)
+
+val len_a : t -> int
+val len_b : t -> int
+
+val size : t -> int
+(** Encoded size in bytes: payload plus the two length headers. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Invalid_argument on malformed input. *)

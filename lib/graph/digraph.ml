@@ -1,0 +1,178 @@
+type 'a edge = { src : int; dst : int; label : 'a }
+
+(* Growable edge buckets: one out-bucket and one in-bucket per vertex.
+   Buckets are plain arrays doubled on demand; [lengths] track fill. *)
+type 'a bucket = { mutable data : 'a edge array; mutable len : int }
+
+type 'a t = {
+  n : int;
+  mutable m : int;
+  out : 'a bucket array;
+  inc : 'a bucket array;
+}
+
+let empty_bucket () = { data = [||]; len = 0 }
+
+let bucket_push b e =
+  let cap = Array.length b.data in
+  if b.len = cap then begin
+    let ncap = if cap = 0 then 4 else 2 * cap in
+    let ndata = Array.make ncap e in
+    Array.blit b.data 0 ndata 0 b.len;
+    b.data <- ndata
+  end;
+  b.data.(b.len) <- e;
+  b.len <- b.len + 1
+
+let create ~n =
+  if n < 0 then invalid_arg "Digraph.create";
+  {
+    n;
+    m = 0;
+    out = Array.init n (fun _ -> empty_bucket ());
+    inc = Array.init n (fun _ -> empty_bucket ());
+  }
+
+let n_vertices g = g.n
+let n_edges g = g.m
+
+let check_vertex g v name =
+  if v < 0 || v >= g.n then
+    invalid_arg (Printf.sprintf "Digraph.%s: vertex %d out of range" name v)
+
+let add_edge g ~src ~dst label =
+  check_vertex g src "add_edge";
+  check_vertex g dst "add_edge";
+  if src = dst then invalid_arg "Digraph.add_edge: self-loop";
+  let e = { src; dst; label } in
+  bucket_push g.out.(src) e;
+  bucket_push g.inc.(dst) e;
+  g.m <- g.m + 1
+
+let iter_bucket b f =
+  for i = 0 to b.len - 1 do
+    f b.data.(i)
+  done
+
+let iter_out g v f =
+  check_vertex g v "iter_out";
+  iter_bucket g.out.(v) f
+
+let iter_in g v f =
+  check_vertex g v "iter_in";
+  iter_bucket g.inc.(v) f
+
+let bucket_to_list b =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (b.data.(i) :: acc) in
+  go (b.len - 1) []
+
+let out_edges g v =
+  check_vertex g v "out_edges";
+  bucket_to_list g.out.(v)
+
+let in_edges g v =
+  check_vertex g v "in_edges";
+  bucket_to_list g.inc.(v)
+
+let out_degree g v =
+  check_vertex g v "out_degree";
+  g.out.(v).len
+
+let in_degree g v =
+  check_vertex g v "in_degree";
+  g.inc.(v).len
+
+let iter_edges g f =
+  for v = 0 to g.n - 1 do
+    iter_bucket g.out.(v) f
+  done
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  iter_edges g (fun e -> acc := f !acc e);
+  !acc
+
+let edges g = List.rev (fold_edges g ~init:[] ~f:(fun acc e -> e :: acc))
+
+let map g ~f =
+  let g' = create ~n:g.n in
+  iter_edges g (fun e -> add_edge g' ~src:e.src ~dst:e.dst (f e));
+  g'
+
+let reverse g =
+  let g' = create ~n:g.n in
+  iter_edges g (fun e -> add_edge g' ~src:e.dst ~dst:e.src e.label);
+  g'
+
+let find_edge g ~src ~dst =
+  check_vertex g src "find_edge";
+  let b = g.out.(src) in
+  let rec go i =
+    if i >= b.len then None
+    else if b.data.(i).dst = dst then Some b.data.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let topological_order g =
+  (* Kahn's algorithm; smallest-id-first for a deterministic order. *)
+  let indeg = Array.init g.n (fun v -> g.inc.(v).len) in
+  let heap = Versioning_util.Binary_heap.create ~capacity:g.n in
+  for v = 0 to g.n - 1 do
+    if indeg.(v) = 0 then Versioning_util.Binary_heap.insert heap v 0.0
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Versioning_util.Binary_heap.is_empty heap) do
+    let v, _ = Versioning_util.Binary_heap.pop_min heap in
+    order := v :: !order;
+    incr seen;
+    iter_bucket g.out.(v) (fun e ->
+        indeg.(e.dst) <- indeg.(e.dst) - 1;
+        if indeg.(e.dst) = 0 then
+          Versioning_util.Binary_heap.insert heap e.dst 0.0)
+  done;
+  if !seen = g.n then Some (List.rev !order) else None
+
+let is_dag g = topological_order g <> None
+
+let dfs_mark buckets n start =
+  let mark = Array.make n false in
+  let stack = ref [ start ] in
+  mark.(start) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+        stack := rest;
+        iter_bucket buckets.(v) (fun e ->
+            let w = if e.src = v then e.dst else e.src in
+            if not mark.(w) then begin
+              mark.(w) <- true;
+              stack := w :: !stack
+            end)
+  done;
+  mark
+
+let reachable_from g v =
+  check_vertex g v "reachable_from";
+  dfs_mark g.out g.n v
+
+let transpose_reachable g v =
+  check_vertex g v "transpose_reachable";
+  (* Follow in-edges backwards: from each in-edge of the frontier. *)
+  let mark = Array.make g.n false in
+  let stack = ref [ v ] in
+  mark.(v) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | w :: rest ->
+        stack := rest;
+        iter_bucket g.inc.(w) (fun e ->
+            if not mark.(e.src) then begin
+              mark.(e.src) <- true;
+              stack := e.src :: !stack
+            end)
+  done;
+  mark

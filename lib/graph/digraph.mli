@@ -1,0 +1,67 @@
+(** Directed graph with integer vertices and arbitrary edge labels.
+
+    Vertices are [0 .. n-1], fixed at creation. Parallel edges are
+    permitted (the versioning setting can expose several delta
+    mechanisms between the same pair of versions); self-loops are
+    rejected since neither a version graph nor a storage graph can use
+    them. Adjacency is kept in growable arrays on both endpoints, so
+    [out_edges]/[in_edges] are O(degree) and edge insertion is
+    amortized O(1). *)
+
+type 'a t
+
+type 'a edge = { src : int; dst : int; label : 'a }
+
+val create : n:int -> 'a t
+(** [create ~n] is an edgeless graph on vertices [0..n-1]. *)
+
+val n_vertices : 'a t -> int
+val n_edges : 'a t -> int
+
+val add_edge : 'a t -> src:int -> dst:int -> 'a -> unit
+(** @raise Invalid_argument on out-of-range endpoints or a self-loop. *)
+
+val out_edges : 'a t -> int -> 'a edge list
+(** Edges leaving a vertex, in insertion order. *)
+
+val in_edges : 'a t -> int -> 'a edge list
+(** Edges entering a vertex, in insertion order. *)
+
+val out_degree : 'a t -> int -> int
+val in_degree : 'a t -> int -> int
+
+val iter_out : 'a t -> int -> ('a edge -> unit) -> unit
+(** Allocation-light iteration over out-edges. *)
+
+val iter_in : 'a t -> int -> ('a edge -> unit) -> unit
+
+val iter_edges : 'a t -> ('a edge -> unit) -> unit
+(** Every edge exactly once, grouped by source vertex. *)
+
+val fold_edges : 'a t -> init:'b -> f:('b -> 'a edge -> 'b) -> 'b
+
+val edges : 'a t -> 'a edge list
+(** All edges as a list (grouped by source). *)
+
+val map : 'a t -> f:('a edge -> 'b) -> 'b t
+(** Same structure, relabelled edges. *)
+
+val reverse : 'a t -> 'a t
+(** Graph with every edge flipped. *)
+
+val find_edge : 'a t -> src:int -> dst:int -> 'a edge option
+(** First inserted edge [src -> dst], if any. O(out-degree). *)
+
+val is_dag : 'a t -> bool
+(** True iff the graph has no directed cycle (Kahn's algorithm). *)
+
+val topological_order : 'a t -> int list option
+(** A topological order of the vertices, or [None] on a cyclic
+    graph. *)
+
+val reachable_from : 'a t -> int -> bool array
+(** [reachable_from g v] marks every vertex reachable from [v]
+    (including [v]) following edge direction; DFS, O(V+E). *)
+
+val transpose_reachable : 'a t -> int -> bool array
+(** Vertices from which [v] is reachable. *)

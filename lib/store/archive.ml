@@ -1,0 +1,131 @@
+type entry = { path : string; content : string }
+
+let magic = "dsvc-archive 1"
+
+let path_ok p =
+  p <> ""
+  && (not (String.contains p '\n'))
+  && Filename.is_relative p
+  && String.split_on_char '/' p
+     |> List.for_all (fun seg -> seg <> "" && seg <> "." && seg <> "..")
+
+let pack entries =
+  let sorted =
+    List.sort (fun a b -> compare a.path b.path) entries
+  in
+  let rec validate seen = function
+    | [] -> Ok ()
+    | { path; _ } :: tl ->
+        if not (path_ok path) then
+          Error (Printf.sprintf "illegal path %S" path)
+        else if List.mem path seen then
+          Error (Printf.sprintf "duplicate path %S" path)
+        else validate (path :: seen) tl
+  in
+  match validate [] sorted with
+  | Error _ as e -> e
+  | Ok () ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf magic;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun { path; content } ->
+          Buffer.add_string buf
+            (Printf.sprintf "entry %d\n%s\n" (String.length content) path);
+          Buffer.add_string buf content;
+          Buffer.add_char buf '\n')
+        sorted;
+      Ok (Buffer.contents buf)
+
+let unpack s =
+  let n = String.length s in
+  let line_end pos =
+    match String.index_from_opt s pos '\n' with
+    | Some i -> Ok i
+    | None -> Error "truncated archive (missing newline)"
+  in
+  let ( let* ) = Result.bind in
+  let* hdr_end = line_end 0 in
+  if String.sub s 0 hdr_end <> magic then Error "not a dsvc archive"
+  else begin
+    let rec go pos acc =
+      if pos >= n then Ok (List.rev acc)
+      else
+        let* le = line_end pos in
+        let header = String.sub s pos (le - pos) in
+        match String.split_on_char ' ' header with
+        | [ "entry"; len ] -> (
+            match int_of_string_opt len with
+            | Some clen when clen >= 0 ->
+                let* pe = line_end (le + 1) in
+                let path = String.sub s (le + 1) (pe - le - 1) in
+                if pe + 1 + clen + 1 > n then
+                  Error "truncated archive (content)"
+                else if s.[pe + 1 + clen] <> '\n' then
+                  Error "corrupt archive (missing separator)"
+                else begin
+                  let content = String.sub s (pe + 1) clen in
+                  go (pe + 1 + clen + 1) ({ path; content } :: acc)
+                end
+            | _ -> Error "bad entry length")
+        | _ -> Error ("unexpected archive line: " ^ header)
+    in
+    go (hdr_end + 1) []
+  end
+
+let paths s = Result.map (List.map (fun e -> e.path)) (unpack s)
+
+let rec collect_files root rel =
+  let dir = if rel = "" then root else Filename.concat root rel in
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.concat_map (fun name ->
+         let rel' = if rel = "" then name else rel ^ "/" ^ name in
+         let full = Filename.concat root rel' in
+         if Sys.is_directory full then collect_files root rel'
+         else [ rel' ])
+
+let of_directory root =
+  if not (Sys.file_exists root && Sys.is_directory root) then
+    Error (Printf.sprintf "%s is not a directory" root)
+  else
+    try
+      let files = collect_files root "" in
+      let entries =
+        List.map
+          (fun path ->
+            let ic = open_in_bin (Filename.concat root path) in
+            let content =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            { path; content })
+          files
+      in
+      Ok entries
+    with Sys_error e -> Error e
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "/" || dir = "." || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let to_directory root entries =
+  try
+    mkdir_p root;
+    List.iter
+      (fun { path; content } ->
+        if not (path_ok path) then failwith (Printf.sprintf "illegal path %S" path);
+        let full = Filename.concat root path in
+        mkdir_p (Filename.dirname full);
+        let oc = open_out_bin full in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc content))
+      entries;
+    Ok ()
+  with
+  | Sys_error e -> Error e
+  | Failure e -> Error e

@@ -1,0 +1,37 @@
+(** Multi-file dataset snapshots.
+
+    Real datasets are directories (the paper's fork datasets
+    concatenate a checkout's files "by traversing the directory
+    structure in lexicographic order" — §5.1). This module gives that
+    construction a faithful, reversible form: a canonical archive that
+    serializes a set of files into one byte string so the whole
+    delta/optimization pipeline applies unchanged, and that
+    deserializes back to files on checkout.
+
+    Canonical means deterministic: entries sorted by path, sizes
+    explicit, so archives of equal trees are byte-equal (and thus
+    deduplicate in the object store), and archives of similar trees
+    line-diff compactly. The format is binary-safe: contents are
+    length-prefixed, never scanned. *)
+
+type entry = { path : string; content : string }
+
+val pack : entry list -> (string, string) result
+(** Canonical archive of the entries. [Error] on duplicate paths,
+    empty paths, paths containing newlines, or absolute / escaping
+    paths ([".."] segments). Entry order is irrelevant. *)
+
+val unpack : string -> (entry list, string) result
+(** Inverse of {!pack}; entries come back path-sorted. *)
+
+val of_directory : string -> (entry list, string) result
+(** Read a directory tree (regular files only), paths relative,
+    lexicographic. *)
+
+val to_directory : string -> entry list -> (unit, string) result
+(** Write entries under a root directory, creating subdirectories.
+    Existing files are overwritten. *)
+
+val paths : string -> (string list, string) result
+(** Just the file list of an archive, without materializing
+    contents. *)

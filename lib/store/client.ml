@@ -1,0 +1,161 @@
+type t = { host : string; port : int }
+
+let connect ~host ~port = { host; port }
+
+let percent_encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' | '.' | '~' ->
+          Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let request t ~meth ~path ?(query = []) ?(body = "") () =
+  try
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port) in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect sock addr;
+        let oc = Unix.out_channel_of_descr sock in
+        let ic = Unix.in_channel_of_descr sock in
+        let target =
+          if query = [] then path
+          else
+            path ^ "?"
+            ^ String.concat "&"
+                (List.map
+                   (fun (k, v) -> percent_encode k ^ "=" ^ percent_encode v)
+                   query)
+        in
+        output_string oc
+          (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\n\r\n%s"
+             meth target t.host (String.length body) body);
+        flush oc;
+        (* Parse the status line, headers, and Content-Length body. *)
+        let line () =
+          match In_channel.input_line ic with
+          | None -> failwith "connection closed mid-response"
+          | Some l ->
+              if String.length l > 0 && l.[String.length l - 1] = '\r' then
+                String.sub l 0 (String.length l - 1)
+              else l
+        in
+        let status_line = line () in
+        let status =
+          match String.split_on_char ' ' status_line with
+          | _ :: code :: _ -> (
+              match int_of_string_opt code with
+              | Some c -> c
+              | None -> failwith ("bad status line: " ^ status_line))
+          | _ -> failwith ("bad status line: " ^ status_line)
+        in
+        let content_length = ref None in
+        let rec headers () =
+          let l = line () in
+          if l <> "" then begin
+            (match String.index_opt l ':' with
+            | Some i
+              when String.lowercase_ascii (String.sub l 0 i) = "content-length"
+              ->
+                content_length :=
+                  int_of_string_opt
+                    (String.trim (String.sub l (i + 1) (String.length l - i - 1)))
+            | _ -> ());
+            headers ()
+          end
+        in
+        headers ();
+        let body =
+          match !content_length with
+          | Some len -> really_input_string ic len
+          | None -> In_channel.input_all ic
+        in
+        Ok (status, body))
+  with
+  | Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+  | Failure e | Sys_error e -> Error e
+  | End_of_file -> Error "unexpected end of response"
+
+let expect_ok t ~meth ~path ?query ?body () =
+  match request t ~meth ~path ?query ?body () with
+  | Error _ as e -> e
+  | Ok (status, body) when status >= 200 && status < 300 -> Ok body
+  | Ok (_, body) -> Error (String.trim body)
+
+let versions t =
+  Result.map
+    (fun body ->
+      String.split_on_char '\n' (String.trim body)
+      |> List.filter (fun l -> l <> "")
+      |> List.filter_map (fun l ->
+             match String.split_on_char ' ' l with
+             | id :: parents :: rest -> (
+                 match int_of_string_opt id with
+                 | Some id ->
+                     let parents =
+                       if parents = "-" then []
+                       else
+                         String.split_on_char ',' parents
+                         |> List.filter_map int_of_string_opt
+                     in
+                     Some (id, parents, String.concat " " rest)
+                 | None -> None)
+             | _ -> None))
+    (expect_ok t ~meth:"GET" ~path:"/versions" ())
+
+let checkout t name = expect_ok t ~meth:"GET" ~path:("/checkout/" ^ name) ()
+
+let commit t ?(message = "") ?parents content =
+  let query =
+    ("message", message)
+    ::
+    (match parents with
+    | None -> []
+    | Some ps -> [ ("parents", String.concat "," (List.map string_of_int ps)) ])
+  in
+  Result.bind
+    (expect_ok t ~meth:"POST" ~path:"/commit" ~query ~body:content ())
+    (fun body ->
+      match int_of_string_opt (String.trim body) with
+      | Some id -> Ok id
+      | None -> Error ("unexpected commit response: " ^ body))
+
+let kv_body body =
+  String.split_on_char '\n' (String.trim body)
+  |> List.filter_map (fun l ->
+         match String.index_opt l ' ' with
+         | Some i ->
+             Some (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
+         | None -> if l = "" then None else Some (l, ""))
+
+let stats t = Result.map kv_body (expect_ok t ~meth:"GET" ~path:"/stats" ())
+
+let optimize t strategy =
+  Result.map kv_body
+    (expect_ok t ~meth:"POST" ~path:"/optimize"
+       ~query:[ ("strategy", strategy) ]
+       ())
+
+let diff t a b = expect_ok t ~meth:"GET" ~path:("/diff/" ^ a ^ "/" ^ b) ()
+
+let unit_post t path query =
+  Result.map (fun _ -> ()) (expect_ok t ~meth:"POST" ~path ~query ())
+
+let tag t name ?at () =
+  unit_post t ("/tag/" ^ name)
+    (match at with Some v -> [ ("at", string_of_int v) ] | None -> [])
+
+let branch t name ?at () =
+  unit_post t ("/branch/" ^ name)
+    (match at with Some v -> [ ("at", string_of_int v) ] | None -> [])
+
+let switch t name = unit_post t ("/switch/" ^ name) []
+
+let verify t =
+  Result.map (fun _ -> ()) (expect_ok t ~meth:"GET" ~path:"/verify" ())

@@ -1,0 +1,44 @@
+(** HTTP client for a served repository — the other half of the
+    paper's client–server prototype (its client was a separate
+    program; this one is a typed OCaml API over {!Server}'s routes).
+
+    All calls open one connection per request (matching the server's
+    connection-per-request model) and surface non-2xx responses as
+    [Error] with the server's message. *)
+
+type t
+
+val connect : host:string -> port:int -> t
+(** No connection is held; this just records the endpoint. *)
+
+val versions : t -> ((int * int list * string) list, string) result
+(** [(id, parents, message)] per commit, newest first. *)
+
+val checkout : t -> string -> (string, string) result
+(** By id, tag, or branch name. *)
+
+val commit :
+  t -> ?message:string -> ?parents:int list -> string -> (int, string) result
+
+val stats : t -> ((string * string) list, string) result
+(** The stats fields as key–value pairs, as served. *)
+
+val optimize : t -> string -> ((string * string) list, string) result
+(** [optimize t "balanced=1.5"] etc.; returns the post-repack stats. *)
+
+val diff : t -> string -> string -> (string, string) result
+
+val tag : t -> string -> ?at:int -> unit -> (unit, string) result
+val branch : t -> string -> ?at:int -> unit -> (unit, string) result
+val switch : t -> string -> (unit, string) result
+val verify : t -> (unit, string) result
+
+val request :
+  t ->
+  meth:string ->
+  path:string ->
+  ?query:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result
+(** Raw escape hatch: returns [(status, body)]. *)

@@ -1,0 +1,24 @@
+(* FNV-1a in two independent 64-bit lanes (different offset bases),
+   which in practice behaves like a 128-bit hash for dedup purposes. *)
+
+let fnv_prime = 0x100000001b3L
+
+let lane offset s =
+  let h = ref offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let hex content =
+  let a = lane 0xcbf29ce484222325L content in
+  let b = lane 0x9ae16a3b2f90404fL content in
+  Printf.sprintf "%016Lx%016Lx" a b
+
+let is_valid s =
+  String.length s = 32
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s

@@ -1,0 +1,130 @@
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let ok ?(content_type = "text/plain; charset=utf-8") body =
+  { status = 200; content_type; body }
+
+let error status body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+let percent_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '+' -> Buffer.add_char buf ' '
+    | '%' when !i + 2 < n -> (
+        match (hex s.[!i + 1], hex s.[!i + 2]) with
+        | Some hi, Some lo ->
+            Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+            i := !i + 2
+        | _ -> Buffer.add_char buf '%')
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_query q =
+  if q = "" then []
+  else
+    String.split_on_char '&' q
+    |> List.filter_map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i ->
+               Some
+                 ( percent_decode (String.sub kv 0 i),
+                   percent_decode
+                     (String.sub kv (i + 1) (String.length kv - i - 1)) )
+           | None -> if kv = "" then None else Some (percent_decode kv, ""))
+
+let read_line_crlf ic =
+  match In_channel.input_line ic with
+  | None -> Error "unexpected end of stream"
+  | Some line ->
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Ok line
+
+let ( let* ) = Result.bind
+
+let read_request ?(max_body = 64 * 1024 * 1024) ic =
+  let* request_line = read_line_crlf ic in
+  let* meth, target =
+    match String.split_on_char ' ' request_line with
+    | [ m; t; _version ] -> Ok (String.uppercase_ascii m, t)
+    | _ -> Error ("malformed request line: " ^ request_line)
+  in
+  let path, query =
+    match String.index_opt target '?' with
+    | Some i ->
+        ( String.sub target 0 i,
+          parse_query (String.sub target (i + 1) (String.length target - i - 1))
+        )
+    | None -> (target, [])
+  in
+  let rec read_headers acc =
+    let* line = read_line_crlf ic in
+    if line = "" then Ok (List.rev acc)
+    else
+      match String.index_opt line ':' with
+      | Some i ->
+          let name = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+          let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          read_headers ((name, value) :: acc)
+      | None -> Error ("malformed header: " ^ line)
+  in
+  let* headers = read_headers [] in
+  let* body =
+    match List.assoc_opt "content-length" headers with
+    | None -> Ok ""
+    | Some l -> (
+        match int_of_string_opt l with
+        | Some len when len >= 0 && len <= max_body -> (
+            try Ok (really_input_string ic len)
+            with End_of_file -> Error "truncated body")
+        | Some _ -> Error "body too large"
+        | None -> Error "bad content-length")
+  in
+  Ok { meth; path = percent_decode path; query; headers; body }
+
+let write_response oc { status; content_type; body } =
+  output_string oc
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  output_string oc (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  output_string oc
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  output_string oc "Connection: close\r\n\r\n";
+  output_string oc body;
+  flush oc

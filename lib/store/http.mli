@@ -1,0 +1,40 @@
+(** Minimal HTTP/1.1 framing for the prototype's client–server mode.
+
+    The paper's prototype serves version operations "in a client-server
+    model over HTTP" (§5); this module supplies just enough of the
+    protocol for that: request parsing with Content-Length bodies,
+    response writing, and percent-decoding for query strings. It is
+    deliberately not a general web server — one request per
+    connection, no chunked encoding, no TLS. *)
+
+type request = {
+  meth : string;  (** "GET", "POST", … (upper-cased) *)
+  path : string;  (** decoded path without the query string *)
+  query : (string * string) list;  (** decoded query parameters *)
+  headers : (string * string) list;  (** lower-cased names *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+val ok : ?content_type:string -> string -> response
+(** 200 with [text/plain] by default. *)
+
+val error : int -> string -> response
+
+val read_request :
+  ?max_body:int -> in_channel -> (request, string) result
+(** Parse one request. [max_body] (default 64 MiB) bounds
+    Content-Length. *)
+
+val write_response : out_channel -> response -> unit
+
+val percent_decode : string -> string
+(** Decode [%XX] escapes and [+] as space. Malformed escapes pass
+    through verbatim. *)
+
+val status_text : int -> string

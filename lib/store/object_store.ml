@@ -1,0 +1,113 @@
+type t = { dir : string }
+
+let ( let* ) = Result.bind
+
+let mkdir_p dir =
+  let rec go d =
+    if d = "" || d = "/" || Sys.file_exists d then ()
+    else begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir;
+  if Sys.file_exists dir && Sys.is_directory dir then Ok ()
+  else Error (Printf.sprintf "cannot create directory %s" dir)
+
+let create ~dir =
+  let* () = mkdir_p dir in
+  Ok { dir }
+
+let path_of t digest =
+  Filename.concat t.dir
+    (Filename.concat (String.sub digest 0 2) (String.sub digest 2 30))
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error e -> Error e
+
+let write_file_atomic path content =
+  try
+    let dir = Filename.dirname path in
+    (match mkdir_p dir with Ok () -> () | Error e -> failwith e);
+    let tmp = Filename.temp_file ~temp_dir:dir ".obj" ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content);
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error e | Failure e -> Error e
+
+(* On-disk framing: blobs are stored raw ('R' + bytes) or
+   LZ77-compressed ('C' + codestream), whichever is smaller — the
+   digest always addresses the logical content. *)
+
+let frame content =
+  let compressed = Versioning_delta.Compress.lz77 content in
+  if String.length compressed < String.length content then "C" ^ compressed
+  else "R" ^ content
+
+let unframe framed =
+  if String.length framed = 0 then Error "empty object file"
+  else
+    match framed.[0] with
+    | 'R' -> Ok (String.sub framed 1 (String.length framed - 1))
+    | 'C' -> (
+        try
+          Ok
+            (Versioning_delta.Compress.unlz77
+               (String.sub framed 1 (String.length framed - 1)))
+        with Invalid_argument e -> Error ("corrupt compressed object: " ^ e))
+    | _ -> Error "unknown object framing"
+
+let put t content =
+  let digest = Content_hash.hex content in
+  let path = path_of t digest in
+  if Sys.file_exists path then Ok digest
+  else
+    let* () = write_file_atomic path (frame content) in
+    Ok digest
+
+let get t digest =
+  if not (Content_hash.is_valid digest) then
+    Error (Printf.sprintf "invalid digest %S" digest)
+  else begin
+    let path = path_of t digest in
+    if Sys.file_exists path then
+      let* framed = read_file path in
+      unframe framed
+    else Error (Printf.sprintf "object %s not found" digest)
+  end
+
+let mem t digest =
+  Content_hash.is_valid digest && Sys.file_exists (path_of t digest)
+
+let delete t digest =
+  if mem t digest then try Sys.remove (path_of t digest) with Sys_error _ -> ()
+
+let list_digests t =
+  if not (Sys.file_exists t.dir) then []
+  else
+    Sys.readdir t.dir |> Array.to_list
+    |> List.concat_map (fun prefix ->
+           let sub = Filename.concat t.dir prefix in
+           if Sys.is_directory sub && String.length prefix = 2 then
+             Sys.readdir sub |> Array.to_list
+             |> List.filter_map (fun rest ->
+                    let digest = prefix ^ rest in
+                    if Content_hash.is_valid digest then Some digest else None)
+           else [])
+
+let total_bytes t =
+  List.fold_left
+    (fun acc digest ->
+      let path = path_of t digest in
+      match (Unix.stat path).Unix.st_size with
+      | size -> acc + size
+      | exception Unix.Unix_error _ -> acc)
+    0 (list_digests t)

@@ -1,0 +1,34 @@
+(** Content-addressed blob storage on disk.
+
+    Blobs live under [<dir>/ab/cdef…] (two-character fan-out like
+    Git). Writing is idempotent — equal content maps to an equal
+    digest and is stored once, which is where whole-version
+    deduplication (identical intermediate results, §1) comes for
+    free. *)
+
+type t
+
+val create : dir:string -> (t, string) result
+(** Open (creating directories as needed) an object store rooted at
+    [dir]. *)
+
+val put : t -> string -> (string, string) result
+(** [put store content] writes the blob and returns its digest.
+    Writing is atomic (temp file + rename). Blobs are transparently
+    LZ77-compressed on disk when that is smaller (like git's zlib
+    packing); the digest always addresses the logical content. *)
+
+val get : t -> string -> (string, string) result
+(** Fetch a blob by digest. *)
+
+val mem : t -> string -> bool
+
+val delete : t -> string -> unit
+(** Remove a blob if present (used by repack garbage collection). *)
+
+val list_digests : t -> string list
+(** All stored digests. *)
+
+val total_bytes : t -> int
+(** Sum of on-disk blob sizes (after framing/compression) — the
+    store's physical storage cost. *)

@@ -1,0 +1,658 @@
+module Line_diff = Versioning_delta.Line_diff
+module Aux_graph = Versioning_core.Aux_graph
+module Storage_graph = Versioning_core.Storage_graph
+
+let ( let* ) = Result.bind
+
+type commit_info = {
+  id : int;
+  parents : int list;
+  message : string;
+  timestamp : float;
+}
+
+type stored = Full of string | Delta_from of int * string
+
+type t = {
+  root : string;
+  store : Object_store.t;
+  mutable commits : commit_info list;  (* newest first *)
+  mutable stored : (int, stored) Hashtbl.t;
+  mutable branches : (string * int) list;
+  mutable tag_list : (string * int) list;
+  mutable head_branch : string;
+  mutable next_id : int;
+}
+
+type stats = {
+  n_versions : int;
+  storage_bytes : int;
+  n_full : int;
+  n_delta : int;
+  max_chain : int;
+  sum_recreation_bytes : float;
+  max_recreation_bytes : float;
+}
+
+type strategy =
+  | Min_storage
+  | Min_recreation
+  | Budgeted_sum of float
+  | Bounded_max of float
+  | Git_window of int * int
+  | Svn_skip
+
+let meta_dir path = Filename.concat path ".dsvc"
+let meta_file path = Filename.concat (meta_dir path) "meta"
+let objects_dir path = Filename.concat (meta_dir path) "objects"
+
+let root t = t.root
+
+(* ---- metadata persistence ---- *)
+
+let save t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "dsvc 1\n";
+  Buffer.add_string buf (Printf.sprintf "head %s\n" t.head_branch);
+  Buffer.add_string buf (Printf.sprintf "next %d\n" t.next_id);
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "branch %s %d\n" name v))
+    t.branches;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "tag %s %d\n" name v))
+    t.tag_list;
+  List.iter
+    (fun c ->
+      let parents =
+        match c.parents with
+        | [] -> "-"
+        | ps -> String.concat "," (List.map string_of_int ps)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "version %d %.6f %s %s\n" c.id c.timestamp parents
+           (String.escaped c.message)))
+    t.commits;
+  Hashtbl.iter
+    (fun id s ->
+      match s with
+      | Full digest ->
+          Buffer.add_string buf (Printf.sprintf "stored %d full %s\n" id digest)
+      | Delta_from (p, digest) ->
+          Buffer.add_string buf
+            (Printf.sprintf "stored %d delta %d %s\n" id p digest))
+    t.stored;
+  try
+    let tmp = meta_file t.root ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Buffer.output_buffer oc buf);
+    Sys.rename tmp (meta_file t.root);
+    Ok ()
+  with Sys_error e -> Error e
+
+let load path store =
+  try
+    let ic = open_in_bin (meta_file path) in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let t =
+      {
+        root = path;
+        store;
+        commits = [];
+        stored = Hashtbl.create 64;
+        branches = [];
+        tag_list = [];
+        head_branch = "main";
+        next_id = 1;
+      }
+    in
+    let fail msg = Error (Printf.sprintf "corrupt repository metadata: %s" msg) in
+    let parse_line line =
+      if line = "" then Ok ()
+      else
+        match String.split_on_char ' ' line with
+        | "dsvc" :: _ -> Ok ()
+        | [ "head"; name ] ->
+            t.head_branch <- name;
+            Ok ()
+        | [ "next"; n ] -> (
+            match int_of_string_opt n with
+            | Some n ->
+                t.next_id <- n;
+                Ok ()
+            | None -> fail "bad next id")
+        | [ "branch"; name; v ] -> (
+            match int_of_string_opt v with
+            | Some v ->
+                t.branches <- t.branches @ [ (name, v) ];
+                Ok ()
+            | None -> fail "bad branch head")
+        | [ "tag"; name; v ] -> (
+            match int_of_string_opt v with
+            | Some v ->
+                t.tag_list <- t.tag_list @ [ (name, v) ];
+                Ok ()
+            | None -> fail "bad tag target")
+        | "version" :: id :: ts :: parents :: msg_parts -> (
+            match (int_of_string_opt id, float_of_string_opt ts) with
+            | Some id, Some timestamp -> (
+                let message =
+                  try Scanf.unescaped (String.concat " " msg_parts)
+                  with Scanf.Scan_failure _ -> String.concat " " msg_parts
+                in
+                match
+                  if parents = "-" then Ok []
+                  else
+                    String.split_on_char ',' parents
+                    |> List.map int_of_string_opt
+                    |> List.fold_left
+                         (fun acc p ->
+                           match (acc, p) with
+                           | Ok acc, Some p -> Ok (acc @ [ p ])
+                           | _ -> Error ())
+                         (Ok [])
+                with
+                | Ok parents ->
+                    t.commits <-
+                      t.commits @ [ { id; parents; message; timestamp } ];
+                    Ok ()
+                | Error () -> fail "bad parent list")
+            | _ -> fail "bad version line")
+        | [ "stored"; id; "full"; digest ] -> (
+            match int_of_string_opt id with
+            | Some id ->
+                Hashtbl.replace t.stored id (Full digest);
+                Ok ()
+            | None -> fail "bad stored line")
+        | [ "stored"; id; "delta"; p; digest ] -> (
+            match (int_of_string_opt id, int_of_string_opt p) with
+            | Some id, Some p ->
+                Hashtbl.replace t.stored id (Delta_from (p, digest));
+                Ok ()
+            | _ -> fail "bad stored line")
+        | _ -> fail ("unknown line: " ^ line)
+    in
+    let rec go = function
+      | [] -> Ok ()
+      | l :: tl -> (
+          match parse_line l with Ok () -> go tl | Error _ as e -> e)
+    in
+    let* () = go (String.split_on_char '\n' content) in
+    (* Newest first. *)
+    t.commits <-
+      List.sort (fun a b -> compare b.id a.id) t.commits;
+    Ok t
+  with Sys_error e -> Error e
+
+let init ~path =
+  if Sys.file_exists (meta_file path) then
+    Error (Printf.sprintf "repository already exists at %s" path)
+  else
+    let* store = Object_store.create ~dir:(objects_dir path) in
+    let t =
+      {
+        root = path;
+        store;
+        commits = [];
+        stored = Hashtbl.create 64;
+        branches = [ ("main", 0) ];
+        tag_list = [];
+        head_branch = "main";
+        next_id = 1;
+      }
+    in
+    let* () = save t in
+    Ok t
+
+let open_repo ~path =
+  if not (Sys.file_exists (meta_file path)) then
+    Error (Printf.sprintf "no repository at %s" path)
+  else
+    let* store = Object_store.create ~dir:(objects_dir path) in
+    load path store
+
+(* ---- retrieval ---- *)
+
+let checkout t version =
+  (* Walk back to a full object, then replay deltas forward. *)
+  let rec chain v acc =
+    match Hashtbl.find_opt t.stored v with
+    | None -> Error (Printf.sprintf "version %d is not stored" v)
+    | Some (Full digest) -> Ok (digest, acc)
+    | Some (Delta_from (p, digest)) ->
+        if List.length acc > Hashtbl.length t.stored then
+          Error "delta chain contains a cycle"
+        else chain p (digest :: acc)
+  in
+  let* base_digest, deltas = chain version [] in
+  let* base = Object_store.get t.store base_digest in
+  List.fold_left
+    (fun acc digest ->
+      let* content = acc in
+      let* encoded = Object_store.get t.store digest in
+      match Line_diff.decode encoded with
+      | d -> (
+          try Ok (Line_diff.apply content d)
+          with Invalid_argument e -> Error e)
+      | exception Invalid_argument e -> Error e)
+    (Ok base) deltas
+
+(* ---- commits & branches ---- *)
+
+let head t = List.assoc_opt t.head_branch t.branches |> Option.fold ~none:None ~some:(fun v -> if v = 0 then None else Some v)
+
+let current_branch t = t.head_branch
+let branches t = List.filter (fun (_, v) -> v <> 0) t.branches
+let log t = t.commits
+let commit_info t id = List.find_opt (fun c -> c.id = id) t.commits
+
+let store_full t content =
+  let* digest = Object_store.put t.store content in
+  Ok (Full digest)
+
+let commit t ?(message = "") ?parents content =
+  let parents =
+    match parents with
+    | Some ps -> ps
+    | None -> ( match head t with None -> [] | Some h -> [ h ])
+  in
+  let* () =
+    List.fold_left
+      (fun acc p ->
+        let* () = acc in
+        if Hashtbl.mem t.stored p then Ok ()
+        else Error (Printf.sprintf "unknown parent version %d" p))
+      (Ok ()) parents
+  in
+  let id = t.next_id in
+  let* stored =
+    match parents with
+    | [] -> store_full t content
+    | p :: _ ->
+        let* parent_content = checkout t p in
+        let delta = Line_diff.diff parent_content content in
+        let encoded = Line_diff.encode delta in
+        if String.length encoded < String.length content then
+          let* digest = Object_store.put t.store encoded in
+          Ok (Delta_from (p, digest))
+        else store_full t content
+  in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.stored id stored;
+  t.commits <-
+    { id; parents; message; timestamp = Unix.gettimeofday () } :: t.commits;
+  t.branches <-
+    (t.head_branch, id)
+    :: List.remove_assoc t.head_branch t.branches;
+  let* () = save t in
+  Ok id
+
+let create_branch t name ?at () =
+  if List.mem_assoc name t.branches then
+    Error (Printf.sprintf "branch %s already exists" name)
+  else begin
+    let target =
+      match at with Some v -> Some v | None -> head t
+    in
+    match target with
+    | None -> Error "cannot branch from an empty repository"
+    | Some v ->
+        if not (Hashtbl.mem t.stored v) then
+          Error (Printf.sprintf "unknown version %d" v)
+        else begin
+          t.branches <- (name, v) :: t.branches;
+          t.head_branch <- name;
+          save t
+        end
+  end
+
+let switch t name =
+  if List.mem_assoc name t.branches then begin
+    t.head_branch <- name;
+    save t
+  end
+  else Error (Printf.sprintf "no branch named %s" name)
+
+let tag t name ?at () =
+  if List.mem_assoc name t.tag_list then
+    Error (Printf.sprintf "tag %s already exists" name)
+  else
+    match (match at with Some v -> Some v | None -> head t) with
+    | None -> Error "cannot tag in an empty repository"
+    | Some v ->
+        if not (Hashtbl.mem t.stored v) then
+          Error (Printf.sprintf "unknown version %d" v)
+        else begin
+          t.tag_list <- (name, v) :: t.tag_list;
+          save t
+        end
+
+let tags t = List.sort compare t.tag_list
+
+let resolve t name =
+  match List.assoc_opt name t.tag_list with
+  | Some v -> Some v
+  | None -> (
+      match List.assoc_opt name t.branches with
+      | Some v when v <> 0 -> Some v
+      | _ -> (
+          match int_of_string_opt name with
+          | Some v when Hashtbl.mem t.stored v -> Some v
+          | _ -> None))
+
+let diff t a b =
+  let* ca = checkout t a in
+  let* cb = checkout t b in
+  Ok (Line_diff.encode (Line_diff.diff ca cb))
+
+let verify t =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (* every referenced object exists and matches its digest *)
+  Hashtbl.iter
+    (fun v s ->
+      let digest = match s with Full d | Delta_from (_, d) -> d in
+      match Object_store.get t.store digest with
+      | Error e -> note "version %d: object unreadable (%s)" v e
+      | Ok content ->
+          if Content_hash.hex content <> digest then
+            note "version %d: object %s fails its digest" v digest)
+    t.stored;
+  (* every version reconstructs *)
+  Hashtbl.iter
+    (fun v _ ->
+      match checkout t v with
+      | Ok _ -> ()
+      | Error e -> note "version %d: checkout failed (%s)" v e)
+    t.stored;
+  (* commit parents all exist *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          if not (Hashtbl.mem t.stored p) then
+            note "version %d: missing parent %d" c.id p)
+        c.parents)
+    t.commits;
+  if !problems = [] then Ok () else Error (List.rev !problems)
+
+let import_versions t entries =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (message, parents, content) :: tl -> (
+        (* inline commit without per-version save *)
+        let* () =
+          List.fold_left
+            (fun acc p ->
+              let* () = acc in
+              if Hashtbl.mem t.stored p then Ok ()
+              else Error (Printf.sprintf "unknown parent version %d" p))
+            (Ok ()) parents
+        in
+        let id = t.next_id in
+        let* stored =
+          match parents with
+          | [] -> store_full t content
+          | p :: _ ->
+              let* parent_content = checkout t p in
+              let delta = Line_diff.diff parent_content content in
+              let encoded = Line_diff.encode delta in
+              if String.length encoded < String.length content then
+                let* digest = Object_store.put t.store encoded in
+                Ok (Delta_from (p, digest))
+              else store_full t content
+        in
+        t.next_id <- id + 1;
+        Hashtbl.replace t.stored id stored;
+        t.commits <-
+          { id; parents; message; timestamp = Unix.gettimeofday () }
+          :: t.commits;
+        t.branches <-
+          (t.head_branch, id) :: List.remove_assoc t.head_branch t.branches;
+        go (id :: acc) tl)
+  in
+  let* ids = go [] entries in
+  let* () = save t in
+  Ok ids
+
+(* ---- stats ---- *)
+
+let referenced_digests t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      match s with Full d -> d :: acc | Delta_from (_, d) -> d :: acc)
+    t.stored []
+
+let object_size t digest =
+  match Object_store.get t.store digest with
+  | Ok c -> String.length c
+  | Error _ -> 0
+
+let stats t =
+  let n_versions = Hashtbl.length t.stored in
+  let n_full =
+    Hashtbl.fold
+      (fun _ s acc -> match s with Full _ -> acc + 1 | _ -> acc)
+      t.stored 0
+  in
+  (* Unique blobs only: dedup shared digests. *)
+  let module SS = Set.Make (String) in
+  let digests = SS.of_list (referenced_digests t) in
+  let storage_bytes =
+    SS.fold (fun d acc -> acc + object_size t d) digests 0
+  in
+  (* Chain metrics. *)
+  let depth_memo = Hashtbl.create 64 in
+  let cost_memo = Hashtbl.create 64 in
+  let rec depth v =
+    match Hashtbl.find_opt depth_memo v with
+    | Some d -> d
+    | None ->
+        let d =
+          match Hashtbl.find_opt t.stored v with
+          | Some (Delta_from (p, _)) -> 1 + depth p
+          | _ -> 0
+        in
+        Hashtbl.replace depth_memo v d;
+        d
+  and cost v =
+    match Hashtbl.find_opt cost_memo v with
+    | Some c -> c
+    | None ->
+        let c =
+          match Hashtbl.find_opt t.stored v with
+          | Some (Full d) -> float_of_int (object_size t d)
+          | Some (Delta_from (p, d)) ->
+              float_of_int (object_size t d) +. cost p
+          | None -> 0.0
+        in
+        Hashtbl.replace cost_memo v c;
+        c
+  in
+  let max_chain = ref 0 and sum_r = ref 0.0 and max_r = ref 0.0 in
+  Hashtbl.iter
+    (fun v _ ->
+      let d = depth v and c = cost v in
+      if d > !max_chain then max_chain := d;
+      sum_r := !sum_r +. c;
+      if c > !max_r then max_r := c)
+    t.stored;
+  {
+    n_versions;
+    storage_bytes;
+    n_full;
+    n_delta = n_versions - n_full;
+    max_chain = !max_chain;
+    sum_recreation_bytes = !sum_r;
+    max_recreation_bytes = !max_r;
+  }
+
+let storage_parents t =
+  Hashtbl.fold
+    (fun v s acc ->
+      match s with
+      | Full _ -> (0, v) :: acc
+      | Delta_from (p, _) -> (p, v) :: acc)
+    t.stored []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+(* ---- optimization ---- *)
+
+(* Hop-bounded pairs over the commit DAG (both directions). *)
+let hop_pairs t ~max_hops =
+  let ids = List.rev_map (fun c -> c.id) t.commits in
+  let adj = Hashtbl.create 64 in
+  let add a b =
+    let cur = Option.value (Hashtbl.find_opt adj a) ~default:[] in
+    Hashtbl.replace adj a (b :: cur)
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          add c.id p;
+          add p c.id)
+        c.parents)
+    t.commits;
+  let pairs = ref [] in
+  List.iter
+    (fun src ->
+      let dist = Hashtbl.create 16 in
+      Hashtbl.replace dist src 0;
+      let q = Queue.create () in
+      Queue.add src q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        let du = Hashtbl.find dist u in
+        if du < max_hops then
+          List.iter
+            (fun w ->
+              if not (Hashtbl.mem dist w) then begin
+                Hashtbl.replace dist w (du + 1);
+                pairs := (src, w) :: !pairs;
+                Queue.add w q
+              end)
+            (Option.value (Hashtbl.find_opt adj u) ~default:[])
+      done)
+    ids;
+  !pairs
+
+(* All version contents, index 1..n. *)
+let all_contents t =
+  let n = t.next_id - 1 in
+  let arr = Array.make (n + 1) "" in
+  let rec go v =
+    if v > n then Ok arr
+    else
+      let* c = checkout t v in
+      arr.(v) <- c;
+      go (v + 1)
+  in
+  go 1
+
+(* The repository's revealed ⟨Δ, Φ⟩ graph: materializations plus
+   line-diff deltas between versions within [max_hops] of each other
+   in the commit DAG, plus any [extra_pairs]. *)
+let reveal_graph t ?(max_hops = 3) ?(extra_pairs = []) () =
+  let n = t.next_id - 1 in
+  if n = 0 then Error "empty repository"
+  else
+    let* contents = all_contents t in
+    let aux = Aux_graph.create ~n_versions:n in
+    for v = 1 to n do
+      let size = float_of_int (String.length contents.(v)) in
+      Aux_graph.add_materialization aux ~version:v ~delta:size ~phi:size
+    done;
+    let seen = Hashtbl.create 64 in
+    let reveal (u, v) =
+      if u >= 1 && v >= 1 && u <> v && not (Hashtbl.mem seen (u, v)) then begin
+        Hashtbl.replace seen (u, v) ();
+        let d = Line_diff.diff contents.(u) contents.(v) in
+        let size = float_of_int (Line_diff.size d) in
+        Aux_graph.add_delta aux ~src:u ~dst:v ~delta:size ~phi:size
+      end
+    in
+    List.iter reveal (hop_pairs t ~max_hops);
+    List.iter reveal extra_pairs;
+    Ok (aux, contents)
+
+let optimize t ?(max_hops = 3) strategy =
+  let n = t.next_id - 1 in
+  if n = 0 then Error "empty repository"
+  else begin
+    (* The SVN baseline dictates its own delta pairs, which may lie
+       outside the hop window. *)
+    let extra_pairs =
+      match strategy with
+      | Svn_skip ->
+          Versioning_core.Skip_delta.parents
+            ~order:(Array.init n (fun i -> i + 1))
+      | _ -> []
+    in
+    let* aux, contents = reveal_graph t ~max_hops ~extra_pairs () in
+    let* plan =
+      match strategy with
+      | Min_storage -> Versioning_core.Mca.solve aux
+      | Min_recreation -> Versioning_core.Spt.solve aux
+      | Budgeted_sum factor -> (
+          match (Versioning_core.Mca.solve aux, Versioning_core.Spt.solve aux)
+          with
+          | Ok base, Ok spt ->
+              let budget = factor *. Storage_graph.storage_cost base in
+              Ok (Versioning_core.Lmg.solve aux ~base ~spt ~budget ())
+          | (Error _ as e), _ | _, (Error _ as e) -> e)
+      | Bounded_max factor -> (
+          let dist = Versioning_core.Spt.distances aux in
+          let maxd = Array.fold_left Float.max 0.0 dist in
+          match Versioning_core.Mp.solve aux ~theta:(factor *. maxd) with
+          | { tree = Some sg; _ } -> Ok sg
+          | { tree = None; _ } -> Error "recreation bound infeasible")
+      | Git_window (w, d) -> Versioning_core.Gith.solve aux ~window:w ~max_depth:d
+      | Svn_skip ->
+          Versioning_core.Skip_delta.solve aux
+            ~order:(Array.init n (fun i -> i + 1))
+    in
+    (* Rewrite only the entries whose storage parent changes (the
+       migration-plan discipline): unchanged versions keep their
+       existing objects. *)
+    let current_parent v =
+      match Hashtbl.find_opt t.stored v with
+      | Some (Full _) -> Some 0
+      | Some (Delta_from (p, _)) -> Some p
+      | None -> None
+    in
+    let* () =
+      List.fold_left
+        (fun acc (p, v) ->
+          let* () = acc in
+          if current_parent v = Some p then Ok ()
+          else if p = 0 then
+            let* digest = Object_store.put t.store contents.(v) in
+            Hashtbl.replace t.stored v (Full digest);
+            Ok ()
+          else begin
+            let d = Line_diff.diff contents.(p) contents.(v) in
+            let* digest = Object_store.put t.store (Line_diff.encode d) in
+            Hashtbl.replace t.stored v (Delta_from (p, digest));
+            Ok ()
+          end)
+        (Ok ())
+        (Storage_graph.to_parents plan)
+    in
+    let* () = save t in
+    (* Garbage-collect unreferenced blobs. *)
+    let module SS = Set.Make (String) in
+    let live = SS.of_list (referenced_digests t) in
+    List.iter
+      (fun digest ->
+        if not (SS.mem digest live) then Object_store.delete t.store digest)
+      (Object_store.list_digests t.store);
+    Ok (stats t)
+  end

@@ -1,0 +1,142 @@
+(** The prototype dataset version-management system (§5: "we have
+    built a prototype version management system, that will serve as a
+    foundation to DATAHUB").
+
+    A repository is a directory holding a content-addressed object
+    store plus metadata: the version DAG (commits with one or more
+    parents — merges are user-performed, and recorded by committing
+    with two parents, exactly as the paper's prototype does), named
+    branches, and the {e storage plan} mapping every version to either
+    a full object or a delta against another version.
+
+    Retrieval ({!checkout}) replays the delta chain; {!optimize}
+    re-plans the whole store with any of the paper's algorithms and
+    rewrites the objects — the library's storage/recreation tradeoff
+    made operational. *)
+
+type t
+
+type commit_info = {
+  id : int;
+  parents : int list;
+  message : string;
+  timestamp : float;
+}
+
+type stats = {
+  n_versions : int;
+  storage_bytes : int;  (** bytes of referenced objects *)
+  n_full : int;  (** materialized versions *)
+  n_delta : int;  (** delta-stored versions *)
+  max_chain : int;  (** longest delta chain *)
+  sum_recreation_bytes : float;
+      (** Σ over versions of bytes read along its chain *)
+  max_recreation_bytes : float;
+}
+
+type strategy =
+  | Min_storage  (** Problem 1 — MCA *)
+  | Min_recreation  (** Problem 2 — SPT *)
+  | Budgeted_sum of float
+      (** Problem 3 — LMG with storage budget = factor × MCA cost
+          (factor > 1) *)
+  | Bounded_max of float
+      (** Problem 6 — MP with θ = factor × max SPT distance
+          (factor ≥ 1) *)
+  | Git_window of int * int  (** GitH with (window, max_depth) *)
+  | Svn_skip  (** skip-delta chains in commit order *)
+
+val init : path:string -> (t, string) result
+(** Create an empty repository at [path] (directory is created; fails
+    if a repository already exists there). The default branch is
+    ["main"]. *)
+
+val open_repo : path:string -> (t, string) result
+
+val root : t -> string
+
+(* -- committing and retrieving -- *)
+
+val commit :
+  t -> ?message:string -> ?parents:int list -> string -> (int, string) result
+(** [commit repo content] records a new version of [content] and
+    returns its id. Default parents: the current branch head (none
+    for the first commit). Multiple [parents] record a user-performed
+    merge. The new version is stored as a delta against its first
+    parent when that is smaller than storing it in full. Advances the
+    current branch. *)
+
+val checkout : t -> int -> (string, string) result
+(** Reconstruct a version's content. *)
+
+val head : t -> int option
+(** Head version of the current branch. *)
+
+val log : t -> commit_info list
+(** All commits, newest first. *)
+
+val commit_info : t -> int -> commit_info option
+
+(* -- branches & tags -- *)
+
+val current_branch : t -> string
+val branches : t -> (string * int) list
+
+val tag : t -> string -> ?at:int -> unit -> (unit, string) result
+(** Name a version permanently (does not move with commits).
+    @raise nothing; [Error] on duplicates or unknown versions. *)
+
+val tags : t -> (string * int) list
+val resolve : t -> string -> int option
+(** Resolve a tag or branch name (tags first), or a numeric string. *)
+
+val create_branch : t -> string -> ?at:int -> unit -> (unit, string) result
+(** Create a branch (at [at] or the current head) and switch to it. *)
+
+val switch : t -> string -> (unit, string) result
+
+(* -- inspection & integrity -- *)
+
+val diff : t -> int -> int -> (string, string) result
+(** Line diff between two versions, in the store's wire format — what
+    would be stored if the second were delta'd against the first. *)
+
+val verify : t -> (unit, string list) result
+(** Full integrity check: every version reconstructs, every referenced
+    object exists and matches its digest, chains are acyclic. [Error]
+    lists every problem found. *)
+
+val import_versions :
+  t -> (string * int list * string) list -> (int list, string) result
+(** Bulk commit: a list of [(message, parents, content)] — parent ids
+    may refer to earlier entries of the same batch via their eventual
+    ids. The current branch advances to the last imported version.
+    Saves metadata once at the end, so large imports don't rewrite the
+    meta file per version. *)
+
+(* -- storage management -- *)
+
+val stats : t -> stats
+
+val storage_parents : t -> (int * int) list
+(** The current storage plan as [(parent, child)] pairs, parent 0 =
+    materialized — the solution [P] in the paper's notation. *)
+
+val reveal_graph :
+  t ->
+  ?max_hops:int ->
+  ?extra_pairs:(int * int) list ->
+  unit ->
+  (Versioning_core.Aux_graph.t * string array, string) result
+(** The repository's revealed ⟨Δ, Φ⟩ instance: materialization costs
+    from version sizes and line-diff deltas between versions within
+    [max_hops] of each other in the commit DAG (plus [extra_pairs]).
+    Also returns the contents array (index [1..n]). This is the
+    problem instance {!optimize} solves; export it with
+    {!Versioning_core.Graph_io} for offline analysis. *)
+
+val optimize : t -> ?max_hops:int -> strategy -> (stats, string) result
+(** Re-plan storage for all versions: reveal deltas between versions
+    within [max_hops] (default 3) of each other in the version DAG,
+    run the strategy's algorithm, rewrite objects, and garbage-collect
+    unreferenced blobs. *)

@@ -1,0 +1,163 @@
+let parse_strategy s =
+  match String.split_on_char '=' s with
+  | [ "min-storage" ] -> Ok Repo.Min_storage
+  | [ "min-recreation" ] -> Ok Repo.Min_recreation
+  | [ "balanced"; f ] | [ "budgeted-sum"; f ] -> (
+      match float_of_string_opt f with
+      | Some f when f >= 1.0 -> Ok (Repo.Budgeted_sum f)
+      | _ -> Error "balanced=FACTOR needs FACTOR >= 1")
+  | [ "bounded-max"; f ] -> (
+      match float_of_string_opt f with
+      | Some f when f >= 1.0 -> Ok (Repo.Bounded_max f)
+      | _ -> Error "bounded-max=FACTOR needs FACTOR >= 1")
+  | [ "git" ] -> Ok (Repo.Git_window (10, 50))
+  | [ "svn" ] -> Ok Repo.Svn_skip
+  | _ ->
+      Error
+        "expected min-storage | min-recreation | balanced=F | bounded-max=F \
+         | git | svn"
+
+let segments path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+
+let stats_body (s : Repo.stats) =
+  Printf.sprintf
+    "versions %d\nstorage_bytes %d\nmaterialized %d\ndelta_stored %d\n\
+     max_chain %d\nsum_recreation %.0f\nmax_recreation %.0f\n"
+    s.Repo.n_versions s.Repo.storage_bytes s.Repo.n_full s.Repo.n_delta
+    s.Repo.max_chain s.Repo.sum_recreation_bytes s.Repo.max_recreation_bytes
+
+let handle repo (req : Http.request) =
+  let resolve name =
+    match Repo.resolve repo name with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "cannot resolve %S" name)
+  in
+  let of_result ?(created = false) = function
+    | Ok body ->
+        if created then { Http.status = 201; content_type = "text/plain; charset=utf-8"; body }
+        else Http.ok body
+    | Error e -> Http.error 409 (e ^ "\n")
+  in
+  match (req.Http.meth, segments req.Http.path) with
+  | "GET", [ "versions" ] ->
+      let lines =
+        Repo.log repo
+        |> List.map (fun (c : Repo.commit_info) ->
+               Printf.sprintf "%d %s %s" c.id
+                 (match c.parents with
+                 | [] -> "-"
+                 | ps -> String.concat "," (List.map string_of_int ps))
+                 c.message)
+      in
+      Http.ok (String.concat "\n" lines ^ "\n")
+  | "GET", [ "checkout"; name ] -> (
+      match Result.bind (resolve name) (Repo.checkout repo) with
+      | Ok content -> Http.ok ~content_type:"application/octet-stream" content
+      | Error e -> Http.error 404 (e ^ "\n"))
+  | "POST", [ "commit" ] -> (
+      let message =
+        Option.value (List.assoc_opt "message" req.Http.query) ~default:""
+      in
+      let parents =
+        match List.assoc_opt "parents" req.Http.query with
+        | None | Some "" -> Ok None
+        | Some ps -> (
+            let ids = String.split_on_char ',' ps |> List.map int_of_string_opt in
+            if List.for_all Option.is_some ids then
+              Ok (Some (List.map Option.get ids))
+            else Error "bad parents list")
+      in
+      match parents with
+      | Error e -> Http.error 400 (e ^ "\n")
+      | Ok parents ->
+          of_result ~created:true
+            (Result.map string_of_int
+               (Repo.commit repo ~message ?parents req.Http.body)))
+  | "GET", [ "stats" ] -> Http.ok (stats_body (Repo.stats repo))
+  | "GET", [ "branches" ] ->
+      Http.ok
+        (String.concat "\n"
+           (List.map
+              (fun (n, v) ->
+                Printf.sprintf "%s%s %d"
+                  (if n = Repo.current_branch repo then "*" else "")
+                  n v)
+              (Repo.branches repo))
+        ^ "\n")
+  | "POST", [ "branch"; name ] ->
+      let at =
+        Option.bind (List.assoc_opt "at" req.Http.query) int_of_string_opt
+      in
+      of_result
+        (Result.map (fun () -> "ok\n") (Repo.create_branch repo name ?at ()))
+  | "POST", [ "switch"; name ] ->
+      of_result (Result.map (fun () -> "ok\n") (Repo.switch repo name))
+  | "GET", [ "tags" ] ->
+      Http.ok
+        (String.concat "\n"
+           (List.map (fun (n, v) -> Printf.sprintf "%s %d" n v) (Repo.tags repo))
+        ^ "\n")
+  | "POST", [ "tag"; name ] ->
+      let at =
+        Option.bind (List.assoc_opt "at" req.Http.query) int_of_string_opt
+      in
+      of_result (Result.map (fun () -> "ok\n") (Repo.tag repo name ?at ()))
+  | "GET", [ "diff"; a; b ] -> (
+      match
+        Result.bind (resolve a) (fun va ->
+            Result.bind (resolve b) (fun vb -> Repo.diff repo va vb))
+      with
+      | Ok d -> Http.ok d
+      | Error e -> Http.error 404 (e ^ "\n"))
+  | "POST", [ "optimize" ] -> (
+      match List.assoc_opt "strategy" req.Http.query with
+      | None -> Http.error 400 "missing strategy parameter\n"
+      | Some s -> (
+          match parse_strategy s with
+          | Error e -> Http.error 400 (e ^ "\n")
+          | Ok strategy ->
+              of_result
+                (Result.map stats_body (Repo.optimize repo strategy))))
+  | "GET", [ "verify" ] -> (
+      match Repo.verify repo with
+      | Ok () -> Http.ok "consistent\n"
+      | Error problems ->
+          Http.error 500 (String.concat "\n" problems ^ "\n"))
+  | ("GET" | "POST"), _ -> Http.error 404 "no such route\n"
+  | _, _ -> Http.error 405 "method not allowed\n"
+
+let serve repo ~port ?(host = "127.0.0.1") ?max_requests () =
+  try
+    let addr = Unix.inet_addr_of_string host in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (addr, port));
+    Unix.listen sock 16;
+    let actual_port =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    Printf.printf "dsvc server listening on %s:%d\n%!" host actual_port;
+    let served = ref 0 in
+    let continue () =
+      match max_requests with None -> true | Some m -> !served < m
+    in
+    while continue () do
+      let client, _ = Unix.accept sock in
+      incr served;
+      let ic = Unix.in_channel_of_descr client in
+      let oc = Unix.out_channel_of_descr client in
+      (try
+         (match Http.read_request ic with
+         | Ok req -> Http.write_response oc (handle repo req)
+         | Error e -> Http.write_response oc (Http.error 400 (e ^ "\n")));
+         flush oc
+       with _ -> ());
+      (try Unix.close client with Unix.Unix_error _ -> ())
+    done;
+    Unix.close sock;
+    Ok ()
+  with Unix.Unix_error (err, fn, _) ->
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))

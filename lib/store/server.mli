@@ -1,0 +1,36 @@
+(** The prototype's HTTP interface (§5: "users interact with the
+    version management system in a client-server model over HTTP").
+
+    Routes (all responses [text/plain]):
+
+    - [GET /versions] — one line per commit: [id parents message]
+    - [GET /checkout/<id-or-name>] — the version's bytes
+    - [POST /commit?message=…&parents=1,2] — body is the content;
+      responds [201] with the new id
+    - [GET /stats] — the {!Repo.stats} fields, one per line
+    - [GET /branches], [POST /branch/<name>?at=<id>],
+      [POST /switch/<name>]
+    - [GET /tags], [POST /tag/<name>?at=<id>]
+    - [GET /diff/<a>/<b>] — encoded line delta
+    - [POST /optimize?strategy=<s>] — [min-storage], [min-recreation],
+      [balanced=F], [bounded-max=F], [git], [svn]
+    - [GET /verify]
+
+    {!handle} is the pure request router (unit-testable without
+    sockets); {!serve} runs the accept loop. *)
+
+val handle : Repo.t -> Http.request -> Http.response
+
+val serve :
+  Repo.t ->
+  port:int ->
+  ?host:string ->
+  ?max_requests:int ->
+  unit ->
+  (unit, string) result
+(** Serve sequentially on [host] (default 127.0.0.1). [max_requests]
+    stops the loop after that many connections (tests); default runs
+    forever. The bound port is printed to stdout once listening. *)
+
+val parse_strategy : string -> (Repo.strategy, string) result
+(** The [strategy] query values, shared with the CLI. *)

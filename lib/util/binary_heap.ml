@@ -1,0 +1,113 @@
+(* Standard array-embedded binary heap plus a position index so that
+   decrease-key can locate elements in O(1). [pos.(v) = -1] encodes
+   absence. Comparison is on (key, element id) so that pop order is
+   deterministic under key ties. *)
+
+type t = {
+  mutable size : int;
+  elts : int array;        (* heap slots -> element ids *)
+  keys : float array;      (* heap slots -> keys, parallel to elts *)
+  pos : int array;         (* element ids -> heap slot, or -1 *)
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Binary_heap.create";
+  {
+    size = 0;
+    elts = Array.make (max capacity 1) 0;
+    keys = Array.make (max capacity 1) 0.0;
+    pos = Array.make (max capacity 1) (-1);
+  }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let mem h v = v >= 0 && v < Array.length h.pos && h.pos.(v) >= 0
+
+let key_of h v =
+  if not (mem h v) then raise Not_found;
+  h.keys.(h.pos.(v))
+
+let less h i j =
+  h.keys.(i) < h.keys.(j)
+  || (h.keys.(i) = h.keys.(j) && h.elts.(i) < h.elts.(j))
+
+let swap h i j =
+  let ei = h.elts.(i) and ej = h.elts.(j) in
+  let ki = h.keys.(i) and kj = h.keys.(j) in
+  h.elts.(i) <- ej;
+  h.elts.(j) <- ei;
+  h.keys.(i) <- kj;
+  h.keys.(j) <- ki;
+  h.pos.(ej) <- i;
+  h.pos.(ei) <- j
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h i parent then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && less h l !smallest then smallest := l;
+  if r < h.size && less h r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let insert h v k =
+  if v < 0 || v >= Array.length h.pos then
+    invalid_arg "Binary_heap.insert: element out of range";
+  if h.pos.(v) >= 0 then begin
+    let i = h.pos.(v) in
+    let old = h.keys.(i) in
+    h.keys.(i) <- k;
+    if k < old then sift_up h i else sift_down h i
+  end
+  else begin
+    let i = h.size in
+    h.size <- h.size + 1;
+    h.elts.(i) <- v;
+    h.keys.(i) <- k;
+    h.pos.(v) <- i;
+    sift_up h i
+  end
+
+let decrease_key h v k =
+  if not (mem h v) then raise Not_found;
+  let i = h.pos.(v) in
+  if k < h.keys.(i) then begin
+    h.keys.(i) <- k;
+    sift_up h i
+  end
+
+let min_elt h =
+  if h.size = 0 then raise Not_found;
+  (h.elts.(0), h.keys.(0))
+
+let delete_at h i =
+  let last = h.size - 1 in
+  let v = h.elts.(i) in
+  h.pos.(v) <- -1;
+  if i <> last then begin
+    h.elts.(i) <- h.elts.(last);
+    h.keys.(i) <- h.keys.(last);
+    h.pos.(h.elts.(i)) <- i;
+    h.size <- last;
+    sift_down h i;
+    sift_up h i
+  end
+  else h.size <- last
+
+let pop_min h =
+  let v, k = min_elt h in
+  delete_at h 0;
+  (v, k)
+
+let remove h v = if mem h v then delete_at h h.pos.(v)

@@ -1,0 +1,46 @@
+(** Indexed binary min-heap with decrease-key.
+
+    Keys are floats; elements are integers in [\[0, capacity)] — a
+    deliberate restriction matching graph-algorithm use (Dijkstra,
+    Prim, Modified Prim), where elements are vertex ids. Each element
+    may be present at most once; [insert]-ing a present element acts as
+    a key update. All operations are O(log n) except [mem]/[key_of],
+    which are O(1). *)
+
+type t
+
+val create : capacity:int -> t
+(** [create ~capacity] makes an empty heap accepting elements
+    [0 .. capacity-1]. *)
+
+val length : t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** [mem h v] is [true] iff [v] is currently in the heap. *)
+
+val key_of : t -> int -> float
+(** [key_of h v] is [v]'s current key.
+    @raise Not_found if [v] is absent. *)
+
+val insert : t -> int -> float -> unit
+(** [insert h v k] inserts [v] with key [k], or updates [v]'s key to
+    [k] (either direction) if already present.
+    @raise Invalid_argument if [v] is outside [\[0, capacity)]. *)
+
+val decrease_key : t -> int -> float -> unit
+(** [decrease_key h v k] lowers [v]'s key to [k]. No-op when [k] is
+    not lower. @raise Not_found if [v] is absent. *)
+
+val min_elt : t -> int * float
+(** Smallest-key element, without removing it.
+    @raise Not_found when empty. *)
+
+val pop_min : t -> int * float
+(** Remove and return the smallest-key element. Ties broken by smaller
+    element id, for determinism. @raise Not_found when empty. *)
+
+val remove : t -> int -> unit
+(** [remove h v] deletes [v] if present; no-op otherwise. *)

@@ -1,0 +1,75 @@
+(* Splitmix64: fast, high-quality, splittable. Reference: Steele,
+   Lea & Flood, "Fast splittable pseudorandom number generators",
+   OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec go () =
+    let raw = Int64.shift_right_logical (next_int64 t) 1 in
+    let v = Int64.rem raw bound64 in
+    if Int64.(sub (add (sub raw v) bound64) 1L) < 0L then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p =
+  let p = if p < 0. then 0. else if p > 1. then 1. else p in
+  float t 1.0 < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Floyd's algorithm: k iterations, O(k) expected set operations. *)
+  let module IS = Set.Make (Int) in
+  let chosen = ref IS.empty in
+  for j = n - k to n - 1 do
+    let candidate = int t (j + 1) in
+    if IS.mem candidate !chosen then chosen := IS.add j !chosen
+    else chosen := IS.add candidate !chosen
+  done;
+  IS.elements !chosen

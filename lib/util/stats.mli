@@ -1,0 +1,31 @@
+(** Small descriptive-statistics helpers used by the experiment
+    harness (Figure 12's delta-size distribution, timing summaries). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  q1 : float;        (** 25th percentile *)
+  median : float;
+  q3 : float;        (** 75th percentile *)
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Descriptive summary. @raise Invalid_argument on an empty array.
+    Percentiles use linear interpolation between closest ranks. The
+    input array is not modified. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation.
+    @raise Invalid_argument on an empty array or out-of-range [p]. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One-line rendering: count/mean/min/q1/median/q3/max. *)
+
+val human_bytes : float -> string
+(** [human_bytes 1536.0] is ["1.50KB"]; powers of 1024 up to TB. *)

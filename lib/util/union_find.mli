@@ -1,0 +1,29 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Elements are integers in [\[0, n)]. Amortized near-O(1) per
+    operation. Used by Kruskal's MST and by storage-graph validity
+    checks. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [{0} .. {n-1}]. *)
+
+val size : t -> int
+(** Number of elements (not sets). *)
+
+val count_sets : t -> int
+(** Current number of disjoint sets. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the sets of [a] and [b]. Returns [true] iff
+    they were previously distinct. *)
+
+val same : t -> int -> int -> bool
+(** [same t a b] iff [a] and [b] are in one set. *)
+
+val set_size : t -> int -> int
+(** Size of the set containing the element. *)

@@ -1,0 +1,46 @@
+type t = {
+  n : int;
+  pmf : float array;   (* index r-1 -> P(rank = r) *)
+  cdf : float array;   (* cumulative, cdf.(n-1) = 1.0 *)
+}
+
+let create ~n ~exponent =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let pmf = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  Array.iteri (fun i p -> pmf.(i) <- p /. total) pmf;
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    pmf;
+  cdf.(n - 1) <- 1.0;
+  { n; pmf; cdf }
+
+let n t = t.n
+
+let prob t rank =
+  if rank < 1 || rank > t.n then invalid_arg "Zipf.prob: rank out of range";
+  t.pmf.(rank - 1)
+
+let masses t = Array.copy t.pmf
+
+let sample t rng =
+  let u = Prng.float rng 1.0 in
+  (* Smallest index with cdf.(i) >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let frequencies t rng ~draws =
+  let counts = Array.make t.n 0 in
+  for _ = 1 to draws do
+    let r = sample t rng in
+    counts.(r - 1) <- counts.(r - 1) + 1
+  done;
+  counts

@@ -1,0 +1,30 @@
+(** Zipfian distributions over ranks [1..n].
+
+    The paper's workload-aware experiment (Figure 16) assigns access
+    frequencies to versions using a Zipf distribution with exponent 2;
+    this module provides both the normalized probability mass and a
+    sampler. *)
+
+type t
+
+val create : n:int -> exponent:float -> t
+(** [create ~n ~exponent] prepares a Zipf law with pmf proportional to
+    [1 / rank^exponent] over ranks [1..n].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val n : t -> int
+
+val prob : t -> int -> float
+(** [prob t rank] is the probability of [rank] (1-based).
+    @raise Invalid_argument if [rank] is out of [\[1, n\]]. *)
+
+val masses : t -> float array
+(** All [n] probabilities, index 0 holding rank 1. Sums to 1 (up to
+    float rounding). *)
+
+val sample : t -> Prng.t -> int
+(** Draw a rank in [\[1, n\]] by inverse-CDF binary search, O(log n). *)
+
+val frequencies : t -> Prng.t -> draws:int -> int array
+(** [frequencies t rng ~draws] simulates [draws] accesses and returns
+    the per-rank hit counts (index 0 = rank 1). *)

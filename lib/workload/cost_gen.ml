@@ -1,0 +1,106 @@
+module Prng = Versioning_util.Prng
+module Aux_graph = Versioning_core.Aux_graph
+
+type params = {
+  base_size : float;
+  size_jitter : float;
+  delta_per_hop : float;
+  phi_factor : float;
+  max_hops : int;
+  reveal_cap : int;
+  symmetric : bool;
+}
+
+let default_params =
+  {
+    base_size = 10_000.0;
+    size_jitter = 0.05;
+    delta_per_hop = 400.0;
+    phi_factor = 1.0;
+    max_hops = 6;
+    reveal_cap = 16;
+    symmetric = false;
+  }
+
+let generate history params rng =
+  let n = history.History_gen.n_versions in
+  let aux = Aux_graph.create ~n_versions:n in
+  (* Sizes drift multiplicatively along the derivation graph. *)
+  let sizes = Array.make (n + 1) params.base_size in
+  for v = 1 to n do
+    match History_gen.first_parent history v with
+    | None ->
+        sizes.(v) <-
+          params.base_size *. (1.0 +. (Prng.float rng 0.2 -. 0.1))
+    | Some p ->
+        let drift = 1.0 +. (Prng.float rng (2.0 *. params.size_jitter) -. params.size_jitter) in
+        sizes.(v) <- Float.max 64.0 (sizes.(p) *. drift)
+  done;
+  for v = 1 to n do
+    Aux_graph.add_materialization aux ~version:v ~delta:sizes.(v)
+      ~phi:(params.phi_factor *. sizes.(v))
+  done;
+  (* Hop distances for revealed pairs: recompute lazily per source by
+     reusing the generator's pair enumeration, which yields pairs in
+     BFS order; track the hop count by re-running a bounded BFS. *)
+  let pairs =
+    History_gen.undirected_hop_pairs history ~max_hops:params.max_hops
+      ~cap:params.reveal_cap
+  in
+  (* Distance map per source: rebuild cheaply with a BFS identical to
+     the enumeration's. *)
+  let dist_of =
+    let tbl = Hashtbl.create (List.length pairs) in
+    let dist = Array.make (n + 1) (-1) in
+    for src = 1 to n do
+      let touched = ref [ src ] in
+      dist.(src) <- 0;
+      let q = Queue.create () in
+      Queue.add src q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        if dist.(u) < params.max_hops then
+          List.iter
+            (fun w ->
+              if dist.(w) = -1 then begin
+                dist.(w) <- dist.(u) + 1;
+                touched := w :: !touched;
+                Hashtbl.replace tbl (src, w) dist.(w);
+                Queue.add w q
+              end)
+            (history.History_gen.parents.(u) @ history.History_gen.children.(u))
+      done;
+      List.iter (fun w -> dist.(w) <- -1) !touched
+    done;
+    fun u v -> match Hashtbl.find_opt tbl (u, v) with Some d -> d | None -> params.max_hops
+  in
+  let seen = Hashtbl.create (List.length pairs) in
+  List.iter
+    (fun (u, v) ->
+      let consider =
+        if params.symmetric then
+          let key = (min u v, max u v) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.replace seen key ();
+            true
+          end
+        else true
+      in
+      if consider then begin
+        let hops = float_of_int (dist_of u v) in
+        let noise = 0.5 +. Prng.float rng 1.0 in
+        let raw =
+          (params.delta_per_hop *. hops *. noise)
+          +. (0.5 *. Float.abs (sizes.(v) -. sizes.(u)))
+        in
+        let delta = Float.min raw (0.95 *. sizes.(v)) in
+        let delta = Float.max 1.0 delta in
+        let phi = params.phi_factor *. delta in
+        Aux_graph.add_delta aux ~src:u ~dst:v ~delta ~phi;
+        (* Symmetric payload: the same weight serves both directions. *)
+        if params.symmetric then
+          Aux_graph.add_delta aux ~src:v ~dst:u ~delta ~phi
+      end)
+    pairs;
+  aux

@@ -1,0 +1,30 @@
+(** Content-free ⟨Δ, Φ⟩ generation — for experiments that only probe
+    the optimization layer at scales where materializing real tabular
+    contents would dominate (the Figure 17 running-time curves go to
+    tens of thousands of versions).
+
+    Costs follow the structure real differencing produces: version
+    sizes random-walk along the history; a delta between versions [u]
+    and [v] costs roughly the edit distance accumulated between them
+    (here: proportional to their hop distance with noise, plus the
+    size difference), never exceeding the full version size. The
+    triangle-inequality spirit of §3 is preserved by construction. *)
+
+type params = {
+  base_size : float;  (** mean materialized size *)
+  size_jitter : float;  (** per-step multiplicative drift, e.g. 0.05 *)
+  delta_per_hop : float;  (** mean delta cost per hop of distance *)
+  phi_factor : float;
+      (** Φ = phi_factor × Δ (1.0 gives the Φ = Δ scenarios) *)
+  max_hops : int;
+  reveal_cap : int;
+  symmetric : bool;  (** mirror every delta (undirected case) *)
+}
+
+val default_params : params
+
+val generate :
+  History_gen.t ->
+  params ->
+  Versioning_util.Prng.t ->
+  Versioning_core.Aux_graph.t

@@ -1,0 +1,65 @@
+(** Stage two of the synthetic suite (§5.1): walk a version history,
+    materialize every version's tabular content by replaying edit
+    commands, then reveal ⟨Δ, Φ⟩ entries by differencing versions
+    within a hop distance of each other — producing the
+    {!Versioning_core.Aux_graph.t} the optimization algorithms
+    consume.
+
+    Four delta regimes cover the paper's three scenarios:
+    - [Line_directed]: uncompressed UNIX-style line diffs; directed,
+      Φ = Δ (scenario 2);
+    - [Line_compressed]: LZ-compressed line diffs with an I/O + CPU
+      recreation model; directed, Φ ≠ Δ (scenario 3);
+    - [Cell_directed]: cell-level tabular deltas; directed, Φ = Δ;
+    - [Two_way]: both directional line diffs stored together;
+      symmetric, Φ = Δ (scenario 1, the paper's §5.3 construction
+      "undirected deltas were obtained by concatenating the two
+      directional deltas"). *)
+
+type delta_mode = Line_directed | Line_compressed | Cell_directed | Two_way
+
+type params = {
+  initial_rows : int;  (** data rows of the root version *)
+  initial_cols : int;
+  edit_intensity : float;  (** see {!Table_gen.random_edits} *)
+  max_hops : int;  (** reveal deltas within this hop distance *)
+  reveal_cap : int;  (** at most this many reveals per version *)
+  mode : delta_mode;
+}
+
+val default_params : params
+(** 120×8 root, intensity 0.05, 4 hops, cap 24, [Line_directed]. *)
+
+type t = {
+  name : string;
+  history : History_gen.t;
+  contents : string array;  (** CSV text per version, index [1..n] *)
+  aux : Versioning_core.Aux_graph.t;
+  n_deltas : int;  (** revealed off-diagonal entries *)
+  version_sizes : float array;  (** bytes per version, index [1..n] *)
+  delta_sizes : float array;  (** Δ of every revealed delta *)
+}
+
+val generate :
+  ?name:string -> History_gen.t -> params -> Versioning_util.Prng.t -> t
+
+val avg_version_size : t -> float
+
+val build_aux :
+  contents:string array ->
+  mode:delta_mode ->
+  pairs:(int * int) list ->
+  Versioning_core.Aux_graph.t * int * float array
+(** Reveal materializations for every version plus the given ordered
+    delta pairs; returns the graph, the revealed-delta count, and the
+    Δ of each revealed delta. Under [Two_way] each pair is mirrored
+    (pass each unordered pair once). *)
+
+val all_pairs_aux :
+  contents:string array ->
+  mode:delta_mode ->
+  Versioning_core.Aux_graph.t
+(** Reveal {e every} pairwise delta — used for the small Table 2
+    instances (v15/v25/v50), where the paper also computes deltas
+    between all pairs. [contents] is indexed [1..n] like
+    {!t.contents}. *)

@@ -1,0 +1,114 @@
+module Prng = Versioning_util.Prng
+module Csv = Versioning_delta.Csv
+module Zipf = Versioning_util.Zipf
+
+type reveal_policy =
+  | Size_threshold of float
+  | Resemblance of { threshold : float; per_fork_cap : int }
+  | All_pairs
+
+type params = {
+  n_forks : int;
+  base_rows : int;
+  base_cols : int;
+  divergence : float;
+  reveal : reveal_policy;
+  mode : Dataset_gen.delta_mode;
+}
+
+let default_params =
+  {
+    n_forks = 120;
+    base_rows = 220;
+    base_cols = 8;
+    divergence = 0.06;
+    reveal = Size_threshold 2200.0;
+    mode = Dataset_gen.Line_directed;
+  }
+
+type t = {
+  name : string;
+  contents : string array;
+  aux : Versioning_core.Aux_graph.t;
+  n_deltas : int;
+  version_sizes : float array;
+  delta_sizes : float array;
+}
+
+let generate ?name params rng =
+  if params.n_forks < 1 then invalid_arg "Fork_gen.generate";
+  let tg = Table_gen.create rng in
+  let base =
+    Table_gen.fresh_table tg ~rows:params.base_rows ~cols:params.base_cols
+  in
+  let zipf = Zipf.create ~n:params.n_forks ~exponent:1.5 in
+  let n = params.n_forks in
+  let contents = Array.make (n + 1) "" in
+  (* Fork 1 is the pristine upstream; others diverge by a Zipfian
+     amount (rank resampled per fork). *)
+  contents.(1) <- Csv.print base;
+  for v = 2 to n do
+    let rank = Zipf.sample zipf rng in
+    let intensity =
+      params.divergence *. float_of_int rank /. float_of_int params.n_forks
+      *. 4.0
+    in
+    let intensity = min 0.8 (max 0.005 intensity) in
+    let rounds = Prng.int_in rng 1 3 in
+    let table = ref base in
+    for _ = 1 to rounds do
+      let edits = Table_gen.random_edits tg ~table:!table ~intensity in
+      table := Table_gen.apply tg !table edits
+    done;
+    contents.(v) <- Csv.print !table
+  done;
+  (* Revealing. *)
+  let size v = float_of_int (String.length contents.(v)) in
+  let wanted =
+    match params.reveal with
+    | Size_threshold threshold ->
+        fun u v -> Float.abs (size u -. size v) < threshold
+    | All_pairs -> fun _ _ -> true
+    | Resemblance { threshold; per_fork_cap } ->
+        (* Sketch once, then keep each fork's most similar partners. *)
+        let sketches =
+          Array.init (n + 1) (fun v ->
+              if v = 0 then Versioning_delta.Resemblance.sketch ""
+              else Versioning_delta.Resemblance.sketch contents.(v))
+        in
+        let allowed = Hashtbl.create (n * 4) in
+        for u = 1 to n do
+          let ranked =
+            List.init n (fun i -> i + 1)
+            |> List.filter (fun v -> v <> u)
+            |> List.map (fun v ->
+                   (v, Versioning_delta.Resemblance.similarity sketches.(u) sketches.(v)))
+            |> List.filter (fun (_, s) -> s >= threshold)
+            |> List.sort (fun (_, a) (_, b) -> compare b a)
+          in
+          List.iteri
+            (fun i (v, _) ->
+              if i < per_fork_cap then Hashtbl.replace allowed (u, v) ())
+            ranked
+        done;
+        fun u v -> Hashtbl.mem allowed (u, v) || Hashtbl.mem allowed (v, u)
+  in
+  let pairs = ref [] in
+  for u = 1 to n do
+    for v = 1 to n do
+      let keep = if params.mode = Dataset_gen.Two_way then u < v else u <> v in
+      if keep && wanted u v then pairs := (u, v) :: !pairs
+    done
+  done;
+  let aux, n_deltas, delta_sizes =
+    Dataset_gen.build_aux ~contents ~mode:params.mode ~pairs:!pairs
+  in
+  let version_sizes = Array.init (n + 1) (fun v -> if v = 0 then 0.0 else size v) in
+  {
+    name = Option.value name ~default:"forks";
+    contents;
+    aux;
+    n_deltas;
+    version_sizes;
+    delta_sizes;
+  }

@@ -1,0 +1,55 @@
+(** Simulated repository-fork workloads — stand-ins for the paper's
+    real-world datasets (986 Twitter Bootstrap forks, 100 Linux
+    forks).
+
+    The paper built BF/LF by checking out the latest version of every
+    fork, concatenating its files, and computing deltas between all
+    pairs of versions whose size difference was under a threshold.
+    The resulting cost structure — which is what the algorithms see —
+    has three key properties this generator reproduces:
+
+    - {e no derivation chain}: every fork is one hop from a common
+      ancestor, so the version graph gives no delta hints;
+    - {e clustered similarity}: forks diverge by different amounts;
+      most pairs are similar, some drastically different;
+    - {e thresholded revealing}: deltas exist only between versions
+      whose sizes differ by less than a threshold.
+
+    Forks are produced by replaying random edit batches of
+    Zipf-distributed intensity on a common base document. *)
+
+type reveal_policy =
+  | Size_threshold of float
+      (** reveal a delta only when the two versions' sizes differ by
+          less than this many bytes (the paper's 100 KB / 10 MB
+          rule) *)
+  | Resemblance of { threshold : float; per_fork_cap : int }
+      (** reveal pairs whose MinHash-estimated similarity is at least
+          [threshold], keeping at most [per_fork_cap] per fork — the
+          §2.1 hashing-based alternative ({!Versioning_delta.Resemblance}) *)
+  | All_pairs  (** reveal everything (small collections only) *)
+
+type params = {
+  n_forks : int;
+  base_rows : int;
+  base_cols : int;
+  divergence : float;
+      (** mean fraction of the base a fork rewrites; per-fork
+          intensity is this scaled by a Zipf(1.5) rank, so a few forks
+          diverge wildly and most barely *)
+  reveal : reveal_policy;
+  mode : Dataset_gen.delta_mode;
+}
+
+val default_params : params
+
+type t = {
+  name : string;
+  contents : string array;  (** index [1..n_forks] *)
+  aux : Versioning_core.Aux_graph.t;
+  n_deltas : int;
+  version_sizes : float array;
+  delta_sizes : float array;
+}
+
+val generate : ?name:string -> params -> Versioning_util.Prng.t -> t

@@ -1,0 +1,138 @@
+module Prng = Versioning_util.Prng
+
+type params = {
+  n_commits : int;
+  branch_interval : int;
+  branch_probability : float;
+  branch_limit : int;
+  branch_length : int;
+  merge_probability : float;
+}
+
+let flat_params ~n_commits =
+  {
+    n_commits;
+    branch_interval = 2;
+    branch_probability = 0.7;
+    branch_limit = 4;
+    branch_length = 4;
+    merge_probability = 0.3;
+  }
+
+let linear_params ~n_commits =
+  {
+    n_commits;
+    branch_interval = 25;
+    branch_probability = 0.4;
+    branch_limit = 2;
+    branch_length = 25;
+    merge_probability = 0.2;
+  }
+
+type t = {
+  n_versions : int;
+  parents : int list array;
+  children : int list array;
+}
+
+let generate params rng =
+  if params.n_commits < 1 then invalid_arg "History_gen.generate: n_commits";
+  if params.branch_interval < 1 || params.branch_limit < 1
+     || params.branch_length < 1
+  then invalid_arg "History_gen.generate: bad branch parameters";
+  let n = params.n_commits in
+  let parents = Array.make (n + 1) [] in
+  let next = ref 1 in
+  let fresh parent_list =
+    if !next > n then None
+    else begin
+      let v = !next in
+      incr next;
+      parents.(v) <- parent_list;
+      Some v
+    end
+  in
+  (* Root. *)
+  (match fresh [] with Some 1 -> () | _ -> assert false);
+  let trunk_tip = ref 1 in
+  let since_branch = ref 0 in
+  let continue = ref true in
+  while !continue && !next <= n do
+    (* Advance the trunk. *)
+    (match fresh [ !trunk_tip ] with
+    | Some v ->
+        trunk_tip := v;
+        incr since_branch
+    | None -> continue := false);
+    if !continue && !since_branch >= params.branch_interval then begin
+      since_branch := 0;
+      if Prng.bernoulli rng params.branch_probability then begin
+        let n_branches = Prng.int_in rng 1 params.branch_limit in
+        let fork_point = !trunk_tip in
+        for _ = 1 to n_branches do
+          let len = Prng.int_in rng 1 params.branch_length in
+          let tip = ref fork_point in
+          let alive = ref true in
+          for _ = 1 to len do
+            if !alive then
+              match fresh [ !tip ] with
+              | Some v -> tip := v
+              | None -> alive := false
+          done;
+          if !alive && !tip <> fork_point
+             && Prng.bernoulli rng params.merge_probability
+          then begin
+            (* Merge the branch tip with the current trunk tip. *)
+            match fresh [ !trunk_tip; !tip ] with
+            | Some v -> trunk_tip := v
+            | None -> ()
+          end
+        done
+      end
+    end
+  done;
+  let children = Array.make (n + 1) [] in
+  for v = n downto 1 do
+    List.iter (fun p -> children.(p) <- v :: children.(p)) parents.(v)
+  done;
+  { n_versions = n; parents; children }
+
+let undirected_hop_pairs t ~max_hops ~cap =
+  let n = t.n_versions in
+  let acc = ref [] in
+  let dist = Array.make (n + 1) (-1) in
+  for src = 1 to n do
+    (* BFS in the undirected version graph, collecting up to [cap]
+       nearest targets. *)
+    let touched = ref [] in
+    dist.(src) <- 0;
+    touched := src :: !touched;
+    let q = Queue.create () in
+    Queue.add src q;
+    let taken = ref 0 in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      if dist.(u) < max_hops then begin
+        let neighbors = t.parents.(u) @ t.children.(u) in
+        List.iter
+          (fun w ->
+            if dist.(w) = -1 then begin
+              dist.(w) <- dist.(u) + 1;
+              touched := w :: !touched;
+              if !taken < cap then begin
+                incr taken;
+                acc := (src, w) :: !acc;
+                Queue.add w q
+              end
+            end)
+          neighbors
+      end
+    done;
+    List.iter (fun w -> dist.(w) <- -1) !touched
+  done;
+  List.rev !acc
+
+let first_parent t v =
+  match t.parents.(v) with [] -> None | p :: _ -> Some p
+
+let topological_order t = Array.init t.n_versions (fun i -> i + 1)

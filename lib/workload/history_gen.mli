@@ -1,0 +1,61 @@
+(** Synthetic version-history (derivation DAG) generator — the first
+    stage of the paper's two-step synthetic dataset suite (§5.1),
+    driven by the same parameters:
+
+    - [n_commits]: total number of versions;
+    - [branch_interval] / [branch_probability]: how many consecutive
+      trunk commits pass between branching opportunities, and the
+      chance one is taken;
+    - [branch_limit]: maximum simultaneous branches from one point
+      (the actual count is uniform in [1..branch_limit]);
+    - [branch_length]: maximum commits per branch (actual length
+      uniform in [1..branch_length]);
+    - [merge_probability]: chance a finished branch is merged back
+      into the trunk, creating a two-parent version (DATAHUB-style
+      user-driven merges).
+
+    Version ids are [1..n] in creation order; version 1 is the root.
+    The result is always a connected DAG. *)
+
+type params = {
+  n_commits : int;
+  branch_interval : int;
+  branch_probability : float;
+  branch_limit : int;
+  branch_length : int;
+  merge_probability : float;
+}
+
+val flat_params : n_commits:int -> params
+(** The paper's "densely connected" (DC) shape: branches are frequent,
+    numerous, and short. *)
+
+val linear_params : n_commits:int -> params
+(** The paper's "linear chain" (LC) shape: branches are rare, spaced
+    out, and long. *)
+
+type t = {
+  n_versions : int;
+  parents : int list array;
+      (** index [1..n]; derivation parents (2 for merges), creation
+          order; [parents.(1) = []]. *)
+  children : int list array;  (** inverse of [parents]. *)
+}
+
+val generate : params -> Versioning_util.Prng.t -> t
+(** @raise Invalid_argument on non-positive [n_commits] or
+    nonsensical parameters. *)
+
+val undirected_hop_pairs : t -> max_hops:int -> cap:int -> (int * int) list
+(** All ordered pairs [(u, v)], [u ≠ v], whose undirected hop distance
+    in the DAG is ≤ [max_hops] — the paper's rule for choosing which
+    Δ/Φ entries to reveal. At most [cap] pairs per source version
+    (nearest first), keeping dense histories tractable. *)
+
+val first_parent : t -> int -> int option
+(** The primary derivation parent (first in the list), [None] for the
+    root. *)
+
+val topological_order : t -> int array
+(** Creation order is already topological; returned as an array
+    [1..n]. *)

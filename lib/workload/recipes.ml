@@ -1,0 +1,112 @@
+module Prng = Versioning_util.Prng
+
+type scale = Quick | Full
+
+type dataset = {
+  id : string;
+  aux : Versioning_core.Aux_graph.t;
+  contents : string array option;
+  n_deltas : int;
+  avg_version_size : float;
+  delta_sizes : float array;
+}
+
+let of_dataset_gen id (d : Dataset_gen.t) =
+  {
+    id;
+    aux = d.aux;
+    contents = Some d.contents;
+    n_deltas = d.n_deltas;
+    avg_version_size = Dataset_gen.avg_version_size d;
+    delta_sizes = d.delta_sizes;
+  }
+
+let of_fork_gen id (f : Fork_gen.t) =
+  let n = Array.length f.version_sizes - 1 in
+  let avg =
+    if n = 0 then 0.0
+    else begin
+      let s = ref 0.0 in
+      for v = 1 to n do
+        s := !s +. f.version_sizes.(v)
+      done;
+      !s /. float_of_int n
+    end
+  in
+  {
+    id;
+    aux = f.aux;
+    contents = Some f.contents;
+    n_deltas = f.n_deltas;
+    avg_version_size = avg;
+    delta_sizes = f.delta_sizes;
+  }
+
+let dc ?(scale = Full) ~seed () =
+  let rng = Prng.create ~seed in
+  let n_commits = match scale with Quick -> 180 | Full -> 900 in
+  let history = History_gen.generate (History_gen.flat_params ~n_commits) rng in
+  let params =
+    {
+      Dataset_gen.default_params with
+      initial_rows = 250;
+      max_hops = 4;
+      reveal_cap = 20;
+      edit_intensity = 0.01;
+    }
+  in
+  of_dataset_gen "DC" (Dataset_gen.generate ~name:"DC" history params rng)
+
+let lc ?(scale = Full) ~seed () =
+  let rng = Prng.create ~seed in
+  let n_commits = match scale with Quick -> 180 | Full -> 900 in
+  let history =
+    History_gen.generate (History_gen.linear_params ~n_commits) rng
+  in
+  let params =
+    {
+      Dataset_gen.default_params with
+      initial_rows = 250;
+      max_hops = 8;
+      reveal_cap = 18;
+      edit_intensity = 0.01;
+    }
+  in
+  of_dataset_gen "LC" (Dataset_gen.generate ~name:"LC" history params rng)
+
+let bf ?(scale = Full) ~seed () =
+  let rng = Prng.create ~seed in
+  let n_forks = match scale with Quick -> 60 | Full -> 240 in
+  let params =
+    {
+      Fork_gen.default_params with
+      n_forks;
+      base_rows = 120;
+      base_cols = 6;
+      divergence = 0.05;
+      reveal = Fork_gen.Size_threshold 900.0;
+    }
+  in
+  of_fork_gen "BF" (Fork_gen.generate ~name:"BF" params rng)
+
+let lf ?(scale = Full) ~seed () =
+  let rng = Prng.create ~seed in
+  let n_forks = match scale with Quick -> 30 | Full -> 100 in
+  let params =
+    {
+      Fork_gen.default_params with
+      n_forks;
+      base_rows = 600;
+      base_cols = 10;
+      divergence = 0.05;
+      reveal = Fork_gen.Size_threshold 9000.0;
+    }
+  in
+  of_fork_gen "LF" (Fork_gen.generate ~name:"LF" params rng)
+
+let all ?(scale = Full) ~seed () =
+  [ dc ~scale ~seed (); lc ~scale ~seed:(seed + 1) ();
+    bf ~scale ~seed:(seed + 2) (); lf ~scale ~seed:(seed + 3) () ]
+
+let undirected d =
+  { d with aux = Versioning_core.Aux_graph.symmetrize d.aux }

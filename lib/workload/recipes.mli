@@ -1,0 +1,51 @@
+(** The four evaluation datasets of §5.1, reproduced at laptop scale.
+
+    | id | paper                          | here                                  |
+    |----|--------------------------------|---------------------------------------|
+    | DC | 100k versions, flat history,   | flat history, deltas within 4 hops    |
+    |    | deltas within 10 hops          |                                       |
+    | LC | 100k versions, near-linear     | near-linear history, deltas within    |
+    |    | history, deltas within 25 hops | 8 hops                                |
+    | BF | 986 Bootstrap forks, 100 KB    | simulated forks, thresholded          |
+    |    | delta threshold                | all-pairs deltas                      |
+    | LF | 100 Linux forks, 10 MB         | simulated forks, larger artifacts,    |
+    |    | threshold                      | wider threshold                       |
+
+    The absolute scale is reduced (see DESIGN.md §2); the cost
+    structure — branchy vs. chain-like vs. star-like similarity, and
+    sparse revealed matrices — is what the algorithms respond to, and
+    is preserved. Every recipe is deterministic in the given seed. *)
+
+type scale = Quick | Full
+(** [Quick] shrinks every dataset (~4× fewer versions) for fast test
+    and CI runs; [Full] is the default bench scale. *)
+
+type dataset = {
+  id : string;  (** "DC", "LC", "BF" or "LF" *)
+  aux : Versioning_core.Aux_graph.t;
+  contents : string array option;
+      (** per-version artifacts when the recipe materializes them
+          (DC/LC/BF/LF do; cost-only recipes don't) *)
+  n_deltas : int;
+  avg_version_size : float;
+  delta_sizes : float array;
+}
+
+val dc : ?scale:scale -> seed:int -> unit -> dataset
+(** Densely connected: flat/branchy synthetic history. *)
+
+val lc : ?scale:scale -> seed:int -> unit -> dataset
+(** Linear chain: mostly-linear synthetic history. *)
+
+val bf : ?scale:scale -> seed:int -> unit -> dataset
+(** Bootstrap-forks analogue: many small forked artifacts. *)
+
+val lf : ?scale:scale -> seed:int -> unit -> dataset
+(** Linux-forks analogue: fewer, larger forked artifacts. *)
+
+val all : ?scale:scale -> seed:int -> unit -> dataset list
+(** [DC; LC; BF; LF]. *)
+
+val undirected : dataset -> dataset
+(** Symmetrized variant (the §5.3 undirected experiments): deltas
+    mirrored via {!Versioning_core.Aux_graph.symmetrize}. *)

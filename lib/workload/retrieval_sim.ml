@@ -1,0 +1,78 @@
+module Storage_graph = Versioning_core.Storage_graph
+module Prng = Versioning_util.Prng
+module Zipf = Versioning_util.Zipf
+
+type result = {
+  accesses : int;
+  total_cost : float;
+  hits : int;
+  partial_hits : int;
+}
+
+(* Tiny LRU over version ids: association list, most recent first —
+   cache sizes in this setting are tens of entries. *)
+type lru = { mutable items : int list; slots : int }
+
+let lru_create slots = { items = []; slots }
+
+let lru_mem c v = List.mem v c.items
+
+let lru_touch c v =
+  if c.slots > 0 then begin
+    let rest = List.filter (fun x -> x <> v) c.items in
+    let items = v :: rest in
+    c.items <-
+      (if List.length items > c.slots then List.filteri (fun i _ -> i < c.slots) items
+       else items)
+  end
+
+let run sg ~cache_slots ~accesses =
+  if cache_slots < 0 then invalid_arg "Retrieval_sim.run: negative cache";
+  let n = Storage_graph.n_versions sg in
+  let cache = lru_create cache_slots in
+  let total = ref 0.0 and hits = ref 0 and partial = ref 0 in
+  List.iter
+    (fun v ->
+      if v < 1 || v > n then
+        invalid_arg (Printf.sprintf "Retrieval_sim.run: version %d" v);
+      if lru_mem cache v then begin
+        incr hits;
+        lru_touch cache v
+      end
+      else begin
+        (* Walk up to a cached ancestor or the chain's root edge. *)
+        let cost = ref 0.0 in
+        let cut = ref false in
+        let u = ref v in
+        let stop = ref false in
+        while not !stop do
+          let w = Storage_graph.edge_weight sg !u in
+          cost := !cost +. w.Versioning_core.Aux_graph.phi;
+          let p = Storage_graph.parent sg !u in
+          if p = 0 then stop := true
+          else if lru_mem cache p then begin
+            cut := true;
+            lru_touch cache p;
+            stop := true
+          end
+          else u := p
+        done;
+        if !cut then incr partial;
+        total := !total +. !cost;
+        lru_touch cache v
+      end)
+    accesses;
+  {
+    accesses = List.length accesses;
+    total_cost = !total;
+    hits = !hits;
+    partial_hits = !partial;
+  }
+
+let zipf_stream ~n_versions ~length ~exponent rng =
+  if n_versions < 1 || length < 0 then invalid_arg "Retrieval_sim.zipf_stream";
+  let zipf = Zipf.create ~n:n_versions ~exponent in
+  (* ranks -> versions by a random permutation *)
+  let perm = Array.init n_versions (fun i -> i + 1) in
+  Prng.shuffle rng perm;
+  List.init length (fun _ -> perm.(Zipf.sample zipf rng - 1))

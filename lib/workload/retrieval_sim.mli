@@ -1,0 +1,44 @@
+(** Retrieval simulation: what a storage plan actually costs to serve
+    a checkout workload, with and without a materialization cache.
+
+    The paper's recreation cost [Ri] assumes every retrieval replays
+    the full chain. Real systems keep recently materialized versions
+    in a cache, so a hot version's chain is paid once — which is why
+    access frequencies (Figure 16) and adaptive re-planning (§7)
+    matter. This simulator replays an access stream against a storage
+    plan:
+
+    - a cache hit costs nothing;
+    - otherwise the chain is walked towards the root until a cached
+      ancestor (or the materialized root of the chain) is found and
+      replayed from there, paying the Φ of each traversed edge plus
+      the materialization Φ if the walk reaches one;
+    - materialized results enter an LRU cache evicted by version
+      count.
+
+    [cache_slots = 0] reproduces the paper's cost model exactly:
+    total cost = Σ accesses' full recreation costs. *)
+
+type result = {
+  accesses : int;
+  total_cost : float;  (** Σ paid Φ over the stream *)
+  hits : int;  (** full cache hits *)
+  partial_hits : int;  (** chains cut short by a cached ancestor *)
+}
+
+val run :
+  Versioning_core.Storage_graph.t ->
+  cache_slots:int ->
+  accesses:int list ->
+  result
+(** @raise Invalid_argument on an out-of-range version in the
+    stream. *)
+
+val zipf_stream :
+  n_versions:int ->
+  length:int ->
+  exponent:float ->
+  Versioning_util.Prng.t ->
+  int list
+(** A Zipf-skewed access stream over versions [1..n] with ranks
+    assigned by a random shuffle — the Figure 16 workload shape. *)

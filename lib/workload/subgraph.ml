@@ -1,0 +1,58 @@
+module Digraph = Versioning_graph.Digraph
+module Prng = Versioning_util.Prng
+module Aux_graph = Versioning_core.Aux_graph
+
+let bfs_sample g ~n rng =
+  let total = Aux_graph.n_versions g in
+  let n = min n total in
+  if n < 1 then invalid_arg "Subgraph.bfs_sample: n must be >= 1";
+  let dg = Aux_graph.graph g in
+  let keep = Array.make (total + 1) false in
+  let kept = ref 0 in
+  let q = Queue.create () in
+  let visit v =
+    if not keep.(v) then begin
+      keep.(v) <- true;
+      incr kept;
+      Queue.add v q
+    end
+  in
+  while !kept < n do
+    (* Fresh random start among unkept versions. *)
+    let start =
+      let candidate = ref (1 + Prng.int rng total) in
+      while keep.(!candidate) do
+        candidate := 1 + Prng.int rng total
+      done;
+      !candidate
+    in
+    visit start;
+    while (not (Queue.is_empty q)) && !kept < n do
+      let u = Queue.pop q in
+      Digraph.iter_out dg u (fun e ->
+          if e.dst <> 0 && !kept < n then visit e.dst);
+      Digraph.iter_in dg u (fun e ->
+          if e.src <> 0 && !kept < n then visit e.src)
+    done;
+    Queue.clear q
+  done;
+  (* Renumber kept versions 1..n in ascending original id. *)
+  let remap = Array.make (total + 1) 0 in
+  let next = ref 0 in
+  for v = 1 to total do
+    if keep.(v) then begin
+      incr next;
+      remap.(v) <- !next
+    end
+  done;
+  let sub = Aux_graph.create ~n_versions:!next in
+  Digraph.iter_edges dg (fun e ->
+      if e.src = 0 then begin
+        if keep.(e.dst) then
+          Aux_graph.add_materialization sub ~version:remap.(e.dst)
+            ~delta:e.label.Aux_graph.delta ~phi:e.label.Aux_graph.phi
+      end
+      else if keep.(e.src) && keep.(e.dst) then
+        Aux_graph.add_delta sub ~src:remap.(e.src) ~dst:remap.(e.dst)
+          ~delta:e.label.Aux_graph.delta ~phi:e.label.Aux_graph.phi);
+  sub

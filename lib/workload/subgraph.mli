@@ -1,0 +1,16 @@
+(** BFS-sampled subproblems — the paper's Figure 17 methodology: "for
+    a given number of versions n, we randomly choose a node and
+    traverse the graph starting at that node in breadth-first manner
+    till we construct a subgraph with n versions". *)
+
+val bfs_sample :
+  Versioning_core.Aux_graph.t ->
+  n:int ->
+  Versioning_util.Prng.t ->
+  Versioning_core.Aux_graph.t
+(** [bfs_sample g ~n rng] picks a random start version and BFS-grows
+    (over revealed delta edges, ignoring direction) a set of up to [n]
+    versions, then returns the induced auxiliary subgraph (versions
+    renumbered [1..k], all their materializations, and every revealed
+    delta between kept versions). If the component is smaller than
+    [n], additional BFS trees are grown from fresh random starts. *)

@@ -1,0 +1,120 @@
+module Prng = Versioning_util.Prng
+module Csv = Versioning_delta.Csv
+
+type t = { rng : Prng.t; mutable next_col : int }
+
+let create rng = { rng; next_col = 0 }
+
+let fresh_field t =
+  (* Short tokens drawn from a modest vocabulary: realistic tabular
+     data repeats values, which gives deltas something to exploit. *)
+  Printf.sprintf "v%04d" (Prng.int t.rng 8000)
+
+let fresh_col_name t =
+  let id = t.next_col in
+  t.next_col <- t.next_col + 1;
+  Printf.sprintf "col_%d" id
+
+let fresh_row t width = Array.init width (fun _ -> fresh_field t)
+
+let fresh_table t ~rows ~cols =
+  if rows < 0 || cols < 1 then invalid_arg "Table_gen.fresh_table";
+  let header = Array.init cols (fun _ -> fresh_col_name t) in
+  Array.init (rows + 1) (fun r -> if r = 0 then header else fresh_row t cols)
+
+type edit =
+  | Add_rows of { at : int; count : int }
+  | Delete_rows of { at : int; count : int }
+  | Add_column of { at : int }
+  | Remove_column of { at : int }
+  | Modify_cells of { fraction : float }
+
+let pp_edit ppf = function
+  | Add_rows { at; count } -> Format.fprintf ppf "add %d rows @%d" count at
+  | Delete_rows { at; count } ->
+      Format.fprintf ppf "delete %d rows @%d" count at
+  | Add_column { at } -> Format.fprintf ppf "add column @%d" at
+  | Remove_column { at } -> Format.fprintf ppf "remove column @%d" at
+  | Modify_cells { fraction } ->
+      Format.fprintf ppf "modify %.1f%% of cells" (100.0 *. fraction)
+
+let random_edits t ~table ~intensity =
+  let rng = t.rng in
+  let data_rows = max 0 (Csv.n_rows table - 1) in
+  let scale = max 1 (int_of_float (float_of_int data_rows *. intensity)) in
+  let n_edits = Prng.int_in rng 1 3 in
+  List.init n_edits (fun _ ->
+      let roll = Prng.float rng 1.0 in
+      (* Row and cell edits dominate; schema changes are rare (they
+         rewrite every line of the serialized table, so their rate
+         governs how often delta chains are "broken" by a
+         near-full-size delta). *)
+      if roll < 0.36 then
+        Add_rows
+          { at = Prng.int rng (data_rows + 1); count = Prng.int_in rng 1 scale }
+      else if roll < 0.62 then
+        Delete_rows
+          { at = Prng.int rng (max 1 data_rows); count = Prng.int_in rng 1 scale }
+      else if roll < 0.97 then Modify_cells { fraction = intensity /. 2.0 }
+      else if roll < 0.985 then Add_column { at = Prng.int rng (Csv.n_cols table + 1) }
+      else Remove_column { at = Prng.int rng (max 1 (Csv.n_cols table)) })
+
+let clamp lo hi x = max lo (min hi x)
+
+let apply t table edits =
+  let apply_one table edit =
+    let n_rows = Csv.n_rows table in
+    let data_rows = max 0 (n_rows - 1) in
+    let width = Csv.n_cols table in
+    match edit with
+    | Add_rows { at; count } ->
+        let at = clamp 0 data_rows at in
+        let added = Array.init count (fun _ -> fresh_row t width) in
+        Array.concat
+          [
+            Array.sub table 0 (at + 1);
+            added;
+            Array.sub table (at + 1) (n_rows - at - 1);
+          ]
+    | Delete_rows { at; count } ->
+        if data_rows = 0 then table
+        else begin
+          let at = clamp 0 (data_rows - 1) at in
+          let count = clamp 0 (data_rows - at) count in
+          Array.concat
+            [
+              Array.sub table 0 (at + 1);
+              Array.sub table (at + 1 + count) (n_rows - at - 1 - count);
+            ]
+        end
+    | Add_column { at } ->
+        let at = clamp 0 width at in
+        let name = fresh_col_name t in
+        Array.mapi
+          (fun r row ->
+            let v = if r = 0 then name else fresh_field t in
+            Array.concat
+              [ Array.sub row 0 at; [| v |]; Array.sub row at (width - at) ])
+          table
+    | Remove_column { at } ->
+        if width <= 1 then table
+        else begin
+          let at = clamp 0 (width - 1) at in
+          Array.map
+            (fun row ->
+              Array.concat
+                [ Array.sub row 0 at; Array.sub row (at + 1) (width - at - 1) ])
+            table
+        end
+    | Modify_cells { fraction } ->
+        Array.mapi
+          (fun r row ->
+            if r = 0 then row
+            else
+              Array.map
+                (fun cell ->
+                  if Prng.bernoulli t.rng fraction then fresh_field t else cell)
+                row)
+          table
+  in
+  List.fold_left apply_one table edits

@@ -1,0 +1,44 @@
+(** Random tabular data and the paper's six edit commands (§5.1):
+    add / delete a set of consecutive rows, add / remove a column, and
+    modify a subset of rows / columns.
+
+    Tables are headered {!Versioning_delta.Csv.table}s; generated
+    fields are short alphanumeric tokens (CSV-safe by construction).
+    Column names are globally unique per generator so that column
+    adds never collide with previously removed names. *)
+
+type t
+(** Generator state: the naming counter and field vocabulary. *)
+
+val create : Versioning_util.Prng.t -> t
+
+val fresh_table : t -> rows:int -> cols:int -> Versioning_delta.Csv.table
+(** A random rectangular table with a header row plus [rows] data
+    rows. *)
+
+type edit =
+  | Add_rows of { at : int; count : int }
+      (** insert [count] random rows before data-row index [at] *)
+  | Delete_rows of { at : int; count : int }
+      (** delete [count] consecutive data rows at [at] *)
+  | Add_column of { at : int }
+      (** insert a fresh named column at column index [at] *)
+  | Remove_column of { at : int }  (** drop column [at] *)
+  | Modify_cells of { fraction : float }
+      (** resample roughly [fraction] of all data cells *)
+
+val pp_edit : Format.formatter -> edit -> unit
+
+val random_edits :
+  t ->
+  table:Versioning_delta.Csv.table ->
+  intensity:float ->
+  edit list
+(** A plausible edit batch for one derivation step. [intensity]
+    roughly scales how much of the table changes (0.01 = light-touch
+    cleaning, 0.3 = heavy restructuring). Row edits dominate; schema
+    changes are occasional, mirroring data-science practice. *)
+
+val apply : t -> Versioning_delta.Csv.table -> edit list -> Versioning_delta.Csv.table
+(** Apply edits left to right. Out-of-range positions are clamped, so
+    any edit list is applicable to any headered table. *)

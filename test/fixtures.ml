@@ -1,0 +1,79 @@
+(* Shared test fixtures and helpers. *)
+
+open Versioning_core
+module Prng = Versioning_util.Prng
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let err = function
+  | Error e -> e
+  | Ok _ -> Alcotest.fail "expected an error"
+
+(* The paper's running example: Figure 1 / Figure 2 matrices. *)
+let figure1 () =
+  let g = Aux_graph.create ~n_versions:5 in
+  List.iter
+    (fun (v, c) -> Aux_graph.add_materialization g ~version:v ~delta:c ~phi:c)
+    [ (1, 10000.); (2, 10100.); (3, 9700.); (4, 9800.); (5, 10120.) ];
+  List.iter
+    (fun (i, j, delta, phi) -> Aux_graph.add_delta g ~src:i ~dst:j ~delta ~phi)
+    [
+      (1, 2, 200., 200.);
+      (1, 3, 1000., 3000.);
+      (2, 1, 500., 600.);
+      (2, 4, 50., 400.);
+      (2, 5, 800., 2500.);
+      (3, 2, 1100., 3200.);
+      (3, 5, 200., 550.);
+      (5, 4, 800., 2300.);
+      (4, 5, 900., 2500.);
+    ];
+  g
+
+(* Random proportional-cost graph; always has all materializations, so
+   every problem is feasible. *)
+let random_graph ?(n_min = 2) ?(n_max = 8) ?(density = 0.5) rng =
+  let n = Prng.int_in rng n_min n_max in
+  let g = Aux_graph.create ~n_versions:n in
+  for v = 1 to n do
+    let c = float_of_int (Prng.int_in rng 50 150) in
+    Aux_graph.add_materialization g ~version:v ~delta:c ~phi:c
+  done;
+  for s = 1 to n do
+    for d = 1 to n do
+      if s <> d && Prng.bernoulli rng density then begin
+        let c = float_of_int (Prng.int_in rng 1 40) in
+        Aux_graph.add_delta g ~src:s ~dst:d ~delta:c ~phi:c
+      end
+    done
+  done;
+  g
+
+(* Validity invariant: a storage graph is a spanning arborescence and
+   its cached recreation costs match a fresh recomputation. *)
+let check_valid g sg =
+  let n = Aux_graph.n_versions g in
+  Alcotest.(check int) "n_versions" n (Storage_graph.n_versions sg);
+  for v = 1 to n do
+    let p = Storage_graph.parent sg v in
+    Alcotest.(check bool) "parent in range" true (p >= 0 && p <= n && p <> v);
+    (* Root path terminates. *)
+    let rec walk u steps =
+      if steps > n then Alcotest.fail "parent chain too long (cycle?)"
+      else if u <> 0 then walk (Storage_graph.parent sg u) (steps + 1)
+    in
+    walk v 0
+  done;
+  (* Recreation costs are consistent with the parent chain. *)
+  for v = 1 to n do
+    let p = Storage_graph.parent sg v in
+    let w = Storage_graph.edge_weight sg v in
+    let expected =
+      (if p = 0 then 0.0 else Storage_graph.recreation_cost sg p) +. w.Aux_graph.phi
+    in
+    Alcotest.(check (float 1e-6))
+      "recreation consistent" expected
+      (Storage_graph.recreation_cost sg v)
+  done
+
+let float_eq = Alcotest.float 1e-6

@@ -1,0 +1,143 @@
+(* Multi-file archives. *)
+
+module Archive = Versioning_store.Archive
+module Line_diff = Versioning_delta.Line_diff
+module Prng = Versioning_util.Prng
+
+let e path content = { Archive.path; content }
+
+let test_roundtrip () =
+  let entries =
+    [ e "b.csv" "x,y\n1,2"; e "a/nested.txt" "hello"; e "a/z.bin" "\x00\x01\n\xff" ]
+  in
+  let packed = Result.get_ok (Archive.pack entries) in
+  let back = Result.get_ok (Archive.unpack packed) in
+  Alcotest.(check (list string)) "paths sorted"
+    [ "a/nested.txt"; "a/z.bin"; "b.csv" ]
+    (List.map (fun x -> x.Archive.path) back);
+  List.iter
+    (fun orig ->
+      let found = List.find (fun x -> x.Archive.path = orig.Archive.path) back in
+      Alcotest.(check string) "content exact" orig.Archive.content
+        found.Archive.content)
+    entries
+
+let test_canonical () =
+  let a = [ e "x" "1"; e "y" "2" ] in
+  let b = [ e "y" "2"; e "x" "1" ] in
+  Alcotest.(check string) "order-independent"
+    (Result.get_ok (Archive.pack a))
+    (Result.get_ok (Archive.pack b))
+
+let test_empty_and_binary () =
+  let packed = Result.get_ok (Archive.pack []) in
+  Alcotest.(check (list string)) "empty archive" []
+    (Result.get_ok (Archive.paths packed));
+  (* content full of newlines and entry-like lines must not confuse
+     the parser *)
+  let tricky = "entry 4\nfoo\nbar\nentry 99\n" in
+  let packed = Result.get_ok (Archive.pack [ e "t" tricky ]) in
+  let back = Result.get_ok (Archive.unpack packed) in
+  Alcotest.(check string) "tricky content survives" tricky
+    (List.hd back).Archive.content
+
+let test_path_validation () =
+  let bad p =
+    match Archive.pack [ e p "c" ] with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "absolute rejected" true (bad "/etc/passwd");
+  Alcotest.(check bool) "dotdot rejected" true (bad "a/../b");
+  Alcotest.(check bool) "empty rejected" true (bad "");
+  Alcotest.(check bool) "newline rejected" true (bad "a\nb");
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Archive.pack [ e "p" "1"; e "p" "2" ] with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_corrupt_rejected () =
+  Alcotest.(check bool) "not an archive" true
+    (match Archive.unpack "garbage" with Error _ -> true | Ok _ -> false);
+  let good = Result.get_ok (Archive.pack [ e "f" "content" ]) in
+  let truncated = String.sub good 0 (String.length good - 3) in
+  Alcotest.(check bool) "truncation detected" true
+    (match Archive.unpack truncated with Error _ -> true | Ok _ -> false)
+
+let test_directory_roundtrip () =
+  let root = Filename.temp_file "dsvc_arch" "" in
+  Sys.remove root;
+  let entries =
+    [ e "data/train.csv" "a,b\n1,2\n3,4"; e "data/test.csv" "a,b\n5,6"; e "README" "docs" ]
+  in
+  Result.get_ok (Archive.to_directory root entries);
+  let read = Result.get_ok (Archive.of_directory root) in
+  Alcotest.(check int) "all files" 3 (List.length read);
+  let repacked = Result.get_ok (Archive.pack read) in
+  Alcotest.(check string) "filesystem roundtrip is canonical"
+    (Result.get_ok (Archive.pack entries))
+    repacked
+
+let test_archives_diff_compactly () =
+  (* similar trees produce small line deltas - the property that makes
+     the whole optimization pipeline apply to directories *)
+  let mk rows extra =
+    let csv =
+      String.concat "\n"
+        (List.init rows (fun i -> Printf.sprintf "%d,val%d" i i))
+    in
+    Result.get_ok
+      (Archive.pack
+         ([ e "big.csv" csv; e "meta" "owner: team" ] @ extra))
+  in
+  let a = mk 300 [] in
+  let b = mk 300 [ e "notes.txt" "one new small file" ] in
+  let d = Line_diff.diff a b in
+  Alcotest.(check string) "delta applies" b (Line_diff.apply a d);
+  Alcotest.(check bool) "delta small vs archive" true
+    (Line_diff.size d * 10 < String.length b)
+
+let test_store_integration () =
+  (* commit archives through the repo; optimize; contents survive *)
+  let dir = Filename.temp_file "dsvc_arch_repo" "" in
+  Sys.remove dir;
+  let repo = Result.get_ok (Versioning_store.Repo.init ~path:dir) in
+  let rng = Prng.create ~seed:241 in
+  let mk_version i =
+    Result.get_ok
+      (Archive.pack
+         [
+           e "data.csv"
+             (String.concat "\n"
+                (List.init 50 (fun r ->
+                     Printf.sprintf "%d,%d" r (Prng.int rng 10 + i))));
+           e "version.txt" (string_of_int i);
+         ])
+  in
+  let archives = List.init 6 mk_version in
+  let ids =
+    List.map
+      (fun a -> Result.get_ok (Versioning_store.Repo.commit repo a))
+      archives
+  in
+  let _ =
+    Result.get_ok (Versioning_store.Repo.optimize repo Versioning_store.Repo.Min_storage)
+  in
+  List.iter2
+    (fun id original ->
+      let got = Result.get_ok (Versioning_store.Repo.checkout repo id) in
+      Alcotest.(check string) "archive preserved" original got;
+      (* still parses as an archive *)
+      ignore (Result.get_ok (Archive.unpack got)))
+    ids archives
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "canonical" `Quick test_canonical;
+    Alcotest.test_case "empty + binary" `Quick test_empty_and_binary;
+    Alcotest.test_case "path validation" `Quick test_path_validation;
+    Alcotest.test_case "corrupt rejected" `Quick test_corrupt_rejected;
+    Alcotest.test_case "directory roundtrip" `Quick test_directory_roundtrip;
+    Alcotest.test_case "archives diff compactly" `Quick
+      test_archives_diff_compactly;
+    Alcotest.test_case "store integration" `Quick test_store_integration;
+  ]

@@ -1,0 +1,139 @@
+module Cell_diff = Versioning_delta.Cell_diff
+module Csv = Versioning_delta.Csv
+module Prng = Versioning_util.Prng
+
+let t = Csv.parse
+
+let check_roundtrip name a b =
+  let d = Cell_diff.diff a b in
+  Alcotest.(check bool) name true (Csv.equal (Cell_diff.apply a d) b);
+  let d' = Cell_diff.decode (Cell_diff.encode d) in
+  Alcotest.(check bool) (name ^ " (codec)") true
+    (Csv.equal (Cell_diff.apply a d') b)
+
+let test_identity () =
+  let a = t "id,name\n1,x\n2,y" in
+  check_roundtrip "identical tables" a a;
+  Alcotest.(check int) "no cell edits" 0
+    (Cell_diff.n_cell_edits (Cell_diff.diff a a))
+
+let test_cell_edit () =
+  let a = t "id,name,age\n1,alice,30\n2,bob,25" in
+  let b = t "id,name,age\n1,alice,31\n2,bob,25" in
+  check_roundtrip "single cell change" a b;
+  let d = Cell_diff.diff a b in
+  Alcotest.(check int) "one cell edit" 1 (Cell_diff.n_cell_edits d);
+  (* on a non-trivial table, a cell patch is far smaller than
+     re-recording the table (framing dominates only tiny tables) *)
+  let rows =
+    String.concat "\n"
+      (List.init 40 (fun i -> Printf.sprintf "%d,user%d,%d" i i (20 + i)))
+  in
+  let big_a = t ("id,name,age\n" ^ rows) in
+  let big_b =
+    let copy = Array.map Array.copy big_a in
+    copy.(1).(2) <- "99";
+    copy
+  in
+  let big_d = Cell_diff.diff big_a big_b in
+  Alcotest.(check bool) "compact" true
+    (Cell_diff.size big_d < String.length (Csv.print big_b) / 4)
+
+let test_row_ops () =
+  let a = t "id,v\n1,a\n2,b\n3,c" in
+  check_roundtrip "row deleted" a (t "id,v\n1,a\n3,c");
+  check_roundtrip "row added" a (t "id,v\n1,a\n2,b\n9,z\n3,c");
+  check_roundtrip "rows replaced" a (t "id,v\n7,q\n8,r\n9,s")
+
+let test_column_add () =
+  let a = t "id,name\n1,alice\n2,bob" in
+  let b = t "id,name,city\n1,alice,nyc\n2,bob,la" in
+  check_roundtrip "column added" a b;
+  (* forward delta records the new column in full; the reverse records
+     only the drop: asymmetry, as in the paper's directed case *)
+  let fwd = Cell_diff.size (Cell_diff.diff a b) in
+  let bwd = Cell_diff.size (Cell_diff.diff b a) in
+  Alcotest.(check bool) "dropping is cheaper than adding" true (bwd < fwd)
+
+let test_column_remove_and_rows () =
+  let a = t "id,name,age,city\n1,a,30,x\n2,b,40,y\n3,c,50,z" in
+  let b = t "id,name,city\n1,a,x\n3,c,z\n4,d,w" in
+  check_roundtrip "column drop + row changes" a b
+
+let test_column_reorder () =
+  let a = t "x,y\n1,2\n3,4" in
+  let b = t "y,x\n2,1\n4,3" in
+  check_roundtrip "columns reordered" a b
+
+let test_headerless_fallback () =
+  (* ragged rows: no header alignment possible *)
+  let a = [| [| "a"; "b" |]; [| "c" |] |] in
+  let b = [| [| "a"; "b" |]; [| "d"; "e"; "f" |] |] in
+  check_roundtrip "ragged tables fall back to row script" a b
+
+let test_empty_tables () =
+  check_roundtrip "empty to empty" [||] [||];
+  check_roundtrip "empty to table" [||] (t "h\n1");
+  check_roundtrip "table to empty" (t "h\n1") [||]
+
+let test_apply_wrong_source () =
+  (* the long untouched field makes the single-cell patch worthwhile,
+     so the delta really does carry a column-indexed patch *)
+  let blob = String.make 60 'z' in
+  let a = t (Printf.sprintf "id,name,blob\n1,x,%s" blob) in
+  let b = t (Printf.sprintf "id,name,blob\n1,y,%s" blob) in
+  let d = Cell_diff.diff a b in
+  Alcotest.(check int) "delta is a cell patch" 1 (Cell_diff.n_cell_edits d);
+  (* a narrower table cannot satisfy the cell patch's column index *)
+  let stranger = t "solo\n9" in
+  Alcotest.(check bool) "apply to incompatible table fails" true
+    (match Cell_diff.apply stranger d with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* a delta with an explicit column order names its columns, so a
+     source lacking them is rejected *)
+  let ra = t "x,y\n1,2" and rb = t "y,x\n2,1" in
+  let rd = Cell_diff.diff ra rb in
+  Alcotest.(check bool) "missing named column rejected" true
+    (match Cell_diff.apply (t "p,q\n1,2") rd with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_decode_malformed () =
+  Alcotest.(check bool) "garbage rejected" true
+    (match Cell_diff.decode "not a delta" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_random_roundtrips () =
+  let rng = Prng.create ~seed:123 in
+  for _ = 1 to 300 do
+    let cols = 2 + Prng.int rng 4 in
+    let mk rows =
+      Array.init (rows + 1) (fun r ->
+          if r = 0 then Array.init cols (fun c -> Printf.sprintf "c%d" c)
+          else Array.init cols (fun _ -> Printf.sprintf "%d" (Prng.int rng 8)))
+    in
+    let a = mk (Prng.int rng 12) and b = mk (Prng.int rng 12) in
+    let d = Cell_diff.diff a b in
+    if not (Csv.equal (Cell_diff.apply a d) b) then
+      Alcotest.fail "random roundtrip failed";
+    let d' = Cell_diff.decode (Cell_diff.encode d) in
+    if not (Csv.equal (Cell_diff.apply a d') b) then
+      Alcotest.fail "random codec roundtrip failed"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "cell edit" `Quick test_cell_edit;
+    Alcotest.test_case "row ops" `Quick test_row_ops;
+    Alcotest.test_case "column add" `Quick test_column_add;
+    Alcotest.test_case "column drop + rows" `Quick test_column_remove_and_rows;
+    Alcotest.test_case "column reorder" `Quick test_column_reorder;
+    Alcotest.test_case "headerless fallback" `Quick test_headerless_fallback;
+    Alcotest.test_case "empty tables" `Quick test_empty_tables;
+    Alcotest.test_case "wrong source" `Quick test_apply_wrong_source;
+    Alcotest.test_case "decode malformed" `Quick test_decode_malformed;
+    Alcotest.test_case "random roundtrips" `Quick test_random_roundtrips;
+  ]

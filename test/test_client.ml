@@ -1,0 +1,97 @@
+(* The typed HTTP client against a live server thread. *)
+
+open Versioning_store
+
+let temp_dir () =
+  let path = Filename.temp_file "dsvc_client" "" in
+  Sys.remove path;
+  path
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+let with_server k =
+  let repo = ok (Repo.init ~path:(temp_dir ())) in
+  let _ = ok (Repo.commit repo ~message:"first" "alpha\nbeta") in
+  let _ = ok (Repo.commit repo ~message:"second" "alpha\nbeta\ngamma") in
+  let port = 19100 + (Unix.getpid () mod 800) in
+  (* generous request budget; the server stops with the thread at join *)
+  let server =
+    Thread.create
+      (fun () -> ignore (Server.serve repo ~port ~max_requests:32 ()))
+      ()
+  in
+  Unix.sleepf 0.2;
+  let client = Client.connect ~host:"127.0.0.1" ~port in
+  let finally () =
+    (* drain the remaining request budget so the thread exits *)
+    let rec drain n =
+      if n > 0 then begin
+        (match Client.request client ~meth:"GET" ~path:"/stats" () with
+        | Ok _ -> drain (n - 1)
+        | Error _ -> ())
+      end
+    in
+    drain 32;
+    Thread.join server
+  in
+  Fun.protect ~finally (fun () -> k client repo)
+
+let test_full_session () =
+  with_server (fun client repo ->
+      (* versions *)
+      let vs = ok (Client.versions client) in
+      Alcotest.(check int) "two versions" 2 (List.length vs);
+      (match vs with
+      | (id, parents, msg) :: _ ->
+          Alcotest.(check int) "newest id" 2 id;
+          Alcotest.(check (list int)) "parents" [ 1 ] parents;
+          Alcotest.(check string) "message" "second" msg
+      | [] -> Alcotest.fail "no versions");
+      (* checkout *)
+      Alcotest.(check string) "checkout" "alpha\nbeta"
+        (ok (Client.checkout client "1"));
+      (* commit through the wire, then read back locally *)
+      let id =
+        ok (Client.commit client ~message:"via http" "alpha\nbeta\ngamma\ndelta")
+      in
+      Alcotest.(check int) "new id" 3 id;
+      Alcotest.(check string) "server stored it" "alpha\nbeta\ngamma\ndelta"
+        (ok (Repo.checkout repo 3));
+      (* tags and branches *)
+      ok (Client.tag client "v1" ~at:1 ());
+      Alcotest.(check string) "checkout by tag" "alpha\nbeta"
+        (ok (Client.checkout client "v1"));
+      ok (Client.branch client "exp" ~at:1 ());
+      ok (Client.switch client "main");
+      (* diff applies *)
+      let d = ok (Client.diff client "1" "2") in
+      Alcotest.(check string) "diff applies" "alpha\nbeta\ngamma"
+        (Versioning_delta.Line_diff.apply "alpha\nbeta"
+           (Versioning_delta.Line_diff.decode d));
+      (* stats + optimize + verify *)
+      let st = ok (Client.stats client) in
+      Alcotest.(check (option string)) "stats versions" (Some "3")
+        (List.assoc_opt "versions" st);
+      let st = ok (Client.optimize client "min-storage") in
+      Alcotest.(check bool) "optimize returns stats" true
+        (List.mem_assoc "storage_bytes" st);
+      ok (Client.verify client);
+      (* errors surface *)
+      (match Client.checkout client "99" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unknown version must error");
+      match Client.optimize client "bogus" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "bad strategy must error")
+
+let test_connection_refused () =
+  let client = Client.connect ~host:"127.0.0.1" ~port:1 in
+  match Client.versions client with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "must fail to connect"
+
+let suite =
+  [
+    Alcotest.test_case "full client session" `Quick test_full_session;
+    Alcotest.test_case "connection refused" `Quick test_connection_refused;
+  ]

@@ -1,0 +1,113 @@
+module Csv = Versioning_delta.Csv
+module Delta = Versioning_delta.Delta
+
+(* ---- Csv ---- *)
+
+let test_parse_print_roundtrip () =
+  let s = "a,b,c\n1,2,3\n4,5,6" in
+  Alcotest.(check string) "roundtrip" s (Csv.print (Csv.parse s))
+
+let test_empty () =
+  Alcotest.(check int) "empty string = empty table" 0
+    (Csv.n_rows (Csv.parse ""));
+  Alcotest.(check string) "prints back to empty" "" (Csv.print [||])
+
+let test_shape () =
+  let t = Csv.parse "a,b\n1,2\n3,4" in
+  Alcotest.(check int) "rows" 3 (Csv.n_rows t);
+  Alcotest.(check int) "cols" 2 (Csv.n_cols t);
+  Alcotest.(check bool) "rect" true (Csv.is_rect t);
+  let ragged = [| [| "a" |]; [| "b"; "c" |] |] in
+  Alcotest.(check bool) "ragged detected" false (Csv.is_rect ragged)
+
+let test_field_ok () =
+  Alcotest.(check bool) "plain ok" true (Csv.field_ok "hello world");
+  Alcotest.(check bool) "comma rejected" false (Csv.field_ok "a,b");
+  Alcotest.(check bool) "newline rejected" false (Csv.field_ok "a\nb");
+  Alcotest.check_raises "print rejects bad field"
+    (Invalid_argument "Csv.print: illegal field a,b") (fun () ->
+      ignore (Csv.print [| [| "a,b" |] |]))
+
+let test_single_cell () =
+  let s = "x" in
+  Alcotest.(check string) "single cell" s (Csv.print (Csv.parse s))
+
+(* ---- Delta cost model ---- *)
+
+let doc_a = "id,v\n1,alpha\n2,beta\n3,gamma\n4,delta\n5,epsilon"
+let doc_b = "id,v\n1,alpha\n2,BETA\n3,gamma\n4,delta\n5,epsilon\n6,zeta"
+
+let test_materialize_cost () =
+  let d = Delta.materialize doc_a in
+  Alcotest.(check (float 0.)) "storage = length"
+    (float_of_int (String.length doc_a))
+    (Delta.storage_cost d);
+  Alcotest.(check bool) "is materialized" true (Delta.is_materialized d);
+  Alcotest.(check string) "name" "full" (Delta.mechanism_name d)
+
+let test_compressed_materialize_smaller () =
+  let repetitive = String.concat "\n" (List.init 300 (fun _ -> "same,line")) in
+  let plain = Delta.materialize repetitive in
+  let compressed = Delta.materialize ~compress:true repetitive in
+  Alcotest.(check bool) "compression shrinks" true
+    (Delta.storage_cost compressed < Delta.storage_cost plain)
+
+let test_line_delta_cheaper_than_full () =
+  let d = Delta.line_delta doc_a doc_b in
+  Alcotest.(check bool) "delta smaller than full" true
+    (Delta.storage_cost d < float_of_int (String.length doc_b));
+  Alcotest.(check string) "name" "line" (Delta.mechanism_name d);
+  Alcotest.(check bool) "not materialized" false (Delta.is_materialized d)
+
+let test_cell_and_xor_names () =
+  let a = Csv.parse doc_a and b = Csv.parse doc_b in
+  Alcotest.(check string) "cell" "cell"
+    (Delta.mechanism_name (Delta.cell_delta a b));
+  Alcotest.(check string) "xor" "xor"
+    (Delta.mechanism_name (Delta.xor_delta doc_a doc_b))
+
+let test_proportional_model () =
+  let d = Delta.line_delta doc_a doc_b in
+  Alcotest.(check (float 1e-9)) "phi = delta under proportional model"
+    (Delta.storage_cost d)
+    (Delta.recreation_cost Delta.proportional_model d
+       ~output_bytes:(String.length doc_b))
+
+let test_io_cpu_model_diverges () =
+  let d = Delta.line_delta ~compress:true doc_a doc_b in
+  let phi =
+    Delta.recreation_cost Delta.io_cpu_model d
+      ~output_bytes:(String.length doc_b)
+  in
+  Alcotest.(check bool) "phi > delta when CPU terms apply" true
+    (phi > Delta.storage_cost d);
+  (* a materialized uncompressed object pays only I/O *)
+  let m = Delta.materialize doc_b in
+  Alcotest.(check (float 1e-9)) "materialized pays only io"
+    (Delta.storage_cost m)
+    (Delta.recreation_cost Delta.io_cpu_model m
+       ~output_bytes:(String.length doc_b))
+
+let test_xor_compression_effective () =
+  let plain = Delta.xor_delta doc_a (doc_a ^ "!") in
+  let compressed = Delta.xor_delta ~compress:true doc_a (doc_a ^ "!") in
+  Alcotest.(check bool) "zero-heavy xor compresses well" true
+    (Delta.storage_cost compressed *. 3.0 < Delta.storage_cost plain)
+
+let suite =
+  [
+    Alcotest.test_case "csv roundtrip" `Quick test_parse_print_roundtrip;
+    Alcotest.test_case "csv empty" `Quick test_empty;
+    Alcotest.test_case "csv shape" `Quick test_shape;
+    Alcotest.test_case "csv field_ok" `Quick test_field_ok;
+    Alcotest.test_case "csv single cell" `Quick test_single_cell;
+    Alcotest.test_case "materialize cost" `Quick test_materialize_cost;
+    Alcotest.test_case "compressed materialize" `Quick
+      test_compressed_materialize_smaller;
+    Alcotest.test_case "line delta cheaper" `Quick
+      test_line_delta_cheaper_than_full;
+    Alcotest.test_case "mechanism names" `Quick test_cell_and_xor_names;
+    Alcotest.test_case "proportional model" `Quick test_proportional_model;
+    Alcotest.test_case "io+cpu model" `Quick test_io_cpu_model_diverges;
+    Alcotest.test_case "xor compression" `Quick test_xor_compression_effective;
+  ]

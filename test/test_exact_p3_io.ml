@@ -1,0 +1,135 @@
+(* Exact Problem 3 and graph serialization. *)
+
+open Versioning_core
+module Prng = Versioning_util.Prng
+
+let test_p3_vs_brute_force () =
+  let rng = Prng.create ~seed:251 in
+  for _ = 1 to 30 do
+    let g = Fixtures.random_graph ~n_min:2 ~n_max:5 rng in
+    let base = Fixtures.ok (Solver.min_storage_tree g) in
+    let spt = Fixtures.ok (Spt.solve g) in
+    let cmin = Storage_graph.storage_cost base in
+    let cmax = Storage_graph.storage_cost spt in
+    let budget = cmin +. Prng.float rng (Float.max 1.0 (cmax -. cmin)) in
+    let bf = Exact.brute_force_p3 g ~budget in
+    let ex = Exact.solve_p3 g ~budget () in
+    match (bf, ex.Exact.tree) with
+    | Some b, Some e ->
+        Alcotest.(check bool) "optimal" true ex.Exact.optimal;
+        Alcotest.check Fixtures.float_eq "same optimum"
+          (Storage_graph.sum_recreation b)
+          (Storage_graph.sum_recreation e);
+        Alcotest.(check bool) "budget respected" true
+          (Storage_graph.storage_cost e <= budget +. 1e-6)
+    | None, None -> ()
+    | Some _, None -> Alcotest.fail "exact P3 missed a solution"
+    | None, Some _ -> Alcotest.fail "exact P3 fabricated a solution"
+  done
+
+let test_p3_lower_bounds_lmg () =
+  let rng = Prng.create ~seed:257 in
+  for _ = 1 to 15 do
+    let g = Fixtures.random_graph ~n_min:4 ~n_max:7 rng in
+    let base = Fixtures.ok (Solver.min_storage_tree g) in
+    let spt = Fixtures.ok (Spt.solve g) in
+    let budget = 1.4 *. Storage_graph.storage_cost base in
+    let lmg = Lmg.solve g ~base ~spt ~budget () in
+    match (Exact.solve_p3 g ~budget ()).Exact.tree with
+    | Some e ->
+        Alcotest.(check bool) "exact <= LMG" true
+          (Storage_graph.sum_recreation e
+          <= Storage_graph.sum_recreation lmg +. 1e-6)
+    | None -> Alcotest.fail "budget above MCA must be feasible"
+  done
+
+let test_p3_infeasible_budget () =
+  let g = Fixtures.figure1 () in
+  let r = Exact.solve_p3 g ~budget:100.0 () in
+  Alcotest.(check bool) "no tree under impossible budget" true
+    (r.Exact.tree = None)
+
+let test_p3_node_budget () =
+  let rng = Prng.create ~seed:263 in
+  let g = Fixtures.random_graph ~n_min:9 ~n_max:12 ~density:0.8 rng in
+  let base = Fixtures.ok (Solver.min_storage_tree g) in
+  let budget = 2.0 *. Storage_graph.storage_cost base in
+  let r = Exact.solve_p3 g ~budget ~node_budget:5 () in
+  (* the search either proves optimality within 5 nodes (instant
+     pruning against the LMG incumbent) or stops at the budget; either
+     way the incumbent must be available and the node cap respected *)
+  Alcotest.(check bool) "LMG incumbent survives" true (r.Exact.tree <> None);
+  Alcotest.(check bool) "node cap respected" true (r.Exact.nodes <= 6)
+
+(* ---- Graph_io ---- *)
+
+let graph_equal a b =
+  Graph_io.to_string a = Graph_io.to_string b
+
+let test_io_roundtrip_figure1 () =
+  let g = Fixtures.figure1 () in
+  let g' = Fixtures.ok (Graph_io.of_string (Graph_io.to_string g)) in
+  Alcotest.(check bool) "round trip" true (graph_equal g g');
+  (* algorithms agree on both *)
+  let a = Fixtures.ok (Mca.solve g) and b = Fixtures.ok (Mca.solve g') in
+  Alcotest.(check (list (pair int int))) "same MCA"
+    (Storage_graph.to_parents a) (Storage_graph.to_parents b)
+
+let test_io_roundtrip_random () =
+  let rng = Prng.create ~seed:269 in
+  for _ = 1 to 30 do
+    let g = Fixtures.random_graph ~n_min:2 ~n_max:12 rng in
+    let g' = Fixtures.ok (Graph_io.of_string (Graph_io.to_string g)) in
+    Alcotest.(check bool) "round trip" true (graph_equal g g')
+  done
+
+let test_io_exact_floats () =
+  (* %h hex floats must round-trip non-representable decimals *)
+  let g = Aux_graph.create ~n_versions:1 in
+  Aux_graph.add_materialization g ~version:1 ~delta:0.1 ~phi:(1.0 /. 3.0);
+  let g' = Fixtures.ok (Graph_io.of_string (Graph_io.to_string g)) in
+  match Aux_graph.materialization g' 1 with
+  | Some w ->
+      Alcotest.(check (float 0.)) "delta exact" 0.1 w.Aux_graph.delta;
+      Alcotest.(check (float 0.)) "phi exact" (1.0 /. 3.0) w.Aux_graph.phi
+  | None -> Alcotest.fail "lost materialization"
+
+let test_io_files () =
+  let g = Fixtures.figure1 () in
+  let path = Filename.temp_file "graph" ".dsvcg" in
+  Fixtures.ok (Graph_io.save g ~path);
+  let g' = Fixtures.ok (Graph_io.load ~path) in
+  Alcotest.(check bool) "file round trip" true (graph_equal g g');
+  Sys.remove path
+
+let test_io_malformed () =
+  List.iter
+    (fun s ->
+      match Graph_io.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s)
+    [
+      "";
+      "garbage";
+      "dsvc-graph 2 5\n";
+      "dsvc-graph 1 x\n";
+      "dsvc-graph 1 2\nm 5 1.0 1.0\n";
+      (* version out of range *)
+      "dsvc-graph 1 2\nd 1 1 1.0 1.0\n";
+      (* self edge *)
+      "dsvc-graph 1 2\nwhat 1 2\n";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "exact P3 = brute force" `Quick test_p3_vs_brute_force;
+    Alcotest.test_case "exact P3 <= LMG" `Quick test_p3_lower_bounds_lmg;
+    Alcotest.test_case "exact P3 infeasible" `Quick test_p3_infeasible_budget;
+    Alcotest.test_case "exact P3 node budget" `Quick test_p3_node_budget;
+    Alcotest.test_case "io roundtrip (figure 1)" `Quick
+      test_io_roundtrip_figure1;
+    Alcotest.test_case "io roundtrip (random)" `Quick test_io_roundtrip_random;
+    Alcotest.test_case "io exact floats" `Quick test_io_exact_floats;
+    Alcotest.test_case "io files" `Quick test_io_files;
+    Alcotest.test_case "io malformed" `Quick test_io_malformed;
+  ]

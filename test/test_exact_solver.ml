@@ -1,0 +1,166 @@
+(* Exact B&B vs brute force, and the Solver façade. *)
+
+open Versioning_core
+module Prng = Versioning_util.Prng
+
+let test_exact_vs_brute_force () =
+  let rng = Prng.create ~seed:103 in
+  for _ = 1 to 40 do
+    let g = Fixtures.random_graph ~n_min:2 ~n_max:6 rng in
+    let dist = Spt.distances g in
+    let maxd = Array.fold_left Float.max 0.0 dist in
+    let theta = maxd *. (1.0 +. Prng.float rng 1.5) in
+    let bf = Exact.brute_force_p6 g ~theta in
+    let ex = Exact.solve_p6 g ~theta () in
+    match (bf, ex.Exact.tree) with
+    | Some b, Some e ->
+        Alcotest.(check bool) "search exhausted" true ex.Exact.optimal;
+        Alcotest.check Fixtures.float_eq "same optimum"
+          (Storage_graph.storage_cost b)
+          (Storage_graph.storage_cost e);
+        Alcotest.(check bool) "theta respected" true
+          (Storage_graph.max_recreation e <= theta +. 1e-9)
+    | None, None -> ()
+    | Some _, None -> Alcotest.fail "exact missed a feasible solution"
+    | None, Some _ -> Alcotest.fail "exact fabricated a solution"
+  done
+
+let test_exact_figure1 () =
+  let g = Fixtures.figure1 () in
+  let r = Exact.solve_p6 g ~theta:13000.0 () in
+  match r.Exact.tree with
+  | Some sg ->
+      Alcotest.(check bool) "optimal" true r.Exact.optimal;
+      (* verified against brute force *)
+      let bf = Option.get (Exact.brute_force_p6 g ~theta:13000.0) in
+      Alcotest.check Fixtures.float_eq "figure 1 optimum"
+        (Storage_graph.storage_cost bf)
+        (Storage_graph.storage_cost sg);
+      Alcotest.(check bool) "beats or meets MP" true
+        (Storage_graph.storage_cost sg
+        <= (match Mp.solve g ~theta:13000.0 with
+           | { Mp.tree = Some m; _ } -> Storage_graph.storage_cost m
+           | _ -> infinity)
+           +. 1e-9)
+  | None -> Alcotest.fail "feasible instance"
+
+let test_exact_lower_bounds_mp () =
+  let rng = Prng.create ~seed:107 in
+  for _ = 1 to 20 do
+    let g = Fixtures.random_graph ~n_min:3 ~n_max:8 rng in
+    let dist = Spt.distances g in
+    let maxd = Array.fold_left Float.max 0.0 dist in
+    let theta = maxd *. 1.5 in
+    match (Exact.solve_p6 g ~theta (), Mp.solve g ~theta) with
+    | { Exact.tree = Some e; _ }, { Mp.tree = Some m; _ } ->
+        Alcotest.(check bool) "exact <= MP" true
+          (Storage_graph.storage_cost e
+          <= Storage_graph.storage_cost m +. 1e-9)
+    | _ -> ()
+  done
+
+let test_exact_node_budget () =
+  let rng = Prng.create ~seed:109 in
+  let g = Fixtures.random_graph ~n_min:8 ~n_max:12 ~density:0.8 rng in
+  let dist = Spt.distances g in
+  let maxd = Array.fold_left Float.max 0.0 dist in
+  let r = Exact.solve_p6 g ~theta:(2.0 *. maxd) ~node_budget:5 () in
+  Alcotest.(check bool) "budget exhausts" false r.Exact.optimal;
+  (* the MP incumbent is still reported *)
+  Alcotest.(check bool) "incumbent available" true (r.Exact.tree <> None);
+  Alcotest.(check bool) "node count near budget" true (r.Exact.nodes <= 6)
+
+let test_exact_infeasible () =
+  let g = Fixtures.figure1 () in
+  let r = Exact.solve_p6 g ~theta:10.0 () in
+  Alcotest.(check bool) "no tree" true (r.Exact.tree = None)
+
+(* ---- Solver façade ---- *)
+
+let test_solver_p1_p2 () =
+  let g = Fixtures.figure1 () in
+  let p1 = Fixtures.ok (Solver.solve g Solver.Minimize_storage) in
+  Alcotest.check Fixtures.float_eq "P1 = MCA optimum" 11450.0
+    (Storage_graph.storage_cost p1);
+  let p2 = Fixtures.ok (Solver.solve g Solver.Minimize_recreation) in
+  Alcotest.check Fixtures.float_eq "P2 minimizes every Ri" 10120.0
+    (Storage_graph.recreation_cost p2 5)
+
+let test_solver_constraints_respected () =
+  let rng = Prng.create ~seed:113 in
+  for _ = 1 to 15 do
+    let g = Fixtures.random_graph ~n_min:5 ~n_max:15 rng in
+    let base = Fixtures.ok (Solver.min_storage_tree g) in
+    let spt = Fixtures.ok (Spt.solve g) in
+    let cmin = Storage_graph.storage_cost base in
+    let beta = cmin *. 1.5 in
+    (match Solver.solve g (Solver.Min_sum_recreation_bounded_storage beta) with
+    | Ok sg ->
+        Alcotest.(check bool) "P3 storage bound" true
+          (Storage_graph.storage_cost sg <= beta +. 1e-9)
+    | Error e -> Alcotest.failf "P3: %s" e);
+    (match Solver.solve g (Solver.Min_max_recreation_bounded_storage beta) with
+    | Ok sg ->
+        Alcotest.(check bool) "P4 storage bound" true
+          (Storage_graph.storage_cost sg <= beta +. 1e-9)
+    | Error e -> Alcotest.failf "P4: %s" e);
+    let sum_bound = Storage_graph.sum_recreation spt *. 1.3 in
+    (match
+       Solver.solve g (Solver.Min_storage_bounded_sum_recreation sum_bound)
+     with
+    | Ok sg ->
+        Alcotest.(check bool) "P5 sum bound" true
+          (Storage_graph.sum_recreation sg <= sum_bound +. 1e-6)
+    | Error e -> Alcotest.failf "P5: %s" e);
+    let dist = Spt.distances g in
+    let theta = 1.5 *. Array.fold_left Float.max 0.0 dist in
+    match Solver.solve g (Solver.Min_storage_bounded_max_recreation theta) with
+    | Ok sg ->
+        Alcotest.(check bool) "P6 max bound" true
+          (Storage_graph.max_recreation sg <= theta +. 1e-9)
+    | Error e -> Alcotest.failf "P6: %s" e
+  done
+
+let test_solver_undirected_dispatch () =
+  let rng = Prng.create ~seed:127 in
+  let g = Aux_graph.symmetrize (Fixtures.random_graph ~n_min:5 ~n_max:10 rng) in
+  (* On a symmetric graph min_storage_tree routes to Prim's MST. *)
+  let t = Fixtures.ok (Solver.min_storage_tree g) in
+  let p = Fixtures.ok (Mst.prim g) in
+  Alcotest.check Fixtures.float_eq "uses MST weight" (Mst.weight p)
+    (Storage_graph.storage_cost t)
+
+let test_solver_infeasible_budget () =
+  let g = Fixtures.figure1 () in
+  match Solver.solve g (Solver.Min_sum_recreation_bounded_storage 1.0) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "budget below minimum storage must fail"
+
+let test_solver_weighted () =
+  let g = Fixtures.figure1 () in
+  let freqs = [| 0.; 1.; 1.; 1.; 1.; 100. |] in
+  match
+    Solver.solve_weighted g ~freqs
+      (Solver.Min_sum_recreation_bounded_storage 13000.0)
+  with
+  | Ok sg ->
+      Alcotest.(check bool) "storage bound respected" true
+        (Storage_graph.storage_cost sg <= 13000.0 +. 1e-9)
+  | Error e -> Alcotest.failf "weighted solve failed: %s" e
+
+let suite =
+  [
+    Alcotest.test_case "exact = brute force" `Quick test_exact_vs_brute_force;
+    Alcotest.test_case "exact figure 1" `Quick test_exact_figure1;
+    Alcotest.test_case "exact <= MP" `Quick test_exact_lower_bounds_mp;
+    Alcotest.test_case "exact node budget" `Quick test_exact_node_budget;
+    Alcotest.test_case "exact infeasible" `Quick test_exact_infeasible;
+    Alcotest.test_case "solver P1/P2" `Quick test_solver_p1_p2;
+    Alcotest.test_case "solver constraints" `Quick
+      test_solver_constraints_respected;
+    Alcotest.test_case "solver undirected dispatch" `Quick
+      test_solver_undirected_dispatch;
+    Alcotest.test_case "solver infeasible budget" `Quick
+      test_solver_infeasible_budget;
+    Alcotest.test_case "solver weighted" `Quick test_solver_weighted;
+  ]

@@ -1,0 +1,133 @@
+module Heap = Versioning_util.Binary_heap
+module Prng = Versioning_util.Prng
+
+let test_empty () =
+  let h = Heap.create ~capacity:4 in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Heap.pop_min h))
+
+let test_basic_order () =
+  let h = Heap.create ~capacity:10 in
+  List.iter (fun (v, k) -> Heap.insert h v k)
+    [ (3, 5.0); (1, 2.0); (7, 9.0); (0, 4.0) ];
+  Alcotest.(check (pair int (float 0.))) "min" (1, 2.0) (Heap.pop_min h);
+  Alcotest.(check (pair int (float 0.))) "next" (0, 4.0) (Heap.pop_min h);
+  Alcotest.(check (pair int (float 0.))) "next" (3, 5.0) (Heap.pop_min h);
+  Alcotest.(check (pair int (float 0.))) "next" (7, 9.0) (Heap.pop_min h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_update_key () =
+  let h = Heap.create ~capacity:4 in
+  Heap.insert h 0 10.0;
+  Heap.insert h 1 20.0;
+  (* Re-insert acts as update, both directions. *)
+  Heap.insert h 1 5.0;
+  Alcotest.(check (pair int (float 0.))) "decreased wins" (1, 5.0) (Heap.min_elt h);
+  Heap.insert h 1 30.0;
+  Alcotest.(check (pair int (float 0.))) "increased loses" (0, 10.0) (Heap.min_elt h);
+  Alcotest.(check int) "still 2 elements" 2 (Heap.length h)
+
+let test_decrease_key () =
+  let h = Heap.create ~capacity:4 in
+  Heap.insert h 2 50.0;
+  Heap.insert h 3 40.0;
+  Heap.decrease_key h 2 1.0;
+  Alcotest.(check (pair int (float 0.))) "decreased" (2, 1.0) (Heap.pop_min h);
+  (* No-op when key is not lower. *)
+  Heap.decrease_key h 3 99.0;
+  Alcotest.(check (float 0.)) "unchanged" 40.0 (Heap.key_of h 3);
+  Alcotest.check_raises "absent element" Not_found (fun () ->
+      Heap.decrease_key h 0 1.0)
+
+let test_mem_key_of () =
+  let h = Heap.create ~capacity:4 in
+  Heap.insert h 1 3.5;
+  Alcotest.(check bool) "mem" true (Heap.mem h 1);
+  Alcotest.(check bool) "not mem" false (Heap.mem h 0);
+  Alcotest.(check bool) "out of range not mem" false (Heap.mem h 100);
+  Alcotest.(check (float 0.)) "key_of" 3.5 (Heap.key_of h 1)
+
+let test_remove () =
+  let h = Heap.create ~capacity:8 in
+  List.iter (fun v -> Heap.insert h v (float_of_int v)) [ 5; 2; 7; 1; 3 ];
+  Heap.remove h 2;
+  Heap.remove h 2;
+  (* second remove is a no-op *)
+  Alcotest.(check bool) "removed" false (Heap.mem h 2);
+  let drained = ref [] in
+  while not (Heap.is_empty h) do
+    drained := fst (Heap.pop_min h) :: !drained
+  done;
+  Alcotest.(check (list int)) "rest in order" [ 7; 5; 3; 1 ] !drained
+
+let test_tie_determinism () =
+  let h = Heap.create ~capacity:8 in
+  List.iter (fun v -> Heap.insert h v 1.0) [ 4; 2; 6; 0 ];
+  Alcotest.(check int) "smallest id first on tie" 0 (fst (Heap.pop_min h));
+  Alcotest.(check int) "then next" 2 (fst (Heap.pop_min h))
+
+let test_range_check () =
+  let h = Heap.create ~capacity:2 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Binary_heap.insert: element out of range") (fun () ->
+      Heap.insert h 2 1.0)
+
+let qcheck_heapsort =
+  QCheck.Test.make ~name:"heap drains in sorted key order" ~count:300
+    QCheck.(small_list (pair (int_bound 200) (float_bound_inclusive 1000.0)))
+    (fun pairs ->
+      let h = Heap.create ~capacity:201 in
+      let expected = Hashtbl.create 16 in
+      List.iter
+        (fun (v, k) ->
+          Heap.insert h v k;
+          Hashtbl.replace expected v k)
+        pairs;
+      let out = ref [] in
+      while not (Heap.is_empty h) do
+        out := Heap.pop_min h :: !out
+      done;
+      let out = List.rev !out in
+      (* each element once, with its final key, in nondecreasing order *)
+      List.length out = Hashtbl.length expected
+      && List.for_all (fun (v, k) -> Hashtbl.find expected v = k) out
+      && fst
+           (List.fold_left
+              (fun (okay, prev) (_, k) -> (okay && k >= prev, k))
+              (true, neg_infinity) out))
+
+let qcheck_decrease_key =
+  QCheck.Test.make ~name:"decrease_key preserves heap order" ~count:200
+    QCheck.(
+      pair
+        (small_list (pair (int_bound 50) (float_bound_inclusive 100.0)))
+        (small_list (pair (int_bound 50) (float_bound_inclusive 100.0))))
+    (fun (inserts, decreases) ->
+      let h = Heap.create ~capacity:51 in
+      List.iter (fun (v, k) -> Heap.insert h v k) inserts;
+      List.iter
+        (fun (v, k) -> if Heap.mem h v then Heap.decrease_key h v k)
+        decreases;
+      let prev = ref neg_infinity in
+      let sorted = ref true in
+      while not (Heap.is_empty h) do
+        let _, k = Heap.pop_min h in
+        if k < !prev then sorted := false;
+        prev := k
+      done;
+      !sorted)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "basic order" `Quick test_basic_order;
+    Alcotest.test_case "insert as update" `Quick test_update_key;
+    Alcotest.test_case "decrease_key" `Quick test_decrease_key;
+    Alcotest.test_case "mem / key_of" `Quick test_mem_key_of;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "tie determinism" `Quick test_tie_determinism;
+    Alcotest.test_case "range check" `Quick test_range_check;
+    QCheck_alcotest.to_alcotest qcheck_heapsort;
+    QCheck_alcotest.to_alcotest qcheck_decrease_key;
+  ]

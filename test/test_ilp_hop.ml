@@ -1,0 +1,140 @@
+(* LP export and the hop-cost variant. *)
+
+open Versioning_core
+module Prng = Versioning_util.Prng
+
+(* ---- Ilp ---- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_lp_structure_p6 () =
+  let g = Fixtures.figure1 () in
+  let lp = Ilp.emit g (Solver.Min_storage_bounded_max_recreation 13000.0) in
+  Alcotest.(check bool) "minimizes storage" true
+    (contains ~needle:"Minimize" lp);
+  (* objective carries every revealed delta cost *)
+  Alcotest.(check bool) "edge var present" true (contains ~needle:"x_1_2" lp);
+  Alcotest.(check bool) "materialization var present" true
+    (contains ~needle:"x_0_1" lp);
+  (* one parent constraint per version *)
+  for j = 1 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "parent constraint %d" j)
+      true
+      (contains ~needle:(Printf.sprintf "parent_%d:" j) lp)
+  done;
+  (* theta constraints *)
+  Alcotest.(check bool) "theta rows" true (contains ~needle:"theta_5: r_5 <= 13000" lp);
+  (* big-M is 2 theta, as the paper suggests *)
+  Alcotest.(check (float 1e-9)) "big M" 26000.0
+    (Ilp.big_m g (Solver.Min_storage_bounded_max_recreation 13000.0));
+  Alcotest.(check bool) "binary section" true (contains ~needle:"Binary" lp);
+  Alcotest.(check bool) "ends properly" true (contains ~needle:"End" lp)
+
+let test_lp_objectives_per_problem () =
+  let g = Fixtures.figure1 () in
+  let p3 = Ilp.emit g (Solver.Min_sum_recreation_bounded_storage 13000.0) in
+  Alcotest.(check bool) "p3 minimizes sum of r" true
+    (contains ~needle:"obj: r_1 + r_2" p3);
+  Alcotest.(check bool) "p3 storage bound" true (contains ~needle:"beta:" p3);
+  let p4 = Ilp.emit g (Solver.Min_max_recreation_bounded_storage 13000.0) in
+  Alcotest.(check bool) "p4 minimizes rmax" true (contains ~needle:"obj: rmax" p4);
+  Alcotest.(check bool) "p4 defines rmax" true (contains ~needle:"maxdef_1" p4);
+  let p5 = Ilp.emit g (Solver.Min_storage_bounded_sum_recreation 60000.0) in
+  Alcotest.(check bool) "p5 sum-recreation bound" true
+    (contains ~needle:"theta_sum:" p5);
+  Alcotest.(check bool) "p5 minimizes storage" true
+    (contains ~needle:"obj: 10000 x_0_1" p5);
+  let p1 = Ilp.emit g Solver.Minimize_storage in
+  Alcotest.(check bool) "p1 has no bound rows" true
+    (not (contains ~needle:"theta" p1) && not (contains ~needle:"beta" p1));
+  Alcotest.(check bool) "p2 rejected" true
+    (match Ilp.emit g Solver.Minimize_recreation with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_lp_counts () =
+  let rng = Prng.create ~seed:197 in
+  let g = Fixtures.random_graph ~n_min:4 ~n_max:8 rng in
+  let lp = Ilp.emit g (Solver.Min_storage_bounded_max_recreation 1000.0) in
+  let count_lines pred =
+    String.split_on_char '\n' lp |> List.filter pred |> List.length
+  in
+  let n = Aux_graph.n_versions g in
+  let n_edges = Versioning_graph.Digraph.n_edges (Aux_graph.graph g) in
+  Alcotest.(check int) "one rec row per edge"
+    n_edges
+    (count_lines (fun l -> contains ~needle:" rec_" ("\n" ^ l ^ "\n") || String.length l > 5 && String.sub l 0 5 = " rec_"));
+  Alcotest.(check int) "one theta row per version" n
+    (count_lines (fun l -> String.length l > 7 && String.sub l 0 7 = " theta_"))
+
+(* ---- Hop_cost ---- *)
+
+let test_hop_graph () =
+  let g = Fixtures.figure1 () in
+  let h = Hop_cost.of_aux g in
+  Alcotest.(check int) "same versions" 5 (Aux_graph.n_versions h);
+  Versioning_graph.Digraph.iter_edges (Aux_graph.graph h) (fun e ->
+      Alcotest.(check (float 0.)) "phi = 1" 1.0 e.label.Aux_graph.phi);
+  (* delta weights preserved *)
+  match Aux_graph.delta h ~src:1 ~dst:3 with
+  | Some w -> Alcotest.(check (float 0.)) "delta kept" 1000.0 w.Aux_graph.delta
+  | None -> Alcotest.fail "edge lost"
+
+let test_bounded_depth_zero () =
+  let g = Fixtures.figure1 () in
+  let sg = Fixtures.ok (Hop_cost.solve_bounded_depth g ~max_depth:0) in
+  Alcotest.(check int) "no chains" 0 (Hop_cost.max_depth sg);
+  (* all materialized: storage = sum of diagonals *)
+  Alcotest.check Fixtures.float_eq "full materialization" 49720.0
+    (Storage_graph.storage_cost sg)
+
+let test_bounded_depth_decreasing_storage () =
+  let rng = Prng.create ~seed:199 in
+  for _ = 1 to 10 do
+    let g = Fixtures.random_graph ~n_min:8 ~n_max:15 ~density:0.5 rng in
+    let costs =
+      List.filter_map
+        (fun d ->
+          match Hop_cost.solve_bounded_depth g ~max_depth:d with
+          | Ok sg ->
+              Alcotest.(check bool) "depth bound respected" true
+                (Hop_cost.max_depth sg <= d);
+              Some (Storage_graph.storage_cost sg)
+          | Error _ -> None)
+        [ 0; 1; 2; 4; 100 ]
+    in
+    (* looser depth never costs more storage under MP's greedy *)
+    Alcotest.(check bool) "got solutions" true (List.length costs >= 2);
+    let first = List.hd costs and last = List.nth costs (List.length costs - 1) in
+    Alcotest.(check bool) "deep chains cheaper than materializing all" true
+      (last <= first +. 1e-9)
+  done
+
+let test_depth_recosting () =
+  (* the returned tree carries the ORIGINAL phi costs, not the hop
+     costs *)
+  let g = Fixtures.figure1 () in
+  let sg = Fixtures.ok (Hop_cost.solve_bounded_depth g ~max_depth:1) in
+  for v = 1 to 5 do
+    if Storage_graph.parent sg v <> 0 then
+      Alcotest.(check bool) "real phi on edges" true
+        ((Storage_graph.edge_weight sg v).Aux_graph.phi > 1.0)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "lp structure (P6)" `Quick test_lp_structure_p6;
+    Alcotest.test_case "lp objectives per problem" `Quick
+      test_lp_objectives_per_problem;
+    Alcotest.test_case "lp row counts" `Quick test_lp_counts;
+    Alcotest.test_case "hop graph" `Quick test_hop_graph;
+    Alcotest.test_case "depth 0 = materialize all" `Quick
+      test_bounded_depth_zero;
+    Alcotest.test_case "bounded depth storage" `Quick
+      test_bounded_depth_decreasing_storage;
+    Alcotest.test_case "recosting to real phi" `Quick test_depth_recosting;
+  ]

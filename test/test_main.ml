@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "dataset_versioning"
+    [
+      ("prng", Test_prng.suite);
+      ("binary_heap", Test_heap.suite);
+      ("union_find", Test_union_find.suite);
+      ("zipf", Test_zipf.suite);
+      ("stats", Test_stats.suite);
+      ("digraph", Test_digraph.suite);
+      ("myers", Test_myers.suite);
+      ("line_diff", Test_line_diff.suite);
+      ("cell_diff", Test_cell_diff.suite);
+      ("xor_compress", Test_xor_compress.suite);
+      ("csv_delta", Test_csv_delta.suite);
+      ("aux_storage", Test_aux_storage.suite);
+      ("trees", Test_trees.suite);
+      ("heuristics", Test_heuristics.suite);
+      ("exact_solver", Test_exact_solver.suite);
+      ("workload", Test_workload.suite);
+      ("store", Test_store.suite);
+      ("online", Test_online.suite);
+      ("binary_chunk", Test_binary_chunk.suite);
+      ("ilp_hop", Test_ilp_hop.suite);
+      ("store_extras", Test_store_extras.suite);
+      ("integration", Test_integration.suite);
+      ("extensions", Test_extensions.suite);
+      ("paper_examples", Test_paper_examples.suite);
+      ("archive", Test_archive.suite);
+      ("exact_p3_io", Test_exact_p3_io.suite);
+      ("server", Test_server.suite);
+      ("edge_cases", Test_edge_cases.suite);
+      ("metric_properties", Test_metric_properties.suite);
+      ("client", Test_client.suite);
+      ("robustness", Test_robustness.suite);
+    ]

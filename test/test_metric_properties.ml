@@ -1,0 +1,209 @@
+(* Properties that hold on metric (triangle-inequality-respecting)
+   instances — the realistic regime §3 argues deltas always live in.
+   Instances: versions are points on a line; the delta between two
+   versions is their distance (+1 byte of framing), a materialization
+   is the distance from the empty version (origin) plus framing. *)
+
+open Versioning_core
+module Prng = Versioning_util.Prng
+
+let metric_graph rng =
+  let n = Prng.int_in rng 3 12 in
+  let xs = Array.init (n + 1) (fun _ -> float_of_int (Prng.int_in rng 1 500)) in
+  let g = Aux_graph.create ~n_versions:n in
+  for v = 1 to n do
+    let c = xs.(v) +. 1.0 in
+    Aux_graph.add_materialization g ~version:v ~delta:c ~phi:c
+  done;
+  for s = 1 to n do
+    for d = 1 to n do
+      if s <> d then begin
+        let c = Float.abs (xs.(s) -. xs.(d)) +. 1.0 in
+        Aux_graph.add_delta g ~src:s ~dst:d ~delta:c ~phi:c
+      end
+    done
+  done;
+  g
+
+let test_generator_is_metric () =
+  let rng = Prng.create ~seed:281 in
+  for _ = 1 to 50 do
+    let g = metric_graph rng in
+    match Aux_graph.triangle_violation g with
+    | None -> ()
+    | Some (p, q, w) ->
+        Alcotest.failf "metric generator violated triangle at (%d,%d,%d)" p q w
+  done
+
+let test_violation_detected () =
+  (* a delta wildly cheaper than the two-hop alternative's difference
+     breaks the diagonal rule *)
+  let g = Aux_graph.create ~n_versions:2 in
+  Aux_graph.add_materialization g ~version:1 ~delta:1000. ~phi:1000.;
+  Aux_graph.add_materialization g ~version:2 ~delta:1. ~phi:1.;
+  Aux_graph.add_delta g ~src:1 ~dst:2 ~delta:1. ~phi:1.;
+  (* Δ22 = 1 < Δ11 - Δ12 = 999: versions 1 and 2 differ by one byte of
+     delta yet their full sizes differ by 999 - impossible *)
+  Alcotest.(check bool) "diagonal violation found" true
+    (Aux_graph.triangle_violation g <> None);
+  (* path-rule violation *)
+  let g = Aux_graph.create ~n_versions:3 in
+  for v = 1 to 3 do
+    Aux_graph.add_materialization g ~version:v ~delta:100. ~phi:100.
+  done;
+  Aux_graph.add_delta g ~src:1 ~dst:2 ~delta:1. ~phi:1.;
+  Aux_graph.add_delta g ~src:2 ~dst:3 ~delta:1. ~phi:1.;
+  Aux_graph.add_delta g ~src:1 ~dst:3 ~delta:50. ~phi:50.;
+  Alcotest.(check bool) "path violation found" true
+    (Aux_graph.triangle_violation g <> None);
+  (* Amusingly, the paper's own Figure 1 numbers (which Example 2
+     admits are "fictitious and not the result of running any specific
+     algorithm") violate the diagonal rule: Δ5,5 = 10120 exceeds
+     Δ3,3 + Δ3,5 = 9900. The checker catches it. *)
+  Alcotest.(check bool) "figure 1's fictitious numbers flagged" true
+    (Aux_graph.triangle_violation (Fixtures.figure1 ()) <> None)
+
+let test_spt_materializes_under_metric () =
+  (* The diagonal triangle rule gives Φvv <= cost of any recreation
+     path, so on fully-metric instances the SPT distance equals the
+     materialization cost. *)
+  let rng = Prng.create ~seed:283 in
+  for _ = 1 to 30 do
+    let g = metric_graph rng in
+    let dist = Spt.distances g in
+    for v = 1 to Aux_graph.n_versions g do
+      let diag = (Option.get (Aux_graph.materialization g v)).Aux_graph.phi in
+      Alcotest.(check (float 1e-6)) "spt = direct materialization" diag dist.(v)
+    done
+  done
+
+let test_mca_storage_bounds_under_metric () =
+  (* C(MCA) >= cheapest materialization (someone must be stored in
+     full... in tree terms: the root child's edge is a materialization)
+     and C(MCA) <= C(star from cheapest version). *)
+  let rng = Prng.create ~seed:293 in
+  for _ = 1 to 30 do
+    let g = metric_graph rng in
+    let n = Aux_graph.n_versions g in
+    let mca = Fixtures.ok (Mca.solve g) in
+    let cheapest = ref infinity in
+    for v = 1 to n do
+      let d = (Option.get (Aux_graph.materialization g v)).Aux_graph.delta in
+      if d < !cheapest then cheapest := d
+    done;
+    Alcotest.(check bool) "at least one materialization's worth" true
+      (Storage_graph.storage_cost mca >= !cheapest -. 1e-6);
+    (* upper bound: star on the cheapest version *)
+    let v_min = ref 1 in
+    for v = 2 to n do
+      let dv = (Option.get (Aux_graph.materialization g v)).Aux_graph.delta in
+      let dm = (Option.get (Aux_graph.materialization g !v_min)).Aux_graph.delta in
+      if dv < dm then v_min := v
+    done;
+    let star =
+      List.init n (fun i ->
+          let v = i + 1 in
+          if v = !v_min then (0, v) else (!v_min, v))
+    in
+    let star_sg = Fixtures.ok (Storage_graph.of_parents g ~parents:star) in
+    Alcotest.(check bool) "mca below the star" true
+      (Storage_graph.storage_cost mca
+      <= Storage_graph.storage_cost star_sg +. 1e-6)
+  done
+
+let test_heuristics_consistent_under_metric () =
+  (* Sanity across the board on metric instances: every algorithm's
+     solution is valid and its costs sit between the MCA and SPT
+     extremes on the respective axes. *)
+  let rng = Prng.create ~seed:307 in
+  for _ = 1 to 20 do
+    let g = metric_graph rng in
+    let base = Fixtures.ok (Solver.min_storage_tree g) in
+    let spt = Fixtures.ok (Spt.solve g) in
+    let budget = 1.3 *. Storage_graph.storage_cost base in
+    let sols =
+      [
+        Lmg.solve g ~base ~spt ~budget ();
+        Last.solve g ~base ~alpha:2.0;
+        Fixtures.ok (Gith.solve g ~window:0 ~max_depth:10);
+      ]
+    in
+    List.iter
+      (fun sg ->
+        Fixtures.check_valid g sg;
+        Alcotest.(check bool) "storage >= MCA" true
+          (Storage_graph.storage_cost sg
+          >= Storage_graph.storage_cost base -. 1e-6);
+        Alcotest.(check bool) "sumR >= SPT" true
+          (Storage_graph.sum_recreation sg
+          >= Storage_graph.sum_recreation spt -. 1e-6))
+      sols
+  done
+
+let test_real_diffs_respect_triangle () =
+  (* deltas computed from real contents (line diffs) satisfy the rules
+     the paper assumes — at least on generated tabular data *)
+  let rng = Prng.create ~seed:311 in
+  let h =
+    Versioning_workload.History_gen.generate
+      (Versioning_workload.History_gen.flat_params ~n_commits:12)
+      rng
+  in
+  let d =
+    Versioning_workload.Dataset_gen.generate h
+      {
+        Versioning_workload.Dataset_gen.default_params with
+        initial_rows = 30;
+        initial_cols = 4;
+      }
+      rng
+  in
+  let g =
+    Versioning_workload.Dataset_gen.all_pairs_aux
+      ~contents:d.Versioning_workload.Dataset_gen.contents
+      ~mode:Versioning_workload.Dataset_gen.Line_directed
+  in
+  (* Line diffs are not exactly a metric (encodings add framing), so
+     allow detection but require that any violation is marginal:
+     re-check with a 15% slack by scaling the deltas. *)
+  match Aux_graph.triangle_violation g with
+  | None -> ()
+  | Some _ ->
+      (* rebuild with slack: delta' = delta * 1.15 on one-hop legs is
+         equivalent to allowing 15% framing overhead; simplest check:
+         quantify the worst relative violation manually *)
+      let dg = Aux_graph.graph g in
+      let w = Hashtbl.create 256 in
+      Versioning_graph.Digraph.iter_edges dg (fun e ->
+          let key = if e.src = 0 then (e.dst, e.dst) else (e.src, e.dst) in
+          if not (Hashtbl.mem w key) then
+            Hashtbl.replace w key e.label.Aux_graph.delta);
+      let worst = ref 1.0 in
+      Hashtbl.iter
+        (fun (p, q) d_pq ->
+          if p <> q then
+            Hashtbl.iter
+              (fun (q', x) d_qx ->
+                if q' = q && x <> p && x <> q then
+                  match Hashtbl.find_opt w (p, x) with
+                  | Some d_px when d_px > d_pq +. d_qx ->
+                      worst := Float.max !worst (d_px /. (d_pq +. d_qx))
+                  | _ -> ())
+              w)
+        w;
+      Alcotest.(check bool) "violations within encoding overhead" true
+        (!worst < 1.3)
+
+let suite =
+  [
+    Alcotest.test_case "generator is metric" `Quick test_generator_is_metric;
+    Alcotest.test_case "violations detected" `Quick test_violation_detected;
+    Alcotest.test_case "spt materializes under metric" `Quick
+      test_spt_materializes_under_metric;
+    Alcotest.test_case "mca bounds under metric" `Quick
+      test_mca_storage_bounds_under_metric;
+    Alcotest.test_case "heuristics consistent under metric" `Quick
+      test_heuristics_consistent_under_metric;
+    Alcotest.test_case "real diffs near-metric" `Quick
+      test_real_diffs_respect_triangle;
+  ]

@@ -1,0 +1,118 @@
+module Myers = Versioning_delta.Myers
+
+let apply_str a b script =
+  let arr s = Array.init (String.length s) (String.get s) in
+  let out = Myers.apply (arr a) (arr b) script in
+  String.init (Array.length out) (Array.get out)
+
+let diff_str a b =
+  let arr s = Array.init (String.length s) (String.get s) in
+  Myers.diff (arr a) (arr b)
+
+let test_identity () =
+  let s = diff_str "hello" "hello" in
+  Alcotest.(check int) "no edits" 0 (Myers.edit_distance s);
+  Alcotest.(check string) "round trip" "hello" (apply_str "hello" "hello" s)
+
+let test_empty_cases () =
+  Alcotest.(check string) "from empty" "abc" (apply_str "" "abc" (diff_str "" "abc"));
+  Alcotest.(check string) "to empty" "" (apply_str "abc" "" (diff_str "abc" ""));
+  Alcotest.(check int) "both empty" 0 (Myers.edit_distance (diff_str "" ""))
+
+let test_known_distances () =
+  (* classic examples with known shortest edit script lengths *)
+  let check a b expected =
+    Alcotest.(check int)
+      (Printf.sprintf "d(%s, %s)" a b)
+      expected
+      (Myers.edit_distance (diff_str a b))
+  in
+  check "abcabba" "cbabac" 5;
+  (* Myers' paper example *)
+  check "kitten" "sitting" 5;
+  (* 2 substitutions (=4 ops as del+ins) + 1 insert *)
+  check "abc" "abc" 0;
+  check "abc" "axc" 2;
+  check "" "aaa" 3;
+  check "aaa" "" 3
+
+let test_coalescing () =
+  let script = diff_str "aaaa" "aaaabbbb" in
+  (* should be Keep 4 :: Insert(4,4), coalesced *)
+  Alcotest.(check bool) "coalesced" true (List.length script <= 2)
+
+let test_apply_validation () =
+  let script = diff_str "abc" "abd" in
+  let arr s = Array.init (String.length s) (String.get s) in
+  Alcotest.check_raises "wrong source length"
+    (Invalid_argument "Myers.apply: script does not consume the whole source")
+    (fun () -> ignore (Myers.apply (arr "abcdef") (arr "abd") script))
+
+let test_custom_equality () =
+  let a = [| "A"; "b"; "C" |] and b = [| "a"; "B"; "c" |] in
+  let script =
+    Myers.diff
+      ~equal:(fun x y -> String.lowercase_ascii x = String.lowercase_ascii y)
+      a b
+  in
+  Alcotest.(check int) "case-insensitive equal" 0 (Myers.edit_distance script)
+
+let gen_doc =
+  QCheck.Gen.(
+    map
+      (fun l -> String.concat "" (List.map (String.make 1) l))
+      (small_list (oneofl [ 'a'; 'b'; 'c' ])))
+
+let arb_doc = QCheck.make ~print:Fun.id gen_doc
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"myers apply(diff a b) a = b" ~count:1000
+    (QCheck.pair arb_doc arb_doc)
+    (fun (a, b) -> apply_str a b (diff_str a b) = b)
+
+let qcheck_minimality_vs_dp =
+  (* compare against a textbook O(nm) edit-distance DP (insert/delete
+     only, i.e. 2*(n - lcs) style) *)
+  let dp_distance a b =
+    let n = String.length a and m = String.length b in
+    let d = Array.make_matrix (n + 1) (m + 1) 0 in
+    for i = 0 to n do
+      d.(i).(0) <- i
+    done;
+    for j = 0 to m do
+      d.(0).(j) <- j
+    done;
+    for i = 1 to n do
+      for j = 1 to m do
+        d.(i).(j) <-
+          (if a.[i - 1] = b.[j - 1] then d.(i - 1).(j - 1)
+           else 1 + min d.(i - 1).(j) d.(i).(j - 1))
+      done
+    done;
+    d.(n).(m)
+  in
+  QCheck.Test.make ~name:"myers script length is minimal" ~count:500
+    (QCheck.pair arb_doc arb_doc)
+    (fun (a, b) -> Myers.edit_distance (diff_str a b) = dp_distance a b)
+
+let qcheck_script_structure =
+  QCheck.Test.make ~name:"insert offsets reference target accurately" ~count:500
+    (QCheck.pair arb_doc arb_doc)
+    (fun (a, b) ->
+      let script = diff_str a b in
+      (* replaying inserts must produce exactly the chars of b *)
+      let out = apply_str a b script in
+      String.length out = String.length b && out = b)
+
+let suite =
+  [
+    Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "empty cases" `Quick test_empty_cases;
+    Alcotest.test_case "known distances" `Quick test_known_distances;
+    Alcotest.test_case "coalescing" `Quick test_coalescing;
+    Alcotest.test_case "apply validation" `Quick test_apply_validation;
+    Alcotest.test_case "custom equality" `Quick test_custom_equality;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_minimality_vs_dp;
+    QCheck_alcotest.to_alcotest qcheck_script_structure;
+  ]

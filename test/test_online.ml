@@ -1,0 +1,171 @@
+(* Online storage decisions (the §7 future-work extension). *)
+
+open Versioning_core
+module Prng = Versioning_util.Prng
+
+let w delta phi : Aux_graph.weight = { Aux_graph.delta; phi }
+
+let test_first_version_materialized () =
+  let t = Online.create Online.Min_delta in
+  let v = Result.get_ok (Online.add_version t ~materialization:(w 100. 100.) ~candidates:[]) in
+  Alcotest.(check int) "first id" 1 v;
+  Alcotest.(check int) "materialized" 0 (Online.parent t 1);
+  Alcotest.(check (float 0.)) "storage" 100. (Online.storage_cost t);
+  Alcotest.(check (float 0.)) "recreation" 100. (Online.recreation_cost t 1)
+
+let test_min_delta_policy () =
+  let t = Online.create Online.Min_delta in
+  let _ = Result.get_ok (Online.add_version t ~materialization:(w 100. 100.) ~candidates:[]) in
+  let v2 =
+    Result.get_ok
+      (Online.add_version t ~materialization:(w 110. 110.)
+         ~candidates:[ (1, w 5. 5.) ])
+  in
+  Alcotest.(check int) "delta chosen" 1 (Online.parent t v2);
+  Alcotest.(check (float 0.)) "chain recreation" 105. (Online.recreation_cost t v2);
+  (* a version whose delta candidates are all bigger than full
+     materializes *)
+  let v3 =
+    Result.get_ok
+      (Online.add_version t ~materialization:(w 50. 50.)
+         ~candidates:[ (1, w 80. 80.); (2, w 60. 60.) ])
+  in
+  Alcotest.(check int) "materialization cheaper" 0 (Online.parent t v3)
+
+let test_bounded_max_policy () =
+  let theta = 120.0 in
+  let t = Online.create (Online.Bounded_max theta) in
+  let _ = Result.get_ok (Online.add_version t ~materialization:(w 100. 100.) ~candidates:[]) in
+  (* chain grows while theta allows *)
+  let v2 =
+    Result.get_ok
+      (Online.add_version t ~materialization:(w 100. 100.)
+         ~candidates:[ (1, w 10. 10.) ])
+  in
+  Alcotest.(check int) "within theta: delta" 1 (Online.parent t v2);
+  (* next delta would hit 100+10+15 > 120: materialize despite the
+     cheap delta *)
+  let v3 =
+    Result.get_ok
+      (Online.add_version t ~materialization:(w 100. 100.)
+         ~candidates:[ (2, w 15. 15.) ])
+  in
+  Alcotest.(check int) "theta forces materialization" 0 (Online.parent t v3);
+  Alcotest.(check bool) "bound holds" true (Online.max_recreation t <= theta)
+
+let test_unknown_source () =
+  let t = Online.create Online.Min_delta in
+  match Online.add_version t ~materialization:(w 1. 1.) ~candidates:[ (7, w 1. 1.) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown source must fail"
+
+let random_run policy rng n =
+  let t = Online.create policy in
+  for _ = 1 to n do
+    let k = Online.n_versions t in
+    let candidates =
+      List.filter_map
+        (fun src ->
+          if Prng.bernoulli rng 0.5 then
+            let c = float_of_int (Prng.int_in rng 1 40) in
+            Some (src, w c c)
+          else None)
+        (List.init k (fun i -> i + 1))
+    in
+    let c = float_of_int (Prng.int_in rng 50 150) in
+    match Online.add_version t ~materialization:(w c c) ~candidates with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "add_version: %s" e
+  done;
+  t
+
+let test_snapshot_consistency () =
+  let rng = Prng.create ~seed:131 in
+  for _ = 1 to 20 do
+    let t = random_run Online.Min_delta rng 25 in
+    let sg = Online.to_storage_graph t in
+    Alcotest.(check (float 1e-6)) "storage agrees"
+      (Online.storage_cost t)
+      (Storage_graph.storage_cost sg);
+    for v = 1 to Online.n_versions t do
+      Alcotest.(check (float 1e-6)) "recreation agrees"
+        (Online.recreation_cost t v)
+        (Storage_graph.recreation_cost sg v)
+    done
+  done
+
+let test_online_vs_offline_drift () =
+  let rng = Prng.create ~seed:137 in
+  for _ = 1 to 10 do
+    let t = random_run Online.Min_delta rng 30 in
+    let drift = Result.get_ok (Online.drift t Solver.Minimize_storage) in
+    (* online can never beat the offline optimum *)
+    Alcotest.(check bool) "drift >= 1" true (drift >= 1.0 -. 1e-9);
+    (* reoptimizing closes the gap entirely *)
+    Result.get_ok (Online.reoptimize t Solver.Minimize_storage);
+    let drift' = Result.get_ok (Online.drift t Solver.Minimize_storage) in
+    Alcotest.(check (float 1e-6)) "drift eliminated" 1.0 drift'
+  done
+
+let test_reoptimize_preserves_validity () =
+  let rng = Prng.create ~seed:139 in
+  let t = random_run (Online.Bounded_max 400.0) rng 30 in
+  Result.get_ok (Online.reoptimize t Solver.Minimize_storage);
+  let sg = Online.to_storage_graph t in
+  Fixtures.check_valid (Online.aux_graph t) sg;
+  (* online decisions continue after a reoptimize *)
+  let v =
+    Result.get_ok
+      (Online.add_version t ~materialization:(w 90. 90.)
+         ~candidates:[ (1, w 9. 9.) ])
+  in
+  Alcotest.(check int) "continues" 31 v
+
+let test_bounded_max_always_holds () =
+  let rng = Prng.create ~seed:149 in
+  for _ = 1 to 10 do
+    let theta = 250.0 in
+    let t = random_run (Online.Bounded_max theta) rng 40 in
+    (* every version whose materialization fits theta respects it *)
+    for v = 1 to Online.n_versions t do
+      if Online.parent t v <> 0 then
+        Alcotest.(check bool) "delta-stored versions respect theta" true
+          (Online.recreation_cost t v <= theta +. 1e-9)
+    done
+  done
+
+let test_drift_recreation_objectives () =
+  (* drift is defined for every problem; recreation-objective problems
+     compare the matching objective *)
+  let rng = Prng.create ~seed:151 in
+  let t = random_run Online.Min_delta rng 20 in
+  let d_sum =
+    Result.get_ok (Online.drift t (Solver.Min_sum_recreation_bounded_storage 1e12))
+  in
+  Alcotest.(check bool) "sum-objective drift >= ... defined" true
+    (Float.is_finite d_sum && d_sum > 0.0);
+  let d_max =
+    Result.get_ok (Online.drift t (Solver.Min_max_recreation_bounded_storage 1e12))
+  in
+  Alcotest.(check bool) "max-objective drift defined" true
+    (Float.is_finite d_max && d_max > 0.0);
+  (* empty tracker: drift trivially 1 *)
+  let empty = Online.create Online.Min_delta in
+  Alcotest.(check (float 0.)) "empty drift" 1.0
+    (Result.get_ok (Online.drift empty Solver.Minimize_storage))
+
+let suite =
+  [
+    Alcotest.test_case "first version materialized" `Quick
+      test_first_version_materialized;
+    Alcotest.test_case "min-delta policy" `Quick test_min_delta_policy;
+    Alcotest.test_case "bounded-max policy" `Quick test_bounded_max_policy;
+    Alcotest.test_case "unknown source" `Quick test_unknown_source;
+    Alcotest.test_case "snapshot consistency" `Quick test_snapshot_consistency;
+    Alcotest.test_case "drift vs offline" `Quick test_online_vs_offline_drift;
+    Alcotest.test_case "reoptimize validity" `Quick
+      test_reoptimize_preserves_validity;
+    Alcotest.test_case "bounded-max holds" `Quick test_bounded_max_always_holds;
+    Alcotest.test_case "drift on recreation objectives" `Quick
+      test_drift_recreation_objectives;
+  ]

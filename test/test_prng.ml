@@ -1,0 +1,139 @@
+module Prng = Versioning_util.Prng
+
+let test_determinism () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref true in
+  for _ = 1 to 16 do
+    if Prng.next_int64 a <> Prng.next_int64 b then same := false
+  done;
+  Alcotest.(check bool) "different seeds differ" false !same
+
+let test_copy_independent () =
+  let a = Prng.create ~seed:7 in
+  let _ = Prng.next_int64 a in
+  let b = Prng.copy a in
+  let va = Prng.next_int64 a in
+  let vb = Prng.next_int64 b in
+  Alcotest.(check int64) "copy continues identically" va vb;
+  (* advancing the copy does not disturb the original *)
+  let _ = Prng.next_int64 b in
+  let a' = Prng.copy a in
+  Alcotest.(check int64) "original unaffected" (Prng.next_int64 a)
+    (Prng.next_int64 a')
+
+let test_split () =
+  let a = Prng.create ~seed:3 in
+  let b = Prng.split a in
+  (* The split stream differs from the parent's continuation. *)
+  let pa = Prng.next_int64 a and pb = Prng.next_int64 b in
+  Alcotest.(check bool) "split streams differ" true (pa <> pb)
+
+let test_int_bounds () =
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    Alcotest.(check bool) "0 <= v < 7" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_int_in () =
+  let rng = Prng.create ~seed:6 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    let v = Prng.int_in rng 3 7 in
+    Alcotest.(check bool) "in [3,7]" true (v >= 3 && v <= 7);
+    seen.(v - 3) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float () =
+  let rng = Prng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Prng.create ~seed:9 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Prng.bernoulli rng 0.0);
+    Alcotest.(check bool) "p=1 always" true (Prng.bernoulli rng 1.0)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Prng.create ~seed:10 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_shuffle_permutation () =
+  let rng = Prng.create ~seed:11 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_pick () =
+  let rng = Prng.create ~seed:12 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Prng.pick rng arr in
+    Alcotest.(check bool) "member" true (Array.mem v arr)
+  done;
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick rng [||]))
+
+let test_sample_without_replacement () =
+  let rng = Prng.create ~seed:13 in
+  for _ = 1 to 100 do
+    let s = Prng.sample_without_replacement rng 5 12 in
+    Alcotest.(check int) "5 values" 5 (List.length s);
+    Alcotest.(check int) "distinct" 5
+      (List.length (List.sort_uniq compare s));
+    List.iter
+      (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 12))
+      s;
+    Alcotest.(check (list int)) "sorted" (List.sort compare s) s
+  done;
+  Alcotest.(check (list int)) "k = n is everything"
+    [ 0; 1; 2 ]
+    (Prng.sample_without_replacement rng 3 3)
+
+let qcheck_int_uniformish =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let rng = Prng.create ~seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    Alcotest.test_case "split" `Quick test_split;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in" `Quick test_int_in;
+    Alcotest.test_case "float bounds" `Quick test_float;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "sample w/o replacement" `Quick
+      test_sample_without_replacement;
+    QCheck_alcotest.to_alcotest qcheck_int_uniformish;
+  ]

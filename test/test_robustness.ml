@@ -1,0 +1,189 @@
+(* Robustness: corrupted persistent state must surface as [Error]
+   (or a detected verify failure), never as a crash or silent
+   misbehaviour. *)
+
+open Versioning_store
+module Prng = Versioning_util.Prng
+
+let temp_dir () =
+  let path = Filename.temp_file "dsvc_rob" "" in
+  Sys.remove path;
+  path
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+let meta_path dir = Filename.concat (Filename.concat dir ".dsvc") "meta"
+
+let mk_repo () =
+  let dir = temp_dir () in
+  let repo = ok (Repo.init ~path:dir) in
+  let _ = ok (Repo.commit repo ~message:"one" "alpha\nbeta") in
+  let _ = ok (Repo.commit repo ~message:"two" "alpha\nbeta\ngamma") in
+  ok (Repo.tag repo "v1" ~at:1 ());
+  dir
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file p s =
+  let oc = open_out_bin p in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+let test_meta_truncation () =
+  (* every prefix-truncation of the metadata either loads (a prefix
+     can be a valid file) or errors cleanly *)
+  let dir = mk_repo () in
+  let meta = read_file (meta_path dir) in
+  for len = 0 to String.length meta - 1 do
+    write_file (meta_path dir) (String.sub meta 0 len);
+    match Repo.open_repo ~path:dir with
+    | Ok repo ->
+        (* a loadable prefix must still behave: log never raises *)
+        ignore (Repo.log repo)
+    | Error _ -> ()
+  done
+
+let test_meta_line_mutations () =
+  let dir = mk_repo () in
+  let meta = read_file (meta_path dir) in
+  let lines = String.split_on_char '\n' meta in
+  let rng = Prng.create ~seed:331 in
+  (* mutate each line in several ways *)
+  List.iteri
+    (fun i _ ->
+      let mutate kind =
+        let mutated =
+          List.mapi
+            (fun j l ->
+              if i <> j then l
+              else
+                match kind with
+                | `Garbage -> "!!garbage!!"
+                | `Shuffle ->
+                    let arr =
+                      Array.of_seq (String.to_seq l)
+                    in
+                    Prng.shuffle rng arr;
+                    String.of_seq (Array.to_seq arr)
+                | `Double -> l ^ " " ^ l)
+            lines
+        in
+        write_file (meta_path dir) (String.concat "\n" mutated);
+        match Repo.open_repo ~path:dir with
+        | Ok repo -> ignore (Repo.stats repo)
+        | Error _ -> ()
+      in
+      mutate `Garbage;
+      mutate `Shuffle;
+      mutate `Double)
+    lines;
+  (* restore and confirm the original still loads *)
+  write_file (meta_path dir) meta;
+  ignore (ok (Repo.open_repo ~path:dir))
+
+let test_dangling_stored_reference () =
+  (* metadata referencing a nonexistent object: checkout errors,
+     verify reports *)
+  let dir = mk_repo () in
+  let meta = read_file (meta_path dir) in
+  let bogus = String.make 32 'a' in
+  let mutated =
+    String.split_on_char '\n' meta
+    |> List.map (fun l ->
+           match String.split_on_char ' ' l with
+           | [ "stored"; id; "full"; _ ] ->
+               Printf.sprintf "stored %s full %s" id bogus
+           | _ -> l)
+    |> String.concat "\n"
+  in
+  write_file (meta_path dir) mutated;
+  let repo = ok (Repo.open_repo ~path:dir) in
+  (match Repo.checkout repo 1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dangling object must fail checkout");
+  match Repo.verify repo with
+  | Error problems -> Alcotest.(check bool) "reported" true (problems <> [])
+  | Ok () -> Alcotest.fail "verify must flag dangling objects"
+
+let test_cyclic_stored_chain () =
+  (* hand-corrupted metadata can make version 1 a delta of version 2
+     and vice versa; checkout must detect the cycle *)
+  let dir = mk_repo () in
+  let meta = read_file (meta_path dir) in
+  let digest_of_stored l =
+    match String.split_on_char ' ' l with
+    | [ "stored"; _; "full"; d ] | [ "stored"; _; "delta"; _; d ] -> Some d
+    | _ -> None
+  in
+  let some_digest =
+    String.split_on_char '\n' meta |> List.filter_map digest_of_stored |> List.hd
+  in
+  let mutated =
+    String.split_on_char '\n' meta
+    |> List.filter (fun l ->
+           match String.split_on_char ' ' l with
+           | "stored" :: _ -> false
+           | _ -> true)
+    |> fun rest ->
+    rest
+    @ [
+        Printf.sprintf "stored 1 delta 2 %s" some_digest;
+        Printf.sprintf "stored 2 delta 1 %s" some_digest;
+      ]
+    |> String.concat "\n"
+  in
+  write_file (meta_path dir) mutated;
+  let repo = ok (Repo.open_repo ~path:dir) in
+  (match Repo.checkout repo 1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cycle must fail checkout");
+  match Repo.verify repo with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verify must flag the cycle"
+
+let test_archive_fuzz () =
+  (* random byte flips in a packed archive never crash unpack *)
+  let rng = Prng.create ~seed:337 in
+  let entries =
+    [
+      { Archive.path = "a.csv"; content = "x,y\n1,2\n3,4" };
+      { Archive.path = "dir/b"; content = String.make 64 'q' };
+    ]
+  in
+  let packed = Result.get_ok (Archive.pack entries) in
+  for _ = 1 to 500 do
+    let b = Bytes.of_string packed in
+    let pos = Prng.int rng (Bytes.length b) in
+    Bytes.set b pos (Char.chr (Prng.int rng 256));
+    match Archive.unpack (Bytes.to_string b) with
+    | Ok entries' ->
+        (* a lucky mutation may still parse; it must still be
+           internally consistent *)
+        ignore (Result.map (List.map (fun e -> e.Archive.path)) (Ok entries'))
+    | Error _ -> ()
+  done
+
+let test_graph_io_fuzz () =
+  let rng = Prng.create ~seed:347 in
+  let g = Versioning_core.Graph_io.to_string (Fixtures.figure1 ()) in
+  for _ = 1 to 500 do
+    let b = Bytes.of_string g in
+    let pos = Prng.int rng (Bytes.length b) in
+    Bytes.set b pos (Char.chr (Prng.int rng 256));
+    match Versioning_core.Graph_io.of_string (Bytes.to_string b) with
+    | Ok g' -> ignore (Versioning_core.Aux_graph.n_versions g')
+    | Error _ -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "meta truncation" `Quick test_meta_truncation;
+    Alcotest.test_case "meta line mutations" `Quick test_meta_line_mutations;
+    Alcotest.test_case "dangling object" `Quick test_dangling_stored_reference;
+    Alcotest.test_case "cyclic stored chain" `Quick test_cyclic_stored_chain;
+    Alcotest.test_case "archive fuzz" `Quick test_archive_fuzz;
+    Alcotest.test_case "graph io fuzz" `Quick test_graph_io_fuzz;
+  ]

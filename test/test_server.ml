@@ -1,0 +1,214 @@
+(* HTTP framing and the client-server interface. *)
+
+open Versioning_store
+
+let temp_dir () =
+  let path = Filename.temp_file "dsvc_srv" "" in
+  Sys.remove path;
+  path
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+(* ---- Http framing ---- *)
+
+let parse s =
+  let path = Filename.temp_file "req" ".txt" in
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc;
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () ->
+      close_in_noerr ic;
+      Sys.remove path)
+    (fun () -> Http.read_request ic)
+
+let test_http_parse_get () =
+  let req =
+    ok (parse "GET /checkout/3?x=1&msg=hello%20world HTTP/1.1\r\nHost: h\r\n\r\n")
+  in
+  Alcotest.(check string) "method" "GET" req.Http.meth;
+  Alcotest.(check string) "path" "/checkout/3" req.Http.path;
+  Alcotest.(check (option string)) "query decode" (Some "hello world")
+    (List.assoc_opt "msg" req.Http.query);
+  Alcotest.(check string) "body empty" "" req.Http.body
+
+let test_http_parse_post_body () =
+  let req =
+    ok
+      (parse
+         "POST /commit HTTP/1.1\r\nContent-Length: 11\r\nContent-Type: t\r\n\r\nhello\nworld")
+  in
+  Alcotest.(check string) "body" "hello\nworld" req.Http.body;
+  Alcotest.(check (option string)) "header lowered" (Some "t")
+    (List.assoc_opt "content-type" req.Http.headers)
+
+let test_http_malformed () =
+  List.iter
+    (fun s ->
+      match parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [
+      "";
+      "NOT-A-REQUEST\r\n\r\n";
+      "GET /x HTTP/1.1\r\nbadheader\r\n\r\n";
+      "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+      "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+    ]
+
+let test_percent_decode () =
+  Alcotest.(check string) "basic" "a b" (Http.percent_decode "a+b");
+  Alcotest.(check string) "hex" "a/b" (Http.percent_decode "a%2Fb");
+  Alcotest.(check string) "malformed passthrough" "a%zqb"
+    (Http.percent_decode "a%zqb");
+  Alcotest.(check string) "trailing percent" "x%" (Http.percent_decode "x%")
+
+(* ---- routing (pure, no sockets) ---- *)
+
+let mk_request ?(meth = "GET") ?(query = []) ?(body = "") path =
+  { Http.meth; path; query; headers = []; body }
+
+let mk_repo () =
+  let repo = ok (Repo.init ~path:(temp_dir ())) in
+  let _ = ok (Repo.commit repo ~message:"first" "alpha\nbeta") in
+  let _ = ok (Repo.commit repo ~message:"second" "alpha\nbeta\ngamma") in
+  repo
+
+let test_route_versions () =
+  let repo = mk_repo () in
+  let r = Server.handle repo (mk_request "/versions") in
+  Alcotest.(check int) "200" 200 r.Http.status;
+  Alcotest.(check bool) "lists both" true
+    (String.split_on_char '\n' r.Http.body
+    |> List.exists (fun l -> l = "2 1 second"))
+
+let test_route_checkout () =
+  let repo = mk_repo () in
+  let r = Server.handle repo (mk_request "/checkout/1") in
+  Alcotest.(check string) "content" "alpha\nbeta" r.Http.body;
+  let r = Server.handle repo (mk_request "/checkout/99") in
+  Alcotest.(check int) "404 for unknown" 404 r.Http.status;
+  (* by branch name *)
+  let r = Server.handle repo (mk_request "/checkout/main") in
+  Alcotest.(check string) "by branch" "alpha\nbeta\ngamma" r.Http.body
+
+let test_route_commit () =
+  let repo = mk_repo () in
+  let r =
+    Server.handle repo
+      (mk_request ~meth:"POST"
+         ~query:[ ("message", "third") ]
+         ~body:"alpha\nbeta\ngamma\ndelta" "/commit")
+  in
+  Alcotest.(check int) "201" 201 r.Http.status;
+  Alcotest.(check string) "returns id" "3" r.Http.body;
+  Alcotest.(check string) "retrievable" "alpha\nbeta\ngamma\ndelta"
+    (ok (Repo.checkout repo 3));
+  (* bad parents *)
+  let r =
+    Server.handle repo
+      (mk_request ~meth:"POST" ~query:[ ("parents", "x") ] ~body:"c" "/commit")
+  in
+  Alcotest.(check int) "400" 400 r.Http.status
+
+let test_route_stats_optimize_verify () =
+  let repo = mk_repo () in
+  let r = Server.handle repo (mk_request "/stats") in
+  Alcotest.(check bool) "stats body" true
+    (String.length r.Http.body > 0 && r.Http.status = 200);
+  let r =
+    Server.handle repo
+      (mk_request ~meth:"POST"
+         ~query:[ ("strategy", "min-storage") ]
+         "/optimize")
+  in
+  Alcotest.(check int) "optimize ok" 200 r.Http.status;
+  let r =
+    Server.handle repo
+      (mk_request ~meth:"POST" ~query:[ ("strategy", "bogus") ] "/optimize")
+  in
+  Alcotest.(check int) "bad strategy" 400 r.Http.status;
+  let r = Server.handle repo (mk_request "/verify") in
+  Alcotest.(check string) "verify" "consistent\n" r.Http.body
+
+let test_route_branches_tags_diff () =
+  let repo = mk_repo () in
+  let r =
+    Server.handle repo (mk_request ~meth:"POST" ~query:[ ("at", "1") ] "/branch/exp")
+  in
+  Alcotest.(check int) "branch created" 200 r.Http.status;
+  let r = Server.handle repo (mk_request "/branches") in
+  Alcotest.(check bool) "branch listed" true
+    (String.split_on_char '\n' r.Http.body
+    |> List.exists (fun l -> l = "*exp 1"));
+  let r = Server.handle repo (mk_request ~meth:"POST" "/tag/v1") in
+  Alcotest.(check int) "tagged" 200 r.Http.status;
+  let r = Server.handle repo (mk_request "/tags") in
+  Alcotest.(check bool) "tag listed" true
+    (String.split_on_char '\n' r.Http.body |> List.exists (fun l -> l = "v1 1"));
+  let r = Server.handle repo (mk_request "/diff/1/2") in
+  Alcotest.(check int) "diff ok" 200 r.Http.status;
+  Alcotest.(check bool) "diff is a delta" true
+    (String.length r.Http.body > 0);
+  let r = Server.handle repo (mk_request "/nope") in
+  Alcotest.(check int) "404 route" 404 r.Http.status;
+  let r = Server.handle repo (mk_request ~meth:"PUT" "/versions") in
+  Alcotest.(check bool) "404/405 for PUT" true
+    (r.Http.status = 404 || r.Http.status = 405)
+
+(* ---- end-to-end over a real socket ---- *)
+
+let http_get host port path =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock addr;
+      let oc = Unix.out_channel_of_descr sock in
+      let ic = Unix.in_channel_of_descr sock in
+      output_string oc (Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\n\r\n" path);
+      flush oc;
+      let buf = Buffer.create 256 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 1
+         done
+       with End_of_file -> ());
+      Buffer.contents buf)
+
+let test_socket_end_to_end () =
+  let repo = mk_repo () in
+  let port = 18077 + (Unix.getpid () mod 1000) in
+  let server = Thread.create (fun () ->
+      ignore (Server.serve repo ~port ~max_requests:2 ()))
+      ()
+  in
+  Unix.sleepf 0.2;
+  let raw = http_get "127.0.0.1" port "/checkout/1" in
+  Alcotest.(check bool) "status line" true
+    (String.length raw > 12 && String.sub raw 0 12 = "HTTP/1.1 200");
+  Alcotest.(check bool) "payload present" true
+    (let n = String.length raw in
+     n >= 10 && String.sub raw (n - 10) 10 = "alpha\nbeta");
+  let raw = http_get "127.0.0.1" port "/stats" in
+  Alcotest.(check bool) "second request ok" true
+    (String.length raw > 12 && String.sub raw 0 12 = "HTTP/1.1 200");
+  Thread.join server
+
+let suite =
+  [
+    Alcotest.test_case "http parse GET" `Quick test_http_parse_get;
+    Alcotest.test_case "http parse POST" `Quick test_http_parse_post_body;
+    Alcotest.test_case "http malformed" `Quick test_http_malformed;
+    Alcotest.test_case "percent decode" `Quick test_percent_decode;
+    Alcotest.test_case "route /versions" `Quick test_route_versions;
+    Alcotest.test_case "route /checkout" `Quick test_route_checkout;
+    Alcotest.test_case "route /commit" `Quick test_route_commit;
+    Alcotest.test_case "route stats/optimize/verify" `Quick
+      test_route_stats_optimize_verify;
+    Alcotest.test_case "route branches/tags/diff" `Quick
+      test_route_branches_tags_diff;
+    Alcotest.test_case "socket end-to-end" `Quick test_socket_end_to_end;
+  ]

@@ -1,0 +1,57 @@
+module Stats = Versioning_util.Stats
+
+let test_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean [| 1.; 2.; 3.; 4.; 5. |]);
+  Alcotest.(check (float 1e-9)) "stddev (sample)"
+    (sqrt 2.5)
+    (Stats.stddev [| 1.; 2.; 3.; 4.; 5. |]);
+  Alcotest.(check (float 0.)) "stddev of singleton" 0.0 (Stats.stddev [| 7. |])
+
+let test_percentile () =
+  let xs = [| 10.; 20.; 30.; 40. |] in
+  Alcotest.(check (float 1e-9)) "p0 = min" 10.0 (Stats.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p100 = max" 40.0 (Stats.percentile xs 100.);
+  Alcotest.(check (float 1e-9)) "median interpolates" 25.0
+    (Stats.percentile xs 50.);
+  (* unsorted input is fine *)
+  Alcotest.(check (float 1e-9)) "unsorted" 25.0
+    (Stats.percentile [| 40.; 10.; 30.; 20. |] 50.)
+
+let test_summarize () =
+  let s = Stats.summarize [| 4.; 1.; 3.; 2. |] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "median" 2.5 s.Stats.median;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean
+
+let test_errors () =
+  Alcotest.check_raises "empty summarize" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize [||]));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [| 1. |] 101.))
+
+let test_human_bytes () =
+  Alcotest.(check string) "bytes" "512.00B" (Stats.human_bytes 512.);
+  Alcotest.(check string) "kb" "1.50KB" (Stats.human_bytes 1536.);
+  Alcotest.(check string) "mb" "2.00MB" (Stats.human_bytes (2. *. 1024. *. 1024.));
+  Alcotest.(check string) "tb caps"
+    "2048.00TB"
+    (Stats.human_bytes (2048. *. 1024. ** 4.))
+
+let test_input_not_modified () =
+  let xs = [| 3.; 1.; 2. |] in
+  ignore (Stats.summarize xs);
+  ignore (Stats.percentile xs 50.);
+  Alcotest.(check (array (float 0.))) "untouched" [| 3.; 1.; 2. |] xs
+
+let suite =
+  [
+    Alcotest.test_case "mean / stddev" `Quick test_mean_stddev;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "human_bytes" `Quick test_human_bytes;
+    Alcotest.test_case "input not modified" `Quick test_input_not_modified;
+  ]

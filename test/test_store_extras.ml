@@ -1,0 +1,129 @@
+(* Tags, diff, verify, bulk import, and on-disk compression framing. *)
+
+open Versioning_store
+module Line_diff = Versioning_delta.Line_diff
+
+let temp_dir () =
+  let path = Filename.temp_file "dsvc_extra" "" in
+  Sys.remove path;
+  path
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "repo error: %s" e
+
+let test_tags () =
+  let repo = ok (Repo.init ~path:(temp_dir ())) in
+  let v1 = ok (Repo.commit repo "one") in
+  let _v2 = ok (Repo.commit repo "two") in
+  ok (Repo.tag repo "v1.0" ~at:v1 ());
+  ok (Repo.tag repo "latest" ());
+  Alcotest.(check (list (pair string int))) "tags listed"
+    [ ("latest", 2); ("v1.0", 1) ]
+    (Repo.tags repo);
+  (* tags survive reopen *)
+  let repo2 = ok (Repo.open_repo ~path:(Repo.root repo)) in
+  Alcotest.(check (option int)) "resolve tag" (Some 1)
+    (Repo.resolve repo2 "v1.0");
+  Alcotest.(check (option int)) "resolve branch" (Some 2)
+    (Repo.resolve repo2 "main");
+  Alcotest.(check (option int)) "resolve numeric" (Some 2)
+    (Repo.resolve repo2 "2");
+  Alcotest.(check (option int)) "unknown is None" None
+    (Repo.resolve repo2 "nope");
+  (* duplicates and unknown targets rejected *)
+  (match Repo.tag repo2 "v1.0" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate tag");
+  match Repo.tag repo2 "bad" ~at:99 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown version"
+
+let test_diff () =
+  let repo = ok (Repo.init ~path:(temp_dir ())) in
+  let a = "x\ny\nz" and b = "x\nY\nz\nw" in
+  let v1 = ok (Repo.commit repo a) in
+  let v2 = ok (Repo.commit repo b) in
+  let encoded = ok (Repo.diff repo v1 v2) in
+  (* the emitted delta really transforms a into b *)
+  Alcotest.(check string) "diff applies" b
+    (Line_diff.apply a (Line_diff.decode encoded))
+
+let test_verify_clean_and_corrupt () =
+  let dir = temp_dir () in
+  let repo = ok (Repo.init ~path:dir) in
+  let _ = ok (Repo.commit repo "alpha\nbeta\ngamma") in
+  let _ = ok (Repo.commit repo "alpha\nbeta\ngamma\ndelta") in
+  (match Repo.verify repo with
+  | Ok () -> ()
+  | Error ps -> Alcotest.failf "clean repo flagged: %s" (String.concat "; " ps));
+  (* corrupt an object on disk *)
+  let objects = Filename.concat (Filename.concat dir ".dsvc") "objects" in
+  let victim =
+    Sys.readdir objects |> Array.to_list
+    |> List.concat_map (fun p ->
+           let d = Filename.concat objects p in
+           if Sys.is_directory d then
+             Sys.readdir d |> Array.to_list
+             |> List.map (Filename.concat d)
+           else [])
+    |> List.hd
+  in
+  let oc = open_out_bin victim in
+  output_string oc "Rcorrupted!";
+  close_out oc;
+  match Repo.verify repo with
+  | Error problems ->
+      Alcotest.(check bool) "corruption detected" true (problems <> [])
+  | Ok () -> Alcotest.fail "corruption missed"
+
+let test_import_versions () =
+  let repo = ok (Repo.init ~path:(temp_dir ())) in
+  let ids =
+    ok
+      (Repo.import_versions repo
+         [
+           ("root", [], "base content");
+           ("child", [ 1 ], "base content\nplus");
+           ("grandchild", [ 2 ], "base content\nplus\nmore");
+           ("merge", [ 3; 1 ], "base content\nplus\nmore\nmerged");
+         ])
+  in
+  Alcotest.(check (list int)) "sequential ids" [ 1; 2; 3; 4 ] ids;
+  Alcotest.(check string) "contents round trip" "base content\nplus\nmore"
+    (ok (Repo.checkout repo 3));
+  Alcotest.(check (option int)) "branch advanced" (Some 4) (Repo.head repo);
+  let info = Option.get (Repo.commit_info repo 4) in
+  Alcotest.(check (list int)) "merge parents kept" [ 3; 1 ] info.Repo.parents;
+  (* forward references are rejected *)
+  match Repo.import_versions repo [ ("bad", [ 99 ], "x") ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown parent in batch"
+
+let test_on_disk_compression () =
+  let store = Result.get_ok (Object_store.create ~dir:(temp_dir ())) in
+  let repetitive = String.concat "\n" (List.init 500 (fun _ -> "same line again")) in
+  let digest = Result.get_ok (Object_store.put store repetitive) in
+  Alcotest.(check string) "roundtrip through framing" repetitive
+    (Result.get_ok (Object_store.get store digest));
+  Alcotest.(check bool) "compressed on disk" true
+    (Object_store.total_bytes store < String.length repetitive / 4)
+
+let test_incompressible_stored_raw () =
+  let store = Result.get_ok (Object_store.create ~dir:(temp_dir ())) in
+  let rng = Versioning_util.Prng.create ~seed:211 in
+  let noise = String.init 2000 (fun _ -> Char.chr (Versioning_util.Prng.int rng 256)) in
+  let digest = Result.get_ok (Object_store.put store noise) in
+  Alcotest.(check string) "roundtrip" noise
+    (Result.get_ok (Object_store.get store digest));
+  Alcotest.(check bool) "no blowup" true
+    (Object_store.total_bytes store <= String.length noise + 1)
+
+let suite =
+  [
+    Alcotest.test_case "tags" `Quick test_tags;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "verify clean + corrupt" `Quick
+      test_verify_clean_and_corrupt;
+    Alcotest.test_case "bulk import" `Quick test_import_versions;
+    Alcotest.test_case "on-disk compression" `Quick test_on_disk_compression;
+    Alcotest.test_case "incompressible raw" `Quick test_incompressible_stored_raw;
+  ]

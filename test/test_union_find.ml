@@ -1,0 +1,72 @@
+module Uf = Versioning_util.Union_find
+module Prng = Versioning_util.Prng
+
+let test_singletons () =
+  let uf = Uf.create 5 in
+  Alcotest.(check int) "size" 5 (Uf.size uf);
+  Alcotest.(check int) "sets" 5 (Uf.count_sets uf);
+  for i = 0 to 4 do
+    Alcotest.(check int) "own representative" i (Uf.find uf i);
+    Alcotest.(check int) "set size 1" 1 (Uf.set_size uf i)
+  done
+
+let test_union_basic () =
+  let uf = Uf.create 6 in
+  Alcotest.(check bool) "first union merges" true (Uf.union uf 0 1);
+  Alcotest.(check bool) "repeat union no-op" false (Uf.union uf 1 0);
+  Alcotest.(check bool) "same" true (Uf.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Uf.same uf 0 2);
+  Alcotest.(check int) "sets decreased" 5 (Uf.count_sets uf);
+  Alcotest.(check int) "merged size" 2 (Uf.set_size uf 0)
+
+let test_transitivity () =
+  let uf = Uf.create 8 in
+  ignore (Uf.union uf 0 1);
+  ignore (Uf.union uf 2 3);
+  ignore (Uf.union uf 1 2);
+  Alcotest.(check bool) "0 ~ 3 transitively" true (Uf.same uf 0 3);
+  Alcotest.(check int) "size 4" 4 (Uf.set_size uf 3)
+
+let test_all_merged () =
+  let uf = Uf.create 10 in
+  for i = 1 to 9 do
+    ignore (Uf.union uf 0 i)
+  done;
+  Alcotest.(check int) "one set" 1 (Uf.count_sets uf);
+  Alcotest.(check int) "full size" 10 (Uf.set_size uf 7)
+
+let qcheck_equivalence =
+  (* union-find agrees with a naive equivalence closure *)
+  QCheck.Test.make ~name:"union-find matches naive closure" ~count:200
+    QCheck.(small_list (pair (int_bound 14) (int_bound 14)))
+    (fun unions ->
+      let n = 15 in
+      let uf = Uf.create n in
+      let naive = Array.init n (fun i -> i) in
+      let naive_find i = naive.(i) in
+      let naive_union a b =
+        let ra = naive_find a and rb = naive_find b in
+        if ra <> rb then
+          Array.iteri (fun i r -> if r = rb then naive.(i) <- ra) naive
+      in
+      List.iter
+        (fun (a, b) ->
+          ignore (Uf.union uf a b);
+          naive_union a b)
+        unions;
+      let okay = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Uf.same uf i j <> (naive_find i = naive_find j) then okay := false
+        done
+      done;
+      !okay)
+
+let suite =
+  [
+    Alcotest.test_case "singletons" `Quick test_singletons;
+    Alcotest.test_case "union basics" `Quick test_union_basic;
+    Alcotest.test_case "transitivity" `Quick test_transitivity;
+    Alcotest.test_case "all merged" `Quick test_all_merged;
+    QCheck_alcotest.to_alcotest qcheck_equivalence;
+  ]

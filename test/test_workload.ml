@@ -1,0 +1,392 @@
+(* History/table/dataset/fork/cost generators and subgraph sampling. *)
+
+open Versioning_core
+open Versioning_workload
+module Prng = Versioning_util.Prng
+module Csv = Versioning_delta.Csv
+
+(* ---- History_gen ---- *)
+
+let test_history_structure () =
+  let rng = Prng.create ~seed:1 in
+  let h = History_gen.generate (History_gen.flat_params ~n_commits:200) rng in
+  Alcotest.(check int) "exact commit count" 200 h.History_gen.n_versions;
+  Alcotest.(check (list int)) "root has no parents" []
+    h.History_gen.parents.(1);
+  (* every non-root version's parents precede it (creation order is
+     topological) and the graph is connected *)
+  for v = 2 to 200 do
+    let ps = h.History_gen.parents.(v) in
+    Alcotest.(check bool) "has a parent" true (ps <> []);
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "parents precede children" true (p >= 1 && p < v))
+      ps
+  done;
+  (* children is the inverse of parents *)
+  for v = 2 to 200 do
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "child registered" true
+          (List.mem v h.History_gen.children.(p)))
+      h.History_gen.parents.(v)
+  done
+
+let test_history_determinism () =
+  let h1 =
+    History_gen.generate (History_gen.flat_params ~n_commits:100)
+      (Prng.create ~seed:5)
+  in
+  let h2 =
+    History_gen.generate (History_gen.flat_params ~n_commits:100)
+      (Prng.create ~seed:5)
+  in
+  Alcotest.(check bool) "same structure" true
+    (h1.History_gen.parents = h2.History_gen.parents)
+
+let test_history_shapes_differ () =
+  let rng = Prng.create ~seed:7 in
+  let flat = History_gen.generate (History_gen.flat_params ~n_commits:300) rng in
+  let rng = Prng.create ~seed:7 in
+  let linear =
+    History_gen.generate (History_gen.linear_params ~n_commits:300) rng
+  in
+  (* the flat history has many more branch points *)
+  let branch_points h =
+    let count = ref 0 in
+    for v = 1 to h.History_gen.n_versions do
+      if List.length h.History_gen.children.(v) > 1 then incr count
+    done;
+    !count
+  in
+  Alcotest.(check bool) "flat branches more" true
+    (branch_points flat > 2 * branch_points linear)
+
+let test_history_merges () =
+  let rng = Prng.create ~seed:9 in
+  let h = History_gen.generate (History_gen.flat_params ~n_commits:400) rng in
+  let merges = ref 0 in
+  for v = 1 to 400 do
+    if List.length h.History_gen.parents.(v) = 2 then incr merges
+  done;
+  Alcotest.(check bool) "merges occur" true (!merges > 0)
+
+let test_hop_pairs () =
+  let rng = Prng.create ~seed:11 in
+  let h = History_gen.generate (History_gen.linear_params ~n_commits:50) rng in
+  let pairs = History_gen.undirected_hop_pairs h ~max_hops:2 ~cap:100 in
+  (* parent-child pairs are all present, both directions *)
+  for v = 2 to 50 do
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "derivation pair revealed" true
+          (List.mem (p, v) pairs && List.mem (v, p) pairs))
+      h.History_gen.parents.(v)
+  done;
+  (* no pair exceeds the hop bound: on a pure chain the id distance
+     bounds the hop distance from below *)
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "pair sanity" true (u <> v && u >= 1 && v >= 1))
+    pairs;
+  (* cap limits per-source fanout *)
+  let capped = History_gen.undirected_hop_pairs h ~max_hops:10 ~cap:3 in
+  let per_source = Hashtbl.create 16 in
+  List.iter
+    (fun (u, _) ->
+      Hashtbl.replace per_source u
+        (1 + Option.value (Hashtbl.find_opt per_source u) ~default:0))
+    capped;
+  Hashtbl.iter
+    (fun _ c -> Alcotest.(check bool) "cap respected" true (c <= 3))
+    per_source
+
+(* ---- Table_gen ---- *)
+
+let test_fresh_table_shape () =
+  let rng = Prng.create ~seed:13 in
+  let tg = Table_gen.create rng in
+  let t = Table_gen.fresh_table tg ~rows:10 ~cols:4 in
+  Alcotest.(check int) "rows + header" 11 (Csv.n_rows t);
+  Alcotest.(check int) "cols" 4 (Csv.n_cols t);
+  Alcotest.(check bool) "rectangular" true (Csv.is_rect t);
+  (* headers unique *)
+  let header = Array.to_list t.(0) in
+  Alcotest.(check int) "unique headers" 4
+    (List.length (List.sort_uniq compare header))
+
+let test_edits_apply () =
+  let rng = Prng.create ~seed:17 in
+  let tg = Table_gen.create rng in
+  let t = Table_gen.fresh_table tg ~rows:10 ~cols:3 in
+  let t1 = Table_gen.apply tg t [ Table_gen.Add_rows { at = 5; count = 3 } ] in
+  Alcotest.(check int) "rows added" 14 (Csv.n_rows t1);
+  let t2 = Table_gen.apply tg t [ Table_gen.Delete_rows { at = 2; count = 4 } ] in
+  Alcotest.(check int) "rows deleted" 7 (Csv.n_rows t2);
+  let t3 = Table_gen.apply tg t [ Table_gen.Add_column { at = 1 } ] in
+  Alcotest.(check int) "column added" 4 (Csv.n_cols t3);
+  Alcotest.(check bool) "still rect" true (Csv.is_rect t3);
+  let t4 = Table_gen.apply tg t [ Table_gen.Remove_column { at = 0 } ] in
+  Alcotest.(check int) "column removed" 2 (Csv.n_cols t4);
+  (* header row survives modification *)
+  let t5 = Table_gen.apply tg t [ Table_gen.Modify_cells { fraction = 1.0 } ] in
+  Alcotest.(check (array string)) "header untouched" t.(0) t5.(0)
+
+let test_edits_clamped () =
+  let rng = Prng.create ~seed:19 in
+  let tg = Table_gen.create rng in
+  let t = Table_gen.fresh_table tg ~rows:3 ~cols:2 in
+  (* absurd positions are clamped, never raise *)
+  let t1 =
+    Table_gen.apply tg t
+      [
+        Table_gen.Add_rows { at = 999; count = 2 };
+        Table_gen.Delete_rows { at = 999; count = 999 };
+        Table_gen.Remove_column { at = 999 };
+        Table_gen.Add_column { at = 999 };
+      ]
+  in
+  Alcotest.(check bool) "still valid" true (Csv.is_rect t1);
+  (* a 1-column table refuses to drop its last column *)
+  let narrow = Table_gen.fresh_table tg ~rows:2 ~cols:1 in
+  let n2 = Table_gen.apply tg narrow [ Table_gen.Remove_column { at = 0 } ] in
+  Alcotest.(check int) "last column kept" 1 (Csv.n_cols n2)
+
+let test_random_edits_applicable () =
+  let rng = Prng.create ~seed:23 in
+  let tg = Table_gen.create rng in
+  let t = ref (Table_gen.fresh_table tg ~rows:30 ~cols:5) in
+  for _ = 1 to 100 do
+    let edits = Table_gen.random_edits tg ~table:!t ~intensity:0.1 in
+    t := Table_gen.apply tg !t edits;
+    Alcotest.(check bool) "table stays rectangular" true (Csv.is_rect !t);
+    Alcotest.(check bool) "csv-safe" true
+      (Array.for_all (Array.for_all Csv.field_ok) !t)
+  done
+
+(* ---- Dataset_gen ---- *)
+
+let mk_dataset ?(mode = Dataset_gen.Line_directed) ?(n = 60) seed =
+  let rng = Prng.create ~seed in
+  let h = History_gen.generate (History_gen.flat_params ~n_commits:n) rng in
+  Dataset_gen.generate h
+    {
+      Dataset_gen.default_params with
+      initial_rows = 40;
+      initial_cols = 4;
+      max_hops = 3;
+      reveal_cap = 8;
+      mode;
+    }
+    rng
+
+let test_dataset_complete () =
+  let d = mk_dataset 29 in
+  let g = d.Dataset_gen.aux in
+  Alcotest.(check int) "versions" 60 (Aux_graph.n_versions g);
+  Alcotest.(check bool) "all materializations revealed" true
+    (Aux_graph.has_all_materializations g);
+  (* contents are valid CSV matching the recorded sizes *)
+  for v = 1 to 60 do
+    let c = d.Dataset_gen.contents.(v) in
+    Alcotest.(check bool) "non-empty" true (String.length c > 0);
+    Alcotest.(check (float 0.)) "size recorded"
+      (float_of_int (String.length c))
+      d.Dataset_gen.version_sizes.(v)
+  done;
+  (* every problem is solvable on the generated graph *)
+  let base = Fixtures.ok (Solver.min_storage_tree g) in
+  let spt = Fixtures.ok (Spt.solve g) in
+  Alcotest.(check bool) "mca below spt storage" true
+    (Storage_graph.storage_cost base <= Storage_graph.storage_cost spt)
+
+let test_dataset_delta_costs_match_diffs () =
+  (* revealed Δ equals the actual encoded diff size between contents *)
+  let d = mk_dataset 31 in
+  let g = d.Dataset_gen.aux in
+  let checked = ref 0 in
+  for src = 1 to 20 do
+    for dst = 1 to 20 do
+      if src <> dst then
+        match Aux_graph.delta g ~src ~dst with
+        | Some w ->
+            let expected =
+              Versioning_delta.Line_diff.size
+                (Versioning_delta.Line_diff.diff
+                   d.Dataset_gen.contents.(src)
+                   d.Dataset_gen.contents.(dst))
+            in
+            Alcotest.(check (float 0.)) "delta is real diff size"
+              (float_of_int expected) w.Aux_graph.delta;
+            incr checked
+        | None -> ()
+    done
+  done;
+  Alcotest.(check bool) "checked some pairs" true (!checked > 10)
+
+let test_dataset_two_way_symmetric () =
+  let d = mk_dataset ~mode:Dataset_gen.Two_way 37 in
+  Alcotest.(check bool) "aux is symmetric" true
+    (Aux_graph.is_symmetric d.Dataset_gen.aux)
+
+let test_dataset_compressed_mode () =
+  let d = mk_dataset ~mode:Dataset_gen.Line_compressed 41 in
+  let g = d.Dataset_gen.aux in
+  (* Φ ≠ Δ in the compressed regime *)
+  Alcotest.(check bool) "not proportional" false (Aux_graph.is_proportional g)
+
+let test_all_pairs () =
+  let d = mk_dataset ~n:12 43 in
+  let g =
+    Dataset_gen.all_pairs_aux ~contents:d.Dataset_gen.contents
+      ~mode:Dataset_gen.Line_directed
+  in
+  let dg = Aux_graph.graph g in
+  (* 12 materializations + 12*11 deltas *)
+  Alcotest.(check int) "complete graph" (12 + (12 * 11))
+    (Versioning_graph.Digraph.n_edges dg)
+
+(* ---- Fork_gen ---- *)
+
+let test_forks () =
+  let rng = Prng.create ~seed:47 in
+  let f =
+    Fork_gen.generate
+      { Fork_gen.default_params with n_forks = 40; base_rows = 50 }
+      rng
+  in
+  let g = f.Fork_gen.aux in
+  Alcotest.(check int) "forks" 40 (Aux_graph.n_versions g);
+  Alcotest.(check bool) "materializations" true
+    (Aux_graph.has_all_materializations g);
+  Alcotest.(check bool) "some deltas revealed" true (f.Fork_gen.n_deltas > 0);
+  (* threshold respected: no delta between wildly different sizes *)
+  let threshold =
+    match Fork_gen.default_params.Fork_gen.reveal with
+    | Fork_gen.Size_threshold t -> t
+    | _ -> Alcotest.fail "default policy changed"
+  in
+  let size v = f.Fork_gen.version_sizes.(v) in
+  Versioning_graph.Digraph.iter_edges (Aux_graph.graph g) (fun e ->
+      if e.src >= 1 then
+        Alcotest.(check bool) "size threshold respected" true
+          (Float.abs (size e.src -. size e.dst) < threshold))
+
+let test_forks_resemblance_policy () =
+  let rng = Prng.create ~seed:48 in
+  let f =
+    Fork_gen.generate
+      {
+        Fork_gen.default_params with
+        n_forks = 30;
+        base_rows = 60;
+        reveal = Fork_gen.Resemblance { threshold = 0.3; per_fork_cap = 5 };
+      }
+      rng
+  in
+  let g = f.Fork_gen.aux in
+  Alcotest.(check bool) "some deltas revealed" true (f.Fork_gen.n_deltas > 0);
+  (* cap: at most 5 partners per fork, each contributing both
+     directions plus being chosen by others -> bounded by 2 * cap * n *)
+  Alcotest.(check bool) "cap limits revealing" true
+    (f.Fork_gen.n_deltas <= 2 * 5 * 30);
+  (* graph still solvable *)
+  let base = Fixtures.ok (Solver.min_storage_tree g) in
+  ignore (Storage_graph.storage_cost base)
+
+(* ---- Cost_gen ---- *)
+
+let test_cost_gen () =
+  let rng = Prng.create ~seed:53 in
+  let h = History_gen.generate (History_gen.flat_params ~n_commits:150) rng in
+  let g = Cost_gen.generate h Cost_gen.default_params rng in
+  Alcotest.(check int) "versions" 150 (Aux_graph.n_versions g);
+  Alcotest.(check bool) "materializations" true
+    (Aux_graph.has_all_materializations g);
+  Alcotest.(check bool) "proportional when phi_factor = 1" true
+    (Aux_graph.is_proportional g);
+  (* deltas never exceed the target's materialization *)
+  Versioning_graph.Digraph.iter_edges (Aux_graph.graph g) (fun e ->
+      if e.src >= 1 then
+        match Aux_graph.materialization g e.dst with
+        | Some m ->
+            Alcotest.(check bool) "delta below materialization" true
+              (e.label.Aux_graph.delta <= m.Aux_graph.delta)
+        | None -> Alcotest.fail "materialization missing");
+  (* solvable end to end *)
+  let base = Fixtures.ok (Solver.min_storage_tree g) in
+  ignore (Storage_graph.storage_cost base)
+
+let test_cost_gen_symmetric () =
+  let rng = Prng.create ~seed:59 in
+  let h = History_gen.generate (History_gen.linear_params ~n_commits:80) rng in
+  let g =
+    Cost_gen.generate h { Cost_gen.default_params with symmetric = true } rng
+  in
+  Alcotest.(check bool) "symmetric" true (Aux_graph.is_symmetric g)
+
+(* ---- Subgraph ---- *)
+
+let test_subgraph_sample () =
+  let rng = Prng.create ~seed:61 in
+  let h = History_gen.generate (History_gen.flat_params ~n_commits:200) rng in
+  let g = Cost_gen.generate h Cost_gen.default_params rng in
+  let sub = Subgraph.bfs_sample g ~n:50 rng in
+  Alcotest.(check int) "requested size" 50 (Aux_graph.n_versions sub);
+  Alcotest.(check bool) "materializations kept" true
+    (Aux_graph.has_all_materializations sub);
+  (* still solvable *)
+  let base = Fixtures.ok (Solver.min_storage_tree sub) in
+  Fixtures.check_valid sub base;
+  (* n larger than the graph: clamps *)
+  let all = Subgraph.bfs_sample g ~n:10_000 rng in
+  Alcotest.(check int) "clamped to full size" 200 (Aux_graph.n_versions all)
+
+(* ---- Recipes ---- *)
+
+let test_recipes_quick () =
+  let ds = Recipes.all ~scale:Recipes.Quick ~seed:3 () in
+  Alcotest.(check (list string)) "ids" [ "DC"; "LC"; "BF"; "LF" ]
+    (List.map (fun (d : Recipes.dataset) -> d.id) ds);
+  List.iter
+    (fun (d : Recipes.dataset) ->
+      Alcotest.(check bool) "deltas revealed" true (d.n_deltas > 0);
+      Alcotest.(check bool) "contents present" true (d.contents <> None);
+      Alcotest.(check bool) "avg size positive" true (d.avg_version_size > 0.);
+      let base = Fixtures.ok (Solver.min_storage_tree d.aux) in
+      let spt = Fixtures.ok (Spt.solve d.aux) in
+      Alcotest.(check bool) "tradeoff exists" true
+        (Storage_graph.storage_cost base < Storage_graph.storage_cost spt);
+      let und = Recipes.undirected d in
+      Alcotest.(check bool) "undirected variant symmetric" true
+        (Aux_graph.is_symmetric und.aux))
+    ds
+
+let suite =
+  [
+    Alcotest.test_case "history structure" `Quick test_history_structure;
+    Alcotest.test_case "history determinism" `Quick test_history_determinism;
+    Alcotest.test_case "history shapes differ" `Quick test_history_shapes_differ;
+    Alcotest.test_case "history merges" `Quick test_history_merges;
+    Alcotest.test_case "hop pairs" `Quick test_hop_pairs;
+    Alcotest.test_case "fresh table shape" `Quick test_fresh_table_shape;
+    Alcotest.test_case "edits apply" `Quick test_edits_apply;
+    Alcotest.test_case "edits clamped" `Quick test_edits_clamped;
+    Alcotest.test_case "random edits applicable" `Quick
+      test_random_edits_applicable;
+    Alcotest.test_case "dataset complete" `Quick test_dataset_complete;
+    Alcotest.test_case "dataset deltas are real" `Quick
+      test_dataset_delta_costs_match_diffs;
+    Alcotest.test_case "dataset two-way symmetric" `Quick
+      test_dataset_two_way_symmetric;
+    Alcotest.test_case "dataset compressed mode" `Quick
+      test_dataset_compressed_mode;
+    Alcotest.test_case "all-pairs graph" `Quick test_all_pairs;
+    Alcotest.test_case "fork generation" `Quick test_forks;
+    Alcotest.test_case "fork resemblance policy" `Quick
+      test_forks_resemblance_policy;
+    Alcotest.test_case "cost gen" `Quick test_cost_gen;
+    Alcotest.test_case "cost gen symmetric" `Quick test_cost_gen_symmetric;
+    Alcotest.test_case "subgraph sample" `Quick test_subgraph_sample;
+    Alcotest.test_case "recipes (quick scale)" `Slow test_recipes_quick;
+  ]

@@ -1,0 +1,150 @@
+module Xor = Versioning_delta.Xor_delta
+module Compress = Versioning_delta.Compress
+module Prng = Versioning_util.Prng
+
+(* ---- XOR deltas ---- *)
+
+let test_xor_symmetry () =
+  let a = "hello world" and b = "hello brave new world" in
+  let d = Xor.make a b in
+  let d' = Xor.make b a in
+  Alcotest.(check string) "payload order-independent" (Xor.payload d)
+    (Xor.payload d');
+  Alcotest.(check string) "recover b from a" b (Xor.recover d a);
+  Alcotest.(check string) "recover a from b" a (Xor.recover d b)
+
+let test_xor_equal_lengths () =
+  let a = "abcd" and b = "wxyz" in
+  let d = Xor.make a b in
+  Alcotest.(check string) "recover b" b (Xor.recover d a);
+  Alcotest.(check string) "recover a" a (Xor.recover d b)
+
+let test_xor_identical () =
+  let d = Xor.make "same" "same" in
+  Alcotest.(check string) "self-inverse" "same" (Xor.recover d "same");
+  (* payload should be all zeros: great for compression *)
+  Alcotest.(check bool) "zero payload" true
+    (String.for_all (fun c -> c = '\x00') (Xor.payload d))
+
+let test_xor_length_mismatch () =
+  let d = Xor.make "abc" "defgh" in
+  Alcotest.(check bool) "wrong length rejected" true
+    (match Xor.recover d "xx" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_xor_codec () =
+  let a = "line1\nline2" and b = "line1\nLINE2 plus" in
+  let d = Xor.make a b in
+  let d' = Xor.decode (Xor.encode d) in
+  Alcotest.(check string) "decoded recovers" b (Xor.recover d' a);
+  Alcotest.(check int) "size = encode length" (String.length (Xor.encode d))
+    (Xor.size d);
+  Alcotest.(check bool) "corrupt rejected" true
+    (match Xor.decode "zzz" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_xor_empty () =
+  let d = Xor.make "" "xyz" in
+  Alcotest.(check string) "from empty" "xyz" (Xor.recover d "");
+  Alcotest.(check string) "to empty" "" (Xor.recover d "xyz")
+
+(* ---- compression ---- *)
+
+let arb_bytes =
+  QCheck.make
+    ~print:(fun s -> String.escaped s)
+    QCheck.Gen.(
+      map
+        (fun l -> String.concat "" (List.map (String.make 1) l))
+        (list_size (int_bound 400) (map Char.chr (int_bound 255))))
+
+let qcheck_lz77_roundtrip =
+  QCheck.Test.make ~name:"lz77 roundtrip" ~count:500 arb_bytes (fun s ->
+      Compress.unlz77 (Compress.lz77 s) = s)
+
+let qcheck_rle_roundtrip =
+  QCheck.Test.make ~name:"rle roundtrip" ~count:500 arb_bytes (fun s ->
+      Compress.un_rle_zeros (Compress.rle_zeros s) = s)
+
+let test_lz77_compresses_repetition () =
+  let s = String.concat "" (List.init 200 (fun _ -> "abcdefgh")) in
+  let c = Compress.lz77 s in
+  Alcotest.(check bool) "10x smaller" true
+    (String.length c * 10 < String.length s);
+  Alcotest.(check string) "roundtrip" s (Compress.unlz77 c)
+
+let test_lz77_overlapping_match () =
+  (* runs encode as matches with dist < len *)
+  let s = String.make 5000 'x' in
+  let c = Compress.lz77 s in
+  Alcotest.(check bool) "tiny" true (String.length c < 32);
+  Alcotest.(check string) "roundtrip" s (Compress.unlz77 c)
+
+let test_lz77_incompressible_bounded () =
+  let rng = Prng.create ~seed:9 in
+  let s = String.init 1000 (fun _ -> Char.chr (Prng.int rng 256)) in
+  let c = Compress.lz77 s in
+  Alcotest.(check bool) "bounded expansion" true
+    (String.length c <= String.length s + 32);
+  Alcotest.(check string) "roundtrip" s (Compress.unlz77 c)
+
+let test_rle_zero_heavy () =
+  let s = String.make 4096 '\x00' ^ "tail" in
+  let c = Compress.rle_zeros s in
+  Alcotest.(check bool) "tiny" true (String.length c < 16);
+  Alcotest.(check string) "roundtrip" s (Compress.un_rle_zeros c)
+
+let test_corrupt_streams () =
+  Alcotest.(check bool) "unlz77 rejects junk tag" true
+    (match Compress.unlz77 "\x07garbage" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "unlz77 rejects truncation" true
+    (match Compress.unlz77 "\x00\x10ab" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "un_rle rejects junk" true
+    (match Compress.un_rle_zeros "\x09" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_ratio () =
+  Alcotest.(check (float 1e-9)) "ratio" 0.5
+    (Compress.ratio ~original:100 ~compressed:50);
+  Alcotest.(check (float 1e-9)) "empty original" 1.0
+    (Compress.ratio ~original:0 ~compressed:0)
+
+let test_xor_plus_rle_pipeline () =
+  (* the intended pipeline: xor two similar versions, rle the zeros *)
+  let a = String.concat "\n" (List.init 100 (fun i -> Printf.sprintf "row %d" i)) in
+  let b = a ^ "!" in
+  let d = Xor.make a b in
+  let compressed = Compress.rle_zeros (Xor.encode d) in
+  Alcotest.(check bool) "much smaller than raw xor" true
+    (String.length compressed * 4 < Xor.size d);
+  let d' = Xor.decode (Compress.un_rle_zeros compressed) in
+  Alcotest.(check string) "pipeline recovers" b (Xor.recover d' a)
+
+let suite =
+  [
+    Alcotest.test_case "xor symmetry" `Quick test_xor_symmetry;
+    Alcotest.test_case "xor equal lengths" `Quick test_xor_equal_lengths;
+    Alcotest.test_case "xor identical inputs" `Quick test_xor_identical;
+    Alcotest.test_case "xor length mismatch" `Quick test_xor_length_mismatch;
+    Alcotest.test_case "xor codec" `Quick test_xor_codec;
+    Alcotest.test_case "xor empty side" `Quick test_xor_empty;
+    QCheck_alcotest.to_alcotest qcheck_lz77_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_rle_roundtrip;
+    Alcotest.test_case "lz77 compresses repetition" `Quick
+      test_lz77_compresses_repetition;
+    Alcotest.test_case "lz77 overlapping matches" `Quick
+      test_lz77_overlapping_match;
+    Alcotest.test_case "lz77 bounded expansion" `Quick
+      test_lz77_incompressible_bounded;
+    Alcotest.test_case "rle zero-heavy" `Quick test_rle_zero_heavy;
+    Alcotest.test_case "corrupt streams rejected" `Quick test_corrupt_streams;
+    Alcotest.test_case "ratio" `Quick test_ratio;
+    Alcotest.test_case "xor+rle pipeline" `Quick test_xor_plus_rle_pipeline;
+  ]

@@ -1,0 +1,62 @@
+module Zipf = Versioning_util.Zipf
+module Prng = Versioning_util.Prng
+
+let test_masses_sum () =
+  let z = Zipf.create ~n:100 ~exponent:2.0 in
+  let total = Array.fold_left ( +. ) 0.0 (Zipf.masses z) in
+  Alcotest.(check (float 1e-9)) "masses sum to 1" 1.0 total
+
+let test_monotone () =
+  let z = Zipf.create ~n:50 ~exponent:1.5 in
+  let m = Zipf.masses z in
+  for i = 0 to 48 do
+    Alcotest.(check bool) "non-increasing" true (m.(i) >= m.(i + 1))
+  done
+
+let test_prob () =
+  let z = Zipf.create ~n:10 ~exponent:2.0 in
+  (* P(1)/P(2) = 2^2 *)
+  Alcotest.(check (float 1e-9)) "ratio of ranks" 4.0
+    (Zipf.prob z 1 /. Zipf.prob z 2);
+  Alcotest.check_raises "rank 0 rejected"
+    (Invalid_argument "Zipf.prob: rank out of range") (fun () ->
+      ignore (Zipf.prob z 0))
+
+let test_sample_bounds () =
+  let z = Zipf.create ~n:20 ~exponent:2.0 in
+  let rng = Prng.create ~seed:4 in
+  for _ = 1 to 2000 do
+    let r = Zipf.sample z rng in
+    Alcotest.(check bool) "rank in [1, 20]" true (r >= 1 && r <= 20)
+  done
+
+let test_sample_skew () =
+  let z = Zipf.create ~n:100 ~exponent:2.0 in
+  let rng = Prng.create ~seed:5 in
+  let counts = Zipf.frequencies z rng ~draws:20_000 in
+  (* rank 1 holds ~61% of the mass for exponent 2, n=100 *)
+  Alcotest.(check bool) "rank 1 dominates" true (counts.(0) > 10_000);
+  let total = Array.fold_left ( + ) 0 counts in
+  Alcotest.(check int) "counts conserve draws" 20_000 total
+
+let test_n1 () =
+  let z = Zipf.create ~n:1 ~exponent:2.0 in
+  Alcotest.(check (float 0.)) "single rank has all mass" 1.0 (Zipf.prob z 1);
+  let rng = Prng.create ~seed:6 in
+  Alcotest.(check int) "always rank 1" 1 (Zipf.sample z rng)
+
+let test_invalid () =
+  Alcotest.check_raises "n=0 rejected"
+    (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Zipf.create ~n:0 ~exponent:1.0))
+
+let suite =
+  [
+    Alcotest.test_case "masses sum to 1" `Quick test_masses_sum;
+    Alcotest.test_case "monotone" `Quick test_monotone;
+    Alcotest.test_case "probability ratios" `Quick test_prob;
+    Alcotest.test_case "sample bounds" `Quick test_sample_bounds;
+    Alcotest.test_case "sample skew" `Quick test_sample_skew;
+    Alcotest.test_case "n = 1" `Quick test_n1;
+    Alcotest.test_case "invalid n" `Quick test_invalid;
+  ]
