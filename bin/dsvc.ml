@@ -262,6 +262,34 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Check repository integrity")
     Term.(const run $ repo_dir)
 
+let fsck_cmd =
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Attempt recovery: restore metadata from backup, quarantine \
+             corrupt objects, re-materialize versions with broken delta \
+             chains, and resolve any interrupted optimize.")
+  in
+  let run dir repair =
+    let result = or_die (Repo.fsck ~path:dir ~repair) in
+    List.iter (Printf.printf "fsck: %s\n") result.Repo.actions;
+    match result.Repo.problems with
+    | [] -> print_endline "repository is consistent"
+    | problems ->
+        List.iter (Printf.eprintf "dsvc: %s\n") problems;
+        if repair then
+          Printf.eprintf "dsvc: repair could not fix every problem\n"
+        else
+          Printf.eprintf "dsvc: run `dsvc fsck --repair` to attempt recovery\n";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Check repository integrity and optionally repair damage")
+    Term.(const run $ repo_dir $ repair)
+
 (* -- stats -- *)
 
 let print_stats (s : Repo.stats) =
@@ -424,7 +452,7 @@ let remote_cmd =
   in
   let rest = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS") in
   let run host port action rest =
-    let client = Versioning_store.Client.connect ~host ~port in
+    let client = Versioning_store.Client.connect ~host ~port () in
     let module C = Versioning_store.Client in
     match (action, rest) with
     | "log", [] ->
@@ -487,6 +515,7 @@ let () =
             tag_cmd;
             diff_cmd;
             verify_cmd;
+            fsck_cmd;
             stats_cmd;
             export_graph_cmd;
             serve_cmd;

@@ -1,6 +1,43 @@
-type t = { host : string; port : int }
+module Retry = Versioning_util.Retry
 
-let connect ~host ~port = { host; port }
+type t = { host : string; port : int; timeout : float; retries : int }
+
+let connect ?(timeout = 10.0) ?(retries = 3) ~host ~port () =
+  { host; port; timeout; retries }
+
+(* Numeric address or DNS name — the paper's client/server model
+   shouldn't require the caller to pre-resolve hostnames. *)
+let resolve_addr host port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok (Unix.ADDR_INET (addr, port))
+  | exception Failure _ -> (
+      match
+        Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ ->
+          Ok (Unix.ADDR_INET (addr, port))
+      | _ -> (
+          (* some resolvers only answer without the family hint *)
+          match
+            Unix.getaddrinfo host (string_of_int port)
+              [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+          with
+          | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ ->
+              Ok (Unix.ADDR_INET (addr, port))
+          | _ -> Error (Printf.sprintf "cannot resolve host %S" host)))
+
+(* Failures before the request is sent (resolution, connect) are safe
+   to retry for any method; failures after it only for idempotent
+   GETs — a retried POST /commit could commit twice. *)
+type failure = { transient : bool; message : string }
+
+let transient_unix_error = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EPIPE
+  | Unix.ETIMEDOUT | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.ENETDOWN
+  | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR ->
+      true
+  | _ -> false
 
 let percent_encode s =
   let buf = Buffer.create (String.length s) in
@@ -13,74 +50,99 @@ let percent_encode s =
     s;
   Buffer.contents buf
 
+let attempt t ~meth ~path ~query ~body =
+  match resolve_addr t.host t.port with
+  | Error message -> Error { transient = false; message }
+  | Ok addr -> (
+      (* [sent] splits failures into before/after the request hit the
+         wire, which decides retryability for non-idempotent methods. *)
+      let sent = ref false in
+      try
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+          (fun () ->
+            (try
+               Unix.setsockopt_float sock Unix.SO_RCVTIMEO t.timeout;
+               Unix.setsockopt_float sock Unix.SO_SNDTIMEO t.timeout
+             with Unix.Unix_error _ -> ());
+            Unix.connect sock addr;
+            let oc = Unix.out_channel_of_descr sock in
+            let ic = Unix.in_channel_of_descr sock in
+            let target =
+              if query = [] then path
+              else
+                path ^ "?"
+                ^ String.concat "&"
+                    (List.map
+                       (fun (k, v) -> percent_encode k ^ "=" ^ percent_encode v)
+                       query)
+            in
+            sent := true;
+            output_string oc
+              (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\n\r\n%s"
+                 meth target t.host (String.length body) body);
+            flush oc;
+            (* Parse the status line, headers, and Content-Length body. *)
+            let line () =
+              match In_channel.input_line ic with
+              | None -> failwith "connection closed mid-response"
+              | Some l ->
+                  if String.length l > 0 && l.[String.length l - 1] = '\r' then
+                    String.sub l 0 (String.length l - 1)
+                  else l
+            in
+            let status_line = line () in
+            let status =
+              match String.split_on_char ' ' status_line with
+              | _ :: code :: _ -> (
+                  match int_of_string_opt code with
+                  | Some c -> c
+                  | None -> failwith ("bad status line: " ^ status_line))
+              | _ -> failwith ("bad status line: " ^ status_line)
+            in
+            let content_length = ref None in
+            let rec headers () =
+              let l = line () in
+              if l <> "" then begin
+                (match String.index_opt l ':' with
+                | Some i
+                  when String.lowercase_ascii (String.sub l 0 i)
+                       = "content-length" ->
+                    content_length :=
+                      int_of_string_opt
+                        (String.trim
+                           (String.sub l (i + 1) (String.length l - i - 1)))
+                | _ -> ());
+                headers ()
+              end
+            in
+            headers ();
+            let body =
+              match !content_length with
+              | Some len -> really_input_string ic len
+              | None -> In_channel.input_all ic
+            in
+            Ok (status, body))
+      with
+      | Unix.Unix_error (err, fn, _) ->
+          Error
+            {
+              transient =
+                transient_unix_error err && ((not !sent) || meth = "GET");
+              message = Printf.sprintf "%s: %s" fn (Unix.error_message err);
+            }
+      | Failure e | Sys_error e ->
+          Error { transient = meth = "GET"; message = e }
+      | End_of_file ->
+          Error { transient = meth = "GET"; message = "unexpected end of response" })
+
 let request t ~meth ~path ?(query = []) ?(body = "") () =
-  try
-    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port) in
-    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Fun.protect
-      ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
-      (fun () ->
-        Unix.connect sock addr;
-        let oc = Unix.out_channel_of_descr sock in
-        let ic = Unix.in_channel_of_descr sock in
-        let target =
-          if query = [] then path
-          else
-            path ^ "?"
-            ^ String.concat "&"
-                (List.map
-                   (fun (k, v) -> percent_encode k ^ "=" ^ percent_encode v)
-                   query)
-        in
-        output_string oc
-          (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\n\r\n%s"
-             meth target t.host (String.length body) body);
-        flush oc;
-        (* Parse the status line, headers, and Content-Length body. *)
-        let line () =
-          match In_channel.input_line ic with
-          | None -> failwith "connection closed mid-response"
-          | Some l ->
-              if String.length l > 0 && l.[String.length l - 1] = '\r' then
-                String.sub l 0 (String.length l - 1)
-              else l
-        in
-        let status_line = line () in
-        let status =
-          match String.split_on_char ' ' status_line with
-          | _ :: code :: _ -> (
-              match int_of_string_opt code with
-              | Some c -> c
-              | None -> failwith ("bad status line: " ^ status_line))
-          | _ -> failwith ("bad status line: " ^ status_line)
-        in
-        let content_length = ref None in
-        let rec headers () =
-          let l = line () in
-          if l <> "" then begin
-            (match String.index_opt l ':' with
-            | Some i
-              when String.lowercase_ascii (String.sub l 0 i) = "content-length"
-              ->
-                content_length :=
-                  int_of_string_opt
-                    (String.trim (String.sub l (i + 1) (String.length l - i - 1)))
-            | _ -> ());
-            headers ()
-          end
-        in
-        headers ();
-        let body =
-          match !content_length with
-          | Some len -> really_input_string ic len
-          | None -> In_channel.input_all ic
-        in
-        Ok (status, body))
-  with
-  | Unix.Unix_error (err, fn, _) ->
-      Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
-  | Failure e | Sys_error e -> Error e
-  | End_of_file -> Error "unexpected end of response"
+  let policy = { Retry.default with max_attempts = max 1 t.retries } in
+  Retry.with_policy ~policy
+    ~retryable:(fun f -> f.transient)
+    (fun ~attempt:_ -> attempt t ~meth ~path ~query ~body)
+  |> Result.map_error (fun f -> f.message)
 
 let expect_ok t ~meth ~path ?query ?body () =
   match request t ~meth ~path ?query ?body () with

@@ -4,12 +4,22 @@
 
     All calls open one connection per request (matching the server's
     connection-per-request model) and surface non-2xx responses as
-    [Error] with the server's message. *)
+    [Error] with the server's message.
+
+    Resilience: sockets carry send/receive timeouts; transient
+    transport failures (connection refused/reset, timeouts) are
+    retried with exponential backoff and jitter ({!Versioning_util.Retry}).
+    Failures after the request was sent are only retried for
+    idempotent GETs — a retried POST could apply twice. *)
 
 type t
 
-val connect : host:string -> port:int -> t
-(** No connection is held; this just records the endpoint. *)
+val connect :
+  ?timeout:float -> ?retries:int -> host:string -> port:int -> unit -> t
+(** No connection is held; this just records the endpoint. [host] may
+    be a numeric address or a DNS name (resolved per request via
+    [getaddrinfo]). [timeout] (default 10s) bounds each socket
+    operation; [retries] (default 3) caps transport-level attempts. *)
 
 val versions : t -> ((int * int list * string) list, string) result
 (** [(id, parents, message)] per commit, newest first. *)

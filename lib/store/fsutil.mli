@@ -1,0 +1,31 @@
+(** Filesystem primitives shared by the store tier, with durability
+    and fault injection built in.
+
+    {!write_file_atomic} is the single write path for blobs, repository
+    metadata and the optimize journal: unique temp file in the target
+    directory, full write, [fsync], rename, directory [fsync] — so a
+    crash leaves either the old file or the new one, never a torn mix,
+    and a failed write never leaks its temp file. Every write consults
+    {!Faults} at the caller's site, which is how the fault-injection
+    tests produce partial writes, torn renames and flipped bytes. *)
+
+val mkdir_p : string -> (unit, string) result
+
+val read_file : string -> (string, string) result
+
+val write_file_atomic :
+  ?fsync:bool ->
+  ?backup:string ->
+  site:string ->
+  string ->
+  string ->
+  (unit, string) result
+(** [write_file_atomic ~site path content] durably replaces [path]
+    with [content]. [fsync] (default true) syncs the file before the
+    rename and the directory after it. [backup], if given and [path]
+    already exists, hard-links the previous version to that name
+    before the swap (best effort) — the recovery source for torn
+    metadata. [site] is the {!Faults} site consulted for injection. *)
+
+val fsync_dir : string -> unit
+(** Best-effort fsync of a directory (persists renames within it). *)

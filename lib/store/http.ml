@@ -120,6 +120,9 @@ let read_request ?(max_body = 64 * 1024 * 1024) ic =
   Ok { meth; path = percent_decode path; query; headers; body }
 
 let write_response oc { status; content_type; body } =
+  (* Fault-injection point: a [Drop] armed here models the peer
+     vanishing before the response is written. *)
+  Faults.guard "http.write_response";
   output_string oc
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
   output_string oc (Printf.sprintf "Content-Type: %s\r\n" content_type);

@@ -2,46 +2,15 @@ type t = { dir : string }
 
 let ( let* ) = Result.bind
 
-let mkdir_p dir =
-  let rec go d =
-    if d = "" || d = "/" || Sys.file_exists d then ()
-    else begin
-      go (Filename.dirname d);
-      try Sys.mkdir d 0o755 with Sys_error _ -> ()
-    end
-  in
-  go dir;
-  if Sys.file_exists dir && Sys.is_directory dir then Ok ()
-  else Error (Printf.sprintf "cannot create directory %s" dir)
-
 let create ~dir =
-  let* () = mkdir_p dir in
+  let* () = Fsutil.mkdir_p dir in
   Ok { dir }
 
 let path_of t digest =
   Filename.concat t.dir
     (Filename.concat (String.sub digest 0 2) (String.sub digest 2 30))
 
-let read_file path =
-  try
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
-  with Sys_error e -> Error e
-
-let write_file_atomic path content =
-  try
-    let dir = Filename.dirname path in
-    (match mkdir_p dir with Ok () -> () | Error e -> failwith e);
-    let tmp = Filename.temp_file ~temp_dir:dir ".obj" ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc content);
-    Sys.rename tmp path;
-    Ok ()
-  with Sys_error e | Failure e -> Error e
+let quarantine_dir t = Filename.concat t.dir "quarantine"
 
 (* On-disk framing: blobs are stored raw ('R' + bytes) or
    LZ77-compressed ('C' + codestream), whichever is smaller — the
@@ -70,7 +39,9 @@ let put t content =
   let path = path_of t digest in
   if Sys.file_exists path then Ok digest
   else
-    let* () = write_file_atomic path (frame content) in
+    let* () =
+      Fsutil.write_file_atomic ~site:"object_store.write" path (frame content)
+    in
     Ok digest
 
 let get t digest =
@@ -79,16 +50,49 @@ let get t digest =
   else begin
     let path = path_of t digest in
     if Sys.file_exists path then
-      let* framed = read_file path in
-      unframe framed
+      let* framed = Fsutil.read_file path in
+      let* content = unframe framed in
+      (* Always verify: one flipped bit in a delta blob would otherwise
+         silently corrupt every version downstream of it. *)
+      if Content_hash.hex content <> digest then
+        Error
+          (Printf.sprintf "object %s is corrupt (content fails its digest)"
+             digest)
+      else Ok content
     else Error (Printf.sprintf "object %s not found" digest)
   end
+
+let status t digest =
+  if not (Content_hash.is_valid digest) then `Missing
+  else
+    let path = path_of t digest in
+    if not (Sys.file_exists path) then `Missing
+    else
+      match Fsutil.read_file path with
+      | Error _ -> `Corrupt
+      | Ok framed -> (
+          match unframe framed with
+          | Error _ -> `Corrupt
+          | Ok content ->
+              if Content_hash.hex content = digest then `Ok else `Corrupt)
 
 let mem t digest =
   Content_hash.is_valid digest && Sys.file_exists (path_of t digest)
 
 let delete t digest =
   if mem t digest then try Sys.remove (path_of t digest) with Sys_error _ -> ()
+
+let quarantine t digest =
+  let src = path_of t digest in
+  if not (Sys.file_exists src) then
+    Error (Printf.sprintf "object %s not found" digest)
+  else
+    let* () = Fsutil.mkdir_p (quarantine_dir t) in
+    let dst = Filename.concat (quarantine_dir t) digest in
+    try
+      Sys.rename src dst;
+      Ok dst
+    with Sys_error e -> Error e
 
 let list_digests t =
   if not (Sys.file_exists t.dir) then []

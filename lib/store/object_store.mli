@@ -4,7 +4,13 @@
     Git). Writing is idempotent — equal content maps to an equal
     digest and is stored once, which is where whole-version
     deduplication (identical intermediate results, §1) comes for
-    free. *)
+    free.
+
+    Durability: writes go through {!Fsutil.write_file_atomic} (temp
+    file, fsync, rename), and every {!get} re-verifies the content
+    against its digest, so on-disk corruption surfaces as [Error] at
+    the first read instead of silently corrupting every version
+    downstream of a damaged delta. *)
 
 type t
 
@@ -14,20 +20,35 @@ val create : dir:string -> (t, string) result
 
 val put : t -> string -> (string, string) result
 (** [put store content] writes the blob and returns its digest.
-    Writing is atomic (temp file + rename). Blobs are transparently
+    Writing is atomic and fsynced (temp file + rename); a failed
+    write cleans up its temp file. Blobs are transparently
     LZ77-compressed on disk when that is smaller (like git's zlib
     packing); the digest always addresses the logical content. *)
 
 val get : t -> string -> (string, string) result
-(** Fetch a blob by digest. *)
+(** Fetch a blob by digest. The content is verified against the
+    digest on every read; corrupt blobs return [Error]. *)
+
+val status : t -> string -> [ `Ok | `Missing | `Corrupt ]
+(** Non-destructively classify a digest: present and digest-valid,
+    absent, or present but unreadable / failing its digest. *)
 
 val mem : t -> string -> bool
 
 val delete : t -> string -> unit
 (** Remove a blob if present (used by repack garbage collection). *)
 
+val quarantine : t -> string -> (string, string) result
+(** Move a (typically corrupt) blob out of the addressable store into
+    [<dir>/quarantine/<digest>] for post-mortem inspection, and return
+    the destination path. After quarantining, a fresh {!put} of the
+    true content re-creates a good copy. *)
+
+val path_of : t -> string -> string
+(** On-disk path a digest maps to (for tooling and tests). *)
+
 val list_digests : t -> string list
-(** All stored digests. *)
+(** All stored digests (the quarantine area is not included). *)
 
 val total_bytes : t -> int
 (** Sum of on-disk blob sizes (after framing/compression) — the

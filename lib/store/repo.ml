@@ -42,11 +42,120 @@ type strategy =
   | Git_window of int * int
   | Svn_skip
 
+type repair_report = {
+  quarantined : string list;
+  rematerialized : int list;
+  unrecoverable : int list;
+  strays_removed : int;
+}
+
+type fsck_result = { actions : string list; problems : string list }
+
 let meta_dir path = Filename.concat path ".dsvc"
 let meta_file path = Filename.concat (meta_dir path) "meta"
+let backup_file path = meta_file path ^ ".bak"
 let objects_dir path = Filename.concat (meta_dir path) "objects"
+let journal_file path = Filename.concat (meta_dir path) "journal"
+let lock_file path = Filename.concat (meta_dir path) "lock"
 
 let root t = t.root
+
+(* ---- repository lock ----
+
+   One exclusive POSIX record lock per repository directory guards
+   against two processes mutating the same metadata. Record locks do
+   not exclude within a process, so we keep a single process-wide fd
+   per lock path: re-opening the same repository in-process shares the
+   lock (and its fd), while another process gets a clean error. The
+   pid is recorded so a fork does not inherit a stale claim. *)
+
+let lock_mutex = Mutex.create ()
+let lock_table : (string, Unix.file_descr * int) Hashtbl.t = Hashtbl.create 8
+
+let acquire_lock path =
+  let key = lock_file path in
+  Mutex.lock lock_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock_mutex)
+    (fun () ->
+      (match Hashtbl.find_opt lock_table key with
+      | Some (fd, pid) when pid <> Unix.getpid () ->
+          (* inherited across fork: the lock belongs to the parent *)
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Hashtbl.remove lock_table key
+      | _ -> ());
+      if Hashtbl.mem lock_table key then Ok ()
+      else
+        match Unix.openfile key [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
+        | exception Unix.Unix_error (err, fn, _) ->
+            Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+        | fd -> (
+            match Unix.lockf fd Unix.F_TLOCK 0 with
+            | () ->
+                Hashtbl.replace lock_table key (fd, Unix.getpid ());
+                Ok ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                Error
+                  (Printf.sprintf
+                     "repository at %s is locked by another process" path)
+            | exception Unix.Unix_error (err, fn, _) ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))))
+
+let release_lock path =
+  let key = lock_file path in
+  Mutex.lock lock_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock_mutex)
+    (fun () ->
+      match Hashtbl.find_opt lock_table key with
+      | Some (fd, pid) when pid = Unix.getpid () ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Hashtbl.remove lock_table key
+      | _ -> ())
+
+let close t = release_lock t.root
+
+(* ---- reference-name validation ----
+
+   The metadata format is line- and space-delimited: a branch or tag
+   name containing whitespace or control characters would make the
+   repository unloadable. *)
+
+let valid_ref_name name =
+  name <> "" && String.length name <= 255
+  && String.for_all (fun c -> c > ' ' && c <> '\x7f') name
+
+(* ---- in-memory state snapshots ----
+
+   Mutations are applied in memory and then persisted by [save]; if
+   the save fails, the snapshot is restored so memory never diverges
+   from disk. *)
+
+type snapshot =
+  commit_info list
+  * (int, stored) Hashtbl.t
+  * (string * int) list
+  * (string * int) list
+  * string
+  * int
+
+let snapshot t : snapshot =
+  ( t.commits,
+    Hashtbl.copy t.stored,
+    t.branches,
+    t.tag_list,
+    t.head_branch,
+    t.next_id )
+
+let restore t ((commits, stored, branches, tags, head, next) : snapshot) =
+  t.commits <- commits;
+  t.stored <- stored;
+  t.branches <- branches;
+  t.tag_list <- tags;
+  t.head_branch <- head;
+  t.next_id <- next
 
 (* ---- metadata persistence ---- *)
 
@@ -83,140 +192,120 @@ let save t =
           Buffer.add_string buf
             (Printf.sprintf "stored %d delta %d %s\n" id p digest))
     t.stored;
-  try
-    let tmp = meta_file t.root ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> Buffer.output_buffer oc buf);
-    Sys.rename tmp (meta_file t.root);
-    Ok ()
-  with Sys_error e -> Error e
+  (* the trailer lets [load] tell a truncated (torn) file from a
+     complete one *)
+  Buffer.add_string buf "end\n";
+  Fsutil.write_file_atomic ~site:"repo.save" ~backup:(backup_file t.root)
+    (meta_file t.root) (Buffer.contents buf)
+
+let save_rollback t snap =
+  match save t with
+  | Ok () -> Ok ()
+  | Error e ->
+      restore t snap;
+      Error e
+
+let parse_meta path store content =
+  let t =
+    {
+      root = path;
+      store;
+      commits = [];
+      stored = Hashtbl.create 64;
+      branches = [];
+      tag_list = [];
+      head_branch = "main";
+      next_id = 1;
+    }
+  in
+  let fail msg = Error (Printf.sprintf "corrupt repository metadata: %s" msg) in
+  let parse_line line =
+    if line = "" then Ok ()
+    else
+      match String.split_on_char ' ' line with
+      | "dsvc" :: _ -> Ok ()
+      | [ "head"; name ] ->
+          t.head_branch <- name;
+          Ok ()
+      | [ "next"; n ] -> (
+          match int_of_string_opt n with
+          | Some n ->
+              t.next_id <- n;
+              Ok ()
+          | None -> fail "bad next id")
+      | [ "branch"; name; v ] -> (
+          match int_of_string_opt v with
+          | Some v ->
+              t.branches <- t.branches @ [ (name, v) ];
+              Ok ()
+          | None -> fail "bad branch head")
+      | [ "tag"; name; v ] -> (
+          match int_of_string_opt v with
+          | Some v ->
+              t.tag_list <- t.tag_list @ [ (name, v) ];
+              Ok ()
+          | None -> fail "bad tag target")
+      | "version" :: id :: ts :: parents :: msg_parts -> (
+          match (int_of_string_opt id, float_of_string_opt ts) with
+          | Some id, Some timestamp -> (
+              let message =
+                try Scanf.unescaped (String.concat " " msg_parts)
+                with Scanf.Scan_failure _ -> String.concat " " msg_parts
+              in
+              match
+                if parents = "-" then Ok []
+                else
+                  String.split_on_char ',' parents
+                  |> List.map int_of_string_opt
+                  |> List.fold_left
+                       (fun acc p ->
+                         match (acc, p) with
+                         | Ok acc, Some p -> Ok (acc @ [ p ])
+                         | _ -> Error ())
+                       (Ok [])
+              with
+              | Ok parents ->
+                  t.commits <-
+                    t.commits @ [ { id; parents; message; timestamp } ];
+                  Ok ()
+              | Error () -> fail "bad parent list")
+          | _ -> fail "bad version line")
+      | [ "stored"; id; "full"; digest ] -> (
+          match int_of_string_opt id with
+          | Some id ->
+              Hashtbl.replace t.stored id (Full digest);
+              Ok ()
+          | None -> fail "bad stored line")
+      | [ "stored"; id; "delta"; p; digest ] -> (
+          match (int_of_string_opt id, int_of_string_opt p) with
+          | Some id, Some p ->
+              Hashtbl.replace t.stored id (Delta_from (p, digest));
+              Ok ()
+          | _ -> fail "bad stored line")
+      | _ -> fail ("unknown line: " ^ line)
+  in
+  (* Split off the "end" trailer: its absence means the file was
+     truncated mid-write. *)
+  let rec body acc = function
+    | [] -> fail "truncated metadata (missing end marker)"
+    | "end" :: rest ->
+        if List.for_all (fun l -> l = "") rest then Ok (List.rev acc)
+        else fail "content after end marker"
+    | l :: rest -> body (l :: acc) rest
+  in
+  let* lines = body [] (String.split_on_char '\n' content) in
+  let rec go = function
+    | [] -> Ok ()
+    | l :: tl -> ( match parse_line l with Ok () -> go tl | Error _ as e -> e)
+  in
+  let* () = go lines in
+  (* Newest first. *)
+  t.commits <- List.sort (fun a b -> compare b.id a.id) t.commits;
+  Ok t
 
 let load path store =
-  try
-    let ic = open_in_bin (meta_file path) in
-    let content =
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    let t =
-      {
-        root = path;
-        store;
-        commits = [];
-        stored = Hashtbl.create 64;
-        branches = [];
-        tag_list = [];
-        head_branch = "main";
-        next_id = 1;
-      }
-    in
-    let fail msg = Error (Printf.sprintf "corrupt repository metadata: %s" msg) in
-    let parse_line line =
-      if line = "" then Ok ()
-      else
-        match String.split_on_char ' ' line with
-        | "dsvc" :: _ -> Ok ()
-        | [ "head"; name ] ->
-            t.head_branch <- name;
-            Ok ()
-        | [ "next"; n ] -> (
-            match int_of_string_opt n with
-            | Some n ->
-                t.next_id <- n;
-                Ok ()
-            | None -> fail "bad next id")
-        | [ "branch"; name; v ] -> (
-            match int_of_string_opt v with
-            | Some v ->
-                t.branches <- t.branches @ [ (name, v) ];
-                Ok ()
-            | None -> fail "bad branch head")
-        | [ "tag"; name; v ] -> (
-            match int_of_string_opt v with
-            | Some v ->
-                t.tag_list <- t.tag_list @ [ (name, v) ];
-                Ok ()
-            | None -> fail "bad tag target")
-        | "version" :: id :: ts :: parents :: msg_parts -> (
-            match (int_of_string_opt id, float_of_string_opt ts) with
-            | Some id, Some timestamp -> (
-                let message =
-                  try Scanf.unescaped (String.concat " " msg_parts)
-                  with Scanf.Scan_failure _ -> String.concat " " msg_parts
-                in
-                match
-                  if parents = "-" then Ok []
-                  else
-                    String.split_on_char ',' parents
-                    |> List.map int_of_string_opt
-                    |> List.fold_left
-                         (fun acc p ->
-                           match (acc, p) with
-                           | Ok acc, Some p -> Ok (acc @ [ p ])
-                           | _ -> Error ())
-                         (Ok [])
-                with
-                | Ok parents ->
-                    t.commits <-
-                      t.commits @ [ { id; parents; message; timestamp } ];
-                    Ok ()
-                | Error () -> fail "bad parent list")
-            | _ -> fail "bad version line")
-        | [ "stored"; id; "full"; digest ] -> (
-            match int_of_string_opt id with
-            | Some id ->
-                Hashtbl.replace t.stored id (Full digest);
-                Ok ()
-            | None -> fail "bad stored line")
-        | [ "stored"; id; "delta"; p; digest ] -> (
-            match (int_of_string_opt id, int_of_string_opt p) with
-            | Some id, Some p ->
-                Hashtbl.replace t.stored id (Delta_from (p, digest));
-                Ok ()
-            | _ -> fail "bad stored line")
-        | _ -> fail ("unknown line: " ^ line)
-    in
-    let rec go = function
-      | [] -> Ok ()
-      | l :: tl -> (
-          match parse_line l with Ok () -> go tl | Error _ as e -> e)
-    in
-    let* () = go (String.split_on_char '\n' content) in
-    (* Newest first. *)
-    t.commits <-
-      List.sort (fun a b -> compare b.id a.id) t.commits;
-    Ok t
-  with Sys_error e -> Error e
-
-let init ~path =
-  if Sys.file_exists (meta_file path) then
-    Error (Printf.sprintf "repository already exists at %s" path)
-  else
-    let* store = Object_store.create ~dir:(objects_dir path) in
-    let t =
-      {
-        root = path;
-        store;
-        commits = [];
-        stored = Hashtbl.create 64;
-        branches = [ ("main", 0) ];
-        tag_list = [];
-        head_branch = "main";
-        next_id = 1;
-      }
-    in
-    let* () = save t in
-    Ok t
-
-let open_repo ~path =
-  if not (Sys.file_exists (meta_file path)) then
-    Error (Printf.sprintf "no repository at %s" path)
-  else
-    let* store = Object_store.create ~dir:(objects_dir path) in
-    load path store
+  let* content = Fsutil.read_file (meta_file path) in
+  parse_meta path store content
 
 (* ---- retrieval ---- *)
 
@@ -243,6 +332,188 @@ let checkout t version =
           with Invalid_argument e -> Error e)
       | exception Invalid_argument e -> Error e)
     (Ok base) deltas
+
+(* every version must reconstruct — the invariant [optimize] and
+   journal recovery check before destroying anything *)
+let check_all_versions t =
+  Hashtbl.fold
+    (fun v _ acc ->
+      let* () = acc in
+      match checkout t v with
+      | Ok _ -> Ok ()
+      | Error e -> Error (Printf.sprintf "version %d: %s" v e))
+    t.stored (Ok ())
+
+(* ---- journal (two-phase optimize) ---- *)
+
+let stored_line prefix id s =
+  match s with
+  | Full d -> Printf.sprintf "%s %d full %s\n" prefix id d
+  | Delta_from (p, d) -> Printf.sprintf "%s %d delta %d %s\n" prefix id p d
+
+let write_journal t ~old_map ~new_map =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "journal 1\n";
+  Hashtbl.iter (fun id s -> Buffer.add_string buf (stored_line "old" id s)) old_map;
+  Hashtbl.iter (fun id s -> Buffer.add_string buf (stored_line "new" id s)) new_map;
+  Buffer.add_string buf "end\n";
+  Fsutil.write_file_atomic ~site:"repo.journal" (journal_file t.root)
+    (Buffer.contents buf)
+
+let parse_journal content =
+  let old_map = Hashtbl.create 64 and new_map = Hashtbl.create 64 in
+  let fail msg = Error (Printf.sprintf "corrupt journal: %s" msg) in
+  let entry tbl id kind rest =
+    match (int_of_string_opt id, kind, rest) with
+    | Some id, "full", [ d ] ->
+        Hashtbl.replace tbl id (Full d);
+        Ok ()
+    | Some id, "delta", [ p; d ] -> (
+        match int_of_string_opt p with
+        | Some p ->
+            Hashtbl.replace tbl id (Delta_from (p, d));
+            Ok ()
+        | None -> fail "bad delta parent")
+    | _ -> fail "bad stored entry"
+  in
+  let parse_line line =
+    if line = "" then Ok ()
+    else
+      match String.split_on_char ' ' line with
+      | "journal" :: _ -> Ok ()
+      | "old" :: id :: kind :: rest -> entry old_map id kind rest
+      | "new" :: id :: kind :: rest -> entry new_map id kind rest
+      | _ -> fail ("unknown line: " ^ line)
+  in
+  let rec body acc = function
+    | [] -> fail "truncated (missing end marker)"
+    | "end" :: rest ->
+        if List.for_all (fun l -> l = "") rest then Ok (List.rev acc)
+        else fail "content after end marker"
+    | l :: rest -> body (l :: acc) rest
+  in
+  let* lines = body [] (String.split_on_char '\n' content) in
+  let rec go = function
+    | [] -> Ok (old_map, new_map)
+    | l :: tl -> ( match parse_line l with Ok () -> go tl | Error _ as e -> e)
+  in
+  go lines
+
+let remove_journal t =
+  try Sys.remove (journal_file t.root) with Sys_error _ -> ()
+
+let read_journal t =
+  if not (Sys.file_exists (journal_file t.root)) then None
+  else
+    match Fsutil.read_file (journal_file t.root) with
+    | Error _ -> None
+    | Ok content -> (
+        match parse_journal content with
+        | Ok maps -> Some maps
+        | Error _ -> None)
+
+(* ---- garbage collection ---- *)
+
+let referenced_digests t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      match s with Full d -> d :: acc | Delta_from (_, d) -> d :: acc)
+    t.stored []
+
+module SS = Set.Make (String)
+
+(* Remove blobs referenced by no version. Refuses to run while an
+   optimize journal is pending, since the journal's maps may still
+   reference them. *)
+let gc t =
+  if Sys.file_exists (journal_file t.root) then 0
+  else
+    let live = SS.of_list (referenced_digests t) in
+    List.fold_left
+      (fun acc digest ->
+        if SS.mem digest live then acc
+        else begin
+          Object_store.delete t.store digest;
+          acc + 1
+        end)
+      0
+      (Object_store.list_digests t.store)
+
+(* ---- journal recovery (runs under the repo lock at open) ----
+
+   A journal on disk means a crash interrupted [optimize] after its
+   new objects were written. Roll forward if the intended map fully
+   reconstructs; otherwise roll back to the pre-optimize map; if
+   neither is whole (additional damage), keep the journal so [repair]
+   can recover over the union of both maps. *)
+
+let recover_journal t =
+  if not (Sys.file_exists (journal_file t.root)) then Ok `No_journal
+  else
+    match Fsutil.read_file (journal_file t.root) with
+    | Error _ ->
+        remove_journal t;
+        Ok `Rolled_back
+    | Ok content -> (
+        match parse_journal content with
+        | Error _ ->
+            (* torn journal: the metadata swap never happened, the
+               current metadata is authoritative *)
+            remove_journal t;
+            Ok `Rolled_back
+        | Ok (old_map, new_map) ->
+            let try_map m =
+              let prev = t.stored in
+              t.stored <- m;
+              match check_all_versions t with
+              | Ok () -> true
+              | Error _ ->
+                  t.stored <- prev;
+                  false
+            in
+            let finish outcome =
+              let* () = save t in
+              remove_journal t;
+              ignore (gc t);
+              Ok outcome
+            in
+            if try_map new_map then finish `Rolled_forward
+            else if try_map old_map then finish `Rolled_back
+            else Ok `Journal_kept)
+
+(* ---- open / init ---- *)
+
+let init ~path =
+  if Sys.file_exists (meta_file path) then
+    Error (Printf.sprintf "repository already exists at %s" path)
+  else
+    let* () = Fsutil.mkdir_p (meta_dir path) in
+    let* () = acquire_lock path in
+    let* store = Object_store.create ~dir:(objects_dir path) in
+    let t =
+      {
+        root = path;
+        store;
+        commits = [];
+        stored = Hashtbl.create 64;
+        branches = [ ("main", 0) ];
+        tag_list = [];
+        head_branch = "main";
+        next_id = 1;
+      }
+    in
+    let* () = save t in
+    Ok t
+
+let open_repo ~path =
+  if not (Sys.file_exists (meta_file path)) then
+    Error (Printf.sprintf "no repository at %s" path)
+  else
+    let* () = acquire_lock path in
+    let* store = Object_store.create ~dir:(objects_dir path) in
+    let* t = load path store in
+    let* _outcome = recover_journal t in
+    Ok t
 
 (* ---- commits & branches ---- *)
 
@@ -272,6 +543,8 @@ let commit t ?(message = "") ?parents content =
       (Ok ()) parents
   in
   let id = t.next_id in
+  (* all object writes happen before any in-memory mutation, so a
+     failed put leaves the repository exactly as it was *)
   let* stored =
     match parents with
     | [] -> store_full t content
@@ -284,6 +557,7 @@ let commit t ?(message = "") ?parents content =
           Ok (Delta_from (p, digest))
         else store_full t content
   in
+  let snap = snapshot t in
   t.next_id <- id + 1;
   Hashtbl.replace t.stored id stored;
   t.commits <-
@@ -291,11 +565,17 @@ let commit t ?(message = "") ?parents content =
   t.branches <-
     (t.head_branch, id)
     :: List.remove_assoc t.head_branch t.branches;
-  let* () = save t in
+  let* () = save_rollback t snap in
   Ok id
 
 let create_branch t name ?at () =
-  if List.mem_assoc name t.branches then
+  if not (valid_ref_name name) then
+    Error
+      (Printf.sprintf
+         "invalid branch name %S (must be non-empty printable characters \
+          without whitespace)"
+         name)
+  else if List.mem_assoc name t.branches then
     Error (Printf.sprintf "branch %s already exists" name)
   else begin
     let target =
@@ -307,21 +587,29 @@ let create_branch t name ?at () =
         if not (Hashtbl.mem t.stored v) then
           Error (Printf.sprintf "unknown version %d" v)
         else begin
+          let snap = snapshot t in
           t.branches <- (name, v) :: t.branches;
           t.head_branch <- name;
-          save t
+          save_rollback t snap
         end
   end
 
 let switch t name =
   if List.mem_assoc name t.branches then begin
+    let snap = snapshot t in
     t.head_branch <- name;
-    save t
+    save_rollback t snap
   end
   else Error (Printf.sprintf "no branch named %s" name)
 
 let tag t name ?at () =
-  if List.mem_assoc name t.tag_list then
+  if not (valid_ref_name name) then
+    Error
+      (Printf.sprintf
+         "invalid tag name %S (must be non-empty printable characters \
+          without whitespace)"
+         name)
+  else if List.mem_assoc name t.tag_list then
     Error (Printf.sprintf "tag %s already exists" name)
   else
     match (match at with Some v -> Some v | None -> head t) with
@@ -330,8 +618,9 @@ let tag t name ?at () =
         if not (Hashtbl.mem t.stored v) then
           Error (Printf.sprintf "unknown version %d" v)
         else begin
+          let snap = snapshot t in
           t.tag_list <- (name, v) :: t.tag_list;
-          save t
+          save_rollback t snap
         end
 
 let tags t = List.sort compare t.tag_list
@@ -355,15 +644,14 @@ let diff t a b =
 let verify t =
   let problems = ref [] in
   let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
-  (* every referenced object exists and matches its digest *)
+  (* every referenced object exists and matches its digest ([get]
+     verifies content hashes on every read) *)
   Hashtbl.iter
     (fun v s ->
       let digest = match s with Full d | Delta_from (_, d) -> d in
       match Object_store.get t.store digest with
       | Error e -> note "version %d: object unreadable (%s)" v e
-      | Ok content ->
-          if Content_hash.hex content <> digest then
-            note "version %d: object %s fails its digest" v digest)
+      | Ok _ -> ())
     t.stored;
   (* every version reconstructs *)
   Hashtbl.iter
@@ -381,9 +669,12 @@ let verify t =
             note "version %d: missing parent %d" c.id p)
         c.parents)
     t.commits;
+  if Sys.file_exists (journal_file t.root) then
+    note "unresolved optimize journal present (crash recovery incomplete)";
   if !problems = [] then Ok () else Error (List.rev !problems)
 
 let import_versions t entries =
+  let snap = snapshot t in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | (message, parents, content) :: tl -> (
@@ -418,17 +709,15 @@ let import_versions t entries =
           (t.head_branch, id) :: List.remove_assoc t.head_branch t.branches;
         go (id :: acc) tl)
   in
-  let* ids = go [] entries in
-  let* () = save t in
-  Ok ids
+  match go [] entries with
+  | Error e ->
+      restore t snap;
+      Error e
+  | Ok ids ->
+      let* () = save_rollback t snap in
+      Ok ids
 
 (* ---- stats ---- *)
-
-let referenced_digests t =
-  Hashtbl.fold
-    (fun _ s acc ->
-      match s with Full d -> d :: acc | Delta_from (_, d) -> d :: acc)
-    t.stored []
 
 let object_size t digest =
   match Object_store.get t.store digest with
@@ -443,7 +732,6 @@ let stats t =
       t.stored 0
   in
   (* Unique blobs only: dedup shared digests. *)
-  let module SS = Set.Make (String) in
   let digests = SS.of_list (referenced_digests t) in
   let storage_bytes =
     SS.fold (fun d acc -> acc + object_size t d) digests 0
@@ -583,6 +871,18 @@ let reveal_graph t ?(max_hops = 3) ?(extra_pairs = []) () =
     List.iter reveal extra_pairs;
     Ok (aux, contents)
 
+(* [optimize] is crash-safe via a two-phase protocol:
+
+   1. write every new object (the old ones are untouched);
+   2. journal both the old and the intended stored maps, fsynced;
+   3. atomically swap the metadata to the new map;
+   4. verify every version reconstructs under the new map;
+   5. only then delete the journal and garbage-collect.
+
+   A crash at any point leaves the repository recoverable: before the
+   journal, the old metadata is intact and the new objects are strays;
+   after it, [recover_journal] (run by [open_repo]) rolls forward or
+   back; and the GC never runs while a journal is pending. *)
 let optimize t ?(max_hops = 3) strategy =
   let n = t.next_id - 1 in
   if n = 0 then Error "empty repository"
@@ -619,15 +919,18 @@ let optimize t ?(max_hops = 3) strategy =
           Versioning_core.Skip_delta.solve aux
             ~order:(Array.init n (fun i -> i + 1))
     in
-    (* Rewrite only the entries whose storage parent changes (the
-       migration-plan discipline): unchanged versions keep their
-       existing objects. *)
     let current_parent v =
       match Hashtbl.find_opt t.stored v with
       | Some (Full _) -> Some 0
       | Some (Delta_from (p, _)) -> Some p
       | None -> None
     in
+    (* Phase 1: write the new objects, building the intended map on
+       the side — the live map (memory and disk) is untouched, so an
+       error or crash here costs only stray blobs. Only entries whose
+       storage parent changes are rewritten (the migration-plan
+       discipline): unchanged versions keep their existing objects. *)
+    let new_stored = Hashtbl.copy t.stored in
     let* () =
       List.fold_left
         (fun acc (p, v) ->
@@ -635,24 +938,202 @@ let optimize t ?(max_hops = 3) strategy =
           if current_parent v = Some p then Ok ()
           else if p = 0 then
             let* digest = Object_store.put t.store contents.(v) in
-            Hashtbl.replace t.stored v (Full digest);
+            Hashtbl.replace new_stored v (Full digest);
             Ok ()
           else begin
             let d = Line_diff.diff contents.(p) contents.(v) in
             let* digest = Object_store.put t.store (Line_diff.encode d) in
-            Hashtbl.replace t.stored v (Delta_from (p, digest));
+            Hashtbl.replace new_stored v (Delta_from (p, digest));
             Ok ()
           end)
         (Ok ())
         (Storage_graph.to_parents plan)
     in
-    let* () = save t in
-    (* Garbage-collect unreferenced blobs. *)
-    let module SS = Set.Make (String) in
-    let live = SS.of_list (referenced_digests t) in
-    List.iter
-      (fun digest ->
-        if not (SS.mem digest live) then Object_store.delete t.store digest)
-      (Object_store.list_digests t.store);
-    Ok (stats t)
+    Faults.guard "optimize.after_objects";
+    (* Phase 2: journal both maps. *)
+    let* () = write_journal t ~old_map:t.stored ~new_map:new_stored in
+    Faults.guard "optimize.after_journal";
+    (* Phase 3: swap the metadata. *)
+    let snap = snapshot t in
+    t.stored <- new_stored;
+    let* () =
+      match save t with
+      | Ok () -> Ok ()
+      | Error e ->
+          restore t snap;
+          remove_journal t;
+          Error e
+    in
+    Faults.guard "optimize.after_swap";
+    (* Phase 4: verify before destroying anything. *)
+    match check_all_versions t with
+    | Error e ->
+        restore t snap;
+        let* () = save t in
+        remove_journal t;
+        Error (Printf.sprintf "optimize verification failed, rolled back: %s" e)
+    | Ok () ->
+        (* Phase 5: the swap is durable — clean up. *)
+        remove_journal t;
+        Faults.guard "optimize.before_gc";
+        ignore (gc t);
+        Ok (stats t)
   end
+
+(* ---- repair ---- *)
+
+(* Recover every version content reachable over the union of intact
+   delta edges from the current stored map plus both journal maps (if
+   a journal survived recovery, both the old and new plans were
+   damaged — but together they may still cover every version). *)
+let recoverable_contents t =
+  let maps =
+    t.stored
+    :: (match read_journal t with
+       | Some (old_map, new_map) -> [ old_map; new_map ]
+       | None -> [])
+  in
+  let entries =
+    List.concat_map
+      (fun m -> Hashtbl.fold (fun v s acc -> (v, s) :: acc) m [])
+      maps
+  in
+  let recovered : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun (v, s) ->
+        if not (Hashtbl.mem recovered v) then
+          match s with
+          | Full d -> (
+              match Object_store.get t.store d with
+              | Ok c ->
+                  Hashtbl.replace recovered v c;
+                  progress := true
+              | Error _ -> ())
+          | Delta_from (p, d) -> (
+              match Hashtbl.find_opt recovered p with
+              | None -> ()
+              | Some base -> (
+                  match Object_store.get t.store d with
+                  | Error _ -> ()
+                  | Ok encoded -> (
+                      match
+                        Line_diff.apply base (Line_diff.decode encoded)
+                      with
+                      | c ->
+                          Hashtbl.replace recovered v c;
+                          progress := true
+                      | exception Invalid_argument _ -> ()))))
+      entries
+  done;
+  recovered
+
+let repair t =
+  (* 1. Quarantine every blob that fails its digest, so a later [put]
+     of the true content can lay down a good copy at the same path. *)
+  let quarantined =
+    List.filter
+      (fun d ->
+        match Object_store.status t.store d with
+        | `Corrupt -> (
+            match Object_store.quarantine t.store d with
+            | Ok _ -> true
+            | Error _ -> false)
+        | `Ok | `Missing -> false)
+      (Object_store.list_digests t.store)
+  in
+  (* 2. Recover whatever contents the surviving objects still
+     determine, across the current map and any pending journal. *)
+  let recovered = recoverable_contents t in
+  (* 3. Re-materialize broken versions from the recovered contents.
+     Re-check each version as we go: fixing a base version heals its
+     delta children for free. *)
+  let versions =
+    Hashtbl.fold (fun v _ acc -> v :: acc) t.stored [] |> List.sort compare
+  in
+  let rematerialized = ref [] and unrecoverable = ref [] in
+  List.iter
+    (fun v ->
+      match checkout t v with
+      | Ok _ -> ()
+      | Error _ -> (
+          match Hashtbl.find_opt recovered v with
+          | None -> unrecoverable := v :: !unrecoverable
+          | Some content -> (
+              match Object_store.put t.store content with
+              | Ok digest ->
+                  Hashtbl.replace t.stored v (Full digest);
+                  rematerialized := v :: !rematerialized
+              | Error _ -> unrecoverable := v :: !unrecoverable)))
+    versions;
+  let* () = save t in
+  (* 4. Only a fully recovered repository may drop its safety nets:
+     with everything reconstructible the journal is obsolete and
+     unreferenced blobs (including aborted-optimize strays) can go. *)
+  let strays_removed =
+    if !unrecoverable = [] then begin
+      remove_journal t;
+      gc t
+    end
+    else 0
+  in
+  Ok
+    {
+      quarantined;
+      rematerialized = List.rev !rematerialized;
+      unrecoverable = List.rev !unrecoverable;
+      strays_removed;
+    }
+
+(* ---- fsck ---- *)
+
+let fsck ~path ~repair:do_repair =
+  let actions = ref [] in
+  let act fmt = Printf.ksprintf (fun s -> actions := s :: !actions) fmt in
+  let open_with_backup_fallback () =
+    match open_repo ~path with
+    | Ok t -> Ok t
+    | Error e ->
+        (* A torn or corrupt metadata file can be rolled back to the
+           last durable save; the damaged file is kept aside. *)
+        if
+          do_repair
+          && Sys.file_exists (meta_file path)
+          && Sys.file_exists (backup_file path)
+        then
+          let* backup = Fsutil.read_file (backup_file path) in
+          let* _probe =
+            let* store = Object_store.create ~dir:(objects_dir path) in
+            parse_meta path store backup
+          in
+          let meta = meta_file path in
+          (try Sys.rename meta (meta ^ ".corrupt") with Sys_error _ -> ());
+          let* () =
+            Fsutil.write_file_atomic ~site:"repo.save" meta backup
+          in
+          let* t = open_repo ~path in
+          act
+            "restored metadata from backup (damaged file kept as \
+             meta.corrupt)";
+          Ok t
+        else Error e
+  in
+  let* t = open_with_backup_fallback () in
+  let* () =
+    if not do_repair then Ok ()
+    else
+      let* report = repair t in
+      List.iter (fun d -> act "quarantined corrupt object %s" d)
+        report.quarantined;
+      List.iter (fun v -> act "re-materialized version %d" v)
+        report.rematerialized;
+      List.iter (fun v -> act "version %d is unrecoverable" v)
+        report.unrecoverable;
+      if report.strays_removed > 0 then
+        act "removed %d unreferenced object(s)" report.strays_removed;
+      Ok ()
+  in
+  let problems = match verify t with Ok () -> [] | Error ps -> ps in
+  Ok { actions = List.rev !actions; problems }

@@ -12,7 +12,18 @@
     Retrieval ({!checkout}) replays the delta chain; {!optimize}
     re-plans the whole store with any of the paper's algorithms and
     rewrites the objects — the library's storage/recreation tradeoff
-    made operational. *)
+    made operational.
+
+    {b Durability and crash safety.} A repository is guarded by an
+    exclusive lock file while open ([init]/[open_repo] fail when
+    another process holds it; re-opening in the same process shares
+    the lock). Metadata saves are atomic and fsynced, keep a [.bak]
+    hardlink of the previous generation, and end with a trailer line
+    so a torn write is detected as corruption rather than silently
+    loading a prefix. {!optimize} runs a two-phase protocol (write
+    objects → journal old+new plans → swap metadata → verify → GC);
+    a crash at any point is rolled forward or back by [open_repo],
+    and {!repair} / {!fsck} recover from damage beyond that. *)
 
 type t
 
@@ -52,6 +63,14 @@ val init : path:string -> (t, string) result
     ["main"]. *)
 
 val open_repo : path:string -> (t, string) result
+(** Open an existing repository: acquires the lock, loads metadata,
+    and — if a crashed {!optimize} left a journal — rolls the
+    interrupted re-plan forward (when its plan fully reconstructs) or
+    back (otherwise). Fails if another process holds the lock. *)
+
+val close : t -> unit
+(** Release the repository lock. The handle must not be used after.
+    (The lock is also released when the process exits.) *)
 
 val root : t -> string
 
@@ -139,4 +158,42 @@ val optimize : t -> ?max_hops:int -> strategy -> (stats, string) result
 (** Re-plan storage for all versions: reveal deltas between versions
     within [max_hops] (default 3) of each other in the version DAG,
     run the strategy's algorithm, rewrite objects, and garbage-collect
-    unreferenced blobs. *)
+    unreferenced blobs.
+
+    Crash-safe: new objects are written first (old ones untouched),
+    then both the old and intended storage maps are journaled, then
+    the metadata is atomically swapped, then every version is
+    verified to reconstruct — only after all of that are the journal
+    and unreferenced blobs removed. A crash in between is recovered
+    by the next {!open_repo}; a verification failure rolls back. *)
+
+(* -- repair -- *)
+
+type repair_report = {
+  quarantined : string list;
+      (** digests of corrupt blobs moved to the quarantine area *)
+  rematerialized : int list;
+      (** versions whose broken chains were rebuilt as full objects *)
+  unrecoverable : int list;
+      (** versions no surviving object can reconstruct *)
+  strays_removed : int;  (** unreferenced blobs GC'd (0 unless fully repaired) *)
+}
+
+val repair : t -> (repair_report, string) result
+(** Best-effort recovery: quarantine digest-failing blobs, then
+    recover every version content still reachable over intact delta
+    edges — across the current storage map {e and} any pending
+    optimize journal's old/new maps — and re-materialize broken
+    versions as full objects. Unreferenced blobs are only collected
+    when every version was recovered. *)
+
+type fsck_result = {
+  actions : string list;  (** what repair did (empty without [~repair:true]) *)
+  problems : string list;  (** what {!verify} still reports afterwards *)
+}
+
+val fsck : path:string -> repair:bool -> (fsck_result, string) result
+(** Check (and with [~repair:true], repair) the repository at [path].
+    Repair mode can additionally restore the metadata file from its
+    [.bak] generation when the current one is torn or corrupt (the
+    damaged file is kept as [meta.corrupt]). *)

@@ -27,6 +27,23 @@ let stats_body (s : Repo.stats) =
     s.Repo.n_versions s.Repo.storage_bytes s.Repo.n_full s.Repo.n_delta
     s.Repo.max_chain s.Repo.sum_recreation_bytes s.Repo.max_recreation_bytes
 
+(* Map a domain error to the right status: resolution failures are the
+   client naming something that does not exist (404); everything else
+   (duplicate branch, bad parent, storage failure surfaced as Error)
+   is a conflict with repository state (409). *)
+let status_of_error e =
+  let contains needle =
+    let nl = String.length needle and el = String.length e in
+    let rec go i = i + nl <= el && (String.sub e i nl = needle || go (i + 1)) in
+    go 0
+  in
+  if
+    contains "cannot resolve" || contains "not found"
+    || contains "is not stored" || contains "no branch named"
+    || contains "unknown version" || contains "unknown parent version"
+  then 404
+  else 409
+
 let handle repo (req : Http.request) =
   let resolve name =
     match Repo.resolve repo name with
@@ -37,7 +54,7 @@ let handle repo (req : Http.request) =
     | Ok body ->
         if created then { Http.status = 201; content_type = "text/plain; charset=utf-8"; body }
         else Http.ok body
-    | Error e -> Http.error 409 (e ^ "\n")
+    | Error e -> Http.error (status_of_error e) (e ^ "\n")
   in
   match (req.Http.meth, segments req.Http.path) with
   | "GET", [ "versions" ] ->
@@ -127,37 +144,84 @@ let handle repo (req : Http.request) =
   | ("GET" | "POST"), _ -> Http.error 404 "no such route\n"
   | _, _ -> Http.error 405 "method not allowed\n"
 
-let serve repo ~port ?(host = "127.0.0.1") ?max_requests () =
+(* A raising handler must cost the client a 500, not the server its
+   life (and not the client a silently dropped connection). *)
+let handle_safe repo req =
+  try handle repo req
+  with e -> Http.error 500 ("internal error: " ^ Printexc.to_string e ^ "\n")
+
+let serve repo ~port ?(host = "127.0.0.1") ?max_requests
+    ?(request_timeout = 30.0) () =
   try
     let addr = Unix.inet_addr_of_string host in
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt sock Unix.SO_REUSEADDR true;
     Unix.bind sock (Unix.ADDR_INET (addr, port));
     Unix.listen sock 16;
+    (* A receive timeout on the listening socket turns the blocking
+       [accept] into a poll, so shutdown requests are noticed promptly
+       even when no client ever connects. *)
+    (try Unix.setsockopt_float sock Unix.SO_RCVTIMEO 0.2
+     with Unix.Unix_error _ -> ());
     let actual_port =
       match Unix.getsockname sock with
       | Unix.ADDR_INET (_, p) -> p
       | _ -> port
     in
     Printf.printf "dsvc server listening on %s:%d\n%!" host actual_port;
+    let stop = ref false in
+    let old_int = ref None and old_term = ref None in
+    (try
+       old_int :=
+         Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true)));
+       old_term :=
+         Some
+           (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true)))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let restore_signals () =
+      (match !old_int with
+      | Some b -> ( try Sys.set_signal Sys.sigint b with _ -> ())
+      | None -> ());
+      match !old_term with
+      | Some b -> ( try Sys.set_signal Sys.sigterm b with _ -> ())
+      | None -> ()
+    in
     let served = ref 0 in
     let continue () =
-      match max_requests with None -> true | Some m -> !served < m
+      (not !stop)
+      && match max_requests with None -> true | Some m -> !served < m
     in
-    while continue () do
-      let client, _ = Unix.accept sock in
-      incr served;
-      let ic = Unix.in_channel_of_descr client in
-      let oc = Unix.out_channel_of_descr client in
-      (try
-         (match Http.read_request ic with
-         | Ok req -> Http.write_response oc (handle repo req)
-         | Error e -> Http.write_response oc (Http.error 400 (e ^ "\n")));
-         flush oc
-       with _ -> ());
-      (try Unix.close client with Unix.Unix_error _ -> ())
-    done;
-    Unix.close sock;
+    Fun.protect
+      ~finally:(fun () ->
+        restore_signals ();
+        try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        while continue () do
+          match Unix.accept sock with
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            ->
+              (* accept-poll timeout or signal: re-check [stop] *)
+              ()
+          | client, _ ->
+              incr served;
+              (* A stalled or dead peer must not wedge the server: cap
+                 both directions of per-connection I/O. *)
+              (try
+                 Unix.setsockopt_float client Unix.SO_RCVTIMEO request_timeout;
+                 Unix.setsockopt_float client Unix.SO_SNDTIMEO request_timeout
+               with Unix.Unix_error _ -> ());
+              let ic = Unix.in_channel_of_descr client in
+              let oc = Unix.out_channel_of_descr client in
+              (try
+                 (match Http.read_request ic with
+                 | Ok req -> Http.write_response oc (handle_safe repo req)
+                 | Error e -> Http.write_response oc (Http.error 400 (e ^ "\n")));
+                 flush oc
+               with _ -> ());
+              (try Unix.close client with Unix.Unix_error _ -> ())
+        done);
+    if !stop then Printf.printf "dsvc server shutting down\n%!";
     Ok ()
   with Unix.Unix_error (err, fn, _) ->
     Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))

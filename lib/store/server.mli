@@ -17,20 +17,35 @@
     - [GET /verify]
 
     {!handle} is the pure request router (unit-testable without
-    sockets); {!serve} runs the accept loop. *)
+    sockets); {!serve} runs the accept loop.
+
+    Error statuses: resolution failures (unknown version, tag, branch)
+    are [404]; conflicts with repository state (duplicate names, bad
+    parents) are [409]; a handler that raises yields [500]. *)
 
 val handle : Repo.t -> Http.request -> Http.response
+
+val handle_safe : Repo.t -> Http.request -> Http.response
+(** {!handle}, but a raising handler becomes a [500] response instead
+    of an exception — what {!serve} actually runs per request. *)
 
 val serve :
   Repo.t ->
   port:int ->
   ?host:string ->
   ?max_requests:int ->
+  ?request_timeout:float ->
   unit ->
   (unit, string) result
 (** Serve sequentially on [host] (default 127.0.0.1). [max_requests]
     stops the loop after that many connections (tests); default runs
-    forever. The bound port is printed to stdout once listening. *)
+    forever. The bound port is printed to stdout once listening.
+
+    Resilience: every connection gets [SO_RCVTIMEO]/[SO_SNDTIMEO] of
+    [request_timeout] seconds (default 30) so a stalled peer cannot
+    wedge the loop; SIGINT/SIGTERM request a graceful shutdown (the
+    current request finishes, the listening socket closes, previous
+    signal handlers are restored, and [serve] returns [Ok ()]). *)
 
 val parse_strategy : string -> (Repo.strategy, string) result
 (** The [strategy] query values, shared with the CLI. *)

@@ -1,0 +1,48 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  multiplier : float;
+  jitter : float;
+}
+
+let default =
+  {
+    max_attempts = 4;
+    base_delay = 0.05;
+    max_delay = 2.0;
+    multiplier = 2.0;
+    jitter = 0.5;
+  }
+
+let delay p ~attempt ~rand =
+  let raw = p.base_delay *. (p.multiplier ** float_of_int (max 0 attempt)) in
+  let capped = Float.min p.max_delay raw in
+  let jitter = Float.max 0.0 (Float.min 1.0 p.jitter) in
+  Float.max 0.0 (capped *. (1.0 -. (jitter *. rand)))
+
+let default_rand () =
+  let seed =
+    Unix.getpid () lxor int_of_float (Unix.gettimeofday () *. 1_000_000.0)
+  in
+  let state = Prng.create ~seed in
+  fun () -> Prng.float state 1.0
+
+let with_policy ?(policy = default) ?sleep ?rand ~retryable f =
+  let sleep =
+    match sleep with
+    | Some s -> s
+    | None -> fun d -> if d > 0.0 then Unix.sleepf d
+  in
+  let rand = match rand with Some r -> r | None -> default_rand () in
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+        if attempt + 1 >= policy.max_attempts || not (retryable e) then err
+        else begin
+          sleep (delay policy ~attempt ~rand:(rand ()));
+          go (attempt + 1)
+        end
+  in
+  go 0

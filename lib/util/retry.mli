@@ -1,0 +1,38 @@
+(** Bounded retry with exponential backoff and jitter.
+
+    Used by the store's HTTP client to ride out transient connect and
+    read failures, and available to any component that talks to an
+    unreliable peer. The backoff schedule is pure ({!delay}) so tests
+    can assert on it without sleeping; {!with_policy} accepts injected
+    [sleep] and [rand] functions for the same reason. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first (>= 1) *)
+  base_delay : float;  (** seconds before the first retry *)
+  max_delay : float;  (** backoff ceiling in seconds *)
+  multiplier : float;  (** growth factor per retry *)
+  jitter : float;
+      (** fraction of the delay randomly shaved off, in [0,1]: the
+          actual sleep is [delay * (1 - jitter * U[0,1))], decorrelating
+          clients that fail in lockstep *)
+}
+
+val default : policy
+(** 4 attempts, 50 ms base, x2 growth, 2 s cap, 0.5 jitter. *)
+
+val delay : policy -> attempt:int -> rand:float -> float
+(** [delay p ~attempt ~rand] is the sleep after the failure of
+    0-indexed [attempt], with [rand] in [0,1) supplying the jitter
+    draw. Pure. *)
+
+val with_policy :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?rand:(unit -> float) ->
+  retryable:('e -> bool) ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** Run [f ~attempt:0], retrying while it returns a [retryable] error
+    and attempts remain. Returns the first success or the last error.
+    [sleep] defaults to [Unix.sleepf]; [rand] defaults to a
+    {!Prng}-backed uniform draw seeded from the pid and clock. *)

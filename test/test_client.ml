@@ -21,7 +21,7 @@ let with_server k =
       ()
   in
   Unix.sleepf 0.2;
-  let client = Client.connect ~host:"127.0.0.1" ~port in
+  let client = Client.connect ~host:"127.0.0.1" ~port () in
   let finally () =
     (* drain the remaining request budget so the thread exits *)
     let rec drain n =
@@ -85,13 +85,52 @@ let test_full_session () =
       | Ok _ -> Alcotest.fail "bad strategy must error")
 
 let test_connection_refused () =
-  let client = Client.connect ~host:"127.0.0.1" ~port:1 in
+  let client = Client.connect ~host:"127.0.0.1" ~port:1 () in
   match Client.versions client with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "must fail to connect"
+
+let test_hostname_resolution () =
+  with_server (fun _client _repo ->
+      (* a DNS name, not an IP literal, must resolve via getaddrinfo *)
+      let port = 19100 + (Unix.getpid () mod 800) in
+      let named = Client.connect ~host:"localhost" ~port () in
+      let st = ok (Client.stats named) in
+      Alcotest.(check bool) "stats over resolved host" true
+        (List.mem_assoc "versions" st))
+
+let test_get_retries_dropped_connection () =
+  Faults.reset ();
+  with_server (fun client _repo ->
+      (* the server drops the first response on the floor; the GET is
+         idempotent, so the client silently retries and succeeds *)
+      Faults.arm ~site:"http.write_response" Faults.Drop;
+      let st = ok (Client.stats client) in
+      Alcotest.(check bool) "retried to success" true
+        (List.mem_assoc "versions" st);
+      Alcotest.(check bool) "drop actually fired" true
+        (Faults.hits ~site:"http.write_response" >= 1))
+
+let test_post_not_retried_after_send () =
+  Faults.reset ();
+  with_server (fun client repo ->
+      let before = List.length (Repo.log repo) in
+      (* response dropped AFTER the server applied the commit: the
+         client must surface the error, not retry (and double-commit) *)
+      Faults.arm ~site:"http.write_response" Faults.Drop;
+      (match Client.commit client ~message:"once" "fresh content" with
+      | Ok _ -> Alcotest.fail "dropped response must surface as an error"
+      | Error _ -> ());
+      Alcotest.(check int) "commit applied exactly once" (before + 1)
+        (List.length (Repo.log repo)))
 
 let suite =
   [
     Alcotest.test_case "full client session" `Quick test_full_session;
     Alcotest.test_case "connection refused" `Quick test_connection_refused;
+    Alcotest.test_case "hostname resolution" `Quick test_hostname_resolution;
+    Alcotest.test_case "GET retries dropped connection" `Quick
+      test_get_retries_dropped_connection;
+    Alcotest.test_case "POST not retried after send" `Quick
+      test_post_not_retried_after_send;
   ]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dataset_versioning"
     [
       ("prng", Test_prng.suite);
+      ("retry", Test_retry.suite);
       ("binary_heap", Test_heap.suite);
       ("union_find", Test_union_find.suite);
       ("zipf", Test_zipf.suite);

@@ -1,0 +1,108 @@
+(* Retry policy: exponential backoff with jitter, transient-only
+   retries, bounded attempts. *)
+
+module Retry = Versioning_util.Retry
+
+let test_delay_growth () =
+  (* without jitter, delays grow by the multiplier and cap out *)
+  let p =
+    {
+      Retry.max_attempts = 10;
+      base_delay = 0.1;
+      max_delay = 1.0;
+      multiplier = 2.0;
+      jitter = 0.0;
+    }
+  in
+  let d n = Retry.delay p ~attempt:n ~rand:0.0 in
+  Alcotest.(check (float 1e-9)) "attempt 0" 0.1 (d 0);
+  Alcotest.(check (float 1e-9)) "attempt 1" 0.2 (d 1);
+  Alcotest.(check (float 1e-9)) "attempt 2" 0.4 (d 2);
+  Alcotest.(check (float 1e-9)) "capped" 1.0 (d 5);
+  Alcotest.(check (float 1e-9)) "still capped" 1.0 (d 9)
+
+let test_delay_jitter () =
+  (* full jitter with rand=1 halves nothing but scales down; delay is
+     always within [(1-jitter)*base, base] and never negative *)
+  let p = { Retry.default with base_delay = 1.0; multiplier = 1.0; jitter = 0.5 } in
+  Alcotest.(check (float 1e-9)) "rand=0 keeps full delay" 1.0
+    (Retry.delay p ~attempt:0 ~rand:0.0);
+  Alcotest.(check (float 1e-9)) "rand=1 scales by 1-jitter" 0.5
+    (Retry.delay p ~attempt:0 ~rand:1.0);
+  let d = Retry.delay p ~attempt:0 ~rand:0.3 in
+  Alcotest.(check bool) "within band" true (d >= 0.5 && d <= 1.0)
+
+let no_sleep _ = ()
+
+let test_retries_until_success () =
+  let calls = ref 0 in
+  let result =
+    Retry.with_policy ~sleep:no_sleep
+      ~rand:(fun () -> 0.0)
+      ~retryable:(fun _ -> true)
+      (fun ~attempt ->
+        incr calls;
+        if attempt < 2 then Error "transient" else Ok "done")
+  in
+  Alcotest.(check (result string string)) "succeeds" (Ok "done") result;
+  Alcotest.(check int) "three attempts" 3 !calls
+
+let test_exhausts_attempts () =
+  let calls = ref 0 in
+  let result =
+    Retry.with_policy
+      ~policy:{ Retry.default with max_attempts = 3 }
+      ~sleep:no_sleep
+      ~rand:(fun () -> 0.0)
+      ~retryable:(fun _ -> true)
+      (fun ~attempt:_ ->
+        incr calls;
+        Error "still down")
+  in
+  Alcotest.(check (result string string)) "last error" (Error "still down") result;
+  Alcotest.(check int) "exactly max_attempts" 3 !calls
+
+let test_non_retryable_stops () =
+  let calls = ref 0 in
+  let result =
+    Retry.with_policy ~sleep:no_sleep
+      ~rand:(fun () -> 0.0)
+      ~retryable:(fun e -> e = "transient")
+      (fun ~attempt:_ ->
+        incr calls;
+        Error "fatal")
+  in
+  Alcotest.(check (result string string)) "fails fast" (Error "fatal") result;
+  Alcotest.(check int) "one attempt" 1 !calls
+
+let test_sleep_durations () =
+  (* the sleeps actually follow the policy schedule *)
+  let slept = ref [] in
+  let _ =
+    Retry.with_policy
+      ~policy:
+        {
+          Retry.max_attempts = 4;
+          base_delay = 0.1;
+          max_delay = 10.0;
+          multiplier = 2.0;
+          jitter = 0.0;
+        }
+      ~sleep:(fun d -> slept := d :: !slept)
+      ~rand:(fun () -> 0.0)
+      ~retryable:(fun _ -> true)
+      (fun ~attempt:_ -> (Error "x" : (unit, string) result))
+  in
+  let slept = List.rev !slept in
+  Alcotest.(check int) "three sleeps for four attempts" 3 (List.length slept);
+  Alcotest.(check (list (float 1e-9))) "schedule" [ 0.1; 0.2; 0.4 ] slept
+
+let suite =
+  [
+    Alcotest.test_case "delay growth" `Quick test_delay_growth;
+    Alcotest.test_case "delay jitter" `Quick test_delay_jitter;
+    Alcotest.test_case "retries until success" `Quick test_retries_until_success;
+    Alcotest.test_case "exhausts attempts" `Quick test_exhausts_attempts;
+    Alcotest.test_case "non-retryable stops" `Quick test_non_retryable_stops;
+    Alcotest.test_case "sleep durations" `Quick test_sleep_durations;
+  ]

@@ -157,6 +157,45 @@ let test_route_branches_tags_diff () =
   Alcotest.(check bool) "404/405 for PUT" true
     (r.Http.status = 404 || r.Http.status = 405)
 
+let test_error_status_mapping () =
+  let repo = mk_repo () in
+  (* naming something that doesn't exist is 404, not 409 *)
+  let r = Server.handle repo (mk_request ~meth:"POST" "/switch/nosuch") in
+  Alcotest.(check int) "unknown branch is 404" 404 r.Http.status;
+  let r =
+    Server.handle repo
+      (mk_request ~meth:"POST" ~query:[ ("at", "99") ] "/tag/vx")
+  in
+  Alcotest.(check int) "unknown version is 404" 404 r.Http.status;
+  let r =
+    Server.handle repo
+      (mk_request ~meth:"POST" ~query:[ ("parents", "99") ] ~body:"c" "/commit")
+  in
+  Alcotest.(check int) "unknown parent is 404" 404 r.Http.status;
+  (* real conflicts stay 409 *)
+  let _ = Server.handle repo (mk_request ~meth:"POST" "/tag/v1") in
+  let r = Server.handle repo (mk_request ~meth:"POST" "/tag/v1") in
+  Alcotest.(check int) "duplicate tag is 409" 409 r.Http.status;
+  (* a name that would corrupt the metadata is refused, not stored *)
+  let r = Server.handle repo (mk_request ~meth:"POST" "/tag/bad name") in
+  Alcotest.(check int) "invalid name is 409" 409 r.Http.status
+
+let test_raising_handler_yields_500 () =
+  Faults.reset ();
+  let repo = mk_repo () in
+  (* an injected crash makes the optimize handler raise mid-request *)
+  Faults.arm ~site:"optimize.after_objects" Faults.Crash;
+  let r =
+    Server.handle_safe repo
+      (mk_request ~meth:"POST"
+         ~query:[ ("strategy", "min-storage") ]
+         "/optimize")
+  in
+  Faults.reset ();
+  Alcotest.(check int) "500" 500 r.Http.status;
+  Alcotest.(check bool) "error body" true
+    (String.length r.Http.body > 0)
+
 (* ---- end-to-end over a real socket ---- *)
 
 let http_get host port path =
@@ -197,6 +236,32 @@ let test_socket_end_to_end () =
     (String.length raw > 12 && String.sub raw 0 12 = "HTTP/1.1 200");
   Thread.join server
 
+let test_graceful_shutdown () =
+  (* safety net: if the server isn't in its accept loop yet, a stray
+     SIGTERM must not kill the test runner *)
+  let old = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigterm old)
+    (fun () ->
+      let repo = mk_repo () in
+      let port = 17512 + (Unix.getpid () mod 900) in
+      let finished = ref false in
+      let _server =
+        Thread.create
+          (fun () ->
+            ignore (Server.serve repo ~port ());
+            finished := true)
+          ()
+      in
+      Unix.sleepf 0.4;
+      let attempts = ref 0 in
+      while (not !finished) && !attempts < 20 do
+        incr attempts;
+        Unix.kill (Unix.getpid ()) Sys.sigterm;
+        Unix.sleepf 0.3
+      done;
+      Alcotest.(check bool) "server stopped gracefully" true !finished)
+
 let suite =
   [
     Alcotest.test_case "http parse GET" `Quick test_http_parse_get;
@@ -210,5 +275,9 @@ let suite =
       test_route_stats_optimize_verify;
     Alcotest.test_case "route branches/tags/diff" `Quick
       test_route_branches_tags_diff;
+    Alcotest.test_case "error status mapping" `Quick test_error_status_mapping;
+    Alcotest.test_case "raising handler yields 500" `Quick
+      test_raising_handler_yields_500;
     Alcotest.test_case "socket end-to-end" `Quick test_socket_end_to_end;
+    Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
   ]
