@@ -420,15 +420,25 @@ let optimize_cmd =
   let hops =
     Arg.(value & opt int 3 & info [ "hops" ] ~docv:"N" ~doc:"Reveal deltas within N hops.")
   in
-  let run dir strat hops =
+  let jobs =
+    Arg.(
+      value
+      & opt int (Versioning_util.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the diff/re-plan phases (default the \
+             DSVC_JOBS environment variable, or 1). The resulting plan is \
+             identical for every N.")
+  in
+  let run dir strat hops jobs =
     let repo = open_repo dir in
-    let stats = or_die (Repo.optimize repo ~max_hops:hops strat) in
+    let stats = or_die (Repo.optimize repo ~max_hops:hops ~jobs strat) in
     print_stats stats
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Re-plan version storage with one of the paper's algorithms")
-    Term.(const run $ repo_dir $ strat $ hops)
+    Term.(const run $ repo_dir $ strat $ hops $ jobs)
 
 (* -- remote (HTTP client) -- *)
 

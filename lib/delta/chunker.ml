@@ -23,8 +23,9 @@ let chunk ?(min_size = 128) ?(avg_size = 512) ?(max_size = 4096) input =
     let length = stop - !start in
     if length > 0 then begin
       let digest =
-        (* content digest via the store-grade hash *)
-        Digest.string (String.sub input !start length)
+        (* content digest via the store-grade hash, straight off the
+           input — no per-chunk copy *)
+        Digest.substring input !start length
       in
       chunks := { offset = !start; length; digest } :: !chunks;
       start := stop

@@ -43,9 +43,15 @@ let lz77 input =
       end
     in
     let match_len i j =
-      (* Length of the common run input[i..] = input[j..], j < i. *)
+      (* Length of the common run input[i..] = input[j..], j < i. The
+         bound is hoisted and the accesses unchecked: [len < limit]
+         keeps [i + len < n], and [j + len < i + len]. *)
+      let limit = n - i in
       let len = ref 0 in
-      while i + !len < n && input.[j + !len] = input.[i + !len] do
+      while
+        !len < limit
+        && String.unsafe_get input (j + !len) = String.unsafe_get input (i + !len)
+      do
         incr len
       done;
       !len

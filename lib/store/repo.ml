@@ -1,4 +1,5 @@
 module Line_diff = Versioning_delta.Line_diff
+module Pool = Versioning_util.Pool
 module Aux_graph = Versioning_core.Aux_graph
 module Storage_graph = Versioning_core.Storage_graph
 
@@ -13,6 +14,12 @@ type commit_info = {
 
 type stored = Full of string | Delta_from of int * string
 
+(* Materialization cache entry: version contents are immutable once
+   committed (optimize/repair only re-plan how they are stored), so a
+   cached string can never go stale — eviction is purely a bound on
+   memory. *)
+type cache_entry = { content : string; mutable stamp : int }
+
 type t = {
   root : string;
   store : Object_store.t;
@@ -22,6 +29,13 @@ type t = {
   mutable tag_list : (string * int) list;
   mutable head_branch : string;
   mutable next_id : int;
+  (* checkout LRU (per handle, never persisted) *)
+  cache : (int, cache_entry) Hashtbl.t;
+  mutable cache_slots : int;
+  mutable cache_clock : int;
+  mutable cache_hits : int;
+  mutable cache_partial_hits : int;
+  mutable cache_misses : int;
 }
 
 type stats = {
@@ -50,6 +64,34 @@ type repair_report = {
 }
 
 type fsck_result = { actions : string list; problems : string list }
+
+type cache_stats = { hits : int; partial_hits : int; misses : int }
+
+let default_cache_slots = 16
+
+let fresh_cache_fields () =
+  ( Hashtbl.create 16,
+    default_cache_slots )
+
+let mk_repo ~root ~store ~commits ~stored ~branches ~tag_list ~head_branch
+    ~next_id =
+  let cache, cache_slots = fresh_cache_fields () in
+  {
+    root;
+    store;
+    commits;
+    stored;
+    branches;
+    tag_list;
+    head_branch;
+    next_id;
+    cache;
+    cache_slots;
+    cache_clock = 0;
+    cache_hits = 0;
+    cache_partial_hits = 0;
+    cache_misses = 0;
+  }
 
 let meta_dir path = Filename.concat path ".dsvc"
 let meta_file path = Filename.concat (meta_dir path) "meta"
@@ -207,16 +249,8 @@ let save_rollback t snap =
 
 let parse_meta path store content =
   let t =
-    {
-      root = path;
-      store;
-      commits = [];
-      stored = Hashtbl.create 64;
-      branches = [];
-      tag_list = [];
-      head_branch = "main";
-      next_id = 1;
-    }
+    mk_repo ~root:path ~store ~commits:[] ~stored:(Hashtbl.create 64)
+      ~branches:[] ~tag_list:[] ~head_branch:"main" ~next_id:1
   in
   let fail msg = Error (Printf.sprintf "corrupt repository metadata: %s" msg) in
   let parse_line line =
@@ -309,7 +343,23 @@ let load path store =
 
 (* ---- retrieval ---- *)
 
-let checkout t version =
+let replay_deltas t base deltas =
+  List.fold_left
+    (fun acc digest ->
+      let* content = acc in
+      let* encoded = Object_store.get t.store digest in
+      match Line_diff.decode encoded with
+      | d -> (
+          try Ok (Line_diff.apply content d)
+          with Invalid_argument e -> Error e)
+      | exception Invalid_argument e -> Error e)
+    (Ok base) deltas
+
+(* The cache-free path: reads every object along the chain. Integrity
+   checks ([verify], [check_all_versions], [repair]) must use this one
+   — a cached string would mask on-disk corruption they exist to
+   find. *)
+let checkout_uncached t version =
   (* Walk back to a full object, then replay deltas forward. *)
   let rec chain v acc =
     match Hashtbl.find_opt t.stored v with
@@ -322,16 +372,89 @@ let checkout t version =
   in
   let* base_digest, deltas = chain version [] in
   let* base = Object_store.get t.store base_digest in
-  List.fold_left
-    (fun acc digest ->
-      let* content = acc in
-      let* encoded = Object_store.get t.store digest in
-      match Line_diff.decode encoded with
-      | d -> (
-          try Ok (Line_diff.apply content d)
-          with Invalid_argument e -> Error e)
-      | exception Invalid_argument e -> Error e)
-    (Ok base) deltas
+  replay_deltas t base deltas
+
+(* ---- materialization LRU ---- *)
+
+let cache_find t v =
+  match Hashtbl.find_opt t.cache v with
+  | Some e ->
+      t.cache_clock <- t.cache_clock + 1;
+      e.stamp <- t.cache_clock;
+      Some e.content
+  | None -> None
+
+let cache_evict_to t bound =
+  (* O(slots) scan per eviction — slots counts are small by design. *)
+  while Hashtbl.length t.cache > bound do
+    let victim =
+      Hashtbl.fold
+        (fun v e acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.stamp -> acc
+          | _ -> Some (v, e.stamp))
+        t.cache None
+    in
+    match victim with
+    | Some (v, _) -> Hashtbl.remove t.cache v
+    | None -> ()
+  done
+
+let cache_put t v content =
+  if t.cache_slots > 0 then begin
+    t.cache_clock <- t.cache_clock + 1;
+    Hashtbl.replace t.cache v { content; stamp = t.cache_clock };
+    cache_evict_to t t.cache_slots
+  end
+
+let set_cache_slots t slots =
+  if slots < 0 then invalid_arg "Repo.set_cache_slots: negative bound";
+  t.cache_slots <- slots;
+  if slots = 0 then Hashtbl.reset t.cache else cache_evict_to t slots
+
+let cache_stats t =
+  {
+    hits = t.cache_hits;
+    partial_hits = t.cache_partial_hits;
+    misses = t.cache_misses;
+  }
+
+(* Cached checkout: walk the chain backwards only until a materialized
+   prefix is found — the version itself (pure hit), a cached ancestor
+   (replay only the suffix), or the stored full object (cold). The
+   result is cached, so a scan along a chain pays each delta once
+   instead of replaying every prefix from the root. *)
+let checkout t version =
+  match cache_find t version with
+  | Some content ->
+      t.cache_hits <- t.cache_hits + 1;
+      Ok content
+  | None ->
+      let rec chain v acc =
+        match if v = version then None else cache_find t v with
+        | Some content -> Ok (`Content content, acc)
+        | None -> (
+            match Hashtbl.find_opt t.stored v with
+            | None -> Error (Printf.sprintf "version %d is not stored" v)
+            | Some (Full digest) -> Ok (`Digest digest, acc)
+            | Some (Delta_from (p, digest)) ->
+                if List.length acc > Hashtbl.length t.stored then
+                  Error "delta chain contains a cycle"
+                else chain p (digest :: acc))
+      in
+      let* base, deltas = chain version [] in
+      let* base_content =
+        match base with
+        | `Content c ->
+            t.cache_partial_hits <- t.cache_partial_hits + 1;
+            Ok c
+        | `Digest d ->
+            t.cache_misses <- t.cache_misses + 1;
+            Object_store.get t.store d
+      in
+      let* content = replay_deltas t base_content deltas in
+      cache_put t version content;
+      Ok content
 
 (* every version must reconstruct — the invariant [optimize] and
    journal recovery check before destroying anything *)
@@ -339,7 +462,7 @@ let check_all_versions t =
   Hashtbl.fold
     (fun v _ acc ->
       let* () = acc in
-      match checkout t v with
+      match checkout_uncached t v with
       | Ok _ -> Ok ()
       | Error e -> Error (Printf.sprintf "version %d: %s" v e))
     t.stored (Ok ())
@@ -491,16 +614,8 @@ let init ~path =
     let* () = acquire_lock path in
     let* store = Object_store.create ~dir:(objects_dir path) in
     let t =
-      {
-        root = path;
-        store;
-        commits = [];
-        stored = Hashtbl.create 64;
-        branches = [ ("main", 0) ];
-        tag_list = [];
-        head_branch = "main";
-        next_id = 1;
-      }
+      mk_repo ~root:path ~store ~commits:[] ~stored:(Hashtbl.create 64)
+        ~branches:[ ("main", 0) ] ~tag_list:[] ~head_branch:"main" ~next_id:1
     in
     let* () = save t in
     Ok t
@@ -549,7 +664,7 @@ let commit t ?(message = "") ?parents content =
     match parents with
     | [] -> store_full t content
     | p :: _ ->
-        let* parent_content = checkout t p in
+        let* parent_content = checkout_uncached t p in
         let delta = Line_diff.diff parent_content content in
         let encoded = Line_diff.encode delta in
         if String.length encoded < String.length content then
@@ -656,7 +771,7 @@ let verify t =
   (* every version reconstructs *)
   Hashtbl.iter
     (fun v _ ->
-      match checkout t v with
+      match checkout_uncached t v with
       | Ok _ -> ()
       | Error e -> note "version %d: checkout failed (%s)" v e)
     t.stored;
@@ -692,7 +807,7 @@ let import_versions t entries =
           match parents with
           | [] -> store_full t content
           | p :: _ ->
-              let* parent_content = checkout t p in
+              let* parent_content = checkout_uncached t p in
               let delta = Line_diff.diff parent_content content in
               let encoded = Line_diff.encode delta in
               if String.length encoded < String.length content then
@@ -839,7 +954,7 @@ let all_contents t =
   let rec go v =
     if v > n then Ok arr
     else
-      let* c = checkout t v in
+      let* c = checkout_uncached t v in
       arr.(v) <- c;
       go (v + 1)
   in
@@ -847,8 +962,15 @@ let all_contents t =
 
 (* The repository's revealed ⟨Δ, Φ⟩ graph: materializations plus
    line-diff deltas between versions within [max_hops] of each other
-   in the commit DAG, plus any [extra_pairs]. *)
-let reveal_graph t ?(max_hops = 3) ?(extra_pairs = []) () =
+   in the commit DAG, plus any [extra_pairs]. This is the dominant
+   cost of [optimize] — O(pairs) line diffs — so the diffs fan out
+   over the domain pool: the pair list is deduplicated in reveal
+   order first, the sizes are computed in parallel (each diff reads
+   only the immutable contents array), and the edges are added
+   sequentially in that same order, so the revealed graph is
+   identical for every [jobs]. *)
+let reveal_graph t ?(max_hops = 3) ?(extra_pairs = [])
+    ?(jobs = Pool.default_jobs ()) () =
   let n = t.next_id - 1 in
   if n = 0 then Error "empty repository"
   else
@@ -859,16 +981,26 @@ let reveal_graph t ?(max_hops = 3) ?(extra_pairs = []) () =
       Aux_graph.add_materialization aux ~version:v ~delta:size ~phi:size
     done;
     let seen = Hashtbl.create 64 in
-    let reveal (u, v) =
+    let ordered = ref [] in
+    let consider (u, v) =
       if u >= 1 && v >= 1 && u <> v && not (Hashtbl.mem seen (u, v)) then begin
         Hashtbl.replace seen (u, v) ();
-        let d = Line_diff.diff contents.(u) contents.(v) in
-        let size = float_of_int (Line_diff.size d) in
-        Aux_graph.add_delta aux ~src:u ~dst:v ~delta:size ~phi:size
+        ordered := (u, v) :: !ordered
       end
     in
-    List.iter reveal (hop_pairs t ~max_hops);
-    List.iter reveal extra_pairs;
+    List.iter consider (hop_pairs t ~max_hops);
+    List.iter consider extra_pairs;
+    let pairs = Array.of_list (List.rev !ordered) in
+    let sizes =
+      Pool.parallel_map ~jobs
+        (fun (u, v) ->
+          float_of_int (Line_diff.size (Line_diff.diff contents.(u) contents.(v))))
+        pairs
+    in
+    Array.iteri
+      (fun i (u, v) ->
+        Aux_graph.add_delta aux ~src:u ~dst:v ~delta:sizes.(i) ~phi:sizes.(i))
+      pairs;
     Ok (aux, contents)
 
 (* [optimize] is crash-safe via a two-phase protocol:
@@ -883,7 +1015,7 @@ let reveal_graph t ?(max_hops = 3) ?(extra_pairs = []) () =
    journal, the old metadata is intact and the new objects are strays;
    after it, [recover_journal] (run by [open_repo]) rolls forward or
    back; and the GC never runs while a journal is pending. *)
-let optimize t ?(max_hops = 3) strategy =
+let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ()) strategy =
   let n = t.next_id - 1 in
   if n = 0 then Error "empty repository"
   else begin
@@ -896,7 +1028,7 @@ let optimize t ?(max_hops = 3) strategy =
             ~order:(Array.init n (fun i -> i + 1))
       | _ -> []
     in
-    let* aux, contents = reveal_graph t ~max_hops ~extra_pairs () in
+    let* aux, contents = reveal_graph t ~max_hops ~extra_pairs ~jobs () in
     let* plan =
       match strategy with
       | Min_storage -> Versioning_core.Mca.solve aux
@@ -914,7 +1046,8 @@ let optimize t ?(max_hops = 3) strategy =
           match Versioning_core.Mp.solve aux ~theta:(factor *. maxd) with
           | { tree = Some sg; _ } -> Ok sg
           | { tree = None; _ } -> Error "recreation bound infeasible")
-      | Git_window (w, d) -> Versioning_core.Gith.solve aux ~window:w ~max_depth:d
+      | Git_window (w, d) ->
+          Versioning_core.Gith.solve ~jobs aux ~window:w ~max_depth:d
       | Svn_skip ->
           Versioning_core.Skip_delta.solve aux
             ~order:(Array.init n (fun i -> i + 1))
@@ -929,25 +1062,38 @@ let optimize t ?(max_hops = 3) strategy =
        the side — the live map (memory and disk) is untouched, so an
        error or crash here costs only stray blobs. Only entries whose
        storage parent changes are rewritten (the migration-plan
-       discipline): unchanged versions keep their existing objects. *)
+       discipline): unchanged versions keep their existing objects.
+       The payloads (full contents or encoded diffs) are pure
+       functions of the immutable contents array, so they fan out
+       over the domain pool; the [Object_store.put] calls stay
+       sequential, in plan order, to keep fault-injection sites and
+       store traffic identical to a jobs=1 run. *)
     let new_stored = Hashtbl.copy t.stored in
+    let changed =
+      Array.of_list
+        (List.filter
+           (fun (p, v) -> current_parent v <> Some p)
+           (Storage_graph.to_parents plan))
+    in
+    let payloads =
+      Pool.parallel_map ~jobs
+        (fun (p, v) ->
+          if p = 0 then contents.(v)
+          else Line_diff.encode (Line_diff.diff contents.(p) contents.(v)))
+        changed
+    in
     let* () =
-      List.fold_left
-        (fun acc (p, v) ->
+      let rec put i acc =
+        if i = Array.length changed then acc
+        else
           let* () = acc in
-          if current_parent v = Some p then Ok ()
-          else if p = 0 then
-            let* digest = Object_store.put t.store contents.(v) in
-            Hashtbl.replace new_stored v (Full digest);
-            Ok ()
-          else begin
-            let d = Line_diff.diff contents.(p) contents.(v) in
-            let* digest = Object_store.put t.store (Line_diff.encode d) in
-            Hashtbl.replace new_stored v (Delta_from (p, digest));
-            Ok ()
-          end)
-        (Ok ())
-        (Storage_graph.to_parents plan)
+          let p, v = changed.(i) in
+          let* digest = Object_store.put t.store payloads.(i) in
+          Hashtbl.replace new_stored v
+            (if p = 0 then Full digest else Delta_from (p, digest));
+          put (i + 1) (Ok ())
+      in
+      put 0 (Ok ())
     in
     Faults.guard "optimize.after_objects";
     (* Phase 2: journal both maps. *)
@@ -1056,7 +1202,7 @@ let repair t =
   let rematerialized = ref [] and unrecoverable = ref [] in
   List.iter
     (fun v ->
-      match checkout t v with
+      match checkout_uncached t v with
       | Ok _ -> ()
       | Error _ -> (
           match Hashtbl.find_opt recovered v with

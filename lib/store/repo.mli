@@ -86,7 +86,38 @@ val commit :
     current branch. *)
 
 val checkout : t -> int -> (string, string) result
-(** Reconstruct a version's content. *)
+(** Reconstruct a version's content.
+
+    Checkouts go through a small per-handle LRU cache of materialized
+    contents (default {!default_cache_slots} slots): a repeat checkout
+    of a cached version is O(1), and a checkout whose delta chain
+    passes through a cached ancestor replays only the suffix below
+    it. Version contents are immutable once committed (optimize and
+    repair only re-plan {e how} they are stored), so cached entries
+    never go stale. Integrity paths ({!verify}, {!repair}, and
+    optimize's post-swap verification) always bypass the cache and
+    re-read the store. *)
+
+val checkout_uncached : t -> int -> (string, string) result
+(** {!checkout} without consulting or filling the cache — every byte
+    is re-read from the object store. Use when the point is to observe
+    the on-disk state (integrity checks, corruption tests). *)
+
+val default_cache_slots : int
+(** Default bound on cached materializations per open handle (16). *)
+
+val set_cache_slots : t -> int -> unit
+(** Re-bound the checkout cache; evicts down to the new bound
+    immediately. [0] disables caching entirely (and drops all cached
+    entries). Raises [Invalid_argument] on a negative bound. *)
+
+type cache_stats = { hits : int; partial_hits : int; misses : int }
+(** [hits]: checkouts served entirely from cache; [partial_hits]:
+    chain walks that stopped early at a cached ancestor; [misses]:
+    full replays from a materialized root. *)
+
+val cache_stats : t -> cache_stats
+(** Counters since the handle was opened. *)
 
 val head : t -> int option
 (** Head version of the current branch. *)
@@ -145,6 +176,7 @@ val reveal_graph :
   t ->
   ?max_hops:int ->
   ?extra_pairs:(int * int) list ->
+  ?jobs:int ->
   unit ->
   (Versioning_core.Aux_graph.t * string array, string) result
 (** The repository's revealed ⟨Δ, Φ⟩ instance: materialization costs
@@ -152,13 +184,21 @@ val reveal_graph :
     [max_hops] of each other in the commit DAG (plus [extra_pairs]).
     Also returns the contents array (index [1..n]). This is the
     problem instance {!optimize} solves; export it with
-    {!Versioning_core.Graph_io} for offline analysis. *)
+    {!Versioning_core.Graph_io} for offline analysis. [jobs] (default
+    {!Versioning_util.Pool.default_jobs}) parallelizes the pair
+    diffs — the dominant cost — over the domain pool; the revealed
+    graph is identical for every value. *)
 
-val optimize : t -> ?max_hops:int -> strategy -> (stats, string) result
+val optimize :
+  t -> ?max_hops:int -> ?jobs:int -> strategy -> (stats, string) result
 (** Re-plan storage for all versions: reveal deltas between versions
     within [max_hops] (default 3) of each other in the version DAG,
     run the strategy's algorithm, rewrite objects, and garbage-collect
-    unreferenced blobs.
+    unreferenced blobs. [jobs] (default
+    {!Versioning_util.Pool.default_jobs}) parallelizes the diff and
+    delta-encoding phases (and GitH's candidate gather); the resulting
+    storage plan is byte-identical for every value — object writes and
+    fault-injection sites stay sequential in plan order.
 
     Crash-safe: new objects are written first (old ones untouched),
     then both the old and intended storage maps are journaled, then

@@ -1,0 +1,68 @@
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let default_jobs =
+  let cached = lazy (
+    match Sys.getenv_opt "DSVC_JOBS" with
+    | None -> 1
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> clamp 1 128 n
+        | None -> 1))
+  in
+  fun () -> Lazy.force cached
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Chunks are finer than one-per-worker so an unlucky expensive run
+   of indices does not serialize the whole call behind one domain. *)
+let chunks_per_worker = 8
+
+(* Below this many indices the spawn/join cost dominates any win, and
+   callers in tight loops (brute-force enumerations, property tests)
+   would otherwise pay one domain spawn per call. *)
+let min_parallel = 32
+
+let parallel_init ?(jobs = default_jobs ()) n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  if jobs <= 1 || n < min_parallel then Array.init n f
+  else begin
+    let workers = clamp 1 n jobs in
+    let chunk_size =
+      max 1 ((n + (workers * chunks_per_worker) - 1) / (workers * chunks_per_worker))
+    in
+    let nchunks = (n + chunk_size - 1) / chunk_size in
+    (* one slot per chunk: each is written by exactly one domain, and
+       the joins order those writes before the final concatenation *)
+    let slots = Array.make nchunks [||] in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let rec worker () =
+      if Atomic.get failure = None then begin
+        let c = Atomic.fetch_and_add next 1 in
+        if c < nchunks then begin
+          let lo = c * chunk_size in
+          let hi = min n (lo + chunk_size) in
+          (match Array.init (hi - lo) (fun i -> f (lo + i)) with
+          | chunk -> slots.(c) <- chunk
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          worker ()
+        end
+      end
+    in
+    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    (* the calling domain is the pool's first worker *)
+    (match worker () with
+    | () -> ()
+    | exception e ->
+        (* defensive: [worker] catches f's exceptions itself *)
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+    Array.iter Domain.join domains;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.concat (Array.to_list slots)
+  end
+
+let parallel_map ?jobs f a = parallel_init ?jobs (Array.length a) (fun i -> f a.(i))

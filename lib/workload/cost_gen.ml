@@ -1,5 +1,18 @@
 module Prng = Versioning_util.Prng
+module Pool = Versioning_util.Pool
 module Aux_graph = Versioning_core.Aux_graph
+
+(* Per-domain scratch for the hop-distance BFS: the distance array is
+   reused across sources (reset via the touched list), so the parallel
+   path allocates one array per domain instead of one per source. The
+   invariant between uses is "every entry is -1". *)
+let dist_scratch : int array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let dist_array size =
+  let slot = Domain.DLS.get dist_scratch in
+  if Array.length !slot < size then slot := Array.make size (-1);
+  !slot
 
 type params = {
   base_size : float;
@@ -22,7 +35,7 @@ let default_params =
     symmetric = false;
   }
 
-let generate history params rng =
+let generate ?(jobs = Pool.default_jobs ()) history params rng =
   let n = history.History_gen.n_versions in
   let aux = Aux_graph.create ~n_versions:n in
   (* Sizes drift multiplicatively along the derivation graph. *)
@@ -48,12 +61,16 @@ let generate history params rng =
       ~cap:params.reveal_cap
   in
   (* Distance map per source: rebuild cheaply with a BFS identical to
-     the enumeration's. *)
+     the enumeration's. Each source's BFS is independent of every
+     other, so the sweep fans out over the domain pool; the results
+     are merged in source order, making the table (and everything
+     derived from it) identical for any [jobs]. *)
   let dist_of =
     let tbl = Hashtbl.create (List.length pairs) in
-    let dist = Array.make (n + 1) (-1) in
-    for src = 1 to n do
+    let bfs src =
+      let dist = dist_array (n + 1) in
       let touched = ref [ src ] in
+      let found = ref [] in
       dist.(src) <- 0;
       let q = Queue.create () in
       Queue.add src q;
@@ -65,13 +82,19 @@ let generate history params rng =
               if dist.(w) = -1 then begin
                 dist.(w) <- dist.(u) + 1;
                 touched := w :: !touched;
-                Hashtbl.replace tbl (src, w) dist.(w);
+                found := (w, dist.(w)) :: !found;
                 Queue.add w q
               end)
             (history.History_gen.parents.(u) @ history.History_gen.children.(u))
       done;
-      List.iter (fun w -> dist.(w) <- -1) !touched
-    done;
+      List.iter (fun w -> dist.(w) <- -1) !touched;
+      !found
+    in
+    let per_source = Pool.parallel_init ~jobs n (fun i -> bfs (i + 1)) in
+    Array.iteri
+      (fun i found ->
+        List.iter (fun (w, d) -> Hashtbl.replace tbl (i + 1, w) d) found)
+      per_source;
     fun u v -> match Hashtbl.find_opt tbl (u, v) with Some d -> d | None -> params.max_hops
   in
   let seen = Hashtbl.create (List.length pairs) in

@@ -24,7 +24,12 @@ type params = {
 val default_params : params
 
 val generate :
+  ?jobs:int ->
   History_gen.t ->
   params ->
   Versioning_util.Prng.t ->
   Versioning_core.Aux_graph.t
+(** [jobs] (default {!Versioning_util.Pool.default_jobs}) fans the
+    per-source hop-distance BFS out over a domain pool; the generated
+    graph is identical for every [jobs] value (the PRNG is consumed
+    only on the sequential passes). *)

@@ -1,0 +1,15 @@
+(* Helper for the lock-exclusion test: try to open the repository at
+   argv.(1) from a genuinely separate process (the test runner itself
+   cannot fork once domains have been spawned). Exit codes: 0 = lock
+   correctly refused, 1 = lock wrongly acquired, 2 = wrong error. *)
+let () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  exit
+    (match Versioning_store.Repo.open_repo ~path:Sys.argv.(1) with
+    | Error e when contains e "locked" -> 0
+    | Error _ -> 2
+    | Ok _ -> 1)

@@ -7,6 +7,7 @@ let () =
       ("union_find", Test_union_find.suite);
       ("zipf", Test_zipf.suite);
       ("stats", Test_stats.suite);
+      ("pool", Test_pool.suite);
       ("digraph", Test_digraph.suite);
       ("myers", Test_myers.suite);
       ("line_diff", Test_line_diff.suite);

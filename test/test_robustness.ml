@@ -385,24 +385,21 @@ let test_repair_restores_all_versions () =
 let test_lock_excludes_other_process () =
   let dir, repo, _ = mk_chain_repo () in
   ignore repo;
-  (* this process holds the lock; a forked child must be refused *)
-  match Unix.fork () with
-  | 0 ->
-      let code =
-        match Repo.open_repo ~path:dir with
-        | Error e when contains e "locked" -> 0
-        | Error _ -> 2
-        | Ok _ -> 1
-      in
-      Unix._exit code
-  | pid -> (
-      match Unix.waitpid [] pid with
-      | _, Unix.WEXITED 0 -> ()
-      | _, Unix.WEXITED 1 ->
-          Alcotest.fail "second process acquired a held lock"
-      | _, Unix.WEXITED 2 ->
-          Alcotest.fail "open failed with the wrong error"
-      | _ -> Alcotest.fail "child died abnormally")
+  (* this process holds the lock; a separate process must be refused.
+     A spawned probe, not a fork: fork is unavailable once the domain
+     pool has spawned, and POSIX record locks don't exclude within a
+     process anyway. *)
+  let probe =
+    Filename.concat (Filename.dirname Sys.executable_name) "lock_probe.exe"
+  in
+  let pid =
+    Unix.create_process probe [| probe; dir |] Unix.stdin Unix.stdout Unix.stderr
+  in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED 1 -> Alcotest.fail "second process acquired a held lock"
+  | _, Unix.WEXITED 2 -> Alcotest.fail "open failed with the wrong error"
+  | _ -> Alcotest.fail "probe died abnormally"
 
 let test_ref_name_validation () =
   let _, repo, _ = mk_chain_repo () in

@@ -64,6 +64,36 @@ let qcheck_lz77_roundtrip =
   QCheck.Test.make ~name:"lz77 roundtrip" ~count:500 arb_bytes (fun s ->
       Compress.unlz77 (Compress.lz77 s) = s)
 
+(* Repetition-heavy inputs drive the matcher through long [match_len]
+   runs and overlapping matches — the guard for its unchecked-access
+   fast path. Built from repeated blocks, byte runs, and noise. *)
+let arb_repetitive =
+  QCheck.make
+    ~print:(fun s -> String.escaped s)
+    QCheck.Gen.(
+      let block =
+        oneof
+          [
+            (* a small block tiled many times *)
+            map2
+              (fun b reps -> String.concat "" (List.init reps (fun _ -> b)))
+              (string_size ~gen:printable (int_range 1 12))
+              (int_range 2 80);
+            (* a single-byte run *)
+            map2
+              (fun c len -> String.make len c)
+              (map Char.chr (int_bound 255))
+              (int_range 1 300);
+            (* incompressible filler between repeats *)
+            string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 40);
+          ]
+      in
+      map (String.concat "") (list_size (int_bound 8) block))
+
+let qcheck_lz77_repetitive_roundtrip =
+  QCheck.Test.make ~name:"lz77 roundtrip (repetitive)" ~count:500
+    arb_repetitive (fun s -> Compress.unlz77 (Compress.lz77 s) = s)
+
 let qcheck_rle_roundtrip =
   QCheck.Test.make ~name:"rle roundtrip" ~count:500 arb_bytes (fun s ->
       Compress.un_rle_zeros (Compress.rle_zeros s) = s)
@@ -136,6 +166,7 @@ let suite =
     Alcotest.test_case "xor codec" `Quick test_xor_codec;
     Alcotest.test_case "xor empty side" `Quick test_xor_empty;
     QCheck_alcotest.to_alcotest qcheck_lz77_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_lz77_repetitive_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_rle_roundtrip;
     Alcotest.test_case "lz77 compresses repetition" `Quick
       test_lz77_compresses_repetition;
