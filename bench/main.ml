@@ -24,7 +24,7 @@ module Pool = Versioning_util.Pool
 module Line_diff = Versioning_delta.Line_diff
 module Compress = Versioning_delta.Compress
 module Repo = Versioning_store.Repo
-module Fsutil = Versioning_store.Fsutil
+module Fsutil = Versioning_util.Fsutil
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -630,14 +630,11 @@ let table2b ~quick seed =
       in
       let base, spt = base_and_spt g in
       let cmin = Storage_graph.storage_cost base in
-      Printf.printf "
-v%d (budget as xMCA, sumR in KB):
-" n;
+      Printf.printf "\nv%d (budget as xMCA, sumR in KB):\n" n;
       let factors = [ 1.05; 1.1; 1.25; 1.5; 2.0 ] in
       Printf.printf "%-10s" "budget";
       List.iter (fun f -> Printf.printf "%10.2f" f) factors;
-      Printf.printf "
-%-10s" "ILP";
+      Printf.printf "\n%-10s" "ILP";
       List.iter
         (fun f ->
           let r =
@@ -653,8 +650,7 @@ v%d (budget as xMCA, sumR in KB):
                 (if r.Exact.optimal then " " else "*")
           | None -> Printf.printf "%10s" "-")
         factors;
-      Printf.printf "
-%-10s" "LMG";
+      Printf.printf "\n%-10s" "LMG";
       List.iter
         (fun f ->
           let sg = Lmg.solve g ~base ~spt ~budget:(f *. cmin) () in
@@ -663,11 +659,10 @@ v%d (budget as xMCA, sumR in KB):
       print_newline ())
     sizes;
   print_endline
-    "
-(* = search budget exhausted; incumbent reported)
-     shape check: LMG tracks the exact optimum from above, with the gap
-     widest at tight budgets - consistent with the paper's expectation
-     that the average-recreation problems are the easier ones."
+    "\n(* = search budget exhausted; incumbent reported)\n\
+     \ shape check: LMG tracks the exact optimum from above, with the gap\n\
+     \ widest at tight budgets - consistent with the paper's expectation\n\
+     \ that the average-recreation problems are the easier ones."
 
 (* ------------------------------------------------------------------ *)
 (* Ablations beyond the paper's figures.                               *)

@@ -3,6 +3,7 @@
 
 open Cmdliner
 module Repo = Versioning_store.Repo
+module Fsutil = Versioning_util.Fsutil
 
 let or_die = function
   | Ok v -> v
@@ -85,10 +86,7 @@ let checkout_cmd =
     match output with
     | None -> print_string content
     | Some path ->
-        let oc = open_out_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc content);
+        or_die (Fsutil.write_file path content);
         Printf.printf "version %d -> %s (%d bytes)\n" version path
           (String.length content)
   in
@@ -353,10 +351,7 @@ let export_graph_cmd =
     let repo = open_repo dir in
     let g, _ = or_die (Repo.reveal_graph repo ~max_hops:hops ()) in
     if dot then begin
-      let oc = open_out output in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc (Versioning_core.Dot.of_aux_graph g));
+      or_die (Fsutil.write_file output (Versioning_core.Dot.of_aux_graph g));
       Printf.printf "wrote DOT graph to %s\n" output
     end
     else begin
@@ -430,15 +425,26 @@ let optimize_cmd =
              DSVC_JOBS environment variable, or 1). The resulting plan is \
              identical for every N.")
   in
-  let run dir strat hops jobs =
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check-solutions" ]
+          ~doc:
+            "Independently verify the solver's plan (spanning \
+             arborescence over revealed edges, Lemma 1 cost \
+             accounting) before rewriting any object; refuse to \
+             optimize if verification fails.")
+  in
+  let run dir strat hops jobs check =
     let repo = open_repo dir in
-    let stats = or_die (Repo.optimize repo ~max_hops:hops ~jobs strat) in
+    let stats = or_die (Repo.optimize repo ~max_hops:hops ~jobs ~check strat) in
+    if check then print_endline "solution verified (arborescence + Lemma 1)";
     print_stats stats
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Re-plan version storage with one of the paper's algorithms")
-    Term.(const run $ repo_dir $ strat $ hops $ jobs)
+    Term.(const run $ repo_dir $ strat $ hops $ jobs $ check)
 
 (* -- remote (HTTP client) -- *)
 
@@ -477,10 +483,7 @@ let remote_cmd =
     | "checkout", [ name ] -> print_string (or_die (C.checkout client name))
     | "checkout", [ name; file ] ->
         let content = or_die (C.checkout client name) in
-        let oc = open_out_bin file in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc content);
+        or_die (Fsutil.write_file file content);
         Printf.printf "%s -> %s (%d bytes)\n" name file (String.length content)
     | "commit", (file :: msg_parts) ->
         let content = or_die (read_file file) in

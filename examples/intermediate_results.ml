@@ -10,7 +10,6 @@
 open Versioning_core
 open Versioning_workload
 module Prng = Versioning_util.Prng
-module Csv = Versioning_delta.Csv
 
 let () =
   let rng = Prng.create ~seed:7 in

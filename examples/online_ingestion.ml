@@ -79,8 +79,8 @@ let () =
   (* Export the final plan for inspection. *)
   let dot = Dot.of_storage_graph after in
   let path = Filename.temp_file "storage_plan" ".dot" in
-  let oc = open_out path in
-  output_string oc dot;
-  close_out oc;
+  (match Versioning_util.Fsutil.write_file path dot with
+  | Ok () -> ()
+  | Error e -> failwith e);
   Printf.printf "\nfinal storage plan written to %s (render with `dot -Tsvg`)\n"
     path

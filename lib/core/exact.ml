@@ -12,6 +12,9 @@ exception Budget_exhausted
 
 let solve_p6 g ~theta ?(node_budget = 2_000_000) ?time_budget () =
   let deadline =
+    (* lint: nondet-ok the deadline only cuts the anytime search short;
+       any incumbent returned is still optimal-so-far and validated, and
+       node_budget gives the reproducible bound *)
     Option.map (fun s -> Unix.gettimeofday () +. s) time_budget
   in
   let n = Aux_graph.n_versions g in
@@ -82,6 +85,7 @@ let solve_p6 g ~theta ?(node_budget = 2_000_000) ?time_budget () =
     incr nodes;
     if !nodes > node_budget then raise Budget_exhausted;
     (match deadline with
+    (* lint: nondet-ok deadline polling, see the note at [deadline] *)
     | Some d when !nodes land 1023 = 0 && Unix.gettimeofday () > d ->
         raise Budget_exhausted
     | _ -> ());
@@ -202,6 +206,8 @@ let brute_force_p6 g ~theta =
 (* ---- Problem 3: min Σ R s.t. C <= budget ---- *)
 
 let solve_p3 g ~budget ?(node_budget = 2_000_000) ?time_budget () =
+  (* lint: nondet-ok wall-clock deadline for the anytime search only;
+     node_budget gives the reproducible bound *)
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) time_budget in
   let n = Aux_graph.n_versions g in
   let dg = Aux_graph.graph g in
@@ -266,6 +272,7 @@ let solve_p3 g ~budget ?(node_budget = 2_000_000) ?time_budget () =
     incr nodes;
     if !nodes > node_budget then raise Budget_exhausted;
     (match deadline with
+    (* lint: nondet-ok deadline polling, see the note at [deadline] *)
     | Some d when !nodes land 1023 = 0 && Unix.gettimeofday () > d ->
         raise Budget_exhausted
     | _ -> ());

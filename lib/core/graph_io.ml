@@ -66,14 +66,7 @@ let of_string s =
           | _ -> fail "bad version count")
       | _ -> fail "not a dsvc-graph file")
 
-let save g ~path =
-  try
-    let oc = open_out_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (to_string g));
-    Ok ()
-  with Sys_error e -> Error e
+let save g ~path = Versioning_util.Fsutil.write_file path (to_string g)
 
 let load ~path =
   try

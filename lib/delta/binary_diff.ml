@@ -19,6 +19,8 @@ let pow_top =
 let hash_block s off =
   let h = ref 0 in
   for i = off to off + block_size - 1 do
+    (* lint: unsafe-ok callers only pass off <= length s - block_size,
+       so i <= off + block_size - 1 < length s *)
     h := (!h * base) + Char.code (String.unsafe_get s i)
   done;
   !h

@@ -34,6 +34,8 @@ let chunk ?(min_size = 128) ?(avg_size = 512) ?(max_size = 4096) input =
   let h = ref 0 in
   let i = ref 0 in
   while !i < n do
+    (* lint: unsafe-ok the loop condition gives !i < n = length input,
+       and Char.code is always a valid gear index (0..255) *)
     h := ((!h lsl 1) + gear.(Char.code (String.unsafe_get input !i))) land max_int;
     incr i;
     let len = !i - !start in

@@ -16,9 +16,30 @@ let read_varint s pos =
 
 let hash4 s i =
   (* Multiplicative hash of 4 bytes; table size 2^15. *)
+  (* lint: unsafe-ok every caller guards i + min_match <= length s and
+     min_match = 4, so i + 3 is the largest index read *)
   let b k = Char.code (String.unsafe_get s (i + k)) in
   let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
   (v * 2654435761) lsr 17 land 0x7fff
+
+(* Length of the common run [input[i..] = input[j..]] for [j < i].
+   Exposed so the test suite can check the unchecked scan against a
+   bounds-checked reference on adversarial inputs. *)
+let match_len input ~i ~j =
+  let n = String.length input in
+  if not (0 <= j && j < i && i <= n) then
+    invalid_arg "Compress.match_len: requires 0 <= j < i <= length input";
+  let limit = n - i in
+  let len = ref 0 in
+  while
+    !len < limit
+    (* lint: unsafe-ok the precondition check above plus [!len < limit]
+       give i + len < n, and j < i gives j + len < i + len < n *)
+    && String.unsafe_get input (j + !len) = String.unsafe_get input (i + !len)
+  do
+    incr len
+  done;
+  !len
 
 let lz77 input =
   let n = String.length input in
@@ -42,20 +63,6 @@ let lz77 input =
         heads.(h) <- i
       end
     in
-    let match_len i j =
-      (* Length of the common run input[i..] = input[j..], j < i. The
-         bound is hoisted and the accesses unchecked: [len < limit]
-         keeps [i + len < n], and [j + len < i + len]. *)
-      let limit = n - i in
-      let len = ref 0 in
-      while
-        !len < limit
-        && String.unsafe_get input (j + !len) = String.unsafe_get input (i + !len)
-      do
-        incr len
-      done;
-      !len
-    in
     let i = ref 0 in
     while !i < n do
       let best_len = ref 0 and best_dist = ref 0 in
@@ -65,7 +72,7 @@ let lz77 input =
         let tries = ref 0 in
         while !cand >= 0 && !tries < max_chain do
           if !i - !cand <= window_size then begin
-            let len = match_len !i !cand in
+            let len = match_len input ~i:!i ~j:!cand in
             if len > !best_len then begin
               best_len := len;
               best_dist := !i - !cand

@@ -29,3 +29,10 @@ val un_rle_zeros : string -> string
 
 val ratio : original:int -> compressed:int -> float
 (** [compressed / original]; 1.0 when [original = 0]. *)
+
+val match_len : string -> i:int -> j:int -> int
+(** Length of the longest common run [input.[i ..] = input.[j ..]],
+    capped at [length input - i]. The scan is the unchecked fast path
+    of {!lz77}'s match finder; it is exposed so tests can compare it
+    against a bounds-checked reference.
+    @raise Invalid_argument unless [0 <= j < i <= length input]. *)

@@ -120,10 +120,9 @@ let to_directory root entries =
         if not (path_ok path) then failwith (Printf.sprintf "illegal path %S" path);
         let full = Filename.concat root path in
         mkdir_p (Filename.dirname full);
-        let oc = open_out_bin full in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc content))
+        match Fsutil.write_file full content with
+        | Ok () -> ()
+        | Error e -> failwith e)
       entries;
     Ok ()
   with

@@ -1,77 +1,6 @@
-type action =
-  | Fail of string
-  | Crash
-  | Torn of float
-  | Corrupt of int
-  | Drop
-
-exception Injected of string
-
-type armed_fault = { mutable remaining : int; action : action }
-
-(* Shared between the server thread and test code: every access goes
-   through the mutex. *)
-let mutex = Mutex.create ()
-let table : (string, armed_fault) Hashtbl.t = Hashtbl.create 8
-let counters : (string, int) Hashtbl.t = Hashtbl.create 8
-
-let with_lock f =
-  Mutex.lock mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
-
-let arm ~site ?(after = 0) action =
-  with_lock (fun () ->
-      Hashtbl.replace table site { remaining = max 0 after; action })
-
-let disarm ~site = with_lock (fun () -> Hashtbl.remove table site)
-
-let reset () =
-  with_lock (fun () ->
-      Hashtbl.reset table;
-      Hashtbl.reset counters)
-
-let armed ~site = with_lock (fun () -> Hashtbl.mem table site)
-
-let hits ~site =
-  with_lock (fun () ->
-      Option.value (Hashtbl.find_opt counters site) ~default:0)
-
-let check site =
-  with_lock (fun () ->
-      Hashtbl.replace counters site
-        (1 + Option.value (Hashtbl.find_opt counters site) ~default:0);
-      match Hashtbl.find_opt table site with
-      | None -> None
-      | Some f ->
-          if f.remaining > 0 then begin
-            f.remaining <- f.remaining - 1;
-            None
-          end
-          else begin
-            Hashtbl.remove table site;
-            Some f.action
-          end)
-
-let guard site = match check site with None -> () | Some _ -> raise (Injected site)
-let crash site = raise (Injected site)
-
-let on_write site content =
-  let act = match check site with Some a -> Some a | None -> check "write" in
-  match act with
-  | None -> `Write (content, false)
-  | Some (Fail msg) ->
-      `Fail (String.sub content 0 (String.length content / 2), msg)
-  | Some Crash | Some Drop -> raise (Injected site)
-  | Some (Torn fraction) ->
-      let fraction = Float.max 0.0 (Float.min 1.0 fraction) in
-      let k = int_of_float (fraction *. float_of_int (String.length content)) in
-      `Write (String.sub content 0 k, true)
-  | Some (Corrupt i) ->
-      let n = String.length content in
-      if n = 0 then `Write (content, false)
-      else begin
-        let b = Bytes.of_string content in
-        let i = ((i mod n) + n) mod n in
-        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
-        `Write (Bytes.to_string b, false)
-      end
+(* Compatibility re-export: the fault-injection registry lives in
+   [Versioning_util.Faults] so every tier (core graph I/O included)
+   shares one registry, but the store API keeps exposing it. No [.mli]
+   on purpose — the [include] must re-export the types and the
+   [Injected] exception as equations, not fresh declarations. *)
+include Versioning_util.Faults

@@ -112,6 +112,10 @@ let root t = t.root
    pid is recorded so a fork does not inherit a stale claim. *)
 
 let lock_mutex = Mutex.create ()
+
+(* lint: mutable-ok process-global lock registry; every access is
+   inside [lock_mutex], and domains never touch it (locks are taken
+   on open/close, on the caller's domain only) *)
 let lock_table : (string, Unix.file_descr * int) Hashtbl.t = Hashtbl.create 8
 
 let acquire_lock path =
@@ -128,6 +132,8 @@ let acquire_lock path =
       | _ -> ());
       if Hashtbl.mem lock_table key then Ok ()
       else
+        (* lint: raw-write-ok O_CREAT here creates the lock file, not
+           repository data; its contents are never read *)
         match Unix.openfile key [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
         | exception Unix.Unix_error (err, fn, _) ->
             Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
@@ -1015,7 +1021,8 @@ let reveal_graph t ?(max_hops = 3) ?(extra_pairs = [])
    journal, the old metadata is intact and the new objects are strays;
    after it, [recover_journal] (run by [open_repo]) rolls forward or
    back; and the GC never runs while a journal is pending. *)
-let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ()) strategy =
+let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
+    ?(check = false) strategy =
   let n = t.next_id - 1 in
   if n = 0 then Error "empty repository"
   else begin
@@ -1051,6 +1058,19 @@ let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ()) strategy =
       | Svn_skip ->
           Versioning_core.Skip_delta.solve aux
             ~order:(Array.init n (fun i -> i + 1))
+    in
+    (* Refuse to rewrite storage from a plan that fails independent
+       verification (spanning arborescence over revealed edges, Lemma 1
+       accounting) — a solver bug must not reach the object store. *)
+    let* () =
+      if not check then Ok ()
+      else
+        match Versioning_core.Solution_check.check aux plan with
+        | Ok _ -> Ok ()
+        | Error problems ->
+            Error
+              ("optimize: solver produced an invalid solution:\n"
+              ^ String.concat "\n" problems)
     in
     let current_parent v =
       match Hashtbl.find_opt t.stored v with

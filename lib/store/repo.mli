@@ -190,11 +190,20 @@ val reveal_graph :
     graph is identical for every value. *)
 
 val optimize :
-  t -> ?max_hops:int -> ?jobs:int -> strategy -> (stats, string) result
+  t ->
+  ?max_hops:int ->
+  ?jobs:int ->
+  ?check:bool ->
+  strategy ->
+  (stats, string) result
 (** Re-plan storage for all versions: reveal deltas between versions
     within [max_hops] (default 3) of each other in the version DAG,
     run the strategy's algorithm, rewrite objects, and garbage-collect
-    unreferenced blobs. [jobs] (default
+    unreferenced blobs. [check] (default false, [dsvc optimize
+    --check-solutions]) runs {!Versioning_core.Solution_check} on the
+    solver's plan against the revealed graph before any object is
+    written, refusing to rewrite storage from an invalid solution.
+    [jobs] (default
     {!Versioning_util.Pool.default_jobs}) parallelizes the diff and
     delta-encoding phases (and GitH's candidate gather); the resulting
     storage plan is byte-identical for every value — object writes and

@@ -1,3 +1,7 @@
+let src = Logs.Src.create "dsvc.server" ~doc:"dsvc HTTP server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 let parse_strategy s =
   match String.split_on_char '=' s with
   | [ "min-storage" ] -> Ok Repo.Min_storage
@@ -179,12 +183,19 @@ let serve repo ~port ?(host = "127.0.0.1") ?max_requests
            (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true)))
      with Invalid_argument _ | Sys_error _ -> ());
     let restore_signals () =
-      (match !old_int with
-      | Some b -> ( try Sys.set_signal Sys.sigint b with _ -> ())
-      | None -> ());
-      match !old_term with
-      | Some b -> ( try Sys.set_signal Sys.sigterm b with _ -> ())
-      | None -> ()
+      let restore name signum = function
+        | None -> ()
+        | Some behaviour -> (
+            try Sys.set_signal signum behaviour
+            with e ->
+              (* Restoration is best effort (the process is exiting),
+                 but a failure is still worth a trace. *)
+              Log.warn (fun m ->
+                  m "could not restore %s handler: %s" name
+                    (Printexc.to_string e)))
+      in
+      restore "SIGINT" Sys.sigint !old_int;
+      restore "SIGTERM" Sys.sigterm !old_term
     in
     let served = ref 0 in
     let continue () =
@@ -218,7 +229,12 @@ let serve repo ~port ?(host = "127.0.0.1") ?max_requests
                  | Ok req -> Http.write_response oc (handle_safe repo req)
                  | Error e -> Http.write_response oc (Http.error 400 (e ^ "\n")));
                  flush oc
-               with _ -> ());
+               with e ->
+                 (* The peer vanished mid-exchange (EPIPE, reset,
+                    timeout) — its connection dies, the accept loop
+                    must not. *)
+                 Log.warn (fun m ->
+                     m "connection aborted: %s" (Printexc.to_string e)));
               (try Unix.close client with Unix.Unix_error _ -> ())
         done);
     if !stop then Printf.printf "dsvc server shutting down\n%!";

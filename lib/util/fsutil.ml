@@ -1,0 +1,104 @@
+let ( let* ) = Result.bind
+
+let mkdir_p dir =
+  let rec go d =
+    if d = "" || d = "/" || Sys.file_exists d then ()
+    else begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir;
+  if Sys.file_exists dir && Sys.is_directory dir then Ok ()
+  else Error (Printf.sprintf "cannot create directory %s" dir)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error e -> Error e
+
+let write_file path content =
+  try
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content);
+    Ok ()
+  with Sys_error e -> Error e
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let unix_msg fn err = Printf.sprintf "%s: %s" fn (Unix.error_message err)
+
+(* Write [data] to a fresh temp file in [dir]; the temp file never
+   survives a failure. *)
+let write_tmp ~fsync dir data =
+  let* tmp =
+    try Ok (Filename.temp_file ~temp_dir:dir ".write" ".tmp")
+    with Sys_error e -> Error e
+  in
+  let result =
+    try
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          write_all fd data;
+          if fsync then Unix.fsync fd);
+      Ok tmp
+    with
+    | Sys_error e -> Error e
+    | Unix.Unix_error (err, fn, _) -> Error (unix_msg fn err)
+  in
+  (match result with
+  | Error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+  | Ok _ -> ());
+  result
+
+let write_file_atomic ?(fsync = true) ?backup ~site path content =
+  let dir = Filename.dirname path in
+  let* () = mkdir_p dir in
+  match Faults.on_write site content with
+  | `Fail (partial, msg) ->
+      (* Simulated mid-write failure: the partial temp file must be
+         cleaned up, exactly as a real ENOSPC path would. *)
+      (match write_tmp ~fsync:false dir partial with
+      | Ok tmp -> ( try Sys.remove tmp with Sys_error _ -> ())
+      | Error _ -> ());
+      Error msg
+  | `Write (data, crash_after) -> (
+      (* A torn write models a crash before fsync: skip the syncs so
+         the partial content becomes visible. *)
+      let fsync = fsync && not crash_after in
+      let* tmp = write_tmp ~fsync dir data in
+      try
+        (match backup with
+        | Some bak when Sys.file_exists path ->
+            (try if Sys.file_exists bak then Sys.remove bak
+             with Sys_error _ -> ());
+            (try Unix.link path bak
+             with Unix.Unix_error _ | Sys_error _ -> ())
+        | _ -> ());
+        Sys.rename tmp path;
+        if fsync then fsync_dir dir;
+        if crash_after then Faults.crash site;
+        Ok ()
+      with Sys_error e ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        Error e)

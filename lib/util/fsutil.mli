@@ -13,6 +13,14 @@ val mkdir_p : string -> (unit, string) result
 
 val read_file : string -> (string, string) result
 
+val write_file : string -> string -> (unit, string) result
+(** [write_file path content] is the plain, non-durable write path for
+    exports and CLI outputs (graph dumps, checkout [-o], bench
+    artifacts): a buffered write with no temp file, no [fsync] and no
+    fault injection. Persistent repository state must go through
+    {!write_file_atomic} instead; the lint's raw-write rule (R1)
+    confines the underlying primitives to this module either way. *)
+
 val write_file_atomic :
   ?fsync:bool ->
   ?backup:string ->

@@ -1,8 +1,6 @@
-module Prng = Versioning_util.Prng
 module Csv = Versioning_delta.Csv
 module Line_diff = Versioning_delta.Line_diff
 module Cell_diff = Versioning_delta.Cell_diff
-module Compress = Versioning_delta.Compress
 module Delta = Versioning_delta.Delta
 module Aux_graph = Versioning_core.Aux_graph
 

@@ -57,7 +57,7 @@ let test_candidate_pairs () =
   let rng = Prng.create ~seed:227 in
   let noise () = String.init 1200 (fun _ -> Char.chr (33 + Prng.int rng 90)) in
   let docs = [| base; base ^ "\ntail"; noise (); noise () |] in
-  let sketches = Array.map Resemblance.sketch docs in
+  let sketches = Array.map (fun d -> Resemblance.sketch d) docs in
   let pairs = Resemblance.candidate_pairs ~threshold:0.5 sketches in
   Alcotest.(check (list (pair int int))) "only the true pair"
     [ (0, 1) ]

@@ -1,0 +1,251 @@
+(* dsvc-lint: one known-bad and one suppressed/allowed fixture per
+   rule, config-parser behaviour, and a scan of the real source tree
+   (which must be clean — the same gate CI applies). *)
+
+open Dsvc_lint
+
+(* A config mirroring the checked-in lint.toml, built through the
+   parser so the TOML subset is exercised too. *)
+let config =
+  match
+    Lint_config.parse
+      {|
+# fixture config
+[R1-raw-write]
+allow = ["lib/util/fsutil.ml", "lib/store/fsutil.ml"]
+
+[R2-unsafe-index]
+allow = ["lib/delta/chunker.ml", "lib/delta/compress.ml", "lib/delta/binary_diff.ml"]
+
+[R3-domain-spawn]
+allow = ["lib/util/pool.ml"]
+
+[R3-fork]
+allow = ["test/lock_probe.ml"]
+
+[R5-nondet]
+scope = ["lib/core/", "lib/workload/"]
+|}
+  with
+  | Ok c -> c
+  | Error e -> failwith e
+
+let rules_of ~file src =
+  List.map
+    (fun d -> d.Lint_rules.rule)
+    (Lint_rules.check_source ~config ~filename:file src)
+
+let check_rules msg ~file src expected =
+  Alcotest.(check (list string)) msg expected (rules_of ~file src)
+
+(* ---- R1: raw write primitives ---- *)
+
+let test_r1 () =
+  check_rules "open_out flagged" ~file:"lib/store/archive.ml"
+    {|let f () = let oc = open_out "x" in close_out oc|} [ "R1-raw-write" ];
+  check_rules "Out_channel opener flagged" ~file:"bin/dsvc.ml"
+    {|let f () = Out_channel.with_open_bin "x" ignore|} [ "R1-raw-write" ];
+  check_rules "openfile with write flags flagged" ~file:"lib/store/repo.ml"
+    {|let f () = Unix.openfile "x" [ Unix.O_WRONLY ] 0o644|}
+    [ "R1-raw-write" ];
+  check_rules "read-only openfile fine" ~file:"lib/store/repo.ml"
+    {|let f () = Unix.openfile "x" [ Unix.O_RDONLY ] 0|} [];
+  check_rules "suppression comment honoured" ~file:"lib/store/archive.ml"
+    {|(* lint: raw-write-ok scratch file *)
+let f () = let oc = open_out "x" in close_out oc|}
+    [];
+  check_rules "allowlisted file clean" ~file:"lib/util/fsutil.ml"
+    {|let f () = let oc = open_out "x" in close_out oc|} []
+
+(* ---- R2: unsafe indexing ---- *)
+
+let test_r2 () =
+  check_rules "unsafe_get in allowlisted file needs a comment"
+    ~file:"lib/delta/compress.ml"
+    {|let f s = String.unsafe_get s 0|} [ "R2-unsafe-index" ];
+  check_rules "unsafe-ok comment satisfies the rule"
+    ~file:"lib/delta/compress.ml"
+    {|(* lint: unsafe-ok caller guarantees s is non-empty *)
+let f s = String.unsafe_get s 0|}
+    [];
+  check_rules "outside the allowlist no comment helps"
+    ~file:"lib/core/exact.ml"
+    {|(* lint: unsafe-ok nice try *)
+let f a = Array.unsafe_get a 0|}
+    [ "R2-unsafe-index" ];
+  check_rules "unsafe_set flagged too" ~file:"lib/store/repo.ml"
+    {|let f b = Bytes.unsafe_set b 0 'x'|} [ "R2-unsafe-index" ]
+
+(* ---- R3: domains and forks ---- *)
+
+let test_r3 () =
+  check_rules "Domain.spawn outside Pool" ~file:"lib/core/exact.ml"
+    {|let f () = Domain.spawn (fun () -> ())|} [ "R3-domain-spawn" ];
+  check_rules "Domain.spawn in Pool fine" ~file:"lib/util/pool.ml"
+    {|let f () = Domain.spawn (fun () -> ())|} [];
+  check_rules "Unix.fork outside the probe" ~file:"lib/store/server.ml"
+    {|let f () = Unix.fork ()|} [ "R3-fork" ];
+  check_rules "Unix.fork in the probe fine" ~file:"test/lock_probe.ml"
+    {|let f () = Unix.fork ()|} []
+
+(* ---- R4: exception swallowing ---- *)
+
+let test_r4 () =
+  check_rules "catch-all wildcard flagged" ~file:"lib/store/server.ml"
+    {|let f g = try g () with _ -> 0|} [ "R4-catch-all" ];
+  check_rules "bound-but-dropped exception flagged"
+    ~file:"lib/store/server.ml" {|let f g = try g () with e -> 0|}
+    [ "R4-catch-all" ];
+  check_rules "used exception fine" ~file:"lib/store/server.ml"
+    {|let f g = try g () with e -> print_endline (Printexc.to_string e); 0|}
+    [];
+  check_rules "specific exception fine" ~file:"lib/store/server.ml"
+    {|let f g = try g () with Not_found -> 0|} [];
+  check_rules "swallow-ok suppression honoured" ~file:"lib/store/server.ml"
+    {|let f g =
+  (* lint: swallow-ok best-effort cleanup on shutdown *)
+  try g () with _ -> 0|}
+    []
+
+(* ---- R5: nondeterminism in the solver tiers ---- *)
+
+let test_r5 () =
+  check_rules "gettimeofday in lib/core flagged" ~file:"lib/core/heur.ml"
+    {|let f () = Unix.gettimeofday ()|} [ "R5-nondet" ];
+  check_rules "Hashtbl.hash in lib/workload flagged"
+    ~file:"lib/workload/gen.ml" {|let f x = Hashtbl.hash x|} [ "R5-nondet" ];
+  check_rules "polymorphic compare on float literal flagged"
+    ~file:"lib/core/heur.ml" {|let f x = compare x 1.0|} [ "R5-nondet" ];
+  check_rules "same code outside the scope is fine" ~file:"lib/store/repo.ml"
+    {|let f () = Unix.gettimeofday ()|} [];
+  check_rules "nondet-ok suppression honoured" ~file:"lib/core/heur.ml"
+    {|(* lint: nondet-ok wall-clock deadline only *)
+let f () = Unix.gettimeofday ()|}
+    []
+
+(* ---- R6: module-level mutable state near Pool regions ---- *)
+
+let test_r6 () =
+  check_rules "toplevel Hashtbl in a Pool-using module flagged"
+    ~file:"lib/store/par.ml"
+    {|module Pool = Versioning_util.Pool
+let cache = Hashtbl.create 8
+let run xs = Pool.parallel_map (fun x -> x) xs|}
+    [ "R6-toplevel-mutable" ];
+  check_rules "same state without any Pool call site is fine"
+    ~file:"lib/store/seq.ml"
+    {|let cache = Hashtbl.create 8
+let run xs = List.map (fun x -> x) xs|}
+    [];
+  check_rules "mutable-ok suppression honoured" ~file:"lib/store/par.ml"
+    {|module Pool = Versioning_util.Pool
+(* lint: mutable-ok guarded by a mutex *)
+let cache = Hashtbl.create 8
+let run xs = Pool.parallel_map (fun x -> x) xs|}
+    [];
+  (* cross-file reachability: A uses the pool and calls B; B's state
+     is flagged even though B itself never mentions Pool *)
+  let diags =
+    Lint_rules.check_tree ~config
+      [
+        ( "lib/store/a.ml",
+          {|module Pool = Versioning_util.Pool
+let run xs = Pool.parallel_map B.work xs|} );
+        ("lib/store/b.ml", {|let seen = ref 0
+let work x = incr seen; x|});
+        ("lib/store/c.ml", {|let alone = ref 0|});
+      ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "B flagged, unreferenced C not"
+    [ ("lib/store/b.ml", "R6-toplevel-mutable") ]
+    (List.map (fun d -> (d.Lint_rules.file, d.Lint_rules.rule)) diags)
+
+(* ---- parse errors and config errors ---- *)
+
+let test_parse_error () =
+  check_rules "unparseable source reported" ~file:"lib/store/bad.ml"
+    "let let let" [ "parse-error" ]
+
+let test_config_errors () =
+  (match Lint_config.parse "[R1-raw-write]\nallow = nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed list must be rejected");
+  (match Lint_config.parse "allow = [\"x\"]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "key outside a section must be rejected");
+  match Lint_config.parse "# only comments\n\n" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "empty config must parse: %s" e
+
+let test_suppression_window () =
+  (* a suppression covers its own lines and the line right after; two
+     lines down it no longer applies *)
+  check_rules "comment two lines above does not suppress"
+    ~file:"lib/store/archive.ml"
+    {|(* lint: raw-write-ok too far away *)
+
+let f () = let oc = open_out "x" in close_out oc|}
+    [ "R1-raw-write" ]
+
+(* ---- the real tree is clean ---- *)
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (entry <> "" && entry.[0] = '.') then acc
+           else collect acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_real_tree_clean () =
+  (* The test binary runs in _build/default/test; the mirrored source
+     tree sits one level up. Skip gracefully if the layout differs
+     (e.g. a future out-of-tree runner). *)
+  let roots =
+    List.filter
+      (fun d -> Sys.file_exists d && Sys.is_directory d)
+      [ "../lib"; "../bin"; "../bench"; "../test" ]
+  in
+  if List.length roots < 4 then ()
+  else begin
+    let cfg =
+      if Sys.file_exists "../lint.toml" then
+        match Lint_config.load "../lint.toml" with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "lint.toml: %s" e
+      else config
+    in
+    let files = List.fold_left collect [] roots |> List.sort compare in
+    Alcotest.(check bool) "scanned a real number of files" true
+      (List.length files > 50);
+    let sources = List.map (fun f -> (f, read_file f)) files in
+    match Lint_rules.check_tree ~config:cfg sources with
+    | [] -> ()
+    | diags ->
+        Alcotest.failf "source tree has lint diagnostics:\n%s"
+          (String.concat "\n" (List.map Lint_rules.to_string diags))
+  end
+
+let suite =
+  [
+    Alcotest.test_case "R1 raw writes" `Quick test_r1;
+    Alcotest.test_case "R2 unsafe indexing" `Quick test_r2;
+    Alcotest.test_case "R3 domains and forks" `Quick test_r3;
+    Alcotest.test_case "R4 exception swallowing" `Quick test_r4;
+    Alcotest.test_case "R5 nondeterminism" `Quick test_r5;
+    Alcotest.test_case "R6 toplevel mutable state" `Quick test_r6;
+    Alcotest.test_case "parse errors surface" `Quick test_parse_error;
+    Alcotest.test_case "config validation" `Quick test_config_errors;
+    Alcotest.test_case "suppression window" `Quick test_suppression_window;
+    Alcotest.test_case "real tree is clean" `Quick test_real_tree_clean;
+  ]

@@ -34,4 +34,5 @@ let () =
       ("metric_properties", Test_metric_properties.suite);
       ("client", Test_client.suite);
       ("robustness", Test_robustness.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -29,6 +29,8 @@ let read_file p =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let write_file p s =
+  (* lint: raw-write-ok this helper deliberately clobbers store files
+     with corrupt bytes; an atomic durable write would defeat the test *)
   let oc = open_out_bin p in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
 

@@ -13,6 +13,8 @@ let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
 
 let parse s =
   let path = Filename.temp_file "req" ".txt" in
+  (* lint: raw-write-ok scratch request fixture read straight back;
+     durability is irrelevant *)
   let oc = open_out_bin path in
   output_string oc s;
   close_out oc;

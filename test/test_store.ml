@@ -147,7 +147,9 @@ let test_repo_optimize_strategies () =
   in
   List.iter
     (fun strategy ->
-      let stats = ok (Repo.optimize repo strategy) in
+      (* [~check:true] routes every strategy's plan through
+         Solution_check before the rewrite. *)
+      let stats = ok (Repo.optimize repo ~check:true strategy) in
       Alcotest.(check int) "versions preserved" 12 stats.Repo.n_versions;
       (* all contents identical after the rewrite *)
       List.iter

@@ -67,6 +67,8 @@ let test_verify_clean_and_corrupt () =
            else [])
     |> List.hd
   in
+  (* lint: raw-write-ok deliberately corrupts a stored object in place
+     to exercise Repo.verify *)
   let oc = open_out_bin victim in
   output_string oc "Rcorrupted!";
   close_out oc;

@@ -98,6 +98,55 @@ let qcheck_rle_roundtrip =
   QCheck.Test.make ~name:"rle roundtrip" ~count:500 arb_bytes (fun s ->
       Compress.un_rle_zeros (Compress.rle_zeros s) = s)
 
+(* The unchecked scan in [Compress.match_len] against a bounds-checked
+   reference, driven over repetition-heavy inputs (long common runs
+   that push right up to the end of the string) with adversarial
+   index pairs: j near i, i near the end, runs ending exactly at n. *)
+let match_len_reference input ~i ~j =
+  let n = String.length input in
+  let len = ref 0 in
+  while i + !len < n && input.[j + !len] = input.[i + !len] do
+    incr len
+  done;
+  !len
+
+let qcheck_match_len_agrees =
+  let arb =
+    QCheck.make
+      ~print:(fun (s, i, j) -> Printf.sprintf "(%S, i=%d, j=%d)" s i j)
+      QCheck.Gen.(
+        (* Non-empty repetitive string, then 0 <= j < i <= n. *)
+        let gen_s =
+          map
+            (fun s -> if s = "" then "x" else s)
+            (graft_corners
+               (map (fun s -> s ^ s ^ s) (string_size (int_range 1 60)))
+               [ "aaaa"; "abab"; "\x00\x00\x00\x00" ] ())
+        in
+        gen_s >>= fun s ->
+        let n = String.length s in
+        int_range 1 n >>= fun i ->
+        int_range 0 (i - 1) >>= fun j -> return (s, i, j))
+  in
+  QCheck.Test.make ~name:"match_len agrees with checked reference"
+    ~count:2000 arb (fun (s, i, j) ->
+      Compress.match_len s ~i ~j = match_len_reference s ~i ~j)
+
+let test_match_len_bounds () =
+  (* run ending exactly at the end of the string *)
+  Alcotest.(check int) "run to end" 3 (Compress.match_len "abcabc" ~i:3 ~j:0);
+  (* overlapping self-match: j + len crosses i *)
+  Alcotest.(check int) "overlap" 5 (Compress.match_len "aaaaaa" ~i:1 ~j:0);
+  (* i = n is legal and matches nothing *)
+  Alcotest.(check int) "i at end" 0 (Compress.match_len "ab" ~i:2 ~j:1);
+  (* precondition violations rejected, not read out of bounds *)
+  List.iter
+    (fun (i, j) ->
+      match Compress.match_len "abc" ~i ~j with
+      | exception Invalid_argument _ -> ()
+      | v -> Alcotest.failf "expected Invalid_argument, got %d" v)
+    [ (0, 0); (1, 1); (2, 3); (4, 0); (1, -1) ]
+
 let test_lz77_compresses_repetition () =
   let s = String.concat "" (List.init 200 (fun _ -> "abcdefgh")) in
   let c = Compress.lz77 s in
@@ -168,6 +217,8 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_lz77_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_lz77_repetitive_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_rle_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_match_len_agrees;
+    Alcotest.test_case "match_len bounds" `Quick test_match_len_bounds;
     Alcotest.test_case "lz77 compresses repetition" `Quick
       test_lz77_compresses_repetition;
     Alcotest.test_case "lz77 overlapping matches" `Quick

@@ -1,0 +1,132 @@
+(* Configuration for dsvc-lint: a checked-in TOML-subset file mapping
+   rule ids to per-file allowlists and path scopes.
+
+   Grammar (one entry per line):
+
+     # comment
+     [rule-id]
+     allow = ["path", "path", ...]
+     scope = ["path-fragment", ...]
+
+   Paths match by *containment* after separator normalization, so the
+   same entry matches a file whether the tool is invoked from the repo
+   root ("lib/util/pool.ml") or a sandbox ("../lib/util/pool.ml"). *)
+
+type t = {
+  allow : (string * string list) list;  (* rule id -> path fragments *)
+  scope : (string * string list) list;  (* rule id -> path fragments *)
+}
+
+let empty = { allow = []; scope = [] }
+
+let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
+
+(* Substring search, returns true when [needle] occurs in [hay]. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let path_matches ~fragment file = contains (normalize file) (normalize fragment)
+
+let strip s = String.trim s
+
+(* Parse a ["a", "b"] list literal (no escapes needed for paths). *)
+let parse_string_list line =
+  let line = strip line in
+  let n = String.length line in
+  if n < 2 || line.[0] <> '[' || line.[n - 1] <> ']' then None
+  else begin
+    let body = String.sub line 1 (n - 2) in
+    let items = String.split_on_char ',' body |> List.map strip in
+    let items = List.filter (fun s -> s <> "") items in
+    let unquote s =
+      let n = String.length s in
+      if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
+        Some (String.sub s 1 (n - 2))
+      else None
+    in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | it :: tl -> (
+          match unquote it with Some v -> go (v :: acc) tl | None -> None)
+    in
+    go [] items
+  end
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let section = ref None in
+  let allow = ref [] and scope = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun idx raw ->
+      if !err = None then begin
+        let lineno = idx + 1 in
+        let line =
+          match String.index_opt raw '#' with
+          | Some i when not (contains raw "\"#") -> String.sub raw 0 i
+          | _ -> raw
+        in
+        let line = strip line in
+        if line = "" then ()
+        else if
+          String.length line >= 2
+          && line.[0] = '['
+          && line.[String.length line - 1] = ']'
+        then section := Some (strip (String.sub line 1 (String.length line - 2)))
+        else
+          match (String.index_opt line '=', !section) with
+          | Some eq, Some sect -> (
+              let key = strip (String.sub line 0 eq) in
+              let value =
+                strip (String.sub line (eq + 1) (String.length line - eq - 1))
+              in
+              match (key, parse_string_list value) with
+              | "allow", Some vs -> allow := (sect, vs) :: !allow
+              | "scope", Some vs -> scope := (sect, vs) :: !scope
+              | _, None ->
+                  err :=
+                    Some
+                      (Printf.sprintf "line %d: expected a [\"...\"] list"
+                         lineno)
+              | k, Some _ ->
+                  err :=
+                    Some (Printf.sprintf "line %d: unknown key %S" lineno k))
+          | Some _, None ->
+              err :=
+                Some
+                  (Printf.sprintf "line %d: key outside a [rule] section"
+                     lineno)
+          | None, _ ->
+              err := Some (Printf.sprintf "line %d: cannot parse %S" lineno line)
+      end)
+    lines;
+  match !err with
+  | Some e -> Error ("lint config: " ^ e)
+  | None -> Ok { allow = List.rev !allow; scope = List.rev !scope }
+
+let load path =
+  try
+    let ic = open_in_bin path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse content
+  with Sys_error e -> Error e
+
+let fragments_for entries rule =
+  List.concat_map (fun (r, fs) -> if r = rule then fs else []) entries
+
+let allowed t ~rule ~file =
+  List.exists (fun f -> path_matches ~fragment:f file) (fragments_for t.allow rule)
+
+(* A rule with a scope applies only to files matching a fragment; with
+   no scope configured, [default] decides (R5 ships with a built-in
+   scope so an empty config stays meaningful). *)
+let in_scope t ~rule ~file ~default =
+  match fragments_for t.scope rule with
+  | [] -> List.exists (fun f -> path_matches ~fragment:f file) default
+  | fs -> List.exists (fun f -> path_matches ~fragment:f file) fs
