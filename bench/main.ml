@@ -25,6 +25,8 @@ module Line_diff = Versioning_delta.Line_diff
 module Compress = Versioning_delta.Compress
 module Repo = Versioning_store.Repo
 module Fsutil = Versioning_util.Fsutil
+module Obs = Versioning_obs.Obs
+module Metrics = Versioning_obs.Metrics
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -77,6 +79,39 @@ let checkout_runs : checkout_run list ref = ref []
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6f" f else "0.0"
 
+(* Run provenance for the bench record: the commit the numbers were
+   measured at, read straight from .git (no subprocess — the harness
+   may run where git(1) is absent). "unknown" outside a checkout. *)
+let git_rev () =
+  let read path =
+    match Fsutil.read_file path with
+    | Ok s -> Some (String.trim s)
+    | Error _ -> None
+  in
+  match read ".git/HEAD" with
+  | None -> "unknown"
+  | Some head ->
+      if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
+        let r = String.trim (String.sub head 5 (String.length head - 5)) in
+        match read (Filename.concat ".git" r) with
+        | Some rev -> rev
+        | None -> (
+            match read ".git/packed-refs" with
+            | None -> "unknown"
+            | Some packed ->
+                let matches line =
+                  match String.index_opt line ' ' with
+                  | Some i
+                    when String.sub line (i + 1) (String.length line - i - 1) = r
+                    ->
+                      Some (String.sub line 0 i)
+                  | _ -> None
+                in
+                List.find_map matches (String.split_on_char '\n' packed)
+                |> Option.value ~default:"unknown")
+      end
+      else head
+
 let emit_bench_json path ~quick ~jobs =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -91,6 +126,22 @@ let emit_bench_json path ~quick ~jobs =
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"ncores\": %d,\n" (Pool.recommended_jobs ());
+  (* Provenance + observability snapshot: which commit and DSVC_JOBS
+     setting produced these numbers, and (when DSVC_OBS is on) the
+     counters behind them, so regressions can be diffed run-to-run. *)
+  add "  \"meta\": {\n";
+  add "    \"git_rev\": \"%s\",\n" (Metrics.json_escape (git_rev ()));
+  add "    \"dsvc_jobs_env\": \"%s\",\n"
+    (Metrics.json_escape
+       (Option.value (Sys.getenv_opt "DSVC_JOBS") ~default:""));
+  add "    \"dsvc_obs\": %b,\n" (Obs.enabled ());
+  add "    \"obs_counters\": {";
+  comma_sep
+    (fun (k, v) ->
+      add "\n      \"%s\": %s" (Metrics.json_escape k) (json_float v))
+    (Metrics.snapshot_values ());
+  add "\n    }\n";
+  add "  },\n";
   add "  \"experiments\": [";
   comma_sep
     (fun (name, t) -> add "\n    {\"name\": \"%s\", \"wall_s\": %s}" name (json_float t))

@@ -4,6 +4,21 @@
 open Cmdliner
 module Repo = Versioning_store.Repo
 module Fsutil = Versioning_util.Fsutil
+module Obs = Versioning_obs.Obs
+module Metrics = Versioning_obs.Metrics
+module Trace = Versioning_obs.Trace
+
+(* If DSVC_TRACE=file.json is set, dump the span ring as Chrome
+   trace_event JSON when the process exits (load the file in
+   chrome://tracing or Perfetto). The obs library never touches disk
+   itself; the write goes through Fsutil here. *)
+let dump_trace () =
+  match Obs.trace_path () with
+  | Some path when Trace.span_count () > 0 -> (
+      match Fsutil.write_file path (Trace.to_chrome_json ()) with
+      | Ok () -> Printf.eprintf "dsvc: wrote trace to %s\n" path
+      | Error e -> Printf.eprintf "dsvc: cannot write trace %s: %s\n" path e)
+  | _ -> ()
 
 let or_die = function
   | Ok v -> v
@@ -435,16 +450,93 @@ let optimize_cmd =
              accounting) before rewriting any object; refuse to \
              optimize if verification fails.")
   in
-  let run dir strat hops jobs check =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print a per-phase time/allocation breakdown (graph \
+             construction, solve, materialization, ...) after the \
+             repack. Implies observability for this run; the chosen \
+             plan is unaffected.")
+  in
+  let print_profile aggs =
+    if aggs = [] then print_endline "profile: no spans recorded"
+    else begin
+      Printf.printf "%-30s %7s %11s %11s %12s\n" "phase" "count" "total (s)"
+        "mean (ms)" "alloc (MB)";
+      List.iter
+        (fun (a : Trace.agg) ->
+          Printf.printf "%-30s %7d %11.4f %11.3f %12.2f\n" a.Trace.agg_name
+            a.Trace.count a.Trace.total_s
+            (1000.0 *. a.Trace.total_s /. float_of_int (max 1 a.Trace.count))
+            (a.Trace.total_alloc /. 1048576.0))
+        aggs
+    end
+  in
+  let run dir strat hops jobs check profile =
     let repo = open_repo dir in
-    let stats = or_die (Repo.optimize repo ~max_hops:hops ~jobs ~check strat) in
+    let work () = or_die (Repo.optimize repo ~max_hops:hops ~jobs ~check strat) in
+    let stats =
+      if profile then
+        Obs.with_enabled true (fun () ->
+            let stats = work () in
+            print_profile (Trace.summarize ());
+            print_newline ();
+            stats)
+      else work ()
+    in
     if check then print_endline "solution verified (arborescence + Lemma 1)";
     print_stats stats
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Re-plan version storage with one of the paper's algorithms")
-    Term.(const run $ repo_dir $ strat $ hops $ jobs $ check)
+    Term.(const run $ repo_dir $ strat $ hops $ jobs $ check $ profile)
+
+(* -- metrics -- *)
+
+let metrics_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let port =
+    Arg.(value & opt int 8077 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the JSON exposition instead of Prometheus text.")
+  in
+  let local =
+    Arg.(
+      value & flag
+      & info [ "local" ]
+          ~doc:
+            "Print this process's own metric registry instead of \
+             querying a server (only interesting under DSVC_OBS=on).")
+  in
+  let run host port json local =
+    if local then
+      print_string (if json then Metrics.to_json () else Metrics.to_prometheus ())
+    else begin
+      let client = Versioning_store.Client.connect ~host ~port () in
+      let query = if json then [ ("format", "json") ] else [] in
+      match
+        Versioning_store.Client.request client ~meth:"GET" ~path:"/metrics"
+          ~query ()
+      with
+      | Ok (200, body) -> print_string body
+      | Ok (status, body) ->
+          Printf.eprintf "dsvc: server returned %d: %s\n" status body;
+          exit 1
+      | Error e ->
+          Printf.eprintf "dsvc: %s\n" e;
+          exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Fetch a served repository's /metrics exposition")
+    Term.(const run $ host $ port $ json $ local)
 
 (* -- remote (HTTP client) -- *)
 
@@ -509,6 +601,7 @@ let remote_cmd =
     Term.(const run $ host $ port $ action $ rest)
 
 let () =
+  at_exit dump_trace;
   let info =
     Cmd.info "dsvc" ~version:"1.0.0"
       ~doc:"Dataset version control with a principled storage/recreation tradeoff"
@@ -532,6 +625,7 @@ let () =
             stats_cmd;
             export_graph_cmd;
             serve_cmd;
+            metrics_cmd;
             remote_cmd;
             optimize_cmd;
           ]))

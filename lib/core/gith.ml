@@ -41,6 +41,7 @@ let window_touch w v =
 let solve ?(depth_bias = true) ?(jobs = Pool.default_jobs ()) g ~window
     ~max_depth =
   if max_depth < 1 then invalid_arg "Gith.solve: max_depth must be >= 1";
+  Solver_obs.timed ~algo:"gith" @@ fun () ->
   let n = Aux_graph.n_versions g in
   let bound = if window <= 0 then max_int else window in
   let size v =
@@ -73,9 +74,13 @@ let solve ?(depth_bias = true) ?(jobs = Pool.default_jobs ()) g ~window
   in
   let win = window_create bound in
   let error = ref None in
+  let materialized = ref 0 in
+  let deltas = ref 0 in
+  let scanned = ref 0 in
   let materialize v =
     match Aux_graph.materialization g v with
     | Some w ->
+        incr materialized;
         parent.(v) <- 0;
         weight.(v) <- w;
         depth.(v) <- 0;
@@ -95,6 +100,7 @@ let solve ?(depth_bias = true) ?(jobs = Pool.default_jobs ()) g ~window
           let best = ref None in
           Array.iter
             (fun (l, label) ->
+              incr scanned;
               if window_mem win l && depth.(l) < max_depth then begin
                 let score =
                   if depth_bias then
@@ -109,6 +115,7 @@ let solve ?(depth_bias = true) ?(jobs = Pool.default_jobs ()) g ~window
             candidates.(v - 1);
           match !best with
           | Some (_, l, w) ->
+              incr deltas;
               parent.(v) <- l;
               weight.(v) <- w;
               depth.(v) <- depth.(l) + 1;
@@ -119,6 +126,13 @@ let solve ?(depth_bias = true) ?(jobs = Pool.default_jobs ()) g ~window
           | None -> materialize v
         end)
     order;
+  Solver_obs.count ~algo:"gith" "dsvc_solver_candidates_scanned_total" !scanned
+    ~help:"Window candidates scanned by the GitH selection loop";
+  Solver_obs.count ~algo:"gith" "dsvc_solver_deltas_chosen_total" !deltas
+    ~help:"Versions GitH stored as deltas against a window member";
+  Solver_obs.count ~algo:"gith" "dsvc_solver_materializations_total"
+    !materialized
+    ~help:"Versions GitH materialized in full";
   match !error with
   | Some e -> Error e
   | None ->

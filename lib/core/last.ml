@@ -2,6 +2,7 @@ module Digraph = Versioning_graph.Digraph
 
 let solve g ~base ~alpha =
   if alpha <= 1.0 then invalid_arg "Last.solve: alpha must exceed 1";
+  Solver_obs.timed ~algo:"last" @@ fun () ->
   let n = Aux_graph.n_versions g in
   let spt =
     match Spt.solve g with
@@ -29,7 +30,10 @@ let solve g ~base ~alpha =
     let rec go v acc = if v = 0 then acc else go (Storage_graph.parent spt v) (v :: acc) in
     go v []
   in
+  let grafts = ref 0 in
+  let relaxed = ref 0 in
   let graft v =
+    incr grafts;
     List.iter
       (fun y ->
         if sp_dist.(y) < d.(y) then begin
@@ -42,6 +46,7 @@ let solve g ~base ~alpha =
   let dg = Aux_graph.graph g in
   let relax ~src ~dst (w : Aux_graph.weight) =
     if d.(src) +. w.phi < d.(dst) then begin
+      incr relaxed;
       d.(dst) <- d.(src) +. w.phi;
       parent.(dst) <- src;
       weight.(dst) <- w
@@ -81,6 +86,10 @@ let solve g ~base ~alpha =
       children.(u)
   in
   dfs 0;
+  Solver_obs.count ~algo:"last" "dsvc_solver_edges_relaxed_total" !relaxed
+    ~help:"Successful edge relaxations, by algorithm";
+  Solver_obs.count ~algo:"last" "dsvc_solver_grafts_total" !grafts
+    ~help:"SPT root paths grafted when the alpha bound was exceeded";
   let choices =
     List.init n (fun i ->
         let v = i + 1 in

@@ -103,6 +103,7 @@ let to_storage_graph st =
   | Error e -> invalid_arg ("Lmg: internal tree corrupt: " ^ e)
 
 let solve g ~base ~spt ~budget ?freqs () =
+  Solver_obs.timed ~algo:"lmg" @@ fun () ->
   let st = init_state g base ~freqs in
   let storage = ref (Storage_graph.storage_cost base) in
   (* Candidate pool ξ: SPT in-edges that differ from the current tree.
@@ -113,13 +114,18 @@ let solve g ~base ~spt ~budget ?freqs () =
     if pu <> st.parent.(v) then
       candidates := (pu, v, Storage_graph.edge_weight spt v) :: !candidates
   done;
+  let rounds = ref 0 in
+  let considered = ref 0 in
+  let accepted = ref 0 in
   let continue = ref true in
   while !continue && !candidates <> [] do
+    incr rounds;
     refresh_subtrees st;
     (* Score every candidate; keep the best applicable one. *)
     let best = ref None in
     List.iter
       (fun (u, v, (w : Aux_graph.weight)) ->
+        incr considered;
         let gain =
           st.subtree.(v) *. (st.recreation.(v) -. (st.recreation.(u) +. w.phi))
         in
@@ -139,11 +145,18 @@ let solve g ~base ~spt ~budget ?freqs () =
     match !best with
     | None -> continue := false
     | Some (_, u, v, w, cost) ->
+        incr accepted;
         apply_swap st ~u ~v ~w;
         storage := !storage +. cost;
         candidates :=
           List.filter (fun (_, v', _) -> v' <> v) !candidates
   done;
+  Solver_obs.count ~algo:"lmg" "dsvc_solver_iterations_total" !rounds
+    ~help:"Main-loop iterations (heap pops, rounds), by algorithm";
+  Solver_obs.count ~algo:"lmg" "dsvc_solver_swaps_considered_total" !considered
+    ~help:"Candidate swaps scored by the greedy loop";
+  Solver_obs.count ~algo:"lmg" "dsvc_solver_swaps_accepted_total" !accepted
+    ~help:"Candidate swaps actually applied by the greedy loop";
   to_storage_graph st
 
 let solve_p5 g ~base ~spt ~sum_bound ?freqs ?(iterations = 40) () =

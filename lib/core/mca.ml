@@ -30,6 +30,7 @@ type cycle_record = {
 let weight = Storage_graph.storage_cost
 
 let solve g =
+  Solver_obs.timed ~algo:"mca" @@ fun () ->
   let dg = Aux_graph.graph g in
   let n_orig = Digraph.n_vertices dg in
   let root = 0 in
@@ -180,6 +181,11 @@ let solve g =
       end
     end
   done;
+  Solver_obs.count ~algo:"mca" "dsvc_solver_iterations_total" (!round + 1)
+    ~help:"Main-loop iterations (heap pops, rounds), by algorithm";
+  Solver_obs.count ~algo:"mca" "dsvc_solver_cycles_contracted_total"
+    (List.fold_left (fun acc r -> acc + List.length r) 0 !history)
+    ~help:"Cycles contracted by Chu-Liu/Edmonds rounds";
   match !error with
   | Some e -> Error e
   | None -> (

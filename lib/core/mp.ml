@@ -16,6 +16,7 @@ let is_ancestor parent ~anc v =
   !found
 
 let solve g ~theta =
+  Solver_obs.timed ~algo:"mp" @@ fun () ->
   let dg = Aux_graph.graph g in
   let n = Aux_graph.n_versions g in
   let in_tree = Array.make (n + 1) false in
@@ -32,8 +33,11 @@ let solve g ~theta =
   l.(0) <- 0.0;
   d.(0) <- 0.0;
   Heap.insert heap 0 0.0;
+  let pops = ref 0 in
+  let relaxed = ref 0 in
   while not (Heap.is_empty heap) do
     let vi, _ = Heap.pop_min heap in
+    incr pops;
     if not in_tree.(vi) then begin
       in_tree.(vi) <- true;
       Digraph.iter_out dg vi (fun e ->
@@ -47,6 +51,7 @@ let solve g ~theta =
               && w.Aux_graph.delta < l.(vj)
               && not (is_ancestor parent ~anc:vj vi)
             then begin
+              incr relaxed;
               parent.(vj) <- vi;
               weight.(vj) <- w;
               d.(vj) <- w.Aux_graph.phi +. d.(vi);
@@ -56,6 +61,7 @@ let solve g ~theta =
           else if
             w.Aux_graph.phi +. d.(vi) <= theta && w.Aux_graph.delta < l.(vj)
           then begin
+            incr relaxed;
             parent.(vj) <- vi;
             weight.(vj) <- w;
             d.(vj) <- w.Aux_graph.phi +. d.(vi);
@@ -64,6 +70,10 @@ let solve g ~theta =
           end)
     end
   done;
+  Solver_obs.count ~algo:"mp" "dsvc_solver_iterations_total" !pops
+    ~help:"Main-loop iterations (heap pops, rounds), by algorithm";
+  Solver_obs.count ~algo:"mp" "dsvc_solver_edges_relaxed_total" !relaxed
+    ~help:"Successful edge relaxations, by algorithm";
   let infeasible = ref [] in
   for v = n downto 1 do
     if not in_tree.(v) then infeasible := v :: !infeasible

@@ -9,6 +9,7 @@ module Uf = Versioning_util.Union_find
 let weight = Storage_graph.storage_cost
 
 let prim g =
+  Solver_obs.timed ~algo:"mst-prim" @@ fun () ->
   let dg = Aux_graph.graph g in
   let n = Digraph.n_vertices dg in
   let in_tree = Array.make n false in
@@ -18,8 +19,11 @@ let prim g =
   let heap = Heap.create ~capacity:n in
   best.(0) <- 0.0;
   Heap.insert heap 0 0.0;
+  let pops = ref 0 in
+  let relaxed = ref 0 in
   let relax v other (label : Aux_graph.weight) =
     if (not in_tree.(other)) && label.delta < best.(other) then begin
+      incr relaxed;
       best.(other) <- label.delta;
       pred.(other) <- v;
       pred_w.(other) <- label;
@@ -28,12 +32,17 @@ let prim g =
   in
   while not (Heap.is_empty heap) do
     let v, _ = Heap.pop_min heap in
+    incr pops;
     if not in_tree.(v) then begin
       in_tree.(v) <- true;
       Digraph.iter_out dg v (fun e -> relax v e.dst e.label);
       Digraph.iter_in dg v (fun e -> relax v e.src e.label)
     end
   done;
+  Solver_obs.count ~algo:"mst-prim" "dsvc_solver_iterations_total" !pops
+    ~help:"Main-loop iterations (heap pops, rounds), by algorithm";
+  Solver_obs.count ~algo:"mst-prim" "dsvc_solver_edges_relaxed_total" !relaxed
+    ~help:"Successful edge relaxations, by algorithm";
   let rec missing v =
     if v >= n then None else if not in_tree.(v) then Some v else missing (v + 1)
   in
@@ -48,6 +57,7 @@ let prim g =
       Storage_graph.of_parent_edges ~n:(n - 1) choices
 
 let kruskal g =
+  Solver_obs.timed ~algo:"mst-kruskal" @@ fun () ->
   let dg = Aux_graph.graph g in
   let n = Digraph.n_vertices dg in
   let edges =
@@ -63,6 +73,12 @@ let kruskal g =
     (fun (e : Aux_graph.weight Digraph.edge) ->
       if Uf.union uf e.src e.dst then chosen := e :: !chosen)
     edges;
+  Solver_obs.count ~algo:"mst-kruskal" "dsvc_solver_iterations_total"
+    (List.length edges)
+    ~help:"Main-loop iterations (heap pops, rounds), by algorithm";
+  Solver_obs.count ~algo:"mst-kruskal" "dsvc_solver_edges_relaxed_total"
+    (List.length !chosen)
+    ~help:"Successful edge relaxations, by algorithm";
   if Uf.count_sets uf <> 1 then Error "graph is disconnected"
   else begin
     (* Orient the undirected tree away from the root by BFS. *)

@@ -1,0 +1,33 @@
+(* Shared solver instrumentation.
+
+   Solvers count events (relaxations, swaps, rounds) in plain local
+   refs — cheap, allocation-free and identical whether or not the
+   observability gate is on — and report the totals through this
+   module on exit. Every function here is a no-op while DSVC_OBS is
+   off, and timing goes through [Metrics.time] / [Trace.with_span] so
+   no clock primitive is ever mentioned inside the R5 determinism
+   scope (lib/core). Metric values never feed back into solver
+   decisions. *)
+
+module Obs = Versioning_obs.Obs
+module Metrics = Versioning_obs.Metrics
+module Trace = Versioning_obs.Trace
+
+let enabled = Obs.enabled
+
+(* Wrap a solver entry point: bumps the per-algorithm run counter and
+   records a span + wall-time histogram around [f]. *)
+let timed ~algo f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    Metrics.counter "dsvc_solver_runs_total" ~labels:[ ("algo", algo) ]
+      ~help:"Solver invocations, by algorithm";
+    Trace.with_span ("solve." ^ algo) (fun () ->
+        Metrics.time "dsvc_solver_seconds" ~labels:[ ("algo", algo) ]
+          ~help:"Solver wall time, by algorithm" f)
+  end
+
+(* Report an event total counted locally by a solver run. *)
+let count ~algo ~help name n =
+  if n > 0 && Obs.enabled () then
+    Metrics.counter name ~labels:[ ("algo", algo) ] ~by:(float_of_int n) ~help

@@ -1,0 +1,15 @@
+(** Shared solver instrumentation (see DESIGN.md §10).
+
+    Solvers count events in local refs and report through these
+    helpers; everything is a no-op while [DSVC_OBS] is off, and no
+    clock primitive is mentioned inside the R5 determinism scope. *)
+
+val enabled : unit -> bool
+
+val timed : algo:string -> (unit -> 'a) -> 'a
+(** Bump [dsvc_solver_runs_total{algo}] and run the function under a
+    [solve.<algo>] span feeding [dsvc_solver_seconds{algo}]. *)
+
+val count : algo:string -> help:string -> string -> int -> unit
+(** [count ~algo ~help name n] adds [n] (when positive) to the counter
+    [name{algo}]. *)

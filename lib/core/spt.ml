@@ -13,8 +13,11 @@ let run g =
   dist.(0) <- 0.0;
   Heap.insert heap 0 0.0;
   let settled = Array.make n false in
+  let pops = ref 0 in
+  let relaxed = ref 0 in
   while not (Heap.is_empty heap) do
     let v, dv = Heap.pop_min heap in
+    incr pops;
     if not settled.(v) then begin
       settled.(v) <- true;
       Digraph.iter_out dg v (fun e ->
@@ -23,6 +26,7 @@ let run g =
             alt < dist.(e.dst)
             || (alt = dist.(e.dst) && pred.(e.dst) > v && not settled.(e.dst))
           then begin
+            incr relaxed;
             dist.(e.dst) <- alt;
             pred.(e.dst) <- v;
             pred_w.(e.dst) <- e.label;
@@ -30,6 +34,10 @@ let run g =
           end)
     end
   done;
+  Solver_obs.count ~algo:"spt" "dsvc_solver_iterations_total" !pops
+    ~help:"Main-loop iterations (heap pops, rounds), by algorithm";
+  Solver_obs.count ~algo:"spt" "dsvc_solver_edges_relaxed_total" !relaxed
+    ~help:"Successful edge relaxations, by algorithm";
   (dist, pred, pred_w)
 
 let distances g =
@@ -37,6 +45,7 @@ let distances g =
   dist
 
 let solve g =
+  Solver_obs.timed ~algo:"spt" @@ fun () ->
   let n = Aux_graph.n_versions g in
   let dist, pred, pred_w = run g in
   let rec unreachable v =

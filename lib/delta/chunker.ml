@@ -47,7 +47,20 @@ let chunk ?(min_size = 128) ?(avg_size = 512) ?(max_size = 4096) input =
     end
   done;
   emit n;
-  List.rev !chunks
+  let out = List.rev !chunks in
+  if Versioning_obs.Obs.enabled () then begin
+    let module M = Versioning_obs.Metrics in
+    M.counter "dsvc_delta_chunks_total"
+      ~by:(float_of_int (List.length out))
+      ~help:"Content-defined chunks emitted by the gear chunker";
+    List.iter
+      (fun c ->
+        M.observe "dsvc_delta_chunk_bytes" ~buckets:M.size_buckets
+          (float_of_int c.length)
+          ~help:"Size distribution of emitted chunks")
+      out
+  end;
+  out
 
 let reassemble doc chunks =
   let rec go pos = function

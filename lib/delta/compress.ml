@@ -113,7 +113,18 @@ let lz77 input =
       end
     done;
     flush_literals n;
-    Buffer.contents buf
+    let out = Buffer.contents buf in
+    if Versioning_obs.Obs.enabled () then begin
+      let module M = Versioning_obs.Metrics in
+      M.counter "dsvc_delta_lz77_calls_total"
+        ~help:"lz77 compressions performed";
+      M.counter "dsvc_delta_lz77_in_bytes_total" ~by:(float_of_int n)
+        ~help:"Bytes fed to the lz77 compressor";
+      M.counter "dsvc_delta_lz77_out_bytes_total"
+        ~by:(float_of_int (String.length out))
+        ~help:"Bytes produced by the lz77 compressor"
+    end;
+    out
   end
 
 let unlz77 s =

@@ -25,29 +25,71 @@ let io_cpu_model =
 let maybe_compress compress payload =
   if compress then Some (String.length (Compress.lz77 payload)) else None
 
+let stored_bytes = function
+  | Materialized { bytes; compressed } | Delta { bytes; compressed; _ } -> (
+      match compressed with Some c -> c | None -> bytes)
+
+(* Observability only — metric values never feed back into delta
+   choice, and every call is a no-op while DSVC_OBS is off. *)
+let ratio_buckets = [| 0.05; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0; 1.25 |]
+
+(* [input] is a thunk so the off-mode path never pays for sizing the
+   encoder input (tables need a fold over their cells). *)
+let record_encode ~codec ~input t =
+  if Versioning_obs.Obs.enabled () then begin
+    let module M = Versioning_obs.Metrics in
+    let labels = [ ("codec", codec) ] in
+    let input = input () in
+    let stored = stored_bytes t in
+    M.counter "dsvc_delta_encode_total" ~labels
+      ~help:"Delta encodings performed, by codec";
+    M.counter "dsvc_delta_input_bytes_total" ~labels
+      ~by:(float_of_int input)
+      ~help:"Bytes presented to delta encoders, by codec";
+    M.counter "dsvc_delta_output_bytes_total" ~labels
+      ~by:(float_of_int stored)
+      ~help:"Bytes a delta encoding would store, by codec";
+    if input > 0 then
+      M.observe "dsvc_delta_compress_ratio" ~labels ~buckets:ratio_buckets
+        (float_of_int stored /. float_of_int input)
+        ~help:"stored/input byte ratio per encoding"
+  end;
+  t
+
 let materialize ?(compress = false) content =
-  Materialized
-    { bytes = String.length content; compressed = maybe_compress compress content }
+  record_encode ~codec:"full" ~input:(fun () -> String.length content)
+    (Materialized
+       {
+         bytes = String.length content;
+         compressed = maybe_compress compress content;
+       })
 
 let line_delta ?(compress = false) a b =
   let d = Line_diff.diff a b in
   let encoded = Line_diff.encode d in
-  Delta
-    {
-      mech = Line d;
-      bytes = String.length encoded;
-      compressed = maybe_compress compress encoded;
-    }
+  record_encode ~codec:"line" ~input:(fun () -> String.length b)
+    (Delta
+       {
+         mech = Line d;
+         bytes = String.length encoded;
+         compressed = maybe_compress compress encoded;
+       })
 
 let cell_delta ?(compress = false) a b =
   let d = Cell_diff.diff a b in
   let encoded = Cell_diff.encode d in
-  Delta
-    {
-      mech = Cell d;
-      bytes = String.length encoded;
-      compressed = maybe_compress compress encoded;
-    }
+  record_encode ~codec:"cell"
+    ~input:(fun () ->
+      Array.fold_left
+        (fun acc row ->
+          Array.fold_left (fun acc cell -> acc + String.length cell + 1) acc row)
+        0 b)
+    (Delta
+       {
+         mech = Cell d;
+         bytes = String.length encoded;
+         compressed = maybe_compress compress encoded;
+       })
 
 let xor_delta ?(compress = false) a b =
   let d = Xor_delta.make a b in
@@ -58,11 +100,8 @@ let xor_delta ?(compress = false) a b =
       Some (String.length (Compress.lz77 (Compress.rle_zeros encoded)))
     else None
   in
-  Delta { mech = Xor d; bytes = String.length encoded; compressed }
-
-let stored_bytes = function
-  | Materialized { bytes; compressed } | Delta { bytes; compressed; _ } -> (
-      match compressed with Some c -> c | None -> bytes)
+  record_encode ~codec:"xor" ~input:(fun () -> String.length b)
+    (Delta { mech = Xor d; bytes = String.length encoded; compressed })
 
 let storage_cost t = float_of_int (stored_bytes t)
 

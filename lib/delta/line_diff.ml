@@ -92,9 +92,22 @@ let encode { script } =
               Buffer.add_char buf '\n')
             lines)
     script;
-  Buffer.contents buf
+  let out = Buffer.contents buf in
+  (* Observability only: the store's payload path and the graph
+     construction's size probes both funnel through here. *)
+  if Versioning_obs.Obs.enabled () then begin
+    Versioning_obs.Metrics.counter "dsvc_delta_line_encode_total"
+      ~help:"Line-diff scripts serialized (includes size probes)";
+    Versioning_obs.Metrics.counter "dsvc_delta_line_encode_bytes_total"
+      ~by:(float_of_int (String.length out))
+      ~help:"Serialized line-diff bytes produced"
+  end;
+  out
 
 let decode s =
+  if Versioning_obs.Obs.enabled () then
+    Versioning_obs.Metrics.counter "dsvc_delta_line_decode_total"
+      ~help:"Line-diff scripts parsed back from storage";
   let lines = String.split_on_char '\n' s in
   let fail msg = invalid_arg ("Line_diff.decode: " ^ msg) in
   let parse_header line =

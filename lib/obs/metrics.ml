@@ -1,0 +1,364 @@
+(* Process-global metrics registry: counters, gauges and fixed-bucket
+   histograms with Prometheus-text and JSON exposition.
+
+   Concurrency: one mutex per registry; every read and write goes
+   through it. Series are keyed by (family name, sorted labels) so
+   exposition order is deterministic regardless of update order.
+
+   Determinism: updates against the implicit default registry are
+   dropped entirely while [Obs.enabled] is false; an explicitly passed
+   registry always records (tests use private registries so they
+   don't depend on the global gate). *)
+
+type hist = {
+  bounds : float array; (* strictly increasing upper bounds; +Inf implicit *)
+  buckets : int array; (* length bounds + 1, non-cumulative *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type series = SCounter of float ref | SGauge of float ref | SHist of hist
+
+type family = {
+  fname : string;
+  help : string;
+  ftype : string; (* "counter" | "gauge" | "histogram" *)
+  bounds : float array; (* empty unless histogram *)
+  series : (string, (string * string) list * series) Hashtbl.t;
+}
+
+type t = {
+  mutex : Mutex.t;
+  families : (string, family) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); families = Hashtbl.create 64 }
+
+(* lint: mutable-ok process-global registry; every access below takes
+   [t.mutex], and updates are dropped unless the Obs gate is on *)
+let default = create ()
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* The implicit registry obeys the global gate; an explicit one does
+   not, so exposition tests stay independent of DSVC_OBS. *)
+let target = function
+  | Some r -> Some r
+  | None -> if Obs.enabled () then Some default else None
+
+(* Latency buckets in seconds: 100µs .. ~16s, powers of 4ish. *)
+let default_buckets =
+  [| 0.0001; 0.0005; 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 4.0; 16.0 |]
+
+let size_buckets =
+  [| 64.; 256.; 1024.; 4096.; 16384.; 65536.; 262144.; 1048576.; 4194304. |]
+
+let valid_name n =
+  n <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = ':')
+       n
+
+let canon_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> compare a b) labels
+
+let label_key labels =
+  String.concat "\x00" (List.concat_map (fun (k, v) -> [ k; v ]) labels)
+
+let family t ~name ~help ~ftype ~bounds =
+  match Hashtbl.find_opt t.families name with
+  | Some f ->
+      if f.ftype <> ftype then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s" name f.ftype);
+      f
+  | None ->
+      if not (valid_name name) then
+        invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+      let f = { fname = name; help; ftype; bounds; series = Hashtbl.create 8 } in
+      Hashtbl.add t.families name f;
+      f
+
+let series f labels mk =
+  let labels = canon_labels labels in
+  let key = label_key labels in
+  match Hashtbl.find_opt f.series key with
+  | Some (_, s) -> s
+  | None ->
+      let s = mk () in
+      Hashtbl.add f.series key (labels, s);
+      s
+
+let counter ?registry ?(help = "") ?(labels = []) ?(by = 1.0) name =
+  match target registry with
+  | None -> ()
+  | Some t ->
+      with_lock t (fun () ->
+          let f = family t ~name ~help ~ftype:"counter" ~bounds:[||] in
+          match series f labels (fun () -> SCounter (ref 0.0)) with
+          | SCounter r -> r := !r +. by
+          | SGauge _ | SHist _ -> ())
+
+let gauge ?registry ?(help = "") ?(labels = []) name v =
+  match target registry with
+  | None -> ()
+  | Some t ->
+      with_lock t (fun () ->
+          let f = family t ~name ~help ~ftype:"gauge" ~bounds:[||] in
+          match series f labels (fun () -> SGauge (ref 0.0)) with
+          | SGauge r -> r := v
+          | SCounter _ | SHist _ -> ())
+
+let observe ?registry ?(help = "") ?(labels = []) ?(buckets = default_buckets)
+    name v =
+  match target registry with
+  | None -> ()
+  | Some t ->
+      with_lock t (fun () ->
+          let f = family t ~name ~help ~ftype:"histogram" ~bounds:buckets in
+          let mk () =
+            SHist
+              {
+                bounds = f.bounds;
+                buckets = Array.make (Array.length f.bounds + 1) 0;
+                sum = 0.0;
+                count = 0;
+              }
+          in
+          match series f labels mk with
+          | SHist h ->
+              let n = Array.length h.bounds in
+              let i = ref 0 in
+              while !i < n && v > h.bounds.(!i) do
+                incr i
+              done;
+              h.buckets.(!i) <- h.buckets.(!i) + 1;
+              h.sum <- h.sum +. v;
+              h.count <- h.count + 1
+          | SCounter _ | SGauge _ -> ())
+
+(* Timing helper: the only place instrumented code should read a
+   clock. Runs [f] untimed when the gate is off, so callers inside the
+   R5 determinism scope (lib/core, lib/workload) never mention a clock
+   primitive and stay deterministic by construction. *)
+let time ?registry ?help ?labels ?buckets name f =
+  let record =
+    match registry with Some _ -> true | None -> Obs.enabled ()
+  in
+  if not record then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      observe ?registry ?help ?labels ?buckets name (Unix.gettimeofday () -. t0)
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let reset ?registry () =
+  let t = match registry with Some r -> r | None -> default in
+  with_lock t (fun () -> Hashtbl.reset t.families)
+
+(* ---- exposition ---- *)
+
+(* Integral values print without a fraction ("17"), everything else
+   as shortest-roundish decimal — deterministic across runs. *)
+let format_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b {|\\|}
+      | '"' -> Buffer.add_string b {|\"|}
+      | '\n' -> Buffer.add_string b {|\n|}
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let escape_help v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b {|\\|}
+      | '\n' -> Buffer.add_string b {|\n|}
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+             labels)
+      ^ "}"
+
+(* A deterministic snapshot: families sorted by name, series by
+   canonical label key. *)
+let sorted_families t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.families []
+  |> List.sort (fun a b -> compare a.fname b.fname)
+
+let sorted_series f =
+  Hashtbl.fold (fun key s acc -> (key, s) :: acc) f.series []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let cumulative h =
+  let n = Array.length h.buckets in
+  let acc = ref 0 in
+  Array.init n (fun i ->
+      acc := !acc + h.buckets.(i);
+      !acc)
+
+let le_string bounds i =
+  if i >= Array.length bounds then "+Inf" else format_value bounds.(i)
+
+let to_prometheus ?registry () =
+  let t = match registry with Some r -> r | None -> default in
+  with_lock t (fun () ->
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun f ->
+          if f.help <> "" then
+            Buffer.add_string b
+              (Printf.sprintf "# HELP %s %s\n" f.fname (escape_help f.help));
+          Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" f.fname f.ftype);
+          List.iter
+            (fun (labels, s) ->
+              match s with
+              | SCounter r | SGauge r ->
+                  Buffer.add_string b
+                    (Printf.sprintf "%s%s %s\n" f.fname (render_labels labels)
+                       (format_value !r))
+              | SHist h ->
+                  let cum = cumulative h in
+                  Array.iteri
+                    (fun i c ->
+                      let ls =
+                        canon_labels (("le", le_string h.bounds i) :: labels)
+                      in
+                      Buffer.add_string b
+                        (Printf.sprintf "%s_bucket%s %d\n" f.fname
+                           (render_labels ls) c))
+                    cum;
+                  Buffer.add_string b
+                    (Printf.sprintf "%s_sum%s %s\n" f.fname
+                       (render_labels labels) (format_value h.sum));
+                  Buffer.add_string b
+                    (Printf.sprintf "%s_count%s %d\n" f.fname
+                       (render_labels labels) h.count))
+            (sorted_series f))
+        (sorted_families t);
+      Buffer.contents b)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b {|\"|}
+      | '\\' -> Buffer.add_string b {|\\|}
+      | '\n' -> Buffer.add_string b {|\n|}
+      | '\r' -> Buffer.add_string b {|\r|}
+      | '\t' -> Buffer.add_string b {|\t|}
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf {|\u%04x|} (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf {|"%s":"%s"|} (json_escape k) (json_escape v))
+         labels)
+  ^ "}"
+
+let to_json ?registry () =
+  let t = match registry with Some r -> r | None -> default in
+  with_lock t (fun () ->
+      let b = Buffer.create 4096 in
+      Buffer.add_string b {|{"metrics":[|};
+      List.iteri
+        (fun i f ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf {|{"name":"%s","type":"%s","help":"%s","samples":[|}
+               (json_escape f.fname) f.ftype (json_escape f.help));
+          List.iteri
+            (fun j (labels, s) ->
+              if j > 0 then Buffer.add_char b ',';
+              match s with
+              | SCounter r | SGauge r ->
+                  Buffer.add_string b
+                    (Printf.sprintf {|{"labels":%s,"value":%s}|}
+                       (json_labels labels) (format_value !r))
+              | SHist h ->
+                  let cum = cumulative h in
+                  let buckets =
+                    Array.to_list
+                      (Array.mapi
+                         (fun k c ->
+                           Printf.sprintf {|{"le":"%s","count":%d}|}
+                             (le_string h.bounds k) c)
+                         cum)
+                  in
+                  Buffer.add_string b
+                    (Printf.sprintf
+                       {|{"labels":%s,"count":%d,"sum":%s,"buckets":[%s]}|}
+                       (json_labels labels) h.count (format_value h.sum)
+                       (String.concat "," buckets)))
+            (sorted_series f);
+          Buffer.add_string b "]}")
+        (sorted_families t);
+      Buffer.add_string b "]}";
+      Buffer.contents b)
+
+(* Flat (sample name, value) pairs for embedding into bench JSON and
+   the profile table: counters and gauges directly, histograms as
+   _sum/_count. *)
+let snapshot_values ?registry () =
+  let t = match registry with Some r -> r | None -> default in
+  with_lock t (fun () ->
+      List.concat_map
+        (fun f ->
+          List.concat_map
+            (fun (labels, s) ->
+              let n = f.fname ^ render_labels labels in
+              match s with
+              | SCounter r | SGauge r -> [ (n, !r) ]
+              | SHist h ->
+                  [
+                    (f.fname ^ "_sum" ^ render_labels labels, h.sum);
+                    ( f.fname ^ "_count" ^ render_labels labels,
+                      float_of_int h.count );
+                  ])
+            (sorted_series f))
+        (sorted_families t))
+
+let family_names ?registry () =
+  let t = match registry with Some r -> r | None -> default in
+  with_lock t (fun () -> List.map (fun f -> f.fname) (sorted_families t))

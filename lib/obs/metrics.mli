@@ -1,0 +1,84 @@
+(** Process-global metrics: counters, gauges, fixed-bucket histograms,
+    with Prometheus-text and JSON exposition.
+
+    Metric names follow [dsvc_<tier>_<name>] (DESIGN.md §10). All
+    operations are mutex-guarded and safe to call from any domain.
+
+    Updates routed at the implicit default registry are dropped while
+    {!Obs.enabled} is false; passing an explicit [?registry] always
+    records, which is what the exposition tests use. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+val default : t
+
+val default_buckets : float array
+(** Latency buckets in seconds (100µs .. 16s). *)
+
+val size_buckets : float array
+(** Byte-size buckets (64 B .. 4 MiB). *)
+
+val counter :
+  ?registry:t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?by:float ->
+  string ->
+  unit
+(** Add [by] (default 1) to a counter series. *)
+
+val gauge :
+  ?registry:t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  float ->
+  unit
+(** Set a gauge series to the given value. *)
+
+val observe :
+  ?registry:t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  string ->
+  float ->
+  unit
+(** Record one sample into a histogram series. Bucket bounds are fixed
+    by the first observation of the family. *)
+
+val time :
+  ?registry:t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [time name f] runs [f], recording its wall-clock duration into the
+    histogram [name]. When recording is off the clock is never read
+    and [f] runs untouched — this is the only sanctioned way for code
+    inside the R5 determinism scope to obtain timings. *)
+
+val reset : ?registry:t -> unit -> unit
+
+val to_prometheus : ?registry:t -> unit -> string
+(** Prometheus text format, families sorted by name, series by label
+    key; histogram buckets are cumulative with an implicit [+Inf]. *)
+
+val to_json : ?registry:t -> unit -> string
+(** Same snapshot as JSON:
+    [{"metrics":[{"name":..,"type":..,"help":..,"samples":[..]}]}]. *)
+
+val snapshot_values : ?registry:t -> unit -> (string * float) list
+(** Flat [(sample, value)] pairs — counters/gauges directly,
+    histograms as [_sum]/[_count] — for bench JSON embedding. *)
+
+val family_names : ?registry:t -> unit -> string list
+(** Sorted distinct metric family names. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (shared
+    with {!Trace.to_chrome_json} and the bench emitter). *)

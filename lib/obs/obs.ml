@@ -1,0 +1,38 @@
+(* Global on/off gate for the observability layer.
+
+   The contract (DESIGN.md §10): instrumentation reads state, it never
+   feeds decisions. When the gate is off — the default — every metric
+   update and span is a no-op, including the clock and allocation
+   reads, so optimize plans and fault-injection traffic stay
+   byte-identical to an uninstrumented build. *)
+
+let parse_bool s =
+  match String.lowercase_ascii (String.trim s) with
+  | "1" | "on" | "true" | "yes" -> true
+  | _ -> false
+
+let trace_path_of_env () =
+  match Sys.getenv_opt "DSVC_TRACE" with
+  | Some p when String.trim p <> "" -> Some (String.trim p)
+  | _ -> None
+
+(* DSVC_OBS wins when set; otherwise asking for a trace file implies
+   the instrumentation that produces it. *)
+let env_default =
+  match Sys.getenv_opt "DSVC_OBS" with
+  | Some s -> parse_bool s
+  | None -> trace_path_of_env () <> None
+
+let state = Atomic.make env_default
+
+let enabled () = Atomic.get state
+let set_enabled b = Atomic.set state b
+let enable () = set_enabled true
+let disable () = set_enabled false
+
+let trace_path = trace_path_of_env
+
+let with_enabled b f =
+  let saved = Atomic.get state in
+  Atomic.set state b;
+  Fun.protect ~finally:(fun () -> Atomic.set state saved) f

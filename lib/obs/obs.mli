@@ -1,0 +1,25 @@
+(** Global on/off gate for the observability layer.
+
+    Enabled by [DSVC_OBS=on|1|true|yes] (or implicitly by setting
+    [DSVC_TRACE]); default off. When off, every metric update and span
+    in the tree is a no-op — no clock or allocation reads happen — so
+    instrumented code behaves byte-identically to uninstrumented
+    code. Instrumentation must only ever read state, never feed
+    decisions. *)
+
+val enabled : unit -> bool
+(** Current gate state. Checked by every {!Metrics} and {!Trace}
+    entry point before doing any work. *)
+
+val set_enabled : bool -> unit
+val enable : unit -> unit
+val disable : unit -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** [with_enabled b f] runs [f] with the gate forced to [b], restoring
+    the previous state afterwards (used by tests and [--profile]). *)
+
+val trace_path : unit -> string option
+(** The [DSVC_TRACE] destination, if set to a non-empty path. The
+    library never writes the file itself — callers dump
+    {!Trace.to_chrome_json} through [Fsutil]. *)

@@ -1,0 +1,52 @@
+(** Scoped spans with a bounded in-memory ring buffer and optional
+    Chrome trace_event export.
+
+    All entry points are no-ops while {!Obs.enabled} is false — no
+    clock or [Gc.allocated_bytes] reads happen. Nesting is per-domain;
+    {!Pool} plumbs the caller's span id into worker domains with
+    {!with_parent} so parallel spans attach to the right parent. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start : float;  (** seconds since epoch *)
+  dur : float;  (** seconds *)
+  domain : int;
+  alloc : float;  (** bytes allocated by this domain during the span *)
+}
+
+val with_span : ?parent:int -> string -> (unit -> 'a) -> 'a
+(** Run the function inside a span. The parent defaults to the
+    innermost open span on the current domain. Exceptions propagate;
+    the span is recorded either way. *)
+
+val current_id : unit -> int option
+(** Innermost open span id on this domain ([None] when disabled). *)
+
+val with_parent : int option -> (unit -> 'a) -> 'a
+(** Run with the domain's span stack re-seeded to the given parent —
+    used by [Pool] workers so their spans nest under the caller's. *)
+
+val spans : unit -> span list
+(** Completed spans, oldest first (bounded: most recent 8192). *)
+
+val span_count : unit -> int
+(** Total spans recorded since start/reset (may exceed the ring). *)
+
+val reset : unit -> unit
+
+val to_chrome_json : unit -> string
+(** Render the ring as Chrome [trace_event] JSON. The caller writes
+    the file (via [Fsutil]); this library never touches disk. *)
+
+type agg = {
+  agg_name : string;
+  count : int;
+  total_s : float;
+  total_alloc : float;
+}
+
+val summarize : unit -> agg list
+(** Aggregate completed spans by name, sorted by total time
+    descending — the [dsvc optimize --profile] table. *)

@@ -2,6 +2,24 @@ type t = { dir : string }
 
 let ( let* ) = Result.bind
 
+module Metrics = Versioning_obs.Metrics
+
+(* Observability only: latencies, byte volumes and verification
+   outcomes. No-ops while DSVC_OBS is off; values never influence
+   store behaviour. *)
+let record_put ~bytes =
+  Metrics.counter "dsvc_store_put_bytes_total" ~by:(float_of_int bytes)
+    ~help:"Logical bytes written through Object_store.put"
+
+let record_get ~bytes =
+  Metrics.counter "dsvc_store_get_bytes_total" ~by:(float_of_int bytes)
+    ~help:"Logical bytes served by Object_store.get"
+
+let record_verify result =
+  Metrics.counter "dsvc_store_digest_verify_total"
+    ~labels:[ ("result", result) ]
+    ~help:"Digest verifications on object reads, by outcome"
+
 let create ~dir =
   let* () = Fsutil.mkdir_p dir in
   Ok { dir }
@@ -35,6 +53,9 @@ let unframe framed =
     | _ -> Error "unknown object framing"
 
 let put t content =
+  Metrics.time "dsvc_store_put_seconds"
+    ~help:"Object_store.put latency (including the no-op dedup path)"
+  @@ fun () ->
   let digest = Content_hash.hex content in
   let path = path_of t digest in
   if Sys.file_exists path then Ok digest
@@ -42,9 +63,12 @@ let put t content =
     let* () =
       Fsutil.write_file_atomic ~site:"object_store.write" path (frame content)
     in
+    record_put ~bytes:(String.length content);
     Ok digest
 
 let get t digest =
+  Metrics.time "dsvc_store_get_seconds" ~help:"Object_store.get latency"
+  @@ fun () ->
   if not (Content_hash.is_valid digest) then
     Error (Printf.sprintf "invalid digest %S" digest)
   else begin
@@ -54,11 +78,17 @@ let get t digest =
       let* content = unframe framed in
       (* Always verify: one flipped bit in a delta blob would otherwise
          silently corrupt every version downstream of it. *)
-      if Content_hash.hex content <> digest then
+      if Content_hash.hex content <> digest then begin
+        record_verify "corrupt";
         Error
           (Printf.sprintf "object %s is corrupt (content fails its digest)"
              digest)
-      else Ok content
+      end
+      else begin
+        record_verify "ok";
+        record_get ~bytes:(String.length content);
+        Ok content
+      end
     else Error (Printf.sprintf "object %s not found" digest)
   end
 

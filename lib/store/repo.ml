@@ -2,8 +2,18 @@ module Line_diff = Versioning_delta.Line_diff
 module Pool = Versioning_util.Pool
 module Aux_graph = Versioning_core.Aux_graph
 module Storage_graph = Versioning_core.Storage_graph
+module Metrics = Versioning_obs.Metrics
+module Trace = Versioning_obs.Trace
 
 let ( let* ) = Result.bind
+
+(* Observability only: cache outcome counters (mirroring the exact
+   mutable counters [cache_stats] reports) and optimize phase spans.
+   All of it is inert while DSVC_OBS is off. *)
+let record_cache result =
+  Metrics.counter "dsvc_store_checkout_cache_total"
+    ~labels:[ ("result", result) ]
+    ~help:"Checkout materialization-cache outcomes"
 
 type commit_info = {
   id : int;
@@ -434,6 +444,7 @@ let checkout t version =
   match cache_find t version with
   | Some content ->
       t.cache_hits <- t.cache_hits + 1;
+      record_cache "hit";
       Ok content
   | None ->
       let rec chain v acc =
@@ -453,9 +464,11 @@ let checkout t version =
         match base with
         | `Content c ->
             t.cache_partial_hits <- t.cache_partial_hits + 1;
+            record_cache "partial";
             Ok c
         | `Digest d ->
             t.cache_misses <- t.cache_misses + 1;
+            record_cache "miss";
             Object_store.get t.store d
       in
       let* content = replay_deltas t base_content deltas in
@@ -980,7 +993,10 @@ let reveal_graph t ?(max_hops = 3) ?(extra_pairs = [])
   let n = t.next_id - 1 in
   if n = 0 then Error "empty repository"
   else
-    let* contents = all_contents t in
+    Trace.with_span "optimize.graph_construction" @@ fun () ->
+    let* contents =
+      Trace.with_span "optimize.load_contents" (fun () -> all_contents t)
+    in
     let aux = Aux_graph.create ~n_versions:n in
     for v = 1 to n do
       let size = float_of_int (String.length contents.(v)) in
@@ -998,10 +1014,12 @@ let reveal_graph t ?(max_hops = 3) ?(extra_pairs = [])
     List.iter consider extra_pairs;
     let pairs = Array.of_list (List.rev !ordered) in
     let sizes =
-      Pool.parallel_map ~jobs
-        (fun (u, v) ->
-          float_of_int (Line_diff.size (Line_diff.diff contents.(u) contents.(v))))
-        pairs
+      Trace.with_span "optimize.diff_sizes" (fun () ->
+          Pool.parallel_map ~jobs
+            (fun (u, v) ->
+              float_of_int
+                (Line_diff.size (Line_diff.diff contents.(u) contents.(v))))
+            pairs)
     in
     Array.iteri
       (fun i (u, v) ->
@@ -1021,8 +1039,20 @@ let reveal_graph t ?(max_hops = 3) ?(extra_pairs = [])
    journal, the old metadata is intact and the new objects are strays;
    after it, [recover_journal] (run by [open_repo]) rolls forward or
    back; and the GC never runs while a journal is pending. *)
+let strategy_name = function
+  | Min_storage -> "min_storage"
+  | Min_recreation -> "min_recreation"
+  | Budgeted_sum _ -> "budgeted_sum"
+  | Bounded_max _ -> "bounded_max"
+  | Git_window _ -> "git_window"
+  | Svn_skip -> "svn_skip"
+
 let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
     ?(check = false) strategy =
+  Trace.with_span "optimize" @@ fun () ->
+  Metrics.counter "dsvc_store_optimize_total"
+    ~labels:[ ("strategy", strategy_name strategy) ]
+    ~help:"Repo.optimize invocations, by strategy";
   let n = t.next_id - 1 in
   if n = 0 then Error "empty repository"
   else begin
@@ -1037,6 +1067,7 @@ let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
     in
     let* aux, contents = reveal_graph t ~max_hops ~extra_pairs ~jobs () in
     let* plan =
+      Trace.with_span "optimize.solve" @@ fun () ->
       match strategy with
       | Min_storage -> Versioning_core.Mca.solve aux
       | Min_recreation -> Versioning_core.Spt.solve aux
@@ -1095,14 +1126,18 @@ let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
            (fun (p, v) -> current_parent v <> Some p)
            (Storage_graph.to_parents plan))
     in
-    let payloads =
-      Pool.parallel_map ~jobs
-        (fun (p, v) ->
-          if p = 0 then contents.(v)
-          else Line_diff.encode (Line_diff.diff contents.(p) contents.(v)))
-        changed
-    in
+    Metrics.counter "dsvc_store_optimize_objects_rewritten_total"
+      ~by:(float_of_int (Array.length changed))
+      ~help:"Versions whose stored object optimize rewrote";
     let* () =
+      Trace.with_span "optimize.materialize" @@ fun () ->
+      let payloads =
+        Pool.parallel_map ~jobs
+          (fun (p, v) ->
+            if p = 0 then contents.(v)
+            else Line_diff.encode (Line_diff.diff contents.(p) contents.(v)))
+          changed
+      in
       let rec put i acc =
         if i = Array.length changed then acc
         else
@@ -1132,7 +1167,7 @@ let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
     in
     Faults.guard "optimize.after_swap";
     (* Phase 4: verify before destroying anything. *)
-    match check_all_versions t with
+    match Trace.with_span "optimize.verify" (fun () -> check_all_versions t) with
     | Error e ->
         restore t snap;
         let* () = save t in
@@ -1142,7 +1177,7 @@ let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
         (* Phase 5: the swap is durable — clean up. *)
         remove_journal t;
         Faults.guard "optimize.before_gc";
-        ignore (gc t);
+        ignore (Trace.with_span "optimize.gc" (fun () -> gc t));
         Ok (stats t)
   end
 
@@ -1245,6 +1280,17 @@ let repair t =
     end
     else 0
   in
+  let count_outcome outcome n =
+    if n > 0 then
+      Metrics.counter "dsvc_store_repair_actions_total"
+        ~labels:[ ("outcome", outcome) ]
+        ~by:(float_of_int n)
+        ~help:"Repo.repair actions, by outcome"
+  in
+  count_outcome "quarantined" (List.length quarantined);
+  count_outcome "rematerialized" (List.length !rematerialized);
+  count_outcome "unrecoverable" (List.length !unrecoverable);
+  count_outcome "strays_removed" strays_removed;
   Ok
     {
       quarantined;
@@ -1302,4 +1348,7 @@ let fsck ~path ~repair:do_repair =
       Ok ()
   in
   let problems = match verify t with Ok () -> [] | Error ps -> ps in
+  Metrics.counter "dsvc_store_fsck_total"
+    ~labels:[ ("result", (if problems = [] then "clean" else "problems")) ]
+    ~help:"Repo.fsck runs, by final verdict";
   Ok { actions = List.rev !actions; problems }

@@ -1,6 +1,8 @@
 let src = Logs.Src.create "dsvc.server" ~doc:"dsvc HTTP server"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Versioning_obs.Obs
+module Metrics = Versioning_obs.Metrics
 
 let parse_strategy s =
   match String.split_on_char '=' s with
@@ -23,6 +25,25 @@ let parse_strategy s =
 
 let segments path =
   String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+
+(* Stable route template per request, so metric label cardinality is
+   bounded no matter what paths clients send. *)
+let route_label meth path =
+  match (meth, segments path) with
+  | "GET", [ "versions" ] -> "/versions"
+  | "GET", [ "checkout"; _ ] -> "/checkout/:name"
+  | "POST", [ "commit" ] -> "/commit"
+  | "GET", [ "stats" ] -> "/stats"
+  | "GET", [ "branches" ] -> "/branches"
+  | "POST", [ "branch"; _ ] -> "/branch/:name"
+  | "POST", [ "switch"; _ ] -> "/switch/:name"
+  | "GET", [ "tags" ] -> "/tags"
+  | "POST", [ "tag"; _ ] -> "/tag/:name"
+  | "GET", [ "diff"; _; _ ] -> "/diff/:a/:b"
+  | "POST", [ "optimize" ] -> "/optimize"
+  | "GET", [ "verify" ] -> "/verify"
+  | "GET", [ "metrics" ] -> "/metrics"
+  | _, _ -> "other"
 
 let stats_body (s : Repo.stats) =
   Printf.sprintf
@@ -145,17 +166,53 @@ let handle repo (req : Http.request) =
       | Ok () -> Http.ok "consistent\n"
       | Error problems ->
           Http.error 500 (String.concat "\n" problems ^ "\n"))
+  | "GET", [ "metrics" ] -> (
+      match List.assoc_opt "format" req.Http.query with
+      | Some "json" ->
+          {
+            Http.status = 200;
+            content_type = "application/json";
+            body = Metrics.to_json ();
+          }
+      | _ ->
+          {
+            Http.status = 200;
+            content_type = "text/plain; version=0.0.4; charset=utf-8";
+            body = Metrics.to_prometheus ();
+          })
   | ("GET" | "POST"), _ -> Http.error 404 "no such route\n"
   | _, _ -> Http.error 405 "method not allowed\n"
 
 (* A raising handler must cost the client a 500, not the server its
    life (and not the client a silently dropped connection). *)
 let handle_safe repo req =
-  try handle repo req
-  with e -> Http.error 500 ("internal error: " ^ Printexc.to_string e ^ "\n")
+  let run () =
+    try handle repo req
+    with e -> Http.error 500 ("internal error: " ^ Printexc.to_string e ^ "\n")
+  in
+  if not (Obs.enabled ()) then run ()
+  else begin
+    (* Per-route count/latency/status. The clock read is gated above;
+       the route template keeps label cardinality bounded. *)
+    let route = route_label req.Http.meth req.Http.path in
+    let t0 = Unix.gettimeofday () in
+    let resp = run () in
+    Metrics.counter "dsvc_server_requests_total"
+      ~labels:
+        [ ("route", route); ("status", string_of_int resp.Http.status) ]
+      ~help:"HTTP requests handled, by route template and status";
+    Metrics.observe "dsvc_server_request_seconds"
+      ~labels:[ ("route", route) ]
+      (Unix.gettimeofday () -. t0)
+      ~help:"HTTP request handling latency, by route template";
+    resp
+  end
 
 let serve repo ~port ?(host = "127.0.0.1") ?max_requests
     ?(request_timeout = 30.0) () =
+  (* Serving is an operational mode: turn the observability layer on
+     so GET /metrics has data, whatever the environment says. *)
+  Obs.enable ();
   try
     let addr = Unix.inet_addr_of_string host in
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in

@@ -54,6 +54,9 @@ let check site =
           end
           else begin
             Hashtbl.remove table site;
+            Versioning_obs.Metrics.counter "dsvc_store_faults_injected_total"
+              ~labels:[ ("site", site) ]
+              ~help:"Armed faults that actually fired, by site";
             Some f.action
           end)
 

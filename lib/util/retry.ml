@@ -28,20 +28,35 @@ let default_rand () =
   let state = Prng.create ~seed in
   fun () -> Prng.float state 1.0
 
-let with_policy ?(policy = default) ?sleep ?rand ~retryable f =
+let log_src = Logs.Src.create "dsvc.retry" ~doc:"Retry backoff"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let default_on_retry ~attempt ~delay =
+  Versioning_obs.Metrics.counter "dsvc_client_retries_total"
+    ~help:"Backoff sleeps taken by Retry.with_policy";
+  Log.warn (fun m ->
+      m "retrying after attempt %d (sleeping %.3fs)" attempt delay)
+
+let with_policy ?(policy = default) ?sleep ?rand ?on_retry ~retryable f =
   let sleep =
     match sleep with
     | Some s -> s
     | None -> fun d -> if d > 0.0 then Unix.sleepf d
   in
   let rand = match rand with Some r -> r | None -> default_rand () in
+  let on_retry =
+    match on_retry with Some cb -> cb | None -> default_on_retry
+  in
   let rec go attempt =
     match f ~attempt with
     | Ok _ as ok -> ok
     | Error e as err ->
         if attempt + 1 >= policy.max_attempts || not (retryable e) then err
         else begin
-          sleep (delay policy ~attempt ~rand:(rand ()));
+          let d = delay policy ~attempt ~rand:(rand ()) in
+          on_retry ~attempt ~delay:d;
+          sleep d;
           go (attempt + 1)
         end
   in

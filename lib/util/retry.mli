@@ -29,10 +29,15 @@ val with_policy :
   ?policy:policy ->
   ?sleep:(float -> unit) ->
   ?rand:(unit -> float) ->
+  ?on_retry:(attempt:int -> delay:float -> unit) ->
   retryable:('e -> bool) ->
   (attempt:int -> ('a, 'e) result) ->
   ('a, 'e) result
 (** Run [f ~attempt:0], retrying while it returns a [retryable] error
     and attempts remain. Returns the first success or the last error.
     [sleep] defaults to [Unix.sleepf]; [rand] defaults to a
-    {!Prng}-backed uniform draw seeded from the pid and clock. *)
+    {!Prng}-backed uniform draw seeded from the pid and clock.
+    [on_retry] fires exactly once per backoff, before the sleep, with
+    the 0-indexed attempt that just failed and the chosen delay; the
+    default logs a warning and bumps the [dsvc_client_retries_total]
+    counter. *)

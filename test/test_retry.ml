@@ -97,9 +97,51 @@ let test_sleep_durations () =
   Alcotest.(check int) "three sleeps for four attempts" 3 (List.length slept);
   Alcotest.(check (list (float 1e-9))) "schedule" [ 0.1; 0.2; 0.4 ] slept
 
+let test_on_retry_callback () =
+  (* the callback fires exactly once per backoff — attempts minus one
+     when every attempt fails — and sees the policy's delay *)
+  let fired = ref [] in
+  let result =
+    Retry.with_policy
+      ~policy:
+        {
+          Retry.max_attempts = 3;
+          base_delay = 0.1;
+          max_delay = 1.0;
+          multiplier = 2.0;
+          jitter = 0.0;
+        }
+      ~sleep:no_sleep
+      ~rand:(fun () -> 0.0)
+      ~on_retry:(fun ~attempt ~delay -> fired := (attempt, delay) :: !fired)
+      ~retryable:(fun _ -> true)
+      (fun ~attempt:_ -> (Error "x" : (unit, string) result))
+  in
+  Alcotest.(check (result unit string)) "still fails" (Error "x") result;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "one callback per backoff, with the schedule's delays"
+    [ (0, 0.1); (1, 0.2) ]
+    (List.rev !fired)
+
+let test_on_retry_not_called_on_success () =
+  let fired = ref 0 in
+  let result =
+    Retry.with_policy ~sleep:no_sleep
+      ~rand:(fun () -> 0.0)
+      ~on_retry:(fun ~attempt:_ ~delay:_ -> incr fired)
+      ~retryable:(fun _ -> true)
+      (fun ~attempt:_ -> Ok "fine")
+  in
+  Alcotest.(check (result string string)) "ok" (Ok "fine") result;
+  Alcotest.(check int) "no callback without a retry" 0 !fired
+
 let suite =
   [
     Alcotest.test_case "delay growth" `Quick test_delay_growth;
+    Alcotest.test_case "on_retry fires once per backoff" `Quick
+      test_on_retry_callback;
+    Alcotest.test_case "on_retry silent on success" `Quick
+      test_on_retry_not_called_on_success;
     Alcotest.test_case "delay jitter" `Quick test_delay_jitter;
     Alcotest.test_case "retries until success" `Quick test_retries_until_success;
     Alcotest.test_case "exhausts attempts" `Quick test_exhausts_attempts;

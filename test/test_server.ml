@@ -198,6 +198,62 @@ let test_raising_handler_yields_500 () =
   Alcotest.(check bool) "error body" true
     (String.length r.Http.body > 0)
 
+(* ---- GET /metrics ---- *)
+
+let test_route_metrics () =
+  let module Obs = Versioning_obs.Obs in
+  let module Metrics = Versioning_obs.Metrics in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Obs.with_enabled true @@ fun () ->
+  Metrics.reset ();
+  let repo = mk_repo () in
+  (* drive every tier: server routing, checkout cache, store get/put,
+     delta encode and both the MCA and SPT solvers *)
+  let r = Server.handle_safe repo (mk_request "/checkout/1") in
+  Alcotest.(check int) "checkout ok" 200 r.Http.status;
+  let r =
+    Server.handle_safe repo
+      (mk_request ~meth:"POST" ~query:[ ("strategy", "min-storage") ] "/optimize")
+  in
+  Alcotest.(check int) "optimize mca ok" 200 r.Http.status;
+  let r =
+    Server.handle_safe repo
+      (mk_request ~meth:"POST"
+         ~query:[ ("strategy", "min-recreation") ]
+         "/optimize")
+  in
+  Alcotest.(check int) "optimize spt ok" 200 r.Http.status;
+  let r = Server.handle_safe repo (mk_request "/metrics") in
+  Alcotest.(check int) "metrics 200" 200 r.Http.status;
+  Alcotest.(check bool) "prometheus text body" true
+    (contains r.Http.body "# TYPE dsvc_server_requests_total counter");
+  Alcotest.(check bool) "request series present" true
+    (contains r.Http.body "dsvc_server_requests_total{route=\"/checkout/:name\",status=\"200\"} 1");
+  let families = Metrics.family_names () in
+  List.iter
+    (fun tier ->
+      Alcotest.(check bool) (tier ^ " tier instrumented") true
+        (List.exists
+           (fun f ->
+             String.length f >= String.length tier
+             && String.sub f 0 (String.length tier) = tier)
+           families))
+    [ "dsvc_solver_"; "dsvc_delta_"; "dsvc_store_"; "dsvc_server_" ];
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 20 distinct families (got %d)"
+       (List.length families))
+    true
+    (List.length families >= 20);
+  let r = Server.handle_safe repo (mk_request ~query:[ ("format", "json") ] "/metrics") in
+  Alcotest.(check int) "json 200" 200 r.Http.status;
+  Alcotest.(check bool) "json envelope" true
+    (contains r.Http.body {|{"metrics":[|});
+  Metrics.reset ()
+
 (* ---- end-to-end over a real socket ---- *)
 
 let http_get host port path =
@@ -280,6 +336,7 @@ let suite =
     Alcotest.test_case "error status mapping" `Quick test_error_status_mapping;
     Alcotest.test_case "raising handler yields 500" `Quick
       test_raising_handler_yields_500;
+    Alcotest.test_case "route /metrics" `Quick test_route_metrics;
     Alcotest.test_case "socket end-to-end" `Quick test_socket_end_to_end;
     Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
   ]
