@@ -180,6 +180,22 @@ let emit_bench_json path ~quick ~jobs =
   | Ok () -> Printf.printf "\nwrote %s\n" path
   | Error e -> Printf.eprintf "bench json %s: %s\n%!" path e
 
+(* Minimal scan of a checked-in bench JSON for its per-experiment
+   wall-clocks. Keyed on the exact [emit_bench_json] output: only
+   experiment entries start with [{"name": ...] (graph_construction
+   uses "jobs", checkout uses "mode"), so splitting on '{' and
+   pattern-matching each chunk is enough — no JSON parser needed. *)
+let parse_baseline_experiments content =
+  String.split_on_char '{' content
+  |> List.filter_map (fun chunk ->
+         match
+           Scanf.sscanf chunk " \"name\": %S, \"wall_s\": %f" (fun n w -> (n, w))
+         with
+         | pair -> Some pair
+         | exception Scanf.Scan_failure _ -> None
+         | exception End_of_file -> None
+         | exception Failure _ -> None)
+
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -1166,9 +1182,39 @@ let () =
   let bench_out =
     Option.value (find_opt_arg "--bench-out" args) ~default:"BENCH_2.json"
   in
+  (* --check: compare this run's per-experiment wall-clocks against a
+     checked-in baseline; exit 3 (after writing bench_out) when any
+     experiment exceeds baseline * (1 + tolerance). The baseline is
+     read up front because bench_out may be the same file. *)
+  let check = List.mem "--check" args in
+  let baseline_path =
+    Option.value (find_opt_arg "--baseline" args) ~default:"BENCH_2.json"
+  in
+  let tolerance =
+    match find_opt_arg "--tolerance" args with
+    | None -> 0.5
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some f when f >= 0.0 -> f
+        | _ ->
+            prerr_endline "--tolerance needs a non-negative float";
+            exit 2)
+  in
+  let baseline =
+    if not check then []
+    else
+      match Fsutil.read_file baseline_path with
+      | Ok content -> parse_baseline_experiments content
+      | Error e ->
+          Printf.eprintf "bench --check: cannot read baseline %s: %s\n%!"
+            baseline_path e;
+          exit 2
+  in
   let selected =
     let rec drop_opts = function
-      | ("--out" | "--jobs" | "--bench-out") :: _ :: tl -> drop_opts tl
+      | ("--out" | "--jobs" | "--bench-out" | "--baseline" | "--tolerance")
+        :: _ :: tl ->
+          drop_opts tl
       | x :: tl -> x :: drop_opts tl
       | [] -> []
     in
@@ -1211,4 +1257,36 @@ let () =
   run_exp "micro" (fun () -> micro ());
   run_exp "perf" (fun () -> perf ~quick ~jobs seed);
   emit_bench_json bench_out ~quick ~jobs;
+  if check then begin
+    let timings = List.rev !exp_timings in
+    let compared =
+      List.filter (fun (n, _) -> List.mem_assoc n baseline) timings
+    in
+    let regressions =
+      List.filter_map
+        (fun (name, t) ->
+          match List.assoc_opt name baseline with
+          | Some base when base > 0.0 && t > base *. (1.0 +. tolerance) ->
+              Some (name, base, t)
+          | _ -> None)
+        timings
+    in
+    Printf.printf
+      "\nbench --check: %d experiment(s) compared against %s (tolerance \
+       +%.0f%%)\n"
+      (List.length compared) baseline_path (100.0 *. tolerance);
+    if regressions = [] then print_endline "bench --check: no regressions"
+    else begin
+      List.iter
+        (fun (name, base, t) ->
+          (* GitHub Actions annotation syntax; harmless noise elsewhere *)
+          Printf.printf
+            "::warning title=bench regression::%s took %.3fs vs baseline \
+             %.3fs (+%.0f%%)\n"
+            name t base
+            (100.0 *. ((t /. base) -. 1.0)))
+        regressions;
+      exit 3
+    end
+  end;
   print_endline "\ndone."

@@ -7,6 +7,9 @@ module Fsutil = Versioning_util.Fsutil
 module Obs = Versioning_obs.Obs
 module Metrics = Versioning_obs.Metrics
 module Trace = Versioning_obs.Trace
+module Context = Versioning_obs.Context
+module Flight = Versioning_obs.Flight
+module Logctx = Versioning_obs.Logctx
 
 (* If DSVC_TRACE=file.json is set, dump the span ring as Chrome
    trace_event JSON when the process exits (load the file in
@@ -19,6 +22,19 @@ let dump_trace () =
       | Ok () -> Printf.eprintf "dsvc: wrote trace to %s\n" path
       | Error e -> Printf.eprintf "dsvc: cannot write trace %s: %s\n" path e)
   | _ -> ()
+
+(* The flight recorder (DESIGN.md §11) stays in memory until a
+   post-mortem needs it: a crash, a served repository's SIGTERM, or an
+   explicit `dsvc flight-dump`. Normal exits write nothing. *)
+let dump_flight ~reason =
+  if Flight.event_count () > 0 then begin
+    let path = Flight.default_path () in
+    match Fsutil.write_file path (Flight.to_json ()) with
+    | Ok () ->
+        Printf.eprintf "dsvc: wrote flight record (%s) to %s\n" reason path
+    | Error e ->
+        Printf.eprintf "dsvc: cannot write flight record %s: %s\n" path e
+  end
 
 let or_die = function
   | Ok v -> v
@@ -340,6 +356,9 @@ let serve_cmd =
   in
   let run dir port host max_requests =
     let repo = open_repo dir in
+    (* Access-log lines (one per request, with request/trace id) are
+       emitted at Info. *)
+    Logs.set_level (Some Logs.Info);
     or_die (Versioning_store.Server.serve repo ~port ~host ?max_requests ())
   in
   Cmd.v
@@ -600,32 +619,178 @@ let remote_cmd =
     (Cmd.info "remote" ~doc:"Operate on a served repository over HTTP")
     Term.(const run $ host $ port $ action $ rest)
 
+(* -- trace (run any subcommand traced) -- *)
+
+(* lint: mutable-ok forward reference to the assembled command group,
+   set once in [main] below so `dsvc trace` can re-enter the
+   evaluator; never written again *)
+let main_eval : (string array -> int) ref =
+  ref (fun _ -> invalid_arg "dsvc: evaluator not initialized")
+
+let print_span_tree spans =
+  let module Ids = Set.Make (Int) in
+  let ids =
+    List.fold_left (fun s (sp : Trace.span) -> Ids.add sp.id s) Ids.empty spans
+  in
+  let by_start a b = compare a.Trace.start b.Trace.start in
+  let children id =
+    List.sort by_start
+      (List.filter (fun (sp : Trace.span) -> sp.parent = Some id) spans)
+  in
+  (* Roots: no parent, or a parent that fell off the bounded ring. *)
+  let roots =
+    List.sort by_start
+      (List.filter
+         (fun (sp : Trace.span) ->
+           match sp.parent with None -> true | Some p -> not (Ids.mem p ids))
+         spans)
+  in
+  let rec print depth (sp : Trace.span) =
+    Printf.printf "%s%-*s %9.3fms  %8.1fKB\n"
+      (String.make (2 * depth) ' ')
+      (max 1 (32 - (2 * depth)))
+      sp.name (1000.0 *. sp.dur) (sp.alloc /. 1024.0);
+    List.iter (print (depth + 1)) (children sp.id)
+  in
+  List.iter (print 0) roots
+
+let trace_cmd =
+  let rest =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CMD"
+          ~doc:
+            "Subcommand to run traced, e.g. `dsvc trace optimize -- -s git`. \
+             Put `--` before the subcommand's own flags.")
+  in
+  let run rest =
+    match rest with
+    | [] ->
+        Printf.eprintf
+          "dsvc trace: expected a subcommand to run, e.g. `dsvc trace \
+           optimize -- -s git`\n";
+        exit 124
+    | "trace" :: _ ->
+        Printf.eprintf "dsvc trace: cannot nest trace inside trace\n";
+        exit 124
+    | rest ->
+        Obs.enable ();
+        let ctx = Context.make ~sampled:true () in
+        let code =
+          Context.with_context ctx (fun () ->
+              Trace.with_span "cli" (fun () ->
+                  !main_eval (Array.of_list ("dsvc" :: rest))))
+        in
+        Printf.printf "\ntrace %s (request %s)\n" ctx.Context.trace_id
+          ctx.Context.request_id;
+        print_span_tree (Trace.spans ());
+        if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run any dsvc subcommand with tracing forced on and print its span \
+          tree (DSVC_TRACE=FILE additionally writes Chrome trace JSON)")
+    Term.(const run $ rest)
+
+(* -- flight-dump -- *)
+
+let flight_dump_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let port =
+    Arg.(value & opt int 8077 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write to FILE ('-' for stdout) instead of the default \
+             DSVC_FLIGHT_PATH destination.")
+  in
+  let local =
+    Arg.(
+      value & flag
+      & info [ "local" ]
+          ~doc:
+            "Dump this process's own flight ring instead of querying a \
+             server (mostly useful from tests/scripts).")
+  in
+  let run host port output local =
+    let body =
+      if local then Flight.to_json ()
+      else begin
+        let client = Versioning_store.Client.connect ~host ~port () in
+        match
+          Versioning_store.Client.request client ~meth:"GET" ~path:"/flight" ()
+        with
+        | Ok (200, body) -> body
+        | Ok (status, body) ->
+            Printf.eprintf "dsvc: server returned %d: %s\n" status body;
+            exit 1
+        | Error e ->
+            Printf.eprintf "dsvc: %s\n" e;
+            exit 1
+      end
+    in
+    match output with
+    | Some "-" -> print_string body
+    | Some path ->
+        or_die (Fsutil.write_file path body);
+        Printf.printf "wrote flight record to %s\n" path
+    | None ->
+        let path = Flight.default_path () in
+        or_die (Fsutil.write_file path body);
+        Printf.printf "wrote flight record to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "flight-dump"
+       ~doc:
+         "Dump the always-on flight recorder (a served repository's via \
+          GET /flight, or this process's with --local)")
+    Term.(const run $ host $ port $ output $ local)
+
 let () =
+  (* Correlated logging for every subcommand: retry warnings, fault
+     injections, journal recovery etc. are stamped with the active
+     request/trace id and mirrored into the flight ring. *)
+  Logctx.install ();
+  Printexc.set_uncaught_exception_handler (fun exn bt ->
+      Printf.eprintf "dsvc: fatal: %s\n%s" (Printexc.to_string exn)
+        (Printexc.raw_backtrace_to_string bt);
+      dump_flight ~reason:"crash");
   at_exit dump_trace;
   let info =
     Cmd.info "dsvc" ~version:"1.0.0"
       ~doc:"Dataset version control with a principled storage/recreation tradeoff"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            init_cmd;
-            commit_cmd;
-            checkout_cmd;
-            commit_dir_cmd;
-            checkout_dir_cmd;
-            log_cmd;
-            branch_cmd;
-            switch_cmd;
-            tag_cmd;
-            diff_cmd;
-            verify_cmd;
-            fsck_cmd;
-            stats_cmd;
-            export_graph_cmd;
-            serve_cmd;
-            metrics_cmd;
-            remote_cmd;
-            optimize_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        init_cmd;
+        commit_cmd;
+        checkout_cmd;
+        commit_dir_cmd;
+        checkout_dir_cmd;
+        log_cmd;
+        branch_cmd;
+        switch_cmd;
+        tag_cmd;
+        diff_cmd;
+        verify_cmd;
+        fsck_cmd;
+        stats_cmd;
+        export_graph_cmd;
+        serve_cmd;
+        metrics_cmd;
+        remote_cmd;
+        optimize_cmd;
+        trace_cmd;
+        flight_dump_cmd;
+      ]
+  in
+  main_eval := (fun argv -> Cmd.eval ~argv group);
+  exit (Cmd.eval group)

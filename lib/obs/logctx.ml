@@ -1,0 +1,112 @@
+(* Request-correlated structured logging.
+
+   A [Logs] reporter that stamps every line with the ambient
+   [Context]'s request/trace ids (plus any explicit [with_fields]
+   tags), renders either human text or one JSON object per line
+   (DSVC_LOG_FORMAT=json), and taps every record into the [Flight]
+   ring so the last few log lines survive for post-mortems.
+
+   The reporter writes to stderr by default; tests pass their own
+   [out] sink. The JSON timestamp is a clock read, which is fine
+   here: lib/obs is outside the R5 determinism scope, and a log line
+   only exists once a reporter is installed and the level passes. *)
+
+let fields_key : (string * string) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let with_fields fs f =
+  let cell = Domain.DLS.get fields_key in
+  let saved = !cell in
+  cell := saved @ fs;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+(* Explicit fields first, then the ambient context's ids (unless an
+   explicit field already names them). *)
+let fields () =
+  let explicit = !(Domain.DLS.get fields_key) in
+  let ambient =
+    match Context.current () with
+    | None -> []
+    | Some c ->
+        let add key value acc =
+          if List.mem_assoc key explicit then acc else (key, value) :: acc
+        in
+        add "request" c.Context.request_id
+          (add "trace" c.Context.trace_id [])
+  in
+  explicit @ ambient
+
+let json_mode () =
+  match Sys.getenv_opt "DSVC_LOG_FORMAT" with
+  | Some s -> String.lowercase_ascii (String.trim s) = "json"
+  | None -> false
+
+let level_string = function
+  | Logs.App -> "app"
+  | Logs.Error -> "error"
+  | Logs.Warning -> "warning"
+  | Logs.Info -> "info"
+  | Logs.Debug -> "debug"
+
+let format_line ~level ~src msg =
+  let fs = fields () in
+  if json_mode () then begin
+    let b = Buffer.create 128 in
+    Buffer.add_string b
+      (Printf.sprintf {|{"ts":%.6f,"level":"%s","src":"%s","msg":"%s"|}
+         (Unix.gettimeofday ())
+         (Metrics.json_escape (level_string level))
+         (Metrics.json_escape src) (Metrics.json_escape msg));
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b
+          (Printf.sprintf {|,"%s":"%s"|} (Metrics.json_escape k)
+             (Metrics.json_escape v)))
+      fs;
+    Buffer.add_char b '}';
+    Buffer.contents b
+  end
+  else
+    Printf.sprintf "%s [%s] %s%s"
+      (String.uppercase_ascii (level_string level))
+      src msg
+      (match fs with
+      | [] -> ""
+      | fs ->
+          " ("
+          ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) fs)
+          ^ ")")
+
+(* Reporters may be hit from several threads (the server thread and
+   the test runner share one process); serialize the sink. *)
+let out_mutex = Mutex.create ()
+
+let reporter ?out () =
+  let out =
+    match out with
+    | Some f -> f
+    | None ->
+        fun line ->
+          output_string stderr line;
+          flush stderr
+  in
+  let report src level ~over k msgf =
+    msgf @@ fun ?header:_ ?tags:_ fmt ->
+    Format.kasprintf
+      (fun msg ->
+        let src_name = Logs.Src.name src in
+        let line = format_line ~level ~src:src_name msg in
+        Mutex.lock out_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock out_mutex)
+          (fun () -> out (line ^ "\n"));
+        Flight.record_log ~level:(level_string level) ~src:src_name msg;
+        over ();
+        k ())
+      fmt
+  in
+  { Logs.report }
+
+let install ?(level = Logs.Warning) () =
+  Logs.set_reporter (reporter ());
+  Logs.set_level (Some level)

@@ -1,0 +1,35 @@
+(** Request-correlated structured logging.
+
+    A {!Logs} reporter that stamps every log line with the ambient
+    {!Context}'s request/trace ids plus any explicit {!with_fields}
+    tags, in either human-readable text or one-JSON-object-per-line
+    form ([DSVC_LOG_FORMAT=json]). Every record is also copied into
+    the {!Flight} ring, so the last few log lines are available for
+    post-mortem dumps even when nothing was watching stderr. *)
+
+val with_fields : (string * string) list -> (unit -> 'a) -> 'a
+(** Add explicit [key=value] tags to every log line emitted by [f] on
+    this domain (on top of the ambient context's ids). *)
+
+val fields : unit -> (string * string) list
+(** The tags the reporter would stamp right now: explicit fields
+    first, then [request]/[trace] from the ambient context. *)
+
+val json_mode : unit -> bool
+(** Whether [DSVC_LOG_FORMAT=json] is set (read per call, so tests
+    can flip it with [Unix.putenv]). *)
+
+val level_string : Logs.level -> string
+
+val format_line : level:Logs.level -> src:string -> string -> string
+(** Render one log line (without trailing newline) in the current
+    mode, stamped with {!fields}. *)
+
+val reporter : ?out:(string -> unit) -> unit -> Logs.reporter
+(** A reporter writing newline-terminated {!format_line} output to
+    [out] (default stderr) under an internal lock, and tapping every
+    record into {!Flight}. *)
+
+val install : ?level:Logs.level -> unit -> unit
+(** [Logs.set_reporter (reporter ())] plus [Logs.set_level] (default
+    [Warning]) — the one-call setup used by [bin/dsvc.ml]. *)

@@ -4,12 +4,19 @@
    [Pool] captures the caller's current span id before spawning and
    re-seeds the worker domains with [with_parent], so spans opened
    inside parallel regions still attach to the optimize phase that
-   spawned them.
+   spawned them. Every span is stamped with the ambient [Context]
+   trace id, which is how client and server spans of one request end
+   up in one trace.
 
-   The ring keeps the most recent [capacity] completed spans;
-   [to_chrome_json] renders them in Chrome trace_event format. The
-   caller is responsible for writing the file (through Fsutil — this
-   library never opens files). *)
+   The ring keeps the most recent [capacity ()] completed spans
+   (DSVC_TRACE_RING, default 8192); [to_chrome_json] renders them in
+   Chrome trace_event format. The caller is responsible for writing
+   the file (through Fsutil — this library never opens files).
+
+   Independent of the Obs gate, a completed span is copied into the
+   [Flight] ring when the ambient context was head-sampled: that path
+   reads the clock even with DSVC_OBS off, but only for the sampled
+   1-in-N operations, and it never feeds a decision (DESIGN.md §11). *)
 
 type span = {
   id : int;
@@ -19,15 +26,40 @@ type span = {
   dur : float; (* seconds *)
   domain : int;
   alloc : float; (* bytes allocated by this domain during the span *)
+  trace : string option; (* ambient Context trace id, if any *)
 }
 
-let capacity = 8192
+(* ---- ring capacity (DSVC_TRACE_RING) ---- *)
+
+let default_capacity = 8192
+let min_capacity = 16
+let max_capacity = 1 lsl 20
+
+let capacity_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= min_capacity && n <= max_capacity -> Ok n
+  | Some n ->
+      Error
+        (Printf.sprintf "DSVC_TRACE_RING must be between %d and %d (got %d)"
+           min_capacity max_capacity n)
+  | None ->
+      Error (Printf.sprintf "DSVC_TRACE_RING must be an integer (got %S)" s)
+
+let env_capacity =
+  match Sys.getenv_opt "DSVC_TRACE_RING" with
+  | None -> default_capacity
+  | Some s -> (
+      match capacity_of_string s with
+      | Ok n -> n
+      | Error msg ->
+          Printf.eprintf "dsvc: %s; using default %d\n%!" msg default_capacity;
+          default_capacity)
 
 let mutex = Mutex.create ()
 
 (* lint: mutable-ok bounded ring of completed spans; writes take
    [mutex] above, and nothing ever reads it to make a decision *)
-let ring : span option array = Array.make capacity None
+let ring : span option array ref = ref (Array.make env_capacity None)
 
 (* lint: mutable-ok ring cursor + total counter, same mutex *)
 let cursor = ref 0
@@ -43,10 +75,23 @@ let with_lock f =
   Mutex.lock mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
 
+let capacity () = with_lock (fun () -> Array.length !ring)
+
+let set_capacity n =
+  if n < min_capacity || n > max_capacity then
+    invalid_arg
+      (Printf.sprintf "Trace.set_capacity: %d outside [%d, %d]" n min_capacity
+         max_capacity);
+  with_lock (fun () ->
+      ring := Array.make n None;
+      cursor := 0;
+      recorded := 0)
+
 let record s =
   with_lock (fun () ->
+      let ring = !ring in
       ring.(!cursor) <- Some s;
-      cursor := (!cursor + 1) mod capacity;
+      cursor := (!cursor + 1) mod Array.length ring;
       incr recorded)
 
 let current_id () =
@@ -54,8 +99,26 @@ let current_id () =
   else
     match !(Domain.DLS.get stack_key) with [] -> None | id :: _ -> Some id
 
+(* Flight-only span: the Obs gate is off but the ambient context was
+   head-sampled. Time the call and drop it into the flight ring; no
+   ids, no stack, no span ring. *)
+let with_span_flight name f =
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    Flight.record_span ~name ~start:t0 ~dur:(Unix.gettimeofday () -. t0)
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt
+
 let with_span ?parent name f =
-  if not (Obs.enabled ()) then f ()
+  if not (Obs.enabled ()) then
+    if Context.sampled_now () then with_span_flight name f else f ()
   else begin
     let stack = Domain.DLS.get stack_key in
     let parent =
@@ -82,7 +145,10 @@ let with_span ?parent name f =
           dur;
           domain = (Domain.self () :> int);
           alloc;
-        }
+          trace = Context.current_trace_id ();
+        };
+      if Context.sampled_now () then
+        Flight.record_span ~name ~start:t0 ~dur
     in
     match f () with
     | v ->
@@ -108,6 +174,8 @@ let with_parent parent f =
 
 let spans () =
   with_lock (fun () ->
+      let ring = !ring in
+      let capacity = Array.length ring in
       let n = min !recorded capacity in
       let first = if !recorded <= capacity then 0 else !cursor in
       List.init n (fun i ->
@@ -119,14 +187,13 @@ let span_count () = with_lock (fun () -> !recorded)
 
 let reset () =
   with_lock (fun () ->
-      Array.fill ring 0 capacity None;
+      Array.fill !ring 0 (Array.length !ring) None;
       cursor := 0;
       recorded := 0)
 
 (* ---- Chrome trace_event ---- *)
 
-let to_chrome_json () =
-  let ss = spans () in
+let chrome_json_of_spans ss =
   let b = Buffer.create 4096 in
   Buffer.add_string b {|{"displayTimeUnit":"ms","traceEvents":[|};
   List.iteri
@@ -134,14 +201,19 @@ let to_chrome_json () =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
         (Printf.sprintf
-           {|{"name":"%s","cat":"dsvc","ph":"X","ts":%.1f,"dur":%.1f,"pid":1,"tid":%d,"args":{"id":%d,"parent":%s,"alloc_bytes":%.0f}}|}
+           {|{"name":"%s","cat":"dsvc","ph":"X","ts":%.1f,"dur":%.1f,"pid":1,"tid":%d,"args":{"id":%d,"parent":%s,"trace":%s,"alloc_bytes":%.0f}}|}
            (Metrics.json_escape s.name)
            (s.start *. 1e6) (s.dur *. 1e6) s.domain s.id
            (match s.parent with None -> "null" | Some p -> string_of_int p)
+           (match s.trace with
+           | None -> "null"
+           | Some t -> "\"" ^ Metrics.json_escape t ^ "\"")
            s.alloc))
     ss;
   Buffer.add_string b "]}";
   Buffer.contents b
+
+let to_chrome_json () = chrome_json_of_spans (spans ())
 
 (* ---- aggregation for `dsvc optimize --profile` ---- *)
 
@@ -152,7 +224,7 @@ type agg = {
   total_alloc : float;
 }
 
-let summarize () =
+let summarize_spans ss =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun s ->
@@ -168,6 +240,8 @@ let summarize () =
           total_s = prev.total_s +. s.dur;
           total_alloc = prev.total_alloc +. s.alloc;
         })
-    (spans ());
+    ss;
   Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
   |> List.sort (fun a b -> compare (b.total_s, a.agg_name) (a.total_s, b.agg_name))
+
+let summarize () = summarize_spans (spans ())

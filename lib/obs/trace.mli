@@ -2,9 +2,15 @@
     Chrome trace_event export.
 
     All entry points are no-ops while {!Obs.enabled} is false — no
-    clock or [Gc.allocated_bytes] reads happen. Nesting is per-domain;
-    {!Pool} plumbs the caller's span id into worker domains with
-    {!with_parent} so parallel spans attach to the right parent. *)
+    clock or [Gc.allocated_bytes] reads happen — with one deliberate
+    exception: when the ambient {!Context} was head-sampled for the
+    flight recorder, {!with_span} still times the call and records it
+    to {!Flight} (and nowhere else). Nesting is per-domain; {!Pool}
+    plumbs the caller's span id into worker domains with
+    {!with_parent} so parallel spans attach to the right parent. Each
+    recorded span is stamped with the ambient context's trace id,
+    tying client- and server-side spans of one request into a single
+    trace. *)
 
 type span = {
   id : int;
@@ -14,6 +20,7 @@ type span = {
   dur : float;  (** seconds *)
   domain : int;
   alloc : float;  (** bytes allocated by this domain during the span *)
+  trace : string option;  (** ambient {!Context} trace id, if any *)
 }
 
 val with_span : ?parent:int -> string -> (unit -> 'a) -> 'a
@@ -29,16 +36,38 @@ val with_parent : int option -> (unit -> 'a) -> 'a
     used by [Pool] workers so their spans nest under the caller's. *)
 
 val spans : unit -> span list
-(** Completed spans, oldest first (bounded: most recent 8192). *)
+(** Completed spans, oldest first (bounded: most recent
+    {!capacity}). *)
 
 val span_count : unit -> int
 (** Total spans recorded since start/reset (may exceed the ring). *)
 
 val reset : unit -> unit
 
+val capacity : unit -> int
+(** Current ring capacity: [DSVC_TRACE_RING] at startup (default
+    8192), or the last {!set_capacity}. *)
+
+val default_capacity : int
+
+val capacity_of_string : string -> (int, string) result
+(** Validate a [DSVC_TRACE_RING] value: an integer within
+    [[16, 1048576]]. The env path falls back to {!default_capacity}
+    (with a stderr warning) on anything else. *)
+
+val set_capacity : int -> unit
+(** Replace the ring with an empty one of the given capacity
+    (resetting recorded spans). Raises [Invalid_argument] outside the
+    bounds {!capacity_of_string} accepts. Primarily a test hook —
+    production configuration goes through [DSVC_TRACE_RING]. *)
+
 val to_chrome_json : unit -> string
 (** Render the ring as Chrome [trace_event] JSON. The caller writes
     the file (via [Fsutil]); this library never touches disk. *)
+
+val chrome_json_of_spans : span list -> string
+(** {!to_chrome_json} over an explicit span list (golden tests, or
+    exporting a filtered trace). *)
 
 type agg = {
   agg_name : string;
@@ -50,3 +79,7 @@ type agg = {
 val summarize : unit -> agg list
 (** Aggregate completed spans by name, sorted by total time
     descending — the [dsvc optimize --profile] table. *)
+
+val summarize_spans : span list -> agg list
+(** {!summarize} over an explicit span list (e.g. the spans of one
+    trace id, for the server's [/trace/:request_id] endpoint). *)

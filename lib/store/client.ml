@@ -1,4 +1,11 @@
 module Retry = Versioning_util.Retry
+module Metrics = Versioning_obs.Metrics
+module Trace = Versioning_obs.Trace
+module Context = Versioning_obs.Context
+
+let log_src = Logs.Src.create "dsvc.client" ~doc:"dsvc HTTP client"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = { host : string; port : int; timeout : float; retries : int }
 
@@ -29,8 +36,9 @@ let resolve_addr host port =
 
 (* Failures before the request is sent (resolution, connect) are safe
    to retry for any method; failures after it only for idempotent
-   GETs — a retried POST /commit could commit twice. *)
-type failure = { transient : bool; message : string }
+   GETs — a retried POST /commit could commit twice. [stage] labels
+   the retry counter: where in the exchange the failure happened. *)
+type failure = { transient : bool; message : string; stage : string }
 
 let transient_unix_error = function
   | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EPIPE
@@ -50,9 +58,9 @@ let percent_encode s =
     s;
   Buffer.contents buf
 
-let attempt t ~meth ~path ~query ~body =
+let attempt t ~ctx ~meth ~path ~query ~body =
   match resolve_addr t.host t.port with
-  | Error message -> Error { transient = false; message }
+  | Error message -> Error { transient = false; message; stage = "resolve" }
   | Ok addr -> (
       (* [sent] splits failures into before/after the request hit the
          wire, which decides retryability for non-idempotent methods. *)
@@ -79,9 +87,19 @@ let attempt t ~meth ~path ~query ~body =
                        query)
             in
             sent := true;
+            (* Cross-process trace propagation: the server joins this
+               operation's trace via [traceparent] and echoes/logs the
+               request id (DESIGN.md §11). The parent span is our
+               current span when tracing is on. *)
+            let traceparent =
+              Context.to_traceparent ?span:(Trace.current_id ()) ctx
+            in
             output_string oc
-              (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\n\r\n%s"
-                 meth target t.host (String.length body) body);
+              (Printf.sprintf
+                 "%s %s HTTP/1.1\r\nHost: %s\r\nTraceparent: %s\r\n\
+                  X-Dsvc-Request-Id: %s\r\nContent-Length: %d\r\n\r\n%s"
+                 meth target t.host traceparent ctx.Context.request_id
+                 (String.length body) body);
             flush oc;
             (* Parse the status line, headers, and Content-Length body. *)
             let line () =
@@ -131,18 +149,69 @@ let attempt t ~meth ~path ~query ~body =
               transient =
                 transient_unix_error err && ((not !sent) || meth = "GET");
               message = Printf.sprintf "%s: %s" fn (Unix.error_message err);
+              stage = (if !sent then "io" else "connect");
             }
       | Failure e | Sys_error e ->
-          Error { transient = meth = "GET"; message = e }
+          Error
+            {
+              transient = meth = "GET";
+              message = e;
+              stage = (if !sent then "io" else "connect");
+            }
       | End_of_file ->
-          Error { transient = meth = "GET"; message = "unexpected end of response" })
+          Error
+            {
+              transient = meth = "GET";
+              message = "unexpected end of response";
+              stage = "io";
+            })
 
 let request t ~meth ~path ?(query = []) ?(body = "") () =
+  (* One trace context per operation: reuse the caller's ambient
+     context when there is one (so a caller-held context shows up in
+     the server's access log), otherwise mint a fresh one. Retries
+     share the context — the same request id across attempts is what
+     lets the server log tie them together. *)
+  let ctx =
+    match Context.current () with Some c -> c | None -> Context.make ()
+  in
+  Context.with_context ctx @@ fun () ->
+  Trace.with_span "client.request" @@ fun () ->
   let policy = { Retry.default with max_attempts = max 1 t.retries } in
-  Retry.with_policy ~policy
-    ~retryable:(fun f -> f.transient)
-    (fun ~attempt:_ -> attempt t ~meth ~path ~query ~body)
-  |> Result.map_error (fun f -> f.message)
+  (* lint: mutable-ok last failure's stage, read only by the retry
+     metrics callback below *)
+  let last_stage = ref "connect" in
+  let result =
+    Retry.with_policy ~policy
+      ~retryable:(fun f -> f.transient)
+      ~on_retry:(fun ~attempt ~delay ->
+        Metrics.counter "dsvc_client_retries_total"
+          ~labels:[ ("method", meth); ("stage", !last_stage) ]
+          ~help:"Backoff sleeps taken by the HTTP client, by method and failure stage";
+        Log.warn (fun m ->
+            m "retrying %s %s after attempt %d (sleeping %.3fs)" meth path
+              attempt delay))
+      (fun ~attempt:_ ->
+        match attempt t ~ctx ~meth ~path ~query ~body with
+        | Error f as e ->
+            last_stage := f.stage;
+            e
+        | Ok _ as ok -> ok)
+  in
+  (* Per-status outcome counter: 404 vs 409 vs 500 responses are
+     distinguishable in `dsvc metrics`; transport-level failures that
+     never produced a status land under "error". *)
+  Metrics.counter "dsvc_client_requests_total"
+    ~labels:
+      [
+        ("method", meth);
+        ( "status",
+          match result with
+          | Ok (status, _) -> string_of_int status
+          | Error _ -> "error" );
+      ]
+    ~help:"HTTP client requests, by method and response status";
+  Result.map_error (fun f -> f.message) result
 
 let expect_ok t ~meth ~path ?query ?body () =
   match request t ~meth ~path ?query ?body () with

@@ -10,7 +10,15 @@
     transport failures (connection refused/reset, timeouts) are
     retried with exponential backoff and jitter ({!Versioning_util.Retry}).
     Failures after the request was sent are only retried for
-    idempotent GETs — a retried POST could apply twice. *)
+    idempotent GETs — a retried POST could apply twice.
+
+    Tracing (DESIGN.md §11): every operation runs under a
+    {!Versioning_obs.Context} — the caller's ambient one when present,
+    otherwise a fresh one — and sends it as [traceparent] /
+    [X-Dsvc-Request-Id] headers so the server's spans and access log
+    join the client's trace. The request id is stable across retries
+    of one operation. Request/retry counters are labelled by method
+    and response status / failure stage. *)
 
 type t
 

@@ -9,6 +9,7 @@ type request = {
 type response = {
   status : int;
   content_type : string;
+  headers : (string * string) list;
   body : string;
 }
 
@@ -22,11 +23,11 @@ let status_text = function
   | 500 -> "Internal Server Error"
   | _ -> "Status"
 
-let ok ?(content_type = "text/plain; charset=utf-8") body =
-  { status = 200; content_type; body }
+let ok ?(content_type = "text/plain; charset=utf-8") ?(headers = []) body =
+  { status = 200; content_type; headers; body }
 
 let error status body =
-  { status; content_type = "text/plain; charset=utf-8"; body }
+  { status; content_type = "text/plain; charset=utf-8"; headers = []; body }
 
 let percent_decode s =
   let buf = Buffer.create (String.length s) in
@@ -119,13 +120,24 @@ let read_request ?(max_body = 64 * 1024 * 1024) ic =
   in
   Ok { meth; path = percent_decode path; query; headers; body }
 
-let write_response oc { status; content_type; body } =
+(* A header value must not smuggle CR/LF into the response framing,
+   whatever the handler put in it. *)
+let sanitize_header_value v =
+  String.map (function '\r' | '\n' -> ' ' | c -> c) v
+
+let write_response oc { status; content_type; headers; body } =
   (* Fault-injection point: a [Drop] armed here models the peer
      vanishing before the response is written. *)
   Faults.guard "http.write_response";
   output_string oc
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
   output_string oc (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  List.iter
+    (fun (name, value) ->
+      output_string oc
+        (Printf.sprintf "%s: %s\r\n" (sanitize_header_value name)
+           (sanitize_header_value value)))
+    headers;
   output_string oc
     (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
   output_string oc "Connection: close\r\n\r\n";

@@ -18,11 +18,14 @@ type request = {
 type response = {
   status : int;
   content_type : string;
+  headers : (string * string) list;
+      (** extra response headers (e.g. the echoed
+          [X-Dsvc-Request-Id]); values are CR/LF-sanitized on write *)
   body : string;
 }
 
-val ok : ?content_type:string -> string -> response
-(** 200 with [text/plain] by default. *)
+val ok : ?content_type:string -> ?headers:(string * string) list -> string -> response
+(** 200 with [text/plain] and no extra headers by default. *)
 
 val error : int -> string -> response
 

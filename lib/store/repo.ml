@@ -5,6 +5,10 @@ module Storage_graph = Versioning_core.Storage_graph
 module Metrics = Versioning_obs.Metrics
 module Trace = Versioning_obs.Trace
 
+let log_src = Logs.Src.create "dsvc.repo" ~doc:"Repository store"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 let ( let* ) = Result.bind
 
 (* Observability only: cache outcome counters (mirroring the exact
@@ -619,9 +623,23 @@ let recover_journal t =
               ignore (gc t);
               Ok outcome
             in
-            if try_map new_map then finish `Rolled_forward
-            else if try_map old_map then finish `Rolled_back
-            else Ok `Journal_kept)
+            if try_map new_map then begin
+              Log.warn (fun m ->
+                  m "interrupted optimize: rolled forward from journal");
+              finish `Rolled_forward
+            end
+            else if try_map old_map then begin
+              Log.warn (fun m ->
+                  m "interrupted optimize: rolled back to pre-optimize map");
+              finish `Rolled_back
+            end
+            else begin
+              Log.warn (fun m ->
+                  m
+                    "interrupted optimize: neither map reconstructs, keeping \
+                     journal for repair");
+              Ok `Journal_kept
+            end)
 
 (* ---- open / init ---- *)
 
@@ -1291,6 +1309,18 @@ let repair t =
   count_outcome "rematerialized" (List.length !rematerialized);
   count_outcome "unrecoverable" (List.length !unrecoverable);
   count_outcome "strays_removed" strays_removed;
+  List.iter
+    (fun d -> Log.warn (fun m -> m "repair: quarantined corrupt object %s" d))
+    quarantined;
+  List.iter
+    (fun v -> Log.info (fun m -> m "repair: re-materialized version %d" v))
+    !rematerialized;
+  List.iter
+    (fun v -> Log.warn (fun m -> m "repair: version %d is unrecoverable" v))
+    !unrecoverable;
+  if strays_removed > 0 then
+    Log.info (fun m ->
+        m "repair: removed %d unreferenced object(s)" strays_removed);
   Ok
     {
       quarantined;
@@ -1329,6 +1359,10 @@ let fsck ~path ~repair:do_repair =
           act
             "restored metadata from backup (damaged file kept as \
              meta.corrupt)";
+          Log.warn (fun m ->
+              m
+                "fsck: restored metadata from backup (damaged file kept as \
+                 meta.corrupt)");
           Ok t
         else Error e
   in

@@ -3,6 +3,9 @@ let src = Logs.Src.create "dsvc.server" ~doc:"dsvc HTTP server"
 module Log = (val Logs.src_log src : Logs.LOG)
 module Obs = Versioning_obs.Obs
 module Metrics = Versioning_obs.Metrics
+module Trace = Versioning_obs.Trace
+module Context = Versioning_obs.Context
+module Flight = Versioning_obs.Flight
 
 let parse_strategy s =
   match String.split_on_char '=' s with
@@ -43,6 +46,8 @@ let route_label meth path =
   | "POST", [ "optimize" ] -> "/optimize"
   | "GET", [ "verify" ] -> "/verify"
   | "GET", [ "metrics" ] -> "/metrics"
+  | "GET", [ "trace"; _ ] -> "/trace/:request_id"
+  | "GET", [ "flight" ] -> "/flight"
   | _, _ -> "other"
 
 let stats_body (s : Repo.stats) =
@@ -69,6 +74,76 @@ let status_of_error e =
   then 404
   else 409
 
+(* ---- recent-request table for GET /trace/:request_id ----
+
+   A small bounded ring of per-request summaries (request id, route,
+   status, latency, and the span aggregate of that request's trace),
+   written by [handle_safe] after every request so a debug client can
+   ask "what did request X spend its time on" shortly after the
+   fact. *)
+
+type recent_request = {
+  r_request : string;
+  r_trace : string;
+  r_route : string;
+  r_status : int;
+  r_dur : float;
+  r_spans : Trace.agg list;
+}
+
+let recent_capacity = 64
+
+let recent_mutex = Mutex.create ()
+
+(* lint: mutable-ok bounded ring of recent request summaries; writes
+   take [recent_mutex], read only by the /trace debug endpoint *)
+let recent_ring : recent_request option array = Array.make recent_capacity None
+
+(* lint: mutable-ok ring cursor, same mutex *)
+let recent_cursor = ref 0
+
+let with_recent_lock f =
+  Mutex.lock recent_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock recent_mutex) f
+
+let remember_request r =
+  with_recent_lock (fun () ->
+      recent_ring.(!recent_cursor) <- Some r;
+      recent_cursor := (!recent_cursor + 1) mod recent_capacity)
+
+let find_recent_request rid =
+  with_recent_lock (fun () ->
+      (* newest first: walk backwards from the cursor *)
+      let rec go i n =
+        if n >= recent_capacity then None
+        else
+          let idx = (i + recent_capacity) mod recent_capacity in
+          match recent_ring.(idx) with
+          | Some r when r.r_request = rid -> Some r
+          | _ -> go (idx - 1) (n + 1)
+      in
+      go (!recent_cursor - 1) 0)
+
+let recent_request_body r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       {|{"request_id":"%s","trace_id":"%s","route":"%s","status":%d,"duration_s":%.6f,"spans":[|}
+       (Metrics.json_escape r.r_request)
+       (Metrics.json_escape r.r_trace)
+       (Metrics.json_escape r.r_route)
+       r.r_status r.r_dur);
+  List.iteri
+    (fun i (a : Trace.agg) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf {|{"name":"%s","count":%d,"total_s":%.6f}|}
+           (Metrics.json_escape a.Trace.agg_name)
+           a.Trace.count a.Trace.total_s))
+    r.r_spans;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
 let handle repo (req : Http.request) =
   let resolve name =
     match Repo.resolve repo name with
@@ -77,7 +152,13 @@ let handle repo (req : Http.request) =
   in
   let of_result ?(created = false) = function
     | Ok body ->
-        if created then { Http.status = 201; content_type = "text/plain; charset=utf-8"; body }
+        if created then
+          {
+            Http.status = 201;
+            content_type = "text/plain; charset=utf-8";
+            headers = [];
+            body;
+          }
         else Http.ok body
     | Error e -> Http.error (status_of_error e) (e ^ "\n")
   in
@@ -172,41 +253,118 @@ let handle repo (req : Http.request) =
           {
             Http.status = 200;
             content_type = "application/json";
+            headers = [];
             body = Metrics.to_json ();
           }
       | _ ->
           {
             Http.status = 200;
             content_type = "text/plain; version=0.0.4; charset=utf-8";
+            headers = [];
             body = Metrics.to_prometheus ();
           })
+  | "GET", [ "trace"; rid ] -> (
+      (* Debug endpoint: the span summary of a recent request. Only
+         requests still in the bounded ring are answerable. *)
+      match find_recent_request rid with
+      | Some r ->
+          Http.ok ~content_type:"application/json" (recent_request_body r)
+      | None ->
+          Http.error 404
+            (Printf.sprintf "no recent request %S (ring keeps the last %d)\n"
+               rid recent_capacity))
+  | "GET", [ "flight" ] ->
+      (* The always-on flight recorder, for `dsvc flight-dump`. *)
+      Http.ok ~content_type:"application/json" (Flight.to_json ())
   | ("GET" | "POST"), _ -> Http.error 404 "no such route\n"
   | _, _ -> Http.error 405 "method not allowed\n"
 
+(* Recover the client's trace context from the request headers: the
+   trace id and parent span from [traceparent], the request id from
+   [X-Dsvc-Request-Id] (sanitized — it ends up in log lines). A
+   request with neither gets a fresh server-side context, so every
+   access-log line has a request id either way. *)
+let context_of_request (req : Http.request) =
+  let base =
+    match
+      Option.bind
+        (List.assoc_opt "traceparent" req.Http.headers)
+        Context.of_traceparent
+    with
+    | Some ctx -> ctx
+    | None -> Context.make ()
+  in
+  match
+    Option.bind
+      (List.assoc_opt "x-dsvc-request-id" req.Http.headers)
+      Context.sanitize_id
+  with
+  | Some rid -> { base with Context.request_id = rid }
+  | None -> base
+
 (* A raising handler must cost the client a 500, not the server its
-   life (and not the client a silently dropped connection). *)
+   life (and not the client a silently dropped connection).
+
+   This wrapper is also where a request joins its client's trace: the
+   extracted context becomes ambient (stamping spans and log lines),
+   the [server.request] span attaches under the client's span, the
+   access log records route/status/latency/request id, and the
+   request's span summary lands in the recent-request ring for
+   GET /trace/:request_id. The wall-clock read here is a server-tier
+   operational measurement, not an Obs-gated one — it feeds the access
+   log, never a planning decision (DESIGN.md §11). *)
 let handle_safe repo req =
+  let ctx = context_of_request req in
+  Context.with_context ctx @@ fun () ->
   let run () =
     try handle repo req
     with e -> Http.error 500 ("internal error: " ^ Printexc.to_string e ^ "\n")
   in
-  if not (Obs.enabled ()) then run ()
-  else begin
-    (* Per-route count/latency/status. The clock read is gated above;
-       the route template keeps label cardinality bounded. *)
-    let route = route_label req.Http.meth req.Http.path in
-    let t0 = Unix.gettimeofday () in
-    let resp = run () in
+  let route = route_label req.Http.meth req.Http.path in
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    Trace.with_span ?parent:ctx.Context.parent_span "server.request" run
+  in
+  let dur = Unix.gettimeofday () -. t0 in
+  if Obs.enabled () then begin
+    (* Per-route count/latency/status; the route template keeps label
+       cardinality bounded. *)
     Metrics.counter "dsvc_server_requests_total"
       ~labels:
         [ ("route", route); ("status", string_of_int resp.Http.status) ]
       ~help:"HTTP requests handled, by route template and status";
     Metrics.observe "dsvc_server_request_seconds"
-      ~labels:[ ("route", route) ]
-      (Unix.gettimeofday () -. t0)
-      ~help:"HTTP request handling latency, by route template";
-    resp
-  end
+      ~labels:[ ("route", route) ] dur
+      ~help:"HTTP request handling latency, by route template"
+  end;
+  (* Access log: the reporter (Logctx) stamps request/trace ids from
+     the ambient context. *)
+  Log.info (fun m ->
+      m "%s %s -> %d (%.3fms)" req.Http.meth req.Http.path resp.Http.status
+        (dur *. 1000.0));
+  let span_summary =
+    if Obs.enabled () then
+      Trace.summarize_spans
+        (List.filter
+           (fun (s : Trace.span) -> s.Trace.trace = Some ctx.Context.trace_id)
+           (Trace.spans ()))
+    else []
+  in
+  remember_request
+    {
+      r_request = ctx.Context.request_id;
+      r_trace = ctx.Context.trace_id;
+      r_route = route;
+      r_status = resp.Http.status;
+      r_dur = dur;
+      r_spans = span_summary;
+    };
+  (* Echo the request id so clients can quote it back at /trace/:id. *)
+  {
+    resp with
+    Http.headers =
+      ("X-Dsvc-Request-Id", ctx.Context.request_id) :: resp.Http.headers;
+  }
 
 let serve repo ~port ?(host = "127.0.0.1") ?max_requests
     ?(request_timeout = 30.0) () =
@@ -294,7 +452,20 @@ let serve repo ~port ?(host = "127.0.0.1") ?max_requests
                      m "connection aborted: %s" (Printexc.to_string e)));
               (try Unix.close client with Unix.Unix_error _ -> ())
         done);
-    if !stop then Printf.printf "dsvc server shutting down\n%!";
+    if !stop then begin
+      (* Signal-driven shutdown is a flight-dump trigger: persist the
+         recorder so the operator can see what the server was doing
+         right before the SIGTERM (DESIGN.md §11). A clean ring means
+         nothing happened — write nothing. *)
+      if Flight.event_count () > 0 then begin
+        let path = Flight.default_path () in
+        match Fsutil.write_file path (Flight.to_json ()) with
+        | Ok () -> Printf.printf "dsvc: wrote flight record to %s\n%!" path
+        | Error e ->
+            Log.warn (fun m -> m "cannot write flight record %s: %s" path e)
+      end;
+      Printf.printf "dsvc server shutting down\n%!"
+    end;
     Ok ()
   with Unix.Unix_error (err, fn, _) ->
     Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))

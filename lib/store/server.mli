@@ -15,9 +15,21 @@
     - [POST /optimize?strategy=<s>] — [min-storage], [min-recreation],
       [balanced=F], [bounded-max=F], [git], [svn]
     - [GET /verify]
+    - [GET /trace/<request-id>] — JSON span summary of a recently
+      handled request (bounded in-memory table; [404] once evicted)
+    - [GET /flight] — the {!Versioning_obs.Flight} ring as JSON
 
     {!handle} is the pure request router (unit-testable without
     sockets); {!serve} runs the accept loop.
+
+    Tracing (DESIGN.md §11): {!handle_safe} extracts the client's
+    [traceparent] / [X-Dsvc-Request-Id] headers into an ambient
+    {!Versioning_obs.Context} (minting a fresh one when absent), runs
+    the handler under a [server.request] span parented on the client's
+    span, emits one Info-level access-log line per request
+    ([meth path -> status (ms)], stamped with the request/trace id by
+    the {!Versioning_obs.Logctx} reporter), and echoes the request id
+    back as an [X-Dsvc-Request-Id] response header.
 
     Error statuses: resolution failures (unknown version, tag, branch)
     are [404]; conflicts with repository state (duplicate names, bad
@@ -45,7 +57,9 @@ val serve :
     [request_timeout] seconds (default 30) so a stalled peer cannot
     wedge the loop; SIGINT/SIGTERM request a graceful shutdown (the
     current request finishes, the listening socket closes, previous
-    signal handlers are restored, and [serve] returns [Ok ()]). *)
+    signal handlers are restored, and [serve] returns [Ok ()]). A
+    signal-initiated shutdown also dumps the flight recorder to
+    {!Versioning_obs.Flight.default_path} when it holds any events. *)
 
 val parse_strategy : string -> (Repo.strategy, string) result
 (** The [strategy] query values, shared with the CLI. *)

@@ -7,6 +7,10 @@ type action =
 
 exception Injected of string
 
+let log_src = Logs.Src.create "dsvc.faults" ~doc:"Fault injection"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type armed_fault = { mutable remaining : int; action : action }
 
 (* Shared between the server thread and test code: every access goes
@@ -42,23 +46,33 @@ let hits ~site =
       Option.value (Hashtbl.find_opt counters site) ~default:0)
 
 let check site =
-  with_lock (fun () ->
-      Hashtbl.replace counters site
-        (1 + Option.value (Hashtbl.find_opt counters site) ~default:0);
-      match Hashtbl.find_opt table site with
-      | None -> None
-      | Some f ->
-          if f.remaining > 0 then begin
-            f.remaining <- f.remaining - 1;
-            None
-          end
-          else begin
-            Hashtbl.remove table site;
-            Versioning_obs.Metrics.counter "dsvc_store_faults_injected_total"
-              ~labels:[ ("site", site) ]
-              ~help:"Armed faults that actually fired, by site";
-            Some f.action
-          end)
+  let fired =
+    with_lock (fun () ->
+        Hashtbl.replace counters site
+          (1 + Option.value (Hashtbl.find_opt counters site) ~default:0);
+        match Hashtbl.find_opt table site with
+        | None -> None
+        | Some f ->
+            if f.remaining > 0 then begin
+              f.remaining <- f.remaining - 1;
+              None
+            end
+            else begin
+              Hashtbl.remove table site;
+              Versioning_obs.Metrics.counter "dsvc_store_faults_injected_total"
+                ~labels:[ ("site", site) ]
+                ~help:"Armed faults that actually fired, by site";
+              Some f.action
+            end)
+  in
+  (* Logged outside the lock: the reporter may take its own locks
+     (Logctx sink, Flight ring). The Logctx reporter stamps the line
+     with the active request/trace id, so an injected fault can be
+     attributed to the request it hit. *)
+  (match fired with
+  | Some _ -> Log.warn (fun m -> m "injecting armed fault at site %s" site)
+  | None -> ());
+  fired
 
 let guard site = match check site with None -> () | Some _ -> raise (Injected site)
 let crash site = raise (Injected site)

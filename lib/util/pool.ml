@@ -1,6 +1,7 @@
 module Obs = Versioning_obs.Obs
 module Metrics = Versioning_obs.Metrics
 module Trace = Versioning_obs.Trace
+module Context = Versioning_obs.Context
 
 let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
 
@@ -106,11 +107,17 @@ let parallel_init ?(jobs = default_jobs ()) n f =
       end
     in
     (* Re-seed each spawned domain's span stack with the caller's
-       current span so parallel spans nest across domains. *)
+       current span, and its ambient trace context with the caller's,
+       so parallel spans nest across domains AND stay attached to the
+       request that spawned them (same trace id, same flight-sampling
+       decision). *)
     let parent = Trace.current_id () in
+    let ctx = Context.current () in
     let domains =
       Array.init (workers - 1) (fun _ ->
-          Domain.spawn (fun () -> Trace.with_parent parent run_worker))
+          Domain.spawn (fun () ->
+              Context.with_current ctx (fun () ->
+                  Trace.with_parent parent run_worker)))
     in
     (* the calling domain is the pool's first worker *)
     (match run_worker () with

@@ -124,6 +124,32 @@ let test_post_not_retried_after_send () =
       Alcotest.(check int) "commit applied exactly once" (before + 1)
         (List.length (Repo.log repo)))
 
+let test_request_counters_by_status () =
+  let module Obs = Versioning_obs.Obs in
+  let module Metrics = Versioning_obs.Metrics in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Obs.with_enabled true @@ fun () ->
+  with_server (fun client _repo ->
+      Metrics.reset ();
+      (match Client.checkout client "1" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "checkout failed: %s" e);
+      (match Client.checkout client "99" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unknown version must error");
+      let text = Metrics.to_prometheus () in
+      Alcotest.(check bool) "200s counted" true
+        (contains text
+           {|dsvc_client_requests_total{method="GET",status="200"} 1|});
+      Alcotest.(check bool) "404s counted separately" true
+        (contains text
+           {|dsvc_client_requests_total{method="GET",status="404"} 1|});
+      Metrics.reset ())
+
 let suite =
   [
     Alcotest.test_case "full client session" `Quick test_full_session;
@@ -133,4 +159,6 @@ let suite =
       test_get_retries_dropped_connection;
     Alcotest.test_case "POST not retried after send" `Quick
       test_post_not_retried_after_send;
+    Alcotest.test_case "request counters by status" `Quick
+      test_request_counters_by_status;
   ]

@@ -6,6 +6,9 @@
 module Obs = Versioning_obs.Obs
 module Metrics = Versioning_obs.Metrics
 module Trace = Versioning_obs.Trace
+module Ctx = Versioning_obs.Context
+module Flight = Versioning_obs.Flight
+module Logctx = Versioning_obs.Logctx
 module Pool = Versioning_util.Pool
 
 let contains hay needle =
@@ -218,6 +221,185 @@ let test_chrome_export_and_summary () =
       Alcotest.(check int) "both occurrences" 2 a.Trace.count
   | aggs -> Alcotest.failf "expected one aggregate, got %d" (List.length aggs)
 
+(* ---- tracing: ring sizing, export shape, context, flight, logctx ---- *)
+
+let test_trace_ring_capacity () =
+  Alcotest.(check (result int string))
+    "valid value" (Ok 64)
+    (Trace.capacity_of_string "64");
+  Alcotest.(check bool) "non-integer rejected" true
+    (Result.is_error (Trace.capacity_of_string "abc"));
+  Alcotest.(check bool) "too small rejected" true
+    (Result.is_error (Trace.capacity_of_string "4"));
+  Alcotest.(check bool) "empty rejected" true
+    (Result.is_error (Trace.capacity_of_string ""));
+  let old = Trace.capacity () in
+  Fun.protect ~finally:(fun () -> Trace.set_capacity old) @@ fun () ->
+  Obs.with_enabled true @@ fun () ->
+  Trace.set_capacity 32;
+  for i = 0 to 39 do
+    Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "count survives truncation" 40 (Trace.span_count ());
+  let spans = Trace.spans () in
+  Alcotest.(check int) "ring bounded" 32 (List.length spans);
+  (* 40 spans through a 32-slot ring: s0..s7 fell off the front *)
+  Alcotest.(check string) "oldest survivor" "s8" (List.hd spans).Trace.name;
+  Alcotest.check_raises "below minimum"
+    (Invalid_argument "Trace.set_capacity: 4 outside [16, 1048576]") (fun () ->
+      Trace.set_capacity 4)
+
+let test_chrome_golden () =
+  let tid = "0123456789abcdef0123456789abcdef" in
+  let spans =
+    [
+      {
+        Trace.id = 1;
+        parent = None;
+        name = {|solve "mca"|};
+        start = 1.5;
+        dur = 0.25;
+        domain = 0;
+        alloc = 2048.0;
+        trace = Some tid;
+      };
+      {
+        Trace.id = 2;
+        parent = Some 1;
+        name = "inner";
+        start = 1.625;
+        dur = 0.125;
+        domain = 1;
+        alloc = 0.0;
+        trace = None;
+      };
+    ]
+  in
+  let expected =
+    {|{"displayTimeUnit":"ms","traceEvents":[|}
+    ^ {|{"name":"solve \"mca\"","cat":"dsvc","ph":"X","ts":1500000.0,"dur":250000.0,"pid":1,"tid":0,"args":{"id":1,"parent":null,"trace":"0123456789abcdef0123456789abcdef","alloc_bytes":2048}},|}
+    ^ {|{"name":"inner","cat":"dsvc","ph":"X","ts":1625000.0,"dur":125000.0,"pid":1,"tid":1,"args":{"id":2,"parent":1,"trace":null,"alloc_bytes":0}}|}
+    ^ "]}"
+  in
+  Alcotest.(check string) "trace_event golden" expected
+    (Trace.chrome_json_of_spans spans)
+
+let test_context_traceparent_roundtrip () =
+  let ctx = Ctx.make ~sampled:true () in
+  Alcotest.(check int) "trace id is 32 hex chars" 32
+    (String.length ctx.Ctx.trace_id);
+  Alcotest.(check int) "request id is 16 hex chars" 16
+    (String.length ctx.Ctx.request_id);
+  let hdr = Ctx.to_traceparent ~span:255 ctx in
+  Alcotest.(check string) "w3c shape"
+    ("00-" ^ ctx.Ctx.trace_id ^ "-00000000000000ff-01")
+    hdr;
+  (match Ctx.of_traceparent hdr with
+  | None -> Alcotest.fail "valid header must parse"
+  | Some c ->
+      Alcotest.(check string) "trace id survives" ctx.Ctx.trace_id c.Ctx.trace_id;
+      Alcotest.(check (option int)) "span id survives" (Some 255)
+        c.Ctx.parent_span;
+      Alcotest.(check bool) "sampled flag survives" true c.Ctx.sampled);
+  (match Ctx.of_traceparent ("00-" ^ ctx.Ctx.trace_id ^ "-00000000000000ff-00") with
+  | Some c -> Alcotest.(check bool) "unsampled flag survives" false c.Ctx.sampled
+  | None -> Alcotest.fail "valid unsampled header must parse");
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" bad)
+        true
+        (Ctx.of_traceparent bad = None))
+    [ ""; "zz-nope"; "00-abc-def-01"; "00-" ^ ctx.Ctx.trace_id ^ "-xyz-01" ];
+  Alcotest.(check (option string)) "sanitize keeps clean ids"
+    (Some "req-1.a_B") (Ctx.sanitize_id " req-1.a_B ");
+  Alcotest.(check (option string)) "sanitize drops header injection" None
+    (Ctx.sanitize_id "evil\r\nX-Other: 1")
+
+let test_flight_gate_independent () =
+  Obs.with_enabled false @@ fun () ->
+  Fun.protect ~finally:(fun () -> Flight.reset ()) @@ fun () ->
+  Flight.reset ();
+  Trace.reset ();
+  (* No ambient context: the off path records nowhere. *)
+  Trace.with_span "dark" (fun () -> ());
+  Alcotest.(check int) "no trace spans" 0 (Trace.span_count ());
+  Alcotest.(check int) "no flight events" 0 (Flight.event_count ());
+  (* A sampled context: flight only, trace ring still untouched. *)
+  let ctx = Ctx.make ~sampled:true () in
+  Ctx.with_context ctx (fun () -> Trace.with_span "lit" (fun () -> ()));
+  Alcotest.(check int) "trace ring still empty" 0 (Trace.span_count ());
+  Alcotest.(check int) "one flight event" 1 (Flight.event_count ());
+  let json = Flight.to_json () in
+  Alcotest.(check bool) "dump names the span" true (contains json {|"lit"|});
+  Alcotest.(check bool) "dump carries the trace id" true
+    (contains json ctx.Ctx.trace_id)
+
+let test_logctx_stamps_ids () =
+  let buf = Buffer.create 256 in
+  let saved_level = Logs.level () in
+  Fun.protect
+    ~finally:(fun () ->
+      Logs.set_reporter Logs.nop_reporter;
+      Logs.set_level saved_level;
+      Unix.putenv "DSVC_LOG_FORMAT" "";
+      Flight.reset ())
+  @@ fun () ->
+  Logs.set_reporter (Logctx.reporter ~out:(Buffer.add_string buf) ());
+  Logs.set_level (Some Logs.Info);
+  Flight.reset ();
+  let ctx = Ctx.make ~sampled:false () in
+  Ctx.with_context ctx (fun () -> Logs.info (fun m -> m "hello %d" 42));
+  let line = Buffer.contents buf in
+  Alcotest.(check bool) "message present" true (contains line "hello 42");
+  Alcotest.(check bool) "request id stamped" true
+    (contains line ctx.Ctx.request_id);
+  Alcotest.(check bool) "trace id stamped" true (contains line ctx.Ctx.trace_id);
+  Alcotest.(check int) "record mirrored into flight ring" 1
+    (Flight.event_count ());
+  Buffer.clear buf;
+  Unix.putenv "DSVC_LOG_FORMAT" "json";
+  Ctx.with_context ctx (fun () ->
+      Logctx.with_fields
+        [ ("op", "test") ]
+        (fun () -> Logs.warn (fun m -> m "json line")));
+  let line = Buffer.contents buf in
+  Alcotest.(check bool) "json level" true (contains line {|"level":"warning"|});
+  Alcotest.(check bool) "json message" true (contains line {|"msg":"json line"|});
+  Alcotest.(check bool) "explicit field" true (contains line {|"op":"test"|});
+  Alcotest.(check bool) "json request id" true
+    (contains line ctx.Ctx.request_id)
+
+let test_pool_trace_propagation () =
+  Obs.with_enabled true @@ fun () ->
+  Fun.protect ~finally:(fun () -> Flight.reset ()) @@ fun () ->
+  Trace.reset ();
+  Flight.reset ();
+  let n = 64 in
+  let ctx = Ctx.make ~sampled:true () in
+  Ctx.with_context ctx @@ fun () ->
+  let out =
+    Trace.with_span "outer" (fun () ->
+        Pool.parallel_init ~jobs:2 n (fun i ->
+            Trace.with_span "task" (fun () -> i)))
+  in
+  Alcotest.(check int) "results intact" (n - 1) out.(n - 1);
+  let spans = Trace.spans () in
+  let pool_span =
+    List.find (fun s -> s.Trace.name = "pool.parallel_init") spans
+  in
+  let tasks = List.filter (fun s -> s.Trace.name = "task") spans in
+  Alcotest.(check int) "every task recorded" n (List.length tasks);
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check (option int)) "parent survives the domain hop"
+        (Some pool_span.Trace.id) s.Trace.parent;
+      Alcotest.(check (option string)) "trace id survives the domain hop"
+        (Some ctx.Ctx.trace_id) s.Trace.trace)
+    tasks;
+  Alcotest.(check bool) "sampled spans reached the flight ring" true
+    (Flight.event_count () > 0)
+
 let suite =
   [
     Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
@@ -236,4 +418,13 @@ let suite =
     Alcotest.test_case "span across pool" `Quick test_span_across_pool;
     Alcotest.test_case "chrome export and summary" `Quick
       test_chrome_export_and_summary;
+    Alcotest.test_case "trace ring capacity" `Quick test_trace_ring_capacity;
+    Alcotest.test_case "chrome trace golden" `Quick test_chrome_golden;
+    Alcotest.test_case "traceparent roundtrip" `Quick
+      test_context_traceparent_roundtrip;
+    Alcotest.test_case "flight recorder gate-independent" `Quick
+      test_flight_gate_independent;
+    Alcotest.test_case "logctx stamps ids" `Quick test_logctx_stamps_ids;
+    Alcotest.test_case "pool trace propagation" `Quick
+      test_pool_trace_propagation;
   ]

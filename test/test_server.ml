@@ -68,8 +68,8 @@ let test_percent_decode () =
 
 (* ---- routing (pure, no sockets) ---- *)
 
-let mk_request ?(meth = "GET") ?(query = []) ?(body = "") path =
-  { Http.meth; path; query; headers = []; body }
+let mk_request ?(meth = "GET") ?(query = []) ?(headers = []) ?(body = "") path =
+  { Http.meth; path; query; headers; body }
 
 let mk_repo () =
   let repo = ok (Repo.init ~path:(temp_dir ())) in
@@ -301,6 +301,10 @@ let test_graceful_shutdown () =
   Fun.protect
     ~finally:(fun () -> Sys.set_signal Sys.sigterm old)
     (fun () ->
+      (* earlier tests may have left sampled events in the flight ring;
+         drop them so the signal-initiated shutdown below doesn't dump
+         a post-mortem file into the test runner's cwd *)
+      Versioning_obs.Flight.reset ();
       let repo = mk_repo () in
       let port = 17512 + (Unix.getpid () mod 900) in
       let finished = ref false in
@@ -319,6 +323,145 @@ let test_graceful_shutdown () =
         Unix.sleepf 0.3
       done;
       Alcotest.(check bool) "server stopped gracefully" true !finished)
+
+(* ---- request tracing across the client/server boundary ---- *)
+
+module Obs = Versioning_obs.Obs
+module Ctx = Versioning_obs.Context
+module Trace = Versioning_obs.Trace
+module Flight = Versioning_obs.Flight
+module Logctx = Versioning_obs.Logctx
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* The ISSUE's acceptance test: a traced client→server optimize yields
+   one trace — client and server spans share the caller's trace id,
+   the server span nests under the client's, and the access log line
+   carries the client-sent request id. In-process threads share the
+   span ring, so the "client" and "server" sides are both visible. *)
+let test_trace_propagation_end_to_end () =
+  Obs.with_enabled true @@ fun () ->
+  let buf = Buffer.create 1024 in
+  Fun.protect
+    ~finally:(fun () ->
+      Logs.set_reporter Logs.nop_reporter;
+      Logs.set_level (Some Logs.Warning);
+      Flight.reset ())
+  @@ fun () ->
+  Trace.reset ();
+  Flight.reset ();
+  Logs.set_reporter (Logctx.reporter ~out:(Buffer.add_string buf) ());
+  Logs.set_level (Some Logs.Info);
+  let repo = mk_repo () in
+  let port = 18200 + (Unix.getpid () mod 900) in
+  let server =
+    Thread.create
+      (fun () -> ignore (Server.serve repo ~port ~max_requests:1 ()))
+      ()
+  in
+  Unix.sleepf 0.2;
+  let client = Client.connect ~host:"127.0.0.1" ~port () in
+  let ctx = Ctx.make ~sampled:false () in
+  let stats =
+    Ctx.with_context ctx (fun () -> Client.optimize client "min-storage")
+  in
+  Thread.join server;
+  (match stats with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "optimize failed: %s" e);
+  let spans = Trace.spans () in
+  let find name = List.find_opt (fun s -> s.Trace.name = name) spans in
+  let client_span =
+    match find "client.request" with
+    | Some s -> s
+    | None -> Alcotest.fail "client.request span missing"
+  in
+  let server_span =
+    match find "server.request" with
+    | Some s -> s
+    | None -> Alcotest.fail "server.request span missing"
+  in
+  Alcotest.(check bool) "optimize span present" true (find "optimize" <> None);
+  Alcotest.(check (option string)) "client span carries the caller's trace id"
+    (Some ctx.Ctx.trace_id) client_span.Trace.trace;
+  Alcotest.(check (option string)) "server span joins the same trace"
+    (Some ctx.Ctx.trace_id) server_span.Trace.trace;
+  Alcotest.(check (option int)) "server span nests under the client span"
+    (Some client_span.Trace.id) server_span.Trace.parent;
+  let json = Trace.to_chrome_json () in
+  Alcotest.(check bool) "chrome export carries the trace id" true
+    (contains json ctx.Ctx.trace_id);
+  let log = Buffer.contents buf in
+  Alcotest.(check bool) "access log records the request" true
+    (contains log "POST /optimize -> 200");
+  Alcotest.(check bool) "access log carries the client request id" true
+    (contains log ctx.Ctx.request_id)
+
+let test_trace_endpoint_and_request_id_echo () =
+  Obs.with_enabled true @@ fun () ->
+  Trace.reset ();
+  let repo = mk_repo () in
+  let ctx = Ctx.make ~sampled:false () in
+  let headers =
+    [
+      ("traceparent", Ctx.to_traceparent ~span:7 ctx);
+      ("x-dsvc-request-id", ctx.Ctx.request_id);
+    ]
+  in
+  let r = Server.handle_safe repo (mk_request ~headers "/checkout/1") in
+  Alcotest.(check int) "200" 200 r.Http.status;
+  Alcotest.(check (option string)) "request id echoed in a response header"
+    (Some ctx.Ctx.request_id)
+    (List.assoc_opt "X-Dsvc-Request-Id" r.Http.headers);
+  let server_span =
+    List.find (fun s -> s.Trace.name = "server.request") (Trace.spans ())
+  in
+  Alcotest.(check (option string)) "span joined the header's trace"
+    (Some ctx.Ctx.trace_id) server_span.Trace.trace;
+  Alcotest.(check (option int)) "span parented on the header's span id"
+    (Some 7) server_span.Trace.parent;
+  let r =
+    Server.handle_safe repo (mk_request ("/trace/" ^ ctx.Ctx.request_id))
+  in
+  Alcotest.(check int) "/trace/:id answers" 200 r.Http.status;
+  Alcotest.(check bool) "summary names the request" true
+    (contains r.Http.body ctx.Ctx.request_id);
+  Alcotest.(check bool) "summary names the route" true
+    (contains r.Http.body "/checkout/:name");
+  Alcotest.(check bool) "summary includes the server span" true
+    (contains r.Http.body "server.request");
+  let r = Server.handle_safe repo (mk_request "/trace/nosuch") in
+  Alcotest.(check int) "unknown id is 404" 404 r.Http.status
+
+(* With the gate off and the context unsampled, tracing must change
+   nothing: plans stay byte-identical across identical repositories
+   and neither the span ring nor the flight recorder sees an event. *)
+let test_off_mode_is_silent () =
+  Obs.with_enabled false @@ fun () ->
+  Fun.protect ~finally:(fun () -> Flight.reset ()) @@ fun () ->
+  Trace.reset ();
+  Flight.reset ();
+  let run () =
+    let repo = mk_repo () in
+    let ctx = Ctx.make ~sampled:false () in
+    let headers = [ ("traceparent", Ctx.to_traceparent ctx) ] in
+    let r =
+      Server.handle_safe repo
+        (mk_request ~headers ~meth:"POST"
+           ~query:[ ("strategy", "min-storage") ]
+           "/optimize")
+    in
+    Alcotest.(check int) "optimize ok" 200 r.Http.status;
+    r.Http.body
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check string) "plans byte-identical with tracing off" a b;
+  Alcotest.(check int) "no spans recorded" 0 (Trace.span_count ());
+  Alcotest.(check int) "no flight events" 0 (Flight.event_count ())
 
 let suite =
   [
@@ -339,4 +482,9 @@ let suite =
     Alcotest.test_case "route /metrics" `Quick test_route_metrics;
     Alcotest.test_case "socket end-to-end" `Quick test_socket_end_to_end;
     Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
+    Alcotest.test_case "trace propagation end-to-end" `Quick
+      test_trace_propagation_end_to_end;
+    Alcotest.test_case "trace endpoint and request id echo" `Quick
+      test_trace_endpoint_and_request_id_echo;
+    Alcotest.test_case "off mode is silent" `Quick test_off_mode_is_silent;
   ]
