@@ -7,8 +7,10 @@
      dune exec bench/main.exe -- --out data/    # also write CSV series
 
    Experiments: fig12 sec52 fig13 fig14 fig15 fig16 fig17 table2
-   table2b ablation micro (micro = Bechamel microbenchmarks of the
-   algorithm kernels; table2b and ablation go beyond the paper).
+   table2b ablation micro perf cluster (micro = Bechamel
+   microbenchmarks of the algorithm kernels; table2b, ablation, perf
+   and cluster go beyond the paper — cluster measures the replicated
+   store of DESIGN.md §12).
 
    Absolute numbers differ from the paper (its datasets are 100k
    versions of ~350 MB; ours are laptop-scale — see DESIGN.md §2);
@@ -24,6 +26,9 @@ module Pool = Versioning_util.Pool
 module Line_diff = Versioning_delta.Line_diff
 module Compress = Versioning_delta.Compress
 module Repo = Versioning_store.Repo
+module Backend = Versioning_store.Backend
+module Replicated = Versioning_store.Replicated
+module Content_hash = Versioning_store.Content_hash
 module Fsutil = Versioning_util.Fsutil
 module Obs = Versioning_obs.Obs
 module Metrics = Versioning_obs.Metrics
@@ -75,6 +80,18 @@ type checkout_run = {
 }
 
 let checkout_runs : checkout_run list ref = ref []
+
+type cluster_run = {
+  kmembers : int;
+  kdown : int;  (* members simulated unreachable during the run *)
+  kreplicas : int;
+  kblobs : int;
+  kreads : int;
+  kput_wall : float;
+  kget_wall : float;
+}
+
+let cluster_runs : cluster_run list ref = ref []
 
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6f" f else "0.0"
@@ -172,6 +189,22 @@ let emit_bench_json path ~quick ~jobs =
         c.cmode c.caccesses (json_float c.cwall) (json_float mean_us) c.chits
         c.cpartial c.cmisses)
     (List.rev !checkout_runs);
+  add "\n  ],\n";
+  (* Rows lead with "members", not "name", so the --check baseline
+     scanner cannot mistake them for experiment entries. *)
+  add "  \"cluster\": [";
+  comma_sep
+    (fun k ->
+      let rate =
+        if k.kget_wall > 0.0 then float_of_int k.kreads /. k.kget_wall else 0.0
+      in
+      add
+        "\n    {\"members\": %d, \"down\": %d, \"replicas\": %d, \"blobs\": %d, \
+         \"reads\": %d, \"put_wall_s\": %s, \"get_wall_s\": %s, \
+         \"reads_per_s\": %s}"
+        k.kmembers k.kdown k.kreplicas k.kblobs k.kreads
+        (json_float k.kput_wall) (json_float k.kget_wall) (json_float rate))
+    (List.rev !cluster_runs);
   add "\n  ]\n}\n";
   match
     Fsutil.write_file_atomic ~fsync:false ~site:"bench.json" path
@@ -1156,6 +1189,100 @@ let perf ~quick ~jobs seed =
      once, then served or extended from the cache)."
 
 (* ------------------------------------------------------------------ *)
+(* cluster: price of replication in the sharded store (DESIGN.md §12). *)
+(* ------------------------------------------------------------------ *)
+
+(* In-process [Replicated] views over memory backends — no sockets, so
+   the measured delta between member counts is the cost of quorum
+   placement, digest verification and handoff bookkeeping themselves.
+   The fourth row repeats the 3-member run with one peer returning
+   errors: every put must still reach quorum via hinted handoff and
+   every read must fail over, with zero client-visible failures. *)
+let cluster ~quick seed =
+  header "cluster: replicated store put/get throughput (in-process)";
+  let blobs = if quick then 150 else 600 in
+  let reads = if quick then 1500 else 6000 in
+  let contents =
+    Array.init blobs (fun i ->
+        let n = 64 + ((i * 37) mod 192) in
+        String.init n (fun j ->
+            Char.chr (32 + (((i * 31) + (j * 7)) mod 95))))
+  in
+  let digests = Array.map Content_hash.hex contents in
+  let stream =
+    Array.of_list
+      (Retrieval_sim.zipf_stream ~n_versions:blobs ~length:reads ~exponent:1.2
+         (Prng.create ~seed:(seed + 32)))
+  in
+  Printf.printf "%d blobs, %d Zipf reads per configuration\n\n" blobs reads;
+  Printf.printf "%-10s %6s %10s %12s %12s %12s\n" "members" "down" "replicas"
+    "put (s)" "get (s)" "reads/s";
+  let rows = [ (1, 0); (2, 0); (3, 0); (3, 1) ] in
+  List.iter
+    (fun (m, down) ->
+      let name i = Printf.sprintf "node-%d" i in
+      let unreachable = Printf.sprintf "%s unreachable" in
+      let mk i =
+        (* the down member is never self: a peer that errors on every
+           op, exercising handoff on puts and failover on reads *)
+        if i >= m - down then
+          ( name i,
+            {
+              (Backend.memory ()) with
+              Backend.name = name i;
+              put = (fun ~digest:_ _ -> Error (unreachable (name i)));
+              get = (fun ~digest:_ -> Error (unreachable (name i)));
+              mem = (fun ~digest:_ -> false);
+              list = (fun () -> []);
+              ping = (fun () -> Error (unreachable (name i)));
+            } )
+        else (name i, Backend.memory ())
+      in
+      let backends = List.init m mk in
+      let t =
+        Replicated.create ~replicas:2 ~self:(name 0)
+          ~self_backend:(List.assoc (name 0) backends)
+          ~peers:(List.filter (fun (n, _) -> n <> name 0) backends)
+          ()
+      in
+      let ((), put_wall) =
+        time (fun () ->
+            Array.iteri
+              (fun i content -> ok (Replicated.put t ~digest:digests.(i) content))
+              contents)
+      in
+      let ((), get_wall) =
+        time (fun () ->
+            Array.iter
+              (fun v ->
+                let i = v - 1 in
+                let got = ok (Replicated.get t ~digest:digests.(i)) in
+                if got <> contents.(i) then
+                  failwith (Printf.sprintf "cluster bench: blob %d corrupt" i))
+              stream)
+      in
+      cluster_runs :=
+        {
+          kmembers = m;
+          kdown = down;
+          kreplicas = Replicated.replicas t;
+          kblobs = blobs;
+          kreads = reads;
+          kput_wall = put_wall;
+          kget_wall = get_wall;
+        }
+        :: !cluster_runs;
+      Printf.printf "%-10d %6d %10d %12.3f %12.3f %12.0f\n" m down
+        (Replicated.replicas t) put_wall get_wall
+        (if get_wall > 0.0 then float_of_int reads /. get_wall else 0.0))
+    rows;
+  print_endline
+    "\nshape check: puts slow with member count (quorum fan-out) while\n\
+     reads stay near single-member speed (served by the first healthy\n\
+     owner); the degraded row completes with zero failed operations\n\
+     (handoff covers the dead owner's writes, failover its reads)."
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1256,6 +1383,7 @@ let () =
   run_exp "ablation" (fun () -> ablation ~quick seed);
   run_exp "micro" (fun () -> micro ());
   run_exp "perf" (fun () -> perf ~quick ~jobs seed);
+  run_exp "cluster" (fun () -> cluster ~quick seed);
   emit_bench_json bench_out ~quick ~jobs;
   if check then begin
     let timings = List.rev !exp_timings in

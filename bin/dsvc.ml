@@ -291,6 +291,58 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Check repository integrity")
     Term.(const run $ repo_dir)
 
+(* Cluster flags shared by serve, fsck, and remote: a comma-separated
+   peer list, the replication factor, and this node's own ring name
+   (host:port as peers address it; defaults to the bind address). *)
+let peers_arg =
+  Arg.(
+    value
+    & opt (list ~sep:',' string) []
+    & info [ "peers" ] ~docv:"HOST:PORT,..."
+        ~doc:
+          "Run as a cluster node replicating blobs to these peers \
+           (host:port, comma separated). Without it, single-node \
+           behaviour is unchanged.")
+
+let replicas_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "replicas" ] ~docv:"R"
+        ~doc:"Copies of every blob across the cluster (cluster mode).")
+
+let self_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "self" ] ~docv:"HOST:PORT"
+        ~doc:
+          "This node's name on the ring, as the peers address it \
+           (default: the bind host:port). All nodes must agree on the \
+           member list or ring epochs diverge.")
+
+(* The node's local shard plus the replicated quorum view over it —
+   what cluster serve plugs into the repo and fsck checks against. *)
+let build_cluster ~dir ~self ~peers ~replicas =
+  let module VS = Versioning_store in
+  let local_store =
+    or_die (VS.Object_store.create ~dir:(Repo.objects_dir dir))
+  in
+  let peer_clients =
+    List.map
+      (fun ep ->
+        let host, port = or_die (VS.Cluster_client.parse_endpoint ep) in
+        let c = VS.Client.connect ~timeout:5.0 ~retries:2 ~host ~port () in
+        (VS.Client.endpoint c, c))
+      peers
+  in
+  let replicated =
+    VS.Replicated.create ~replicas ~self
+      ~self_backend:(VS.Object_store.backend local_store)
+      ~peers:(List.map (fun (n, c) -> (n, VS.Client.backend c)) peer_clients)
+      ()
+  in
+  { VS.Server.local_store; replicated; peer_clients }
+
 let fsck_cmd =
   let repair =
     Arg.(
@@ -301,8 +353,29 @@ let fsck_cmd =
              corrupt objects, re-materialize versions with broken delta \
              chains, and resolve any interrupted optimize.")
   in
-  let run dir repair =
-    let result = or_die (Repo.fsck ~path:dir ~repair) in
+  let run dir repair peers replicas self =
+    let result =
+      if peers = [] then or_die (Repo.fsck ~path:dir ~repair)
+      else begin
+        (* Cluster fsck: check against the replicated view, so blobs
+           this node holds only remotely (its peers' shards) count as
+           present. The node must not be serving (repo lock). *)
+        let self =
+          match self with
+          | Some s -> s
+          | None ->
+              Printf.eprintf "dsvc: fsck --peers requires --self\n";
+              exit 2
+        in
+        let cluster = build_cluster ~dir ~self ~peers ~replicas in
+        let store =
+          Versioning_store.Object_store.of_backend
+            (Versioning_store.Replicated.backend
+               cluster.Versioning_store.Server.replicated)
+        in
+        or_die (Repo.fsck_with ~store ~path:dir ~repair)
+      end
+    in
     List.iter (Printf.printf "fsck: %s\n") result.Repo.actions;
     match result.Repo.problems with
     | [] -> print_endline "repository is consistent"
@@ -317,7 +390,7 @@ let fsck_cmd =
   Cmd.v
     (Cmd.info "fsck"
        ~doc:"Check repository integrity and optionally repair damage")
-    Term.(const run $ repo_dir $ repair)
+    Term.(const run $ repo_dir $ repair $ peers_arg $ replicas_arg $ self_arg)
 
 (* -- stats -- *)
 
@@ -354,17 +427,38 @@ let serve_cmd =
       & opt (some int) None
       & info [ "max-requests" ] ~docv:"N" ~doc:"Stop after N requests (for scripting/tests).")
   in
-  let run dir port host max_requests =
-    let repo = open_repo dir in
+  let run dir port host max_requests peers replicas self =
     (* Access-log lines (one per request, with request/trace id) are
        emitted at Info. *)
     Logs.set_level (Some Logs.Info);
-    or_die (Versioning_store.Server.serve repo ~port ~host ?max_requests ())
+    if peers = [] then begin
+      let repo = open_repo dir in
+      or_die (Versioning_store.Server.serve repo ~port ~host ?max_requests ())
+    end
+    else begin
+      let self =
+        match self with
+        | Some s -> s
+        | None -> Printf.sprintf "%s:%d" host port
+      in
+      let cluster = build_cluster ~dir ~self ~peers ~replicas in
+      let store =
+        Versioning_store.Object_store.of_backend
+          (Versioning_store.Replicated.backend
+             cluster.Versioning_store.Server.replicated)
+      in
+      let repo = or_die (Repo.open_with ~store ~path:dir) in
+      or_die
+        (Versioning_store.Server.serve ~cluster repo ~port ~host ?max_requests
+           ())
+    end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve the repository over HTTP (the paper's client-server mode)")
-    Term.(const run $ repo_dir $ port $ host $ max_requests)
+    Term.(
+      const run $ repo_dir $ port $ host $ max_requests $ peers_arg
+      $ replicas_arg $ self_arg)
 
 (* -- export-graph -- *)
 
@@ -575,13 +669,58 @@ let remote_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"ACTION"
-          ~doc:"One of: log, checkout NAME [FILE], commit FILE [MSG],                 stats, optimize STRATEGY, verify.")
+          ~doc:"One of: log, checkout NAME [FILE], commit FILE [MSG],                 stats, optimize STRATEGY, verify, health, anti-entropy.")
   in
   let rest = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS") in
-  let run host port action rest =
-    let client = Versioning_store.Client.connect ~host ~port () in
+  let run host port action rest peers =
     let module C = Versioning_store.Client in
+    let module CC = Versioning_store.Cluster_client in
+    (* With --peers the client fails over across the listed endpoints
+       (transport errors only); host/port become the first endpoint. *)
+    let cluster =
+      or_die (CC.connect (Printf.sprintf "%s:%d" host port :: peers))
+    in
+    let client = Versioning_store.Client.connect ~host ~port () in
+    let use_cluster = peers <> [] in
     match (action, rest) with
+    | "health", [] ->
+        List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v)
+          (or_die (if use_cluster then CC.health cluster else C.health client))
+    | "anti-entropy", [] ->
+        List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v)
+          (or_die
+             (if use_cluster then CC.anti_entropy cluster
+              else C.anti_entropy client))
+    | _ when use_cluster -> (
+        match (action, rest) with
+        | "log", [] ->
+            Printf.eprintf "dsvc remote: log is not available with --peers\n";
+            exit 1
+        | "checkout", [ name ] ->
+            print_string (or_die (CC.checkout cluster name))
+        | "checkout", [ name; file ] ->
+            let content = or_die (CC.checkout cluster name) in
+            or_die (Fsutil.write_file file content);
+            Printf.printf "%s -> %s (%d bytes)\n" name file
+              (String.length content)
+        | "commit", file :: msg_parts ->
+            let content = or_die (read_file file) in
+            let message = String.concat " " msg_parts in
+            let id = or_die (CC.commit cluster ~message content) in
+            Printf.printf "committed as version %d\n" id
+        | "stats", [] ->
+            List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v)
+              (or_die (CC.stats cluster))
+        | "optimize", [ strategy ] ->
+            List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v)
+              (or_die (CC.optimize cluster strategy))
+        | "verify", [] ->
+            or_die (CC.verify cluster);
+            print_endline "remote repository is consistent"
+        | _ ->
+            Printf.eprintf "dsvc remote: unknown action %s %s\n" action
+              (String.concat " " rest);
+            exit 1)
     | "log", [] ->
         List.iter
           (fun (id, parents, msg) ->
@@ -617,7 +756,7 @@ let remote_cmd =
   in
   Cmd.v
     (Cmd.info "remote" ~doc:"Operate on a served repository over HTTP")
-    Term.(const run $ host $ port $ action $ rest)
+    Term.(const run $ host $ port $ action $ rest $ peers_arg)
 
 (* -- trace (run any subcommand traced) -- *)
 

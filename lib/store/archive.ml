@@ -1,3 +1,5 @@
+module Fsutil = Versioning_util.Fsutil
+
 type entry = { path : string; content : string }
 
 let magic = "dsvc-archive 1"

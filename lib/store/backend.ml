@@ -1,0 +1,169 @@
+module Fsutil = Versioning_util.Fsutil
+module Faults = Versioning_util.Faults
+
+type t = {
+  name : string;
+  put : digest:string -> string -> (unit, string) result;
+  get : digest:string -> (string, string) result;
+  mem : digest:string -> bool;
+  delete : digest:string -> unit;
+  list : unit -> (string * int) list;
+  total_bytes : unit -> int;
+  quarantine : digest:string -> (string, string) result;
+  ping : unit -> (unit, string) result;
+}
+
+let ( let* ) = Result.bind
+
+(* On-disk framing: blobs are stored raw ('R' + bytes) or
+   LZ77-compressed ('C' + codestream), whichever is smaller — the
+   digest always addresses the logical content. The in-memory backend
+   uses the same framing so the two agree byte-for-byte on physical
+   sizes and on what an injected [Corrupt] fault does to a blob. *)
+
+let frame content =
+  let compressed = Versioning_delta.Compress.lz77 content in
+  if String.length compressed < String.length content then "C" ^ compressed
+  else "R" ^ content
+
+let unframe framed =
+  if String.length framed = 0 then Error "empty object file"
+  else
+    match framed.[0] with
+    | 'R' -> Ok (String.sub framed 1 (String.length framed - 1))
+    | 'C' -> (
+        try
+          Ok
+            (Versioning_delta.Compress.unlz77
+               (String.sub framed 1 (String.length framed - 1)))
+        with Invalid_argument e -> Error ("corrupt compressed object: " ^ e))
+    | _ -> Error "unknown object framing"
+
+(* Local filesystem: two-character fan-out like Git. *)
+
+let fs_path ~dir digest =
+  Filename.concat dir
+    (Filename.concat (String.sub digest 0 2) (String.sub digest 2 30))
+
+let fs ~dir =
+  let* () = Fsutil.mkdir_p dir in
+  let path_of digest = fs_path ~dir digest in
+  let quarantine_dir = Filename.concat dir "quarantine" in
+  let put ~digest content =
+    let path = path_of digest in
+    if Sys.file_exists path then Ok ()
+    else
+      Fsutil.write_file_atomic ~site:"object_store.write" path (frame content)
+  in
+  let get ~digest =
+    let path = path_of digest in
+    if Sys.file_exists path then
+      let* framed = Fsutil.read_file path in
+      unframe framed
+    else Error (Printf.sprintf "object %s not found" digest)
+  in
+  let mem ~digest = Sys.file_exists (path_of digest) in
+  let delete ~digest =
+    if mem ~digest then
+      try Sys.remove (path_of digest) with Sys_error _ -> ()
+  in
+  let list () =
+    if not (Sys.file_exists dir) then []
+    else
+      Sys.readdir dir |> Array.to_list
+      |> List.concat_map (fun prefix ->
+             let sub = Filename.concat dir prefix in
+             if Sys.is_directory sub && String.length prefix = 2 then
+               Sys.readdir sub |> Array.to_list
+               |> List.filter_map (fun rest ->
+                      let digest = prefix ^ rest in
+                      if not (Content_hash.is_valid digest) then None
+                      else
+                        match (Unix.stat (path_of digest)).Unix.st_size with
+                        | size -> Some (digest, size)
+                        | exception Unix.Unix_error _ -> None)
+             else [])
+  in
+  let total_bytes () =
+    List.fold_left (fun acc (_, size) -> acc + size) 0 (list ())
+  in
+  let quarantine ~digest =
+    let src = path_of digest in
+    if not (Sys.file_exists src) then
+      Error (Printf.sprintf "object %s not found" digest)
+    else
+      let* () = Fsutil.mkdir_p quarantine_dir in
+      let dst = Filename.concat quarantine_dir digest in
+      try
+        Sys.rename src dst;
+        Ok dst
+      with Sys_error e -> Error e
+  in
+  let ping () =
+    if Sys.file_exists dir && Sys.is_directory dir then Ok ()
+    else Error (Printf.sprintf "store directory %s unreachable" dir)
+  in
+  Ok
+    {
+      name = "fs:" ^ dir;
+      put;
+      get;
+      mem;
+      delete;
+      list;
+      total_bytes;
+      quarantine;
+      ping;
+    }
+
+(* In-memory: a hashtable of framed blobs. Consults the same
+   ["object_store.write"] fault site as the filesystem backend so the
+   QCheck equivalence property can exercise both under identical
+   injected failures. *)
+
+let memory () =
+  let blobs : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let quarantined : (string, string) Hashtbl.t = Hashtbl.create 4 in
+  let put ~digest content =
+    if Hashtbl.mem blobs digest then Ok ()
+    else
+      match Faults.on_write "object_store.write" (frame content) with
+      | `Fail (_, msg) -> Error msg
+      | `Write (framed, crash) ->
+          Hashtbl.replace blobs digest framed;
+          if crash then Faults.crash "object_store.write" else Ok ()
+  in
+  let get ~digest =
+    match Hashtbl.find_opt blobs digest with
+    | Some framed -> unframe framed
+    | None -> Error (Printf.sprintf "object %s not found" digest)
+  in
+  let mem ~digest = Hashtbl.mem blobs digest in
+  let delete ~digest = Hashtbl.remove blobs digest in
+  let list () =
+    Hashtbl.fold (fun d framed acc -> (d, String.length framed) :: acc) blobs []
+    |> List.sort compare
+  in
+  let total_bytes () =
+    Hashtbl.fold (fun _ framed acc -> acc + String.length framed) blobs 0
+  in
+  let quarantine ~digest =
+    match Hashtbl.find_opt blobs digest with
+    | None -> Error (Printf.sprintf "object %s not found" digest)
+    | Some framed ->
+        Hashtbl.remove blobs digest;
+        Hashtbl.replace quarantined digest framed;
+        Ok ("memory:quarantine/" ^ digest)
+  in
+  let ping () = Ok () in
+  {
+    name = "memory";
+    put;
+    get;
+    mem;
+    delete;
+    list;
+    total_bytes;
+    quarantine;
+    ping;
+  }

@@ -290,3 +290,75 @@ let switch t name = unit_post t ("/switch/" ^ name) []
 
 let verify t =
   Result.map (fun _ -> ()) (expect_ok t ~meth:"GET" ~path:"/verify" ())
+
+(* ---- cluster support ---- *)
+
+let endpoint t = Printf.sprintf "%s:%d" t.host t.port
+
+let health t = Result.map kv_body (expect_ok t ~meth:"GET" ~path:"/health" ())
+
+(* The failure detector's probe: one attempt, no backoff — a probe
+   that silently retried would hide exactly the flakiness the
+   detector exists to measure. *)
+let ping t =
+  match request { t with retries = 1 } ~meth:"GET" ~path:"/health" () with
+  | Ok (s, _) when s >= 200 && s < 300 -> Ok ()
+  | Ok (s, body) -> Error (Printf.sprintf "health %d: %s" s (String.trim body))
+  | Error _ as e -> e
+
+let get_blob t digest = expect_ok t ~meth:"GET" ~path:("/blob/" ^ digest) ()
+
+let put_blob t ~digest content =
+  Result.map
+    (fun _ -> ())
+    (expect_ok t ~meth:"POST" ~path:("/blob/" ^ digest) ~body:content ())
+
+let mem_blob t digest =
+  match request t ~meth:"GET" ~path:("/blob/" ^ digest ^ "/stat") () with
+  | Ok (200, _) -> true
+  | Ok _ | Error _ -> false
+
+let delete_blob t digest =
+  ignore (request t ~meth:"DELETE" ~path:("/blob/" ^ digest) ())
+
+let list_blobs t =
+  match expect_ok t ~meth:"GET" ~path:"/blobs" () with
+  | Error _ -> []
+  | Ok body ->
+      String.split_on_char '\n' (String.trim body)
+      |> List.filter_map (fun l ->
+             match String.split_on_char ' ' l with
+             | [ digest; size ] ->
+                 Option.map (fun s -> (digest, s)) (int_of_string_opt size)
+             | _ -> None)
+
+let quarantine_blob t digest =
+  expect_ok t ~meth:"POST" ~path:("/blob/" ^ digest ^ "/quarantine") ()
+
+let anti_entropy t =
+  Result.map kv_body (expect_ok t ~meth:"POST" ~path:"/anti-entropy" ())
+
+let push_meta t content =
+  Result.map
+    (fun body -> String.trim body = "adopted")
+    (expect_ok t ~meth:"POST" ~path:"/meta/sync" ~body:content ())
+
+let fetch_meta t = expect_ok t ~meth:"GET" ~path:"/meta" ()
+
+(* A peer's store as a {!Backend.t}: what {!Replicated} composes over.
+   Blob puts are idempotent (content-addressed), so cross-attempt
+   duplication is harmless. *)
+let backend t =
+  {
+    Backend.name = endpoint t;
+    put = (fun ~digest content -> put_blob t ~digest content);
+    get = (fun ~digest -> get_blob t digest);
+    mem = (fun ~digest -> mem_blob t digest);
+    delete = (fun ~digest -> delete_blob t digest);
+    list = (fun () -> list_blobs t);
+    total_bytes =
+      (fun () ->
+        List.fold_left (fun acc (_, s) -> acc + s) 0 (list_blobs t));
+    quarantine = (fun ~digest -> quarantine_blob t digest);
+    ping = (fun () -> ping t);
+  }

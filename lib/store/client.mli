@@ -60,3 +60,40 @@ val request :
   unit ->
   (int * string, string) result
 (** Raw escape hatch: returns [(status, body)]. *)
+
+(** {2 Cluster support} *)
+
+val endpoint : t -> string
+(** ["host:port"] — the peer's name on the {!Ring}. *)
+
+val ping : t -> (unit, string) result
+(** Cheap liveness probe against [GET /health]: single attempt, no
+    backoff (the {!Detector}'s probe must see real flakiness, not a
+    retried success). *)
+
+val health : t -> ((string * string) list, string) result
+(** The [GET /health] fields (status, journal, generation, ring
+    epoch, per-peer view) as key–value pairs. *)
+
+val get_blob : t -> string -> (string, string) result
+val put_blob : t -> digest:string -> string -> (unit, string) result
+val mem_blob : t -> string -> bool
+val delete_blob : t -> string -> unit
+
+val list_blobs : t -> (string * int) list
+(** [(digest, physical_size)] pairs from the peer's local store; an
+    unreachable peer yields []. *)
+
+val anti_entropy : t -> ((string * string) list, string) result
+(** Ask the peer to run an anti-entropy sweep; returns its report. *)
+
+val push_meta : t -> string -> (bool, string) result
+(** Push repository metadata ([POST /meta/sync]); [Ok true] when the
+    peer adopted it, [Ok false] when it was stale for the peer. *)
+
+val fetch_meta : t -> (string, string) result
+(** The peer's current metadata bytes ([GET /meta]). *)
+
+val backend : t -> Backend.t
+(** The peer's {e local} blob store as a {!Backend.t} over the
+    [/blob] routes — what {!Replicated} composes into a quorum. *)

@@ -1,0 +1,54 @@
+(** Failover client over several [dsvc serve] endpoints.
+
+    Wraps one {!Client} per endpoint and a {!Detector}: requests go to
+    the first usable endpoint (Up nodes in configured order, then
+    expired probations, then — only as a last resort — nodes still in
+    probation), and move to the next endpoint {e only} on
+    transport-level failures where no HTTP status came back. An HTTP
+    error (404/409/500) is the cluster answering and is returned
+    as-is: re-sending a mutation to a second node on a semantic error
+    could apply it twice against staler metadata.
+
+    A node killed after applying a commit but before responding does
+    force a re-send elsewhere; contents are content-addressed and
+    metadata adoption is generation-gated, so the worst case is a
+    duplicate version entry — never divergence (DESIGN.md §12).
+    Failovers are counted in [dsvc_cluster_client_failover_total] and
+    logged (hence visible in the flight ring). *)
+
+type t
+
+val parse_endpoint : string -> (string * int, string) result
+(** Split ["host:port"] (shared with the CLI's [--peers] parsing). *)
+
+val connect :
+  ?timeout:float ->
+  ?retries:int ->
+  ?detector:Detector.t ->
+  string list ->
+  (t, string) result
+(** [connect ["host:port"; …]] — endpoint order is the preference
+    order among equally healthy nodes. [timeout]/[retries] as in
+    {!Client.connect}; [detector] is injectable for tests. *)
+
+val endpoints : t -> string list
+
+val request :
+  t ->
+  meth:string ->
+  path:string ->
+  ?query:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result
+(** Raw escape hatch with failover; [Error] only when every endpoint
+    failed at the transport level. *)
+
+val checkout : t -> string -> (string, string) result
+val commit :
+  t -> ?message:string -> ?parents:int list -> string -> (int, string) result
+val stats : t -> ((string * string) list, string) result
+val optimize : t -> string -> ((string * string) list, string) result
+val verify : t -> (unit, string) result
+val health : t -> ((string * string) list, string) result
+val anti_entropy : t -> ((string * string) list, string) result

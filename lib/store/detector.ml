@@ -1,0 +1,97 @@
+module Metrics = Versioning_obs.Metrics
+
+type peer = {
+  mutable strikes : int;  (* consecutive failures since the last success *)
+  mutable down_until : float;  (* probation deadline; 0. when up *)
+  mutable downs : int;  (* completed probations, drives the backoff *)
+  mutable last_error : string;
+}
+
+type t = {
+  threshold : int;
+  probation_base : float;
+  probation_max : float;
+  now : unit -> float;
+  mutex : Mutex.t;
+  peers : (string, peer) Hashtbl.t;
+}
+
+let create ?(threshold = 3) ?(probation_base = 0.5) ?(probation_max = 30.0)
+    ?(now = Unix.gettimeofday) () =
+  {
+    threshold;
+    probation_base;
+    probation_max;
+    now;
+    mutex = Mutex.create ();
+    peers = Hashtbl.create 8;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let peer t name =
+  match Hashtbl.find_opt t.peers name with
+  | Some p -> p
+  | None ->
+      let p = { strikes = 0; down_until = 0.0; downs = 0; last_error = "" } in
+      Hashtbl.add t.peers name p;
+      p
+
+let gauge name up =
+  Metrics.gauge "dsvc_cluster_peer_up"
+    ~labels:[ ("peer", name) ]
+    (if up then 1.0 else 0.0)
+    ~help:"1 when the failure detector considers the peer usable"
+
+let ok t ~name =
+  with_lock t @@ fun () ->
+  let p = peer t name in
+  p.strikes <- 0;
+  p.down_until <- 0.0;
+  p.downs <- 0;
+  p.last_error <- "";
+  gauge name true
+
+let fail t ~name msg =
+  with_lock t @@ fun () ->
+  let p = peer t name in
+  p.strikes <- p.strikes + 1;
+  p.last_error <- msg;
+  if p.strikes >= t.threshold && p.down_until <= t.now () then begin
+    (* Exponential probation: each completed probation that ends in
+       another failure doubles the cool-off, capped. *)
+    let span =
+      Float.min t.probation_max
+        (t.probation_base *. (2.0 ** float_of_int p.downs))
+    in
+    p.down_until <- t.now () +. span;
+    p.downs <- p.downs + 1;
+    Metrics.counter "dsvc_cluster_peer_down_total"
+      ~labels:[ ("peer", name) ]
+      ~help:"Probation entries per peer (failure detector threshold hits)";
+    gauge name false
+  end
+
+let state t ~name =
+  with_lock t @@ fun () ->
+  let p = peer t name in
+  if p.strikes < t.threshold then `Up
+  else if p.down_until > t.now () then `Down
+  else `Probe
+
+let usable t ~name = match state t ~name with `Up | `Probe -> true | `Down -> false
+
+let report t =
+  with_lock t @@ fun () ->
+  Hashtbl.fold
+    (fun name p acc ->
+      let st =
+        if p.strikes < t.threshold then `Up
+        else if p.down_until > t.now () then `Down
+        else `Probe
+      in
+      (name, st, p.last_error) :: acc)
+    t.peers []
+  |> List.sort compare

@@ -1,0 +1,48 @@
+(** Per-peer failure detector: consecutive-error threshold with
+    exponential probation backoff.
+
+    Callers report every outcome of talking to a peer ({!ok} /
+    {!fail}); the detector aggregates them into one of three states:
+
+    - [`Up] — fewer consecutive failures than the threshold; use
+      freely.
+    - [`Down] — threshold reached and the probation deadline has not
+      passed; skip the peer entirely (this is what makes failover
+      fast: no timeout is paid per request on a dead node).
+    - [`Probe] — probation expired; the peer may be tried again (the
+      natural probe is the next real operation, or [Client.ping]).
+      Another failure re-enters probation with a doubled cool-off,
+      capped; one success resets everything.
+
+    The clock is injectable so tests drive probation transitions
+    deterministically without sleeping. All entry points are
+    mutex-guarded — server threads and the chaos harness share one
+    detector. State changes feed the [dsvc_cluster_peer_up] gauge and
+    [dsvc_cluster_peer_down_total] counter. *)
+
+type t
+
+val create :
+  ?threshold:int ->
+  ?probation_base:float ->
+  ?probation_max:float ->
+  ?now:(unit -> float) ->
+  unit ->
+  t
+(** Defaults: 3 consecutive failures trip probation, first probation
+    0.5 s, doubling per relapse up to 30 s, wall clock. *)
+
+val ok : t -> name:string -> unit
+(** A successful exchange with the peer: full reset to [`Up]. *)
+
+val fail : t -> name:string -> string -> unit
+(** A failed exchange, with the error message (kept for {!report}). *)
+
+val state : t -> name:string -> [ `Up | `Down | `Probe ]
+
+val usable : t -> name:string -> bool
+(** [`Up] or [`Probe] — whether a request should be attempted. *)
+
+val report : t -> (string * [ `Up | `Down | `Probe ] * string) list
+(** All known peers with state and last error, sorted by name (for
+    [GET /health]). *)

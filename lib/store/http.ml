@@ -1,3 +1,5 @@
+module Faults = Versioning_util.Faults
+
 type request = {
   meth : string;
   path : string;

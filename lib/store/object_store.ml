@@ -1,4 +1,6 @@
-type t = { dir : string }
+(* [fs_dir] is set only for plain filesystem stores; [path_of] and
+   the on-disk layout questions in tooling only make sense there. *)
+type t = { backend : Backend.t; fs_dir : string option }
 
 let ( let* ) = Result.bind
 
@@ -21,48 +23,21 @@ let record_verify result =
     ~help:"Digest verifications on object reads, by outcome"
 
 let create ~dir =
-  let* () = Fsutil.mkdir_p dir in
-  Ok { dir }
+  let* backend = Backend.fs ~dir in
+  Ok { backend; fs_dir = Some dir }
 
-let path_of t digest =
-  Filename.concat t.dir
-    (Filename.concat (String.sub digest 0 2) (String.sub digest 2 30))
-
-let quarantine_dir t = Filename.concat t.dir "quarantine"
-
-(* On-disk framing: blobs are stored raw ('R' + bytes) or
-   LZ77-compressed ('C' + codestream), whichever is smaller — the
-   digest always addresses the logical content. *)
-
-let frame content =
-  let compressed = Versioning_delta.Compress.lz77 content in
-  if String.length compressed < String.length content then "C" ^ compressed
-  else "R" ^ content
-
-let unframe framed =
-  if String.length framed = 0 then Error "empty object file"
-  else
-    match framed.[0] with
-    | 'R' -> Ok (String.sub framed 1 (String.length framed - 1))
-    | 'C' -> (
-        try
-          Ok
-            (Versioning_delta.Compress.unlz77
-               (String.sub framed 1 (String.length framed - 1)))
-        with Invalid_argument e -> Error ("corrupt compressed object: " ^ e))
-    | _ -> Error "unknown object framing"
+let of_backend backend = { backend; fs_dir = None }
+let memory () = of_backend (Backend.memory ())
+let backend t = t.backend
 
 let put t content =
   Metrics.time "dsvc_store_put_seconds"
     ~help:"Object_store.put latency (including the no-op dedup path)"
   @@ fun () ->
   let digest = Content_hash.hex content in
-  let path = path_of t digest in
-  if Sys.file_exists path then Ok digest
+  if t.backend.Backend.mem ~digest then Ok digest
   else
-    let* () =
-      Fsutil.write_file_atomic ~site:"object_store.write" path (frame content)
-    in
+    let* () = t.backend.Backend.put ~digest content in
     record_put ~bytes:(String.length content);
     Ok digest
 
@@ -71,77 +46,44 @@ let get t digest =
   @@ fun () ->
   if not (Content_hash.is_valid digest) then
     Error (Printf.sprintf "invalid digest %S" digest)
-  else begin
-    let path = path_of t digest in
-    if Sys.file_exists path then
-      let* framed = Fsutil.read_file path in
-      let* content = unframe framed in
-      (* Always verify: one flipped bit in a delta blob would otherwise
-         silently corrupt every version downstream of it. *)
-      if Content_hash.hex content <> digest then begin
-        record_verify "corrupt";
-        Error
-          (Printf.sprintf "object %s is corrupt (content fails its digest)"
-             digest)
-      end
-      else begin
-        record_verify "ok";
-        record_get ~bytes:(String.length content);
-        Ok content
-      end
-    else Error (Printf.sprintf "object %s not found" digest)
-  end
+  else
+    let* content = t.backend.Backend.get ~digest in
+    (* Always verify: one flipped bit in a delta blob would otherwise
+       silently corrupt every version downstream of it. *)
+    if Content_hash.hex content <> digest then begin
+      record_verify "corrupt";
+      Error
+        (Printf.sprintf "object %s is corrupt (content fails its digest)"
+           digest)
+    end
+    else begin
+      record_verify "ok";
+      record_get ~bytes:(String.length content);
+      Ok content
+    end
 
 let status t digest =
   if not (Content_hash.is_valid digest) then `Missing
+  else if not (t.backend.Backend.mem ~digest) then `Missing
   else
-    let path = path_of t digest in
-    if not (Sys.file_exists path) then `Missing
-    else
-      match Fsutil.read_file path with
-      | Error _ -> `Corrupt
-      | Ok framed -> (
-          match unframe framed with
-          | Error _ -> `Corrupt
-          | Ok content ->
-              if Content_hash.hex content = digest then `Ok else `Corrupt)
+    match t.backend.Backend.get ~digest with
+    | Error _ -> `Corrupt
+    | Ok content -> if Content_hash.hex content = digest then `Ok else `Corrupt
 
 let mem t digest =
-  Content_hash.is_valid digest && Sys.file_exists (path_of t digest)
+  Content_hash.is_valid digest && t.backend.Backend.mem ~digest
 
-let delete t digest =
-  if mem t digest then try Sys.remove (path_of t digest) with Sys_error _ -> ()
+let delete t digest = if mem t digest then t.backend.Backend.delete ~digest
+let quarantine t digest = t.backend.Backend.quarantine ~digest
 
-let quarantine t digest =
-  let src = path_of t digest in
-  if not (Sys.file_exists src) then
-    Error (Printf.sprintf "object %s not found" digest)
-  else
-    let* () = Fsutil.mkdir_p (quarantine_dir t) in
-    let dst = Filename.concat (quarantine_dir t) digest in
-    try
-      Sys.rename src dst;
-      Ok dst
-    with Sys_error e -> Error e
+let path_of t digest =
+  match t.fs_dir with
+  | Some dir -> Backend.fs_path ~dir digest
+  | None ->
+      (* Non-filesystem stores have no paths; return a debug label so
+         existing tooling prints something identifiable rather than a
+         bogus relative path. *)
+      Printf.sprintf "<%s>/%s" t.backend.Backend.name digest
 
-let list_digests t =
-  if not (Sys.file_exists t.dir) then []
-  else
-    Sys.readdir t.dir |> Array.to_list
-    |> List.concat_map (fun prefix ->
-           let sub = Filename.concat t.dir prefix in
-           if Sys.is_directory sub && String.length prefix = 2 then
-             Sys.readdir sub |> Array.to_list
-             |> List.filter_map (fun rest ->
-                    let digest = prefix ^ rest in
-                    if Content_hash.is_valid digest then Some digest else None)
-           else [])
-
-let total_bytes t =
-  List.fold_left
-    (fun acc digest ->
-      let path = path_of t digest in
-      match (Unix.stat path).Unix.st_size with
-      | size -> acc + size
-      | exception Unix.Unix_error _ -> acc)
-    0 (list_digests t)
+let list_digests t = List.map fst (t.backend.Backend.list ())
+let total_bytes t = t.backend.Backend.total_bytes ()

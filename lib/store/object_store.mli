@@ -1,22 +1,38 @@
-(** Content-addressed blob storage on disk.
+(** Content-addressed blob storage over a pluggable {!Backend}.
 
-    Blobs live under [<dir>/ab/cdef…] (two-character fan-out like
-    Git). Writing is idempotent — equal content maps to an equal
-    digest and is stored once, which is where whole-version
-    deduplication (identical intermediate results, §1) comes for
-    free.
+    This layer owns integrity: it computes digests on {!put},
+    re-verifies content against its digest on every {!get}, and keeps
+    the store metrics — while the backend underneath decides where
+    bytes physically live (local filesystem, memory, a remote peer,
+    or a {!Replicated} quorum of all three).
 
-    Durability: writes go through {!Fsutil.write_file_atomic} (temp
-    file, fsync, rename), and every {!get} re-verifies the content
-    against its digest, so on-disk corruption surfaces as [Error] at
-    the first read instead of silently corrupting every version
-    downstream of a damaged delta. *)
+    The default {!create} backend keeps the original on-disk layout:
+    blobs under [<dir>/ab/cdef…] (two-character fan-out like Git).
+    Writing is idempotent — equal content maps to an equal digest and
+    is stored once, which is where whole-version deduplication
+    (identical intermediate results, §1) comes for free.
+
+    Durability (filesystem backend): writes go through
+    [Fsutil.write_file_atomic] (temp file, fsync, rename), and every
+    {!get} re-verifies the content against its digest, so on-disk
+    corruption surfaces as [Error] at the first read instead of
+    silently corrupting every version downstream of a damaged
+    delta. *)
 
 type t
 
 val create : dir:string -> (t, string) result
 (** Open (creating directories as needed) an object store rooted at
-    [dir]. *)
+    [dir] — a {!Backend.fs} backend. *)
+
+val of_backend : Backend.t -> t
+(** Wrap any backend (remote peer, replicated quorum, …). *)
+
+val memory : unit -> t
+(** A fresh private in-memory store (tests, scratch work). *)
+
+val backend : t -> Backend.t
+(** The underlying backend (for composing into {!Replicated}). *)
 
 val put : t -> string -> (string, string) result
 (** [put store content] writes the blob and returns its digest.
@@ -45,7 +61,9 @@ val quarantine : t -> string -> (string, string) result
     true content re-creates a good copy. *)
 
 val path_of : t -> string -> string
-(** On-disk path a digest maps to (for tooling and tests). *)
+(** On-disk path a digest maps to (for tooling and tests). Only
+    meaningful for filesystem-backed stores; other backends return a
+    ["<backend>/digest"] debug label. *)
 
 val list_digests : t -> string list
 (** All stored digests (the quarantine area is not included). *)

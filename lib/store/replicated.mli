@@ -1,0 +1,98 @@
+(** Sharded, replicated blob store: N-way placement on a consistent
+    hash ring with sloppy write quorums, hinted handoff, fan-out reads
+    with per-replica digest verification, and read-repair.
+
+    Placement is computed locally from the {!Ring} (every node with
+    the same member list agrees; compare [ring_epoch] via
+    [GET /health]). Each digest has [replicas] owners — the first
+    distinct members clockwise from its ring position.
+
+    {b Writes} go to every owner; the put succeeds when a majority
+    ([replicas/2 + 1]) stored it. Owners that are down (per the
+    {!Detector}) or fail are covered by {e hinted handoff}: the copy
+    is parked on the next usable non-owner along the ring and a hint
+    records the debt, delivered when the owner returns. A handoff copy
+    counts toward the quorum — availability is preserved at the cost
+    of temporary placement sloppiness, exactly the Dynamo trade.
+
+    {b Reads} walk the digest's preference order, verify each
+    candidate copy against its digest (a stale or corrupt replica must
+    not win for being first), and {e read-repair}: owners observed
+    missing or corrupt before the good copy turned up are rewritten
+    from it inline. The happy path (healthy primary) costs no extra
+    probes.
+
+    {b Anti-entropy} ({!anti_entropy}) is the rejoin path: deliver
+    parked hints, then for every digest the repo references ensure
+    all owners hold a verified copy. After a SIGKILL'd node restarts,
+    one sweep restores full replication.
+
+    Everything is observable: per-peer health gauge
+    ([dsvc_cluster_peer_up]), quorum outcomes
+    ([dsvc_cluster_quorum_total]), failover, handoff, and read-repair
+    counters, plus [cluster.put]/[cluster.get] spans; warnings land in
+    the flight ring. DESIGN.md §12 states the failure model. *)
+
+type t
+
+type report = { checked : int; repaired : int; failed : string list }
+(** Anti-entropy summary: digests examined, replica copies written
+    (including delivered hints), and unrepairable digests with
+    reasons. *)
+
+val create :
+  ?replicas:int ->
+  ?vnodes:int ->
+  ?detector:Detector.t ->
+  self:string ->
+  self_backend:Backend.t ->
+  peers:(string * Backend.t) list ->
+  unit ->
+  t
+(** A cluster view from this node's perspective. [self]/[peers] names
+    must match what every other node uses (host:port by convention) or
+    ring epochs diverge. [replicas] defaults to 2 and is clamped to
+    the member count. The local backend is always considered up. *)
+
+val backend : t -> Backend.t
+(** The quorum view as a plain {!Backend.t} — plug into
+    {!Object_store.of_backend} and the repo above it cannot tell it is
+    clustered. *)
+
+val put : t -> digest:string -> string -> (unit, string) result
+val get : t -> digest:string -> (string, string) result
+val mem : t -> digest:string -> bool
+val delete : t -> digest:string -> unit
+val quarantine : t -> digest:string -> (string, string) result
+
+val list : t -> (string * int) list
+(** Union over usable members (max physical size per digest). *)
+
+val total_bytes : t -> int
+
+val anti_entropy : t -> digests:string list -> report
+(** {!probe} every peer, deliver hints, then restore full replication
+    for [digests] (the repo's referenced digest set). A copy that
+    fails digest verification on its owner is replaced, not skipped. *)
+
+val probe : t -> unit
+(** Ping every peer (even [`Down] ones) and feed the detector — the
+    immediate-rejoin path: {!anti_entropy} runs this first so a
+    restarted node is seen as up without waiting out its probation. *)
+
+val deliver_hints : t -> int
+(** Deliver parked handoff copies to owners that came back; returns
+    how many were delivered. *)
+
+val pending_hints : t -> int
+
+val self : t -> string
+val members : t -> string list
+val replicas : t -> int
+val quorum : t -> int
+val ring_epoch : t -> string
+
+val peers : t -> (string * [ `Up | `Down | `Probe ] * string) list
+(** Peer health from the failure detector (name, state, last error). *)
+
+val usable : t -> string -> bool

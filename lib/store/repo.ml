@@ -1,5 +1,7 @@
 module Line_diff = Versioning_delta.Line_diff
 module Pool = Versioning_util.Pool
+module Fsutil = Versioning_util.Fsutil
+module Faults = Versioning_util.Faults
 module Aux_graph = Versioning_core.Aux_graph
 module Storage_graph = Versioning_core.Storage_graph
 module Metrics = Versioning_obs.Metrics
@@ -43,6 +45,10 @@ type t = {
   mutable tag_list : (string * int) list;
   mutable head_branch : string;
   mutable next_id : int;
+  (* Metadata generation: bumped on every durable [save], carried in
+     the meta file, and compared by [adopt_meta] so replicated nodes
+     only ever move forward. Gaps are fine; order is what matters. *)
+  mutable generation : int;
   (* checkout LRU (per handle, never persisted) *)
   cache : (int, cache_entry) Hashtbl.t;
   mutable cache_slots : int;
@@ -99,6 +105,7 @@ let mk_repo ~root ~store ~commits ~stored ~branches ~tag_list ~head_branch
     tag_list;
     head_branch;
     next_id;
+    generation = 0;
     cache;
     cache_slots;
     cache_clock = 0;
@@ -115,6 +122,7 @@ let journal_file path = Filename.concat (meta_dir path) "journal"
 let lock_file path = Filename.concat (meta_dir path) "lock"
 
 let root t = t.root
+let journal_pending t = Sys.file_exists (journal_file t.root)
 
 (* ---- repository lock ----
 
@@ -202,6 +210,7 @@ type snapshot =
   * (string * int) list
   * string
   * int
+  * int
 
 let snapshot t : snapshot =
   ( t.commits,
@@ -209,23 +218,27 @@ let snapshot t : snapshot =
     t.branches,
     t.tag_list,
     t.head_branch,
-    t.next_id )
+    t.next_id,
+    t.generation )
 
-let restore t ((commits, stored, branches, tags, head, next) : snapshot) =
+let restore t ((commits, stored, branches, tags, head, next, gen) : snapshot) =
   t.commits <- commits;
   t.stored <- stored;
   t.branches <- branches;
   t.tag_list <- tags;
   t.head_branch <- head;
-  t.next_id <- next
+  t.next_id <- next;
+  t.generation <- gen
 
 (* ---- metadata persistence ---- *)
 
-let save t =
+let render_meta t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "dsvc 1\n";
   Buffer.add_string buf (Printf.sprintf "head %s\n" t.head_branch);
   Buffer.add_string buf (Printf.sprintf "next %d\n" t.next_id);
+  if t.generation > 0 then
+    Buffer.add_string buf (Printf.sprintf "gen %d\n" t.generation);
   List.iter
     (fun (name, v) ->
       Buffer.add_string buf (Printf.sprintf "branch %s %d\n" name v))
@@ -257,8 +270,18 @@ let save t =
   (* the trailer lets [load] tell a truncated (torn) file from a
      complete one *)
   Buffer.add_string buf "end\n";
-  Fsutil.write_file_atomic ~site:"repo.save" ~backup:(backup_file t.root)
-    (meta_file t.root) (Buffer.contents buf)
+  Buffer.contents buf
+
+let save t =
+  t.generation <- t.generation + 1;
+  match
+    Fsutil.write_file_atomic ~site:"repo.save" ~backup:(backup_file t.root)
+      (meta_file t.root) (render_meta t)
+  with
+  | Ok () -> Ok ()
+  | Error _ as e ->
+      t.generation <- t.generation - 1;
+      e
 
 let save_rollback t snap =
   match save t with
@@ -287,6 +310,13 @@ let parse_meta path store content =
               t.next_id <- n;
               Ok ()
           | None -> fail "bad next id")
+      | [ "gen"; n ] -> (
+          (* absent in pre-cluster metadata: generation stays 0 *)
+          match int_of_string_opt n with
+          | Some n ->
+              t.generation <- n;
+              Ok ()
+          | None -> fail "bad generation")
       | [ "branch"; name; v ] -> (
           match int_of_string_opt v with
           | Some v ->
@@ -643,13 +673,21 @@ let recover_journal t =
 
 (* ---- open / init ---- *)
 
-let init ~path =
+(* The [store] override replaces the blob store (cluster mode plugs
+   the replicated quorum view in here); metadata, lock, and journal
+   always stay on the local filesystem — each node owns its own copy. *)
+let resolve_store store path =
+  match store with
+  | Some s -> Ok s
+  | None -> Object_store.create ~dir:(objects_dir path)
+
+let init_opt store ~path =
   if Sys.file_exists (meta_file path) then
     Error (Printf.sprintf "repository already exists at %s" path)
   else
     let* () = Fsutil.mkdir_p (meta_dir path) in
     let* () = acquire_lock path in
-    let* store = Object_store.create ~dir:(objects_dir path) in
+    let* store = resolve_store store path in
     let t =
       mk_repo ~root:path ~store ~commits:[] ~stored:(Hashtbl.create 64)
         ~branches:[ ("main", 0) ] ~tag_list:[] ~head_branch:"main" ~next_id:1
@@ -657,15 +695,51 @@ let init ~path =
     let* () = save t in
     Ok t
 
-let open_repo ~path =
+let init ~path = init_opt None ~path
+let init_with ~store ~path = init_opt (Some store) ~path
+
+let open_opt store ~path =
   if not (Sys.file_exists (meta_file path)) then
     Error (Printf.sprintf "no repository at %s" path)
   else
     let* () = acquire_lock path in
-    let* store = Object_store.create ~dir:(objects_dir path) in
+    let* store = resolve_store store path in
     let* t = load path store in
     let* _outcome = recover_journal t in
     Ok t
+
+let open_repo ~path = open_opt None ~path
+let open_with ~store ~path = open_opt (Some store) ~path
+
+(* ---- metadata replication (cluster mode) ---- *)
+
+let generation t = t.generation
+let object_store t = t.store
+
+let export_meta t =
+  (* The on-disk bytes, not a re-render: replicas adopt byte-identical
+     metadata, so every node's meta file is comparable directly. *)
+  Fsutil.read_file (meta_file t.root)
+
+let adopt_meta t content =
+  let* incoming = parse_meta t.root t.store content in
+  if incoming.generation <= t.generation then Ok false
+  else
+    let* () =
+      Fsutil.write_file_atomic ~site:"repo.save" ~backup:(backup_file t.root)
+        (meta_file t.root) content
+    in
+    t.commits <- incoming.commits;
+    t.stored <- incoming.stored;
+    t.branches <- incoming.branches;
+    t.tag_list <- incoming.tag_list;
+    t.head_branch <- incoming.head_branch;
+    t.next_id <- incoming.next_id;
+    t.generation <- incoming.generation;
+    (* Version contents are immutable so cached strings stay valid,
+       but ids unknown to the new metadata must not linger. *)
+    Hashtbl.reset t.cache;
+    Ok true
 
 (* ---- commits & branches ---- *)
 
@@ -1331,11 +1405,11 @@ let repair t =
 
 (* ---- fsck ---- *)
 
-let fsck ~path ~repair:do_repair =
+let fsck_opt store ~path ~repair:do_repair =
   let actions = ref [] in
   let act fmt = Printf.ksprintf (fun s -> actions := s :: !actions) fmt in
   let open_with_backup_fallback () =
-    match open_repo ~path with
+    match open_opt store ~path with
     | Ok t -> Ok t
     | Error e ->
         (* A torn or corrupt metadata file can be rolled back to the
@@ -1347,15 +1421,15 @@ let fsck ~path ~repair:do_repair =
         then
           let* backup = Fsutil.read_file (backup_file path) in
           let* _probe =
-            let* store = Object_store.create ~dir:(objects_dir path) in
-            parse_meta path store backup
+            let* probe_store = resolve_store store path in
+            parse_meta path probe_store backup
           in
           let meta = meta_file path in
           (try Sys.rename meta (meta ^ ".corrupt") with Sys_error _ -> ());
           let* () =
             Fsutil.write_file_atomic ~site:"repo.save" meta backup
           in
-          let* t = open_repo ~path in
+          let* t = open_opt store ~path in
           act
             "restored metadata from backup (damaged file kept as \
              meta.corrupt)";
@@ -1386,3 +1460,6 @@ let fsck ~path ~repair:do_repair =
     ~labels:[ ("result", (if problems = [] then "clean" else "problems")) ]
     ~help:"Repo.fsck runs, by final verdict";
   Ok { actions = List.rev !actions; problems }
+
+let fsck ~path ~repair = fsck_opt None ~path ~repair
+let fsck_with ~store ~path ~repair = fsck_opt (Some store) ~path ~repair

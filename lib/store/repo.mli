@@ -62,11 +62,26 @@ val init : path:string -> (t, string) result
     if a repository already exists there). The default branch is
     ["main"]. *)
 
+val init_with : store:Object_store.t -> path:string -> (t, string) result
+(** {!init} with an explicit blob store — cluster mode plugs the
+    {!Replicated} quorum view in here; metadata, lock, and journal
+    always stay on the local filesystem. *)
+
 val open_repo : path:string -> (t, string) result
 (** Open an existing repository: acquires the lock, loads metadata,
     and — if a crashed {!optimize} left a journal — rolls the
     interrupted re-plan forward (when its plan fully reconstructs) or
     back (otherwise). Fails if another process holds the lock. *)
+
+val open_with : store:Object_store.t -> path:string -> (t, string) result
+(** {!open_repo} with an explicit blob store (see {!init_with}). *)
+
+val objects_dir : string -> string
+(** The on-disk blob directory under a repository root (where a
+    cluster node's {e local} store lives). *)
+
+val object_store : t -> Object_store.t
+(** The store this handle reads and writes blobs through. *)
 
 val close : t -> unit
 (** Release the repository lock. The handle must not be used after.
@@ -246,3 +261,38 @@ val fsck : path:string -> repair:bool -> (fsck_result, string) result
     Repair mode can additionally restore the metadata file from its
     [.bak] generation when the current one is torn or corrupt (the
     damaged file is kept as [meta.corrupt]). *)
+
+val fsck_with :
+  store:Object_store.t ->
+  path:string ->
+  repair:bool ->
+  (fsck_result, string) result
+(** {!fsck} against an explicit store — pass a {!Replicated} view to
+    check a cluster node that holds only its shard locally. *)
+
+(* -- metadata replication (cluster mode) -- *)
+
+val generation : t -> int
+(** Monotonic metadata generation: bumped on every durable save,
+    recorded in the meta file ([gen N]; 0 for pre-cluster repos). *)
+
+val export_meta : t -> (string, string) result
+(** The current on-disk metadata bytes, for pushing to peers
+    ([POST /meta/sync]). Byte-identical adoption keeps every node's
+    meta file directly comparable. *)
+
+val adopt_meta : t -> string -> (bool, string) result
+(** Adopt pushed metadata if it parses and its generation is strictly
+    newer than ours ([Ok true]); otherwise leave state untouched
+    ([Ok false] — stale or duplicate pushes are idempotent no-ops).
+    The single-writer model (DESIGN.md §12): one node accepts
+    mutations at a time, so newest-generation-wins cannot lose
+    concurrent updates. *)
+
+val referenced_digests : t -> string list
+(** Every digest the current storage map references (anti-entropy's
+    work list). *)
+
+val journal_pending : t -> bool
+(** Whether an interrupted-optimize journal is still on disk (surfaced
+    by [GET /health]). *)

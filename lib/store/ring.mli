@@ -1,0 +1,33 @@
+(** Consistent-hash ring placing content digests on cluster members.
+
+    Each member contributes [vnodes] points on a 64-bit ring (hashes
+    of ["name#i"]); a digest's preference order is the distinct
+    members met walking clockwise from the digest's own position.
+    Virtual nodes smooth the load split, and consistent hashing keeps
+    placement stable: adding or removing one member moves only the
+    digests whose arc it owned, so a rejoining node's anti-entropy
+    sweep is proportional to its share, not the whole store.
+
+    Pure and deterministic — the same member set yields the same ring
+    in every process, which is what lets each node compute placement
+    locally with no coordination. *)
+
+type t
+
+val create : ?vnodes:int -> members:string list -> unit -> t
+(** Build a ring over the given member names (order-insensitive;
+    duplicates ignored). [vnodes] defaults to 64 points per member. *)
+
+val members : t -> string list
+(** The member set, sorted. *)
+
+val epoch : t -> string
+(** 16-hex fingerprint of the member set. Two nodes place blobs
+    identically iff their epochs match; exposed via [GET /health]. *)
+
+val sequence : t -> string -> string list
+(** All members in the digest's preference order (clockwise walk).
+    The tail beyond the owners is the hinted-handoff order. *)
+
+val owners : t -> string -> n:int -> string list
+(** First [n] distinct members of {!sequence} — the replica set. *)

@@ -6,6 +6,7 @@ module Metrics = Versioning_obs.Metrics
 module Trace = Versioning_obs.Trace
 module Context = Versioning_obs.Context
 module Flight = Versioning_obs.Flight
+module Fsutil = Versioning_util.Fsutil
 
 let parse_strategy s =
   match String.split_on_char '=' s with
@@ -48,6 +49,16 @@ let route_label meth path =
   | "GET", [ "metrics" ] -> "/metrics"
   | "GET", [ "trace"; _ ] -> "/trace/:request_id"
   | "GET", [ "flight" ] -> "/flight"
+  | "GET", [ "health" ] -> "/health"
+  | "GET", [ "blob"; _ ] -> "/blob/:digest"
+  | "GET", [ "blob"; _; "stat" ] -> "/blob/:digest/stat"
+  | "POST", [ "blob"; _ ] -> "/blob/:digest"
+  | "POST", [ "blob"; _; "quarantine" ] -> "/blob/:digest/quarantine"
+  | "DELETE", [ "blob"; _ ] -> "/blob/:digest"
+  | "GET", [ "blobs" ] -> "/blobs"
+  | "GET", [ "meta" ] -> "/meta"
+  | "POST", [ "meta"; "sync" ] -> "/meta/sync"
+  | "POST", [ "anti-entropy" ] -> "/anti-entropy"
   | _, _ -> "other"
 
 let stats_body (s : Repo.stats) =
@@ -144,7 +155,87 @@ let recent_request_body r =
   Buffer.add_string b "]}\n";
   Buffer.contents b
 
-let handle repo (req : Http.request) =
+(* Cluster wiring, when serving with [--peers]: the node's own shard
+   ([local_store] — what the [/blob] peer routes serve, so replication
+   never recurses through the quorum), the replicated view the repo
+   reads and writes through, and typed clients to each peer for
+   metadata pushes. *)
+type cluster = {
+  local_store : Object_store.t;
+  replicated : Replicated.t;
+  peer_clients : (string * Client.t) list;
+}
+
+(* Routes whose success changes repository metadata — each one is
+   followed by a generation-stamped push to the usable peers. *)
+let mutating_route = function
+  | "/commit" | "/branch/:name" | "/switch/:name" | "/tag/:name"
+  | "/optimize" ->
+      true
+  | _ -> false
+
+let push_meta_to_peers cluster repo =
+  match Repo.export_meta repo with
+  | Error e -> Log.warn (fun m -> m "meta push skipped: %s" e)
+  | Ok meta ->
+      List.iter
+        (fun (name, client) ->
+          if Replicated.usable cluster.replicated name then
+            match Client.push_meta client meta with
+            | Ok _ -> ()
+            | Error e ->
+                (* The peer will converge at its next anti-entropy;
+                   blob traffic keeps the failure detector informed. *)
+                Log.warn (fun m -> m "meta push to %s failed: %s" name e))
+        cluster.peer_clients
+
+let health_body ?cluster repo =
+  let b = Buffer.create 256 in
+  let store =
+    match cluster with
+    | Some c -> c.local_store
+    | None -> Repo.object_store repo
+  in
+  (match (Object_store.backend store).Backend.ping () with
+  | Ok () -> Buffer.add_string b "status ok\nstore ok\n"
+  | Error e -> Buffer.add_string b (Printf.sprintf "status degraded\nstore %s\n" e));
+  Buffer.add_string b
+    (Printf.sprintf "journal %s\n"
+       (if Repo.journal_pending repo then "pending" else "clean"));
+  Buffer.add_string b (Printf.sprintf "generation %d\n" (Repo.generation repo));
+  (match cluster with
+  | None -> ()
+  | Some c ->
+      let r = c.replicated in
+      Buffer.add_string b (Printf.sprintf "self %s\n" (Replicated.self r));
+      Buffer.add_string b
+        (Printf.sprintf "ring_epoch %s\n" (Replicated.ring_epoch r));
+      Buffer.add_string b
+        (Printf.sprintf "replicas %d\n" (Replicated.replicas r));
+      Buffer.add_string b
+        (Printf.sprintf "hints %d\n" (Replicated.pending_hints r));
+      List.iter
+        (fun (name, state, err) ->
+          Buffer.add_string b
+            (Printf.sprintf "peer %s %s%s\n" name
+               (match state with
+               | `Up -> "up"
+               | `Down -> "down"
+               | `Probe -> "probe")
+               (if err = "" then "" else " " ^ err)))
+        (Replicated.peers r));
+  Buffer.contents b
+
+let handle ?cluster repo (req : Http.request) =
+  let local_store =
+    match cluster with
+    | Some c -> c.local_store
+    | None -> Repo.object_store repo
+  in
+  let valid_digest d k =
+    if Content_hash.is_valid d then k ()
+    else Http.error 400 (Printf.sprintf "invalid digest %S\n" d)
+  in
   let resolve name =
     match Repo.resolve repo name with
     | Some v -> Ok v
@@ -276,7 +367,83 @@ let handle repo (req : Http.request) =
   | "GET", [ "flight" ] ->
       (* The always-on flight recorder, for `dsvc flight-dump`. *)
       Http.ok ~content_type:"application/json" (Flight.to_json ())
-  | ("GET" | "POST"), _ -> Http.error 404 "no such route\n"
+  | "GET", [ "health" ] -> Http.ok (health_body ?cluster repo)
+  (* ---- peer blob routes: always the node's LOCAL shard ---- *)
+  | "GET", [ "blob"; digest ] ->
+      valid_digest digest @@ fun () -> (
+        match Object_store.get local_store digest with
+        | Ok content ->
+            Http.ok ~content_type:"application/octet-stream" content
+        | Error e -> Http.error 404 (e ^ "\n"))
+  | "GET", [ "blob"; digest; "stat" ] ->
+      valid_digest digest @@ fun () -> (
+        match Object_store.get local_store digest with
+        | Ok content ->
+            Http.ok (Printf.sprintf "present %d\n" (String.length content))
+        | Error e -> Http.error 404 (e ^ "\n"))
+  | "POST", [ "blob"; digest ] ->
+      valid_digest digest @@ fun () ->
+      if Content_hash.hex req.Http.body <> digest then
+        Http.error 409 "content does not match digest\n"
+      else (
+        match Object_store.put local_store req.Http.body with
+        | Ok _ ->
+            {
+              Http.status = 201;
+              content_type = "text/plain; charset=utf-8";
+              headers = [];
+              body = "stored\n";
+            }
+        | Error e -> Http.error 409 (e ^ "\n"))
+  | "POST", [ "blob"; digest; "quarantine" ] ->
+      valid_digest digest @@ fun () -> (
+        match Object_store.quarantine local_store digest with
+        | Ok dst -> Http.ok (dst ^ "\n")
+        | Error e -> Http.error 404 (e ^ "\n"))
+  | "DELETE", [ "blob"; digest ] ->
+      valid_digest digest @@ fun () ->
+      Object_store.delete local_store digest;
+      Http.ok "deleted\n"
+  | "GET", [ "blobs" ] ->
+      let lines =
+        (Object_store.backend local_store).Backend.list ()
+        |> List.map (fun (d, size) -> Printf.sprintf "%s %d" d size)
+      in
+      Http.ok (String.concat "\n" lines ^ "\n")
+  (* ---- metadata replication ---- *)
+  | "GET", [ "meta" ] -> (
+      match Repo.export_meta repo with
+      | Ok meta -> Http.ok meta
+      | Error e -> Http.error 500 (e ^ "\n"))
+  | "POST", [ "meta"; "sync" ] -> (
+      match Repo.adopt_meta repo req.Http.body with
+      | Ok true -> Http.ok "adopted\n"
+      | Ok false -> Http.ok "stale\n"
+      | Error e -> Http.error 409 (e ^ "\n"))
+  | "POST", [ "anti-entropy" ] -> (
+      match cluster with
+      | None -> Http.error 409 "not serving in cluster mode\n"
+      | Some c ->
+          (* Bring rejoined peers current: probe first (a restarted
+             node must not wait out its probation), then metadata (so
+             their reference set is ours), then blob replication. *)
+          Replicated.probe c.replicated;
+          push_meta_to_peers c repo;
+          let report =
+            Replicated.anti_entropy c.replicated
+              ~digests:(Repo.referenced_digests repo)
+          in
+          let b = Buffer.create 128 in
+          Buffer.add_string b
+            (Printf.sprintf "checked %d\nrepaired %d\nfailed %d\n"
+               report.Replicated.checked report.Replicated.repaired
+               (List.length report.Replicated.failed));
+          List.iter
+            (fun f -> Buffer.add_string b (Printf.sprintf "failure %s\n" f))
+            report.Replicated.failed;
+          if report.Replicated.failed = [] then Http.ok (Buffer.contents b)
+          else Http.error 500 (Buffer.contents b))
+  | ("GET" | "POST" | "DELETE"), _ -> Http.error 404 "no such route\n"
   | _, _ -> Http.error 405 "method not allowed\n"
 
 (* Recover the client's trace context from the request headers: the
@@ -313,11 +480,11 @@ let context_of_request (req : Http.request) =
    GET /trace/:request_id. The wall-clock read here is a server-tier
    operational measurement, not an Obs-gated one — it feeds the access
    log, never a planning decision (DESIGN.md §11). *)
-let handle_safe repo req =
+let handle_safe ?cluster repo req =
   let ctx = context_of_request req in
   Context.with_context ctx @@ fun () ->
   let run () =
-    try handle repo req
+    try handle ?cluster repo req
     with e -> Http.error 500 ("internal error: " ^ Printexc.to_string e ^ "\n")
   in
   let route = route_label req.Http.meth req.Http.path in
@@ -359,6 +526,14 @@ let handle_safe repo req =
       r_dur = dur;
       r_spans = span_summary;
     };
+  (* Successful mutations propagate metadata to the peers while still
+     inside the request's trace, so the pushes appear in its spans. *)
+  (match cluster with
+  | Some c
+    when mutating_route route && resp.Http.status >= 200
+         && resp.Http.status < 300 ->
+      push_meta_to_peers c repo
+  | _ -> ());
   (* Echo the request id so clients can quote it back at /trace/:id. *)
   {
     resp with
@@ -366,7 +541,7 @@ let handle_safe repo req =
       ("X-Dsvc-Request-Id", ctx.Context.request_id) :: resp.Http.headers;
   }
 
-let serve repo ~port ?(host = "127.0.0.1") ?max_requests
+let serve ?cluster repo ~port ?(host = "127.0.0.1") ?max_requests
     ?(request_timeout = 30.0) () =
   (* Serving is an operational mode: turn the observability layer on
      so GET /metrics has data, whatever the environment says. *)
@@ -441,7 +616,7 @@ let serve repo ~port ?(host = "127.0.0.1") ?max_requests
               let oc = Unix.out_channel_of_descr client in
               (try
                  (match Http.read_request ic with
-                 | Ok req -> Http.write_response oc (handle_safe repo req)
+                 | Ok req -> Http.write_response oc (handle_safe ?cluster repo req)
                  | Error e -> Http.write_response oc (Http.error 400 (e ^ "\n")));
                  flush oc
                with e ->

@@ -18,6 +18,23 @@
     - [GET /trace/<request-id>] — JSON span summary of a recently
       handled request (bounded in-memory table; [404] once evicted)
     - [GET /flight] — the {!Versioning_obs.Flight} ring as JSON
+    - [GET /health] — liveness/cluster view: store reachability,
+      journal state, metadata generation, and (cluster mode) ring
+      epoch, replica count, pending hints and per-peer up/down/probe
+
+    Cluster-mode routes (DESIGN.md §12). The [/blob] family always
+    serves the node's {e local} shard — never the replicated view —
+    so peer-to-peer replication cannot recurse:
+
+    - [GET /blob/<digest>], [GET /blob/<digest>/stat],
+      [POST /blob/<digest>] (body must hash to the digest; [409]
+      otherwise), [POST /blob/<digest>/quarantine],
+      [DELETE /blob/<digest>], [GET /blobs]
+    - [GET /meta] / [POST /meta/sync] — metadata replication;
+      adoption is generation-gated and idempotent
+    - [POST /anti-entropy] — push metadata to peers, then restore
+      full replication of every referenced digest ([500] with the
+      failures listed if any digest stays under-replicated)
 
     {!handle} is the pure request router (unit-testable without
     sockets); {!serve} runs the accept loop.
@@ -35,13 +52,26 @@
     are [404]; conflicts with repository state (duplicate names, bad
     parents) are [409]; a handler that raises yields [500]. *)
 
-val handle : Repo.t -> Http.request -> Http.response
+type cluster = {
+  local_store : Object_store.t;
+      (** this node's shard — what [/blob] serves *)
+  replicated : Replicated.t;  (** the quorum view the repo runs on *)
+  peer_clients : (string * Client.t) list;
+      (** typed peer handles for metadata pushes *)
+}
+(** Cluster wiring for [dsvc serve --peers]; absent means the
+    original single-node behaviour, bit for bit. *)
 
-val handle_safe : Repo.t -> Http.request -> Http.response
+val handle : ?cluster:cluster -> Repo.t -> Http.request -> Http.response
+
+val handle_safe : ?cluster:cluster -> Repo.t -> Http.request -> Http.response
 (** {!handle}, but a raising handler becomes a [500] response instead
-    of an exception — what {!serve} actually runs per request. *)
+    of an exception — what {!serve} actually runs per request. In
+    cluster mode, a successful mutating request is followed by a
+    metadata push to every usable peer (inside the request's trace). *)
 
 val serve :
+  ?cluster:cluster ->
   Repo.t ->
   port:int ->
   ?host:string ->

@@ -21,12 +21,23 @@ let delay p ~attempt ~rand =
   let jitter = Float.max 0.0 (Float.min 1.0 p.jitter) in
   Float.max 0.0 (capped *. (1.0 -. (jitter *. rand)))
 
-let default_rand () =
-  let seed =
-    Unix.getpid () lxor int_of_float (Unix.gettimeofday () *. 1_000_000.0)
-  in
+let seeded_rand ~seed =
   let state = Prng.create ~seed in
   fun () -> Prng.float state 1.0
+
+(* Jitter exists to decorrelate clients that fail in lockstep (a node
+   death makes every client retry against the survivors at once), so
+   by default each process draws from its own pid/clock-seeded stream.
+   DSVC_RETRY_SEED pins the stream for reproducible schedules in
+   tests and deterministic chaos harnesses. *)
+let default_rand () =
+  match Option.bind (Sys.getenv_opt "DSVC_RETRY_SEED") int_of_string_opt with
+  | Some seed -> seeded_rand ~seed
+  | None ->
+      let seed =
+        Unix.getpid () lxor int_of_float (Unix.gettimeofday () *. 1_000_000.0)
+      in
+      seeded_rand ~seed
 
 let log_src = Logs.Src.create "dsvc.retry" ~doc:"Retry backoff"
 

@@ -1,6 +1,7 @@
 (* The typed HTTP client against a live server thread. *)
 
 open Versioning_store
+module Faults = Versioning_util.Faults
 
 let temp_dir () =
   let path = Filename.temp_file "dsvc_client" "" in

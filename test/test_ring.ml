@@ -1,0 +1,105 @@
+(* Consistent-hash ring: determinism, placement, minimal disruption. *)
+
+open Versioning_store
+
+let digest_of s = Versioning_store.Content_hash.hex s
+
+let test_deterministic () =
+  (* same member set, any order → identical placement in any process *)
+  let a = Ring.create ~members:[ "n1:1"; "n2:2"; "n3:3" ] () in
+  let b = Ring.create ~members:[ "n3:3"; "n1:1"; "n2:2" ] () in
+  Alcotest.(check string) "epochs agree" (Ring.epoch a) (Ring.epoch b);
+  Alcotest.(check (list string)) "members sorted" (Ring.members a)
+    (Ring.members b);
+  for i = 0 to 49 do
+    let d = digest_of (string_of_int i) in
+    Alcotest.(check (list string))
+      (Printf.sprintf "sequence %d" i)
+      (Ring.sequence a d) (Ring.sequence b d)
+  done
+
+let test_owners_distinct () =
+  let r = Ring.create ~members:[ "a"; "b"; "c"; "d" ] () in
+  for i = 0 to 99 do
+    let d = digest_of ("blob-" ^ string_of_int i) in
+    let owners = Ring.owners r d ~n:3 in
+    Alcotest.(check int) "three owners" 3 (List.length owners);
+    Alcotest.(check int) "distinct" 3
+      (List.length (List.sort_uniq compare owners));
+    let seq = Ring.sequence r d in
+    Alcotest.(check int) "sequence covers all members" 4 (List.length seq);
+    Alcotest.(check (list string)) "owners prefix the sequence" owners
+      (List.filteri (fun i _ -> i < 3) seq)
+  done
+
+let test_epoch_tracks_members () =
+  let r1 = Ring.create ~members:[ "a"; "b" ] () in
+  let r2 = Ring.create ~members:[ "a"; "b"; "c" ] () in
+  Alcotest.(check bool) "epoch changes with membership" true
+    (Ring.epoch r1 <> Ring.epoch r2);
+  Alcotest.(check bool) "epoch is 16 hex chars" true
+    (String.length (Ring.epoch r1) = 16)
+
+let test_minimal_disruption () =
+  (* removing one of four members must move only the digests it
+     owned — everyone else's primary stays put *)
+  let before = Ring.create ~members:[ "a"; "b"; "c"; "d" ] () in
+  let after = Ring.create ~members:[ "a"; "b"; "c" ] () in
+  let moved = ref 0 and total = 500 in
+  for i = 0 to total - 1 do
+    let d = digest_of ("key-" ^ string_of_int i) in
+    let p_before = List.hd (Ring.owners before d ~n:1) in
+    let p_after = List.hd (Ring.owners after d ~n:1) in
+    if p_before <> p_after then begin
+      incr moved;
+      Alcotest.(check string)
+        "only d's digests move" "d" p_before
+    end
+  done;
+  Alcotest.(check bool) "d owned a nonzero share" true (!moved > 0);
+  (* d held roughly a quarter; allow generous slack for hash variance *)
+  Alcotest.(check bool)
+    (Printf.sprintf "moved share bounded (%d/%d)" !moved total)
+    true
+    (!moved < total / 2)
+
+let test_load_spread () =
+  (* virtual nodes keep the primary-ownership split roughly even *)
+  let members = [ "a"; "b"; "c" ] in
+  let r = Ring.create ~members () in
+  let counts = Hashtbl.create 3 in
+  let total = 900 in
+  for i = 0 to total - 1 do
+    let p = List.hd (Ring.owners r (digest_of (string_of_int i)) ~n:1) in
+    Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p))
+  done;
+  List.iter
+    (fun m ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts m) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s holds a sane share (%d/%d)" m c total)
+        true
+        (c > total / 10 && c < 2 * total / 3))
+    members
+
+let test_single_member () =
+  let r = Ring.create ~members:[ "solo" ] () in
+  let d = digest_of "x" in
+  Alcotest.(check (list string)) "solo owns everything" [ "solo" ]
+    (Ring.sequence r d);
+  Alcotest.(check (list string)) "owners clamp to member count" [ "solo" ]
+    (Ring.owners r d ~n:3)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic across orderings" `Quick
+      test_deterministic;
+    Alcotest.test_case "owners distinct, prefix of sequence" `Quick
+      test_owners_distinct;
+    Alcotest.test_case "epoch tracks membership" `Quick
+      test_epoch_tracks_members;
+    Alcotest.test_case "minimal disruption on member loss" `Quick
+      test_minimal_disruption;
+    Alcotest.test_case "virtual nodes spread load" `Quick test_load_spread;
+    Alcotest.test_case "single member ring" `Quick test_single_member;
+  ]

@@ -3,6 +3,7 @@
    misbehaviour. *)
 
 open Versioning_store
+module Faults = Versioning_util.Faults
 module Prng = Versioning_util.Prng
 
 let temp_dir () =

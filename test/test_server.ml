@@ -1,6 +1,7 @@
 (* HTTP framing and the client-server interface. *)
 
 open Versioning_store
+module Faults = Versioning_util.Faults
 
 let temp_dir () =
   let path = Filename.temp_file "dsvc_srv" "" in
@@ -463,9 +464,101 @@ let test_off_mode_is_silent () =
   Alcotest.(check int) "no spans recorded" 0 (Trace.span_count ());
   Alcotest.(check int) "no flight events" 0 (Flight.event_count ())
 
+(* ---- /health and the peer blob routes (pure routing, no sockets) ---- *)
+
+let kv_of body =
+  String.split_on_char '\n' (String.trim body)
+  |> List.filter_map (fun l ->
+         match String.index_opt l ' ' with
+         | Some i ->
+             Some
+               (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
+         | None -> None)
+
+let test_route_health () =
+  let repo = mk_repo () in
+  let r = Server.handle repo (mk_request "/health") in
+  Alcotest.(check int) "200" 200 r.Http.status;
+  let kv = kv_of r.Http.body in
+  Alcotest.(check (option string)) "status" (Some "ok")
+    (List.assoc_opt "status" kv);
+  Alcotest.(check (option string)) "journal clean" (Some "clean")
+    (List.assoc_opt "journal" kv);
+  Alcotest.(check bool) "generation present" true
+    (List.mem_assoc "generation" kv);
+  (* single-node: no cluster fields *)
+  Alcotest.(check bool) "no ring epoch without --peers" false
+    (List.mem_assoc "ring_epoch" kv)
+
+let test_blob_routes_roundtrip () =
+  let repo = mk_repo () in
+  let content = "blob payload\nwith lines" in
+  let digest = Content_hash.hex content in
+  (* store *)
+  let r =
+    Server.handle repo (mk_request ~meth:"POST" ~body:content ("/blob/" ^ digest))
+  in
+  Alcotest.(check int) "stored" 201 r.Http.status;
+  (* digest mismatch is refused, not laundered *)
+  let r =
+    Server.handle repo (mk_request ~meth:"POST" ~body:"other" ("/blob/" ^ digest))
+  in
+  Alcotest.(check int) "mismatch rejected" 409 r.Http.status;
+  (* malformed digests never reach the store *)
+  let r = Server.handle repo (mk_request "/blob/nothex") in
+  Alcotest.(check int) "bad digest is a 400" 400 r.Http.status;
+  (* fetch + stat + list *)
+  let r = Server.handle repo (mk_request ("/blob/" ^ digest)) in
+  Alcotest.(check int) "found" 200 r.Http.status;
+  Alcotest.(check string) "bytes intact" content r.Http.body;
+  let r = Server.handle repo (mk_request ("/blob/" ^ digest ^ "/stat")) in
+  Alcotest.(check int) "stat 200" 200 r.Http.status;
+  let r = Server.handle repo (mk_request "/blobs") in
+  Alcotest.(check bool) "listed" true
+    (String.split_on_char '\n' r.Http.body
+    |> List.exists (fun l ->
+           match String.split_on_char ' ' l with
+           | [ d; _size ] -> d = digest
+           | _ -> false));
+  (* delete *)
+  let r = Server.handle repo (mk_request ~meth:"DELETE" ("/blob/" ^ digest)) in
+  Alcotest.(check int) "deleted" 200 r.Http.status;
+  let r = Server.handle repo (mk_request ("/blob/" ^ digest)) in
+  Alcotest.(check int) "gone" 404 r.Http.status
+
+let test_meta_sync_generation_gate () =
+  let repo = mk_repo () in
+  let exported = ok (Repo.export_meta repo) in
+  (* replaying a node's own metadata is stale, not an error *)
+  let r =
+    Server.handle repo (mk_request ~meth:"POST" ~body:exported "/meta/sync")
+  in
+  Alcotest.(check int) "accepted" 200 r.Http.status;
+  Alcotest.(check string) "own generation is stale" "stale\n" r.Http.body;
+  (* garbage is refused *)
+  let r =
+    Server.handle repo (mk_request ~meth:"POST" ~body:"not metadata" "/meta/sync")
+  in
+  Alcotest.(check int) "garbage rejected" 409 r.Http.status;
+  (* GET /meta serves the exact bytes *)
+  let r = Server.handle repo (mk_request "/meta") in
+  Alcotest.(check int) "meta served" 200 r.Http.status;
+  Alcotest.(check string) "byte-exact" exported r.Http.body
+
+let test_anti_entropy_requires_cluster () =
+  let repo = mk_repo () in
+  let r = Server.handle repo (mk_request ~meth:"POST" "/anti-entropy") in
+  Alcotest.(check int) "409 without --peers" 409 r.Http.status
+
 let suite =
   [
     Alcotest.test_case "http parse GET" `Quick test_http_parse_get;
+    Alcotest.test_case "route /health" `Quick test_route_health;
+    Alcotest.test_case "blob routes roundtrip" `Quick test_blob_routes_roundtrip;
+    Alcotest.test_case "meta sync generation gate" `Quick
+      test_meta_sync_generation_gate;
+    Alcotest.test_case "anti-entropy needs cluster" `Quick
+      test_anti_entropy_requires_cluster;
     Alcotest.test_case "http parse POST" `Quick test_http_parse_post_body;
     Alcotest.test_case "http malformed" `Quick test_http_malformed;
     Alcotest.test_case "percent decode" `Quick test_percent_decode;
