@@ -7,10 +7,31 @@ let log_src = Logs.Src.create "dsvc.client" ~doc:"dsvc HTTP client"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type t = { host : string; port : int; timeout : float; retries : int }
+(* A cached connection: both channel views share [fd]; closing the fd
+   once releases everything. *)
+type conn_state = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-let connect ?(timeout = 10.0) ?(retries = 3) ~host ~port () =
-  { host; port; timeout; retries }
+type t = {
+  host : string;
+  port : int;
+  timeout : float;
+  retries : int;
+  keepalive : bool;
+  lock : Mutex.t;  (* serializes the exchange and guards [cached] *)
+  mutable cached : conn_state option;
+}
+
+let connect ?(timeout = 10.0) ?(retries = 3) ?(keepalive = true) ~host ~port () =
+  { host; port; timeout; retries; keepalive; lock = Mutex.create (); cached = None }
+
+let close t =
+  Mutex.lock t.lock;
+  (match t.cached with
+  | None -> ()
+  | Some c ->
+      t.cached <- None;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ()));
+  Mutex.unlock t.lock
 
 (* Numeric address or DNS name — the paper's client/server model
    shouldn't require the caller to pre-resolve hostnames. *)
@@ -36,9 +57,23 @@ let resolve_addr host port =
 
 (* Failures before the request is sent (resolution, connect) are safe
    to retry for any method; failures after it only for idempotent
-   GETs — a retried POST /commit could commit twice. [stage] labels
-   the retry counter: where in the exchange the failure happened. *)
-type failure = { transient : bool; message : string; stage : string }
+   methods (GET/DELETE) — a retried POST /commit could commit twice.
+   [stage] labels the retry counter: where in the exchange the failure
+   happened. [Stale_connection] is the reuse hazard: the server closed
+   a kept-alive connection (idle timeout, restart) between or during
+   requests — always safe to retry by reconnecting when the method is
+   idempotent, never blindly for a POST (the server may have processed
+   it before closing). *)
+type error_kind = Resolve | Connect | Io | Stale_connection
+
+type error = {
+  kind : error_kind;
+  transient : bool;
+  message : string;
+  stage : string;
+}
+
+let idempotent meth = meth = "GET" || meth = "DELETE"
 
 let transient_unix_error = function
   | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EPIPE
@@ -58,115 +93,211 @@ let percent_encode s =
     s;
   Buffer.contents buf
 
+let record_conn mode =
+  Metrics.counter "dsvc_client_connections_total"
+    ~labels:[ ("mode", mode) ]
+    ~help:"TCP connections used by the HTTP client, by mode (new/reused)"
+
+(* A cached connection is only trusted if nothing is readable on it:
+   readable-while-idle means the server closed it (EOF pending) or the
+   framing is out of sync — either way it is dead to us. *)
+let conn_alive c =
+  match Unix.select [ c.fd ] [] [] 0.0 with
+  | [], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error _ -> false
+
+let fresh_conn t addr =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt_float sock Unix.SO_RCVTIMEO t.timeout;
+     Unix.setsockopt_float sock Unix.SO_SNDTIMEO t.timeout
+   with Unix.Unix_error _ -> ());
+  match Unix.connect sock addr with
+  | () ->
+      record_conn "new";
+      {
+        fd = sock;
+        ic = Unix.in_channel_of_descr sock;
+        oc = Unix.out_channel_of_descr sock;
+      }
+  | exception e ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      raise e
+
 let attempt t ~ctx ~meth ~path ~query ~body =
   match resolve_addr t.host t.port with
-  | Error message -> Error { transient = false; message; stage = "resolve" }
+  | Error message ->
+      Error { kind = Resolve; transient = false; message; stage = "resolve" }
   | Ok addr -> (
+      Mutex.lock t.lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
       (* [sent] splits failures into before/after the request hit the
-         wire, which decides retryability for non-idempotent methods. *)
+         wire, which decides retryability for non-idempotent methods;
+         [reused] marks failures on a kept-alive connection the server
+         may have closed under us. *)
       let sent = ref false in
+      let reused = ref false in
       try
-        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Fun.protect
-          ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
-          (fun () ->
-            (try
-               Unix.setsockopt_float sock Unix.SO_RCVTIMEO t.timeout;
-               Unix.setsockopt_float sock Unix.SO_SNDTIMEO t.timeout
-             with Unix.Unix_error _ -> ());
-            Unix.connect sock addr;
-            let oc = Unix.out_channel_of_descr sock in
-            let ic = Unix.in_channel_of_descr sock in
-            let target =
-              if query = [] then path
-              else
-                path ^ "?"
-                ^ String.concat "&"
-                    (List.map
-                       (fun (k, v) -> percent_encode k ^ "=" ^ percent_encode v)
-                       query)
-            in
-            sent := true;
-            (* Cross-process trace propagation: the server joins this
-               operation's trace via [traceparent] and echoes/logs the
-               request id (DESIGN.md §11). The parent span is our
-               current span when tracing is on. *)
-            let traceparent =
-              Context.to_traceparent ?span:(Trace.current_id ()) ctx
-            in
-            output_string oc
-              (Printf.sprintf
-                 "%s %s HTTP/1.1\r\nHost: %s\r\nTraceparent: %s\r\n\
-                  X-Dsvc-Request-Id: %s\r\nContent-Length: %d\r\n\r\n%s"
-                 meth target t.host traceparent ctx.Context.request_id
-                 (String.length body) body);
-            flush oc;
-            (* Parse the status line, headers, and Content-Length body. *)
-            let line () =
-              match In_channel.input_line ic with
-              | None -> failwith "connection closed mid-response"
-              | Some l ->
-                  if String.length l > 0 && l.[String.length l - 1] = '\r' then
-                    String.sub l 0 (String.length l - 1)
-                  else l
-            in
-            let status_line = line () in
-            let status =
-              match String.split_on_char ' ' status_line with
-              | _ :: code :: _ -> (
-                  match int_of_string_opt code with
-                  | Some c -> c
-                  | None -> failwith ("bad status line: " ^ status_line))
-              | _ -> failwith ("bad status line: " ^ status_line)
-            in
-            let content_length = ref None in
-            let rec headers () =
-              let l = line () in
-              if l <> "" then begin
-                (match String.index_opt l ':' with
-                | Some i
-                  when String.lowercase_ascii (String.sub l 0 i)
-                       = "content-length" ->
-                    content_length :=
-                      int_of_string_opt
-                        (String.trim
-                           (String.sub l (i + 1) (String.length l - i - 1)))
-                | _ -> ());
-                headers ()
+        let c =
+          match t.cached with
+          | Some c ->
+              t.cached <- None;
+              if conn_alive c then begin
+                reused := true;
+                record_conn "reused";
+                c
               end
-            in
-            headers ();
-            let body =
-              match !content_length with
-              | Some len -> really_input_string ic len
-              | None -> In_channel.input_all ic
-            in
-            Ok (status, body))
+              else begin
+                (try Unix.close c.fd with Unix.Unix_error _ -> ());
+                fresh_conn t addr
+              end
+          | None -> fresh_conn t addr
+        in
+        let exchange () =
+          let target =
+            if query = [] then path
+            else
+              path ^ "?"
+              ^ String.concat "&"
+                  (List.map
+                     (fun (k, v) -> percent_encode k ^ "=" ^ percent_encode v)
+                     query)
+          in
+          (* Cross-process trace propagation: the server joins this
+             operation's trace via [traceparent] and echoes/logs the
+             request id (DESIGN.md §11). The parent span is our
+             current span when tracing is on. *)
+          let traceparent =
+            Context.to_traceparent ?span:(Trace.current_id ()) ctx
+          in
+          sent := true;
+          output_string c.oc
+            (Printf.sprintf
+               "%s %s HTTP/1.1\r\nHost: %s\r\nConnection: %s\r\n\
+                Traceparent: %s\r\nX-Dsvc-Request-Id: %s\r\n\
+                Content-Length: %d\r\n\r\n%s"
+               meth target t.host
+               (if t.keepalive then "keep-alive" else "close")
+               traceparent ctx.Context.request_id (String.length body) body);
+          flush c.oc;
+          (* Parse the status line, headers, and Content-Length body. *)
+          let line () =
+            match In_channel.input_line c.ic with
+            | None -> failwith "connection closed mid-response"
+            | Some l ->
+                if String.length l > 0 && l.[String.length l - 1] = '\r' then
+                  String.sub l 0 (String.length l - 1)
+                else l
+          in
+          let status_line = line () in
+          let status =
+            match String.split_on_char ' ' status_line with
+            | _ :: code :: _ -> (
+                match int_of_string_opt code with
+                | Some c -> c
+                | None -> failwith ("bad status line: " ^ status_line))
+            | _ -> failwith ("bad status line: " ^ status_line)
+          in
+          let content_length = ref None in
+          let server_closes = ref false in
+          let rec headers () =
+            let l = line () in
+            if l <> "" then begin
+              (match String.index_opt l ':' with
+              | Some i -> (
+                  let name = String.lowercase_ascii (String.sub l 0 i) in
+                  let value =
+                    String.trim (String.sub l (i + 1) (String.length l - i - 1))
+                  in
+                  match name with
+                  | "content-length" ->
+                      content_length := int_of_string_opt value
+                  | "connection" ->
+                      if String.lowercase_ascii value = "close" then
+                        server_closes := true
+                  | _ -> ())
+              | None -> ());
+              headers ()
+            end
+          in
+          headers ();
+          let body =
+            match !content_length with
+            | Some len -> really_input_string c.ic len
+            | None -> In_channel.input_all c.ic
+          in
+          (* Reuse only when both sides committed to it and the body
+             was delimited (input_all just consumed to EOF). *)
+          let keep =
+            t.keepalive && (not !server_closes) && !content_length <> None
+          in
+          (status, body, keep)
+        in
+        (match exchange () with
+        | status, body, keep ->
+            if keep then t.cached <- Some c
+            else (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            Ok (status, body)
+        | exception e ->
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            raise e)
       with
       | Unix.Unix_error (err, fn, _) ->
-          Error
-            {
-              transient =
-                transient_unix_error err && ((not !sent) || meth = "GET");
-              message = Printf.sprintf "%s: %s" fn (Unix.error_message err);
-              stage = (if !sent then "io" else "connect");
-            }
+          let message = Printf.sprintf "%s: %s" fn (Unix.error_message err) in
+          if !reused then
+            Error
+              {
+                kind = Stale_connection;
+                transient = transient_unix_error err && idempotent meth;
+                message = "reused connection failed: " ^ message;
+                stage = "reuse";
+              }
+          else
+            Error
+              {
+                kind = (if !sent then Io else Connect);
+                transient =
+                  transient_unix_error err && ((not !sent) || idempotent meth);
+                message;
+                stage = (if !sent then "io" else "connect");
+              }
       | Failure e | Sys_error e ->
-          Error
-            {
-              transient = meth = "GET";
-              message = e;
-              stage = (if !sent then "io" else "connect");
-            }
+          if !reused then
+            Error
+              {
+                kind = Stale_connection;
+                transient = idempotent meth;
+                message = "reused connection failed: " ^ e;
+                stage = "reuse";
+              }
+          else
+            Error
+              {
+                kind = Io;
+                transient = idempotent meth;
+                message = e;
+                stage = (if !sent then "io" else "connect");
+              }
       | End_of_file ->
-          Error
-            {
-              transient = meth = "GET";
-              message = "unexpected end of response";
-              stage = "io";
-            })
+          if !reused then
+            Error
+              {
+                kind = Stale_connection;
+                transient = idempotent meth;
+                message = "reused connection closed mid-response";
+                stage = "reuse";
+              }
+          else
+            Error
+              {
+                kind = Io;
+                transient = idempotent meth;
+                message = "unexpected end of response";
+                stage = "io";
+              })
 
-let request t ~meth ~path ?(query = []) ?(body = "") () =
+let request_detailed t ~meth ~path ?(query = []) ?(body = "") () =
   (* One trace context per operation: reuse the caller's ambient
      context when there is one (so a caller-held context shows up in
      the server's access log), otherwise mint a fresh one. Retries
@@ -211,7 +342,12 @@ let request t ~meth ~path ?(query = []) ?(body = "") () =
           | Error _ -> "error" );
       ]
     ~help:"HTTP client requests, by method and response status";
-  Result.map_error (fun f -> f.message) result
+  result
+
+let request t ~meth ~path ?query ?body () =
+  Result.map_error
+    (fun e -> e.message)
+    (request_detailed t ~meth ~path ?query ?body ())
 
 let expect_ok t ~meth ~path ?query ?body () =
   match request t ~meth ~path ?query ?body () with

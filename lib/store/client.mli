@@ -2,15 +2,20 @@
     paper's client–server prototype (its client was a separate
     program; this one is a typed OCaml API over {!Server}'s routes).
 
-    All calls open one connection per request (matching the server's
-    connection-per-request model) and surface non-2xx responses as
-    [Error] with the server's message.
+    Connections are persistent (HTTP/1.1 keep-alive): each client
+    caches one open connection and reuses it across requests,
+    reconnecting transparently when the server has closed it in the
+    meantime. Non-2xx responses surface as [Error] with the server's
+    message. A client is safe to share between threads — requests
+    serialize on an internal lock.
 
     Resilience: sockets carry send/receive timeouts; transient
     transport failures (connection refused/reset, timeouts) are
     retried with exponential backoff and jitter ({!Versioning_util.Retry}).
-    Failures after the request was sent are only retried for
-    idempotent GETs — a retried POST could apply twice.
+    Failures after the request was sent — including a kept-alive
+    connection dying mid-request ({!Stale_connection}) — are only
+    retried for idempotent methods (GET/DELETE); a retried POST could
+    apply twice.
 
     Tracing (DESIGN.md §11): every operation runs under a
     {!Versioning_obs.Context} — the caller's ambient one when present,
@@ -23,11 +28,53 @@
 type t
 
 val connect :
-  ?timeout:float -> ?retries:int -> host:string -> port:int -> unit -> t
-(** No connection is held; this just records the endpoint. [host] may
-    be a numeric address or a DNS name (resolved per request via
-    [getaddrinfo]). [timeout] (default 10s) bounds each socket
-    operation; [retries] (default 3) caps transport-level attempts. *)
+  ?timeout:float ->
+  ?retries:int ->
+  ?keepalive:bool ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
+(** Records the endpoint; the first request opens the connection.
+    [host] may be a numeric address or a DNS name (resolved per
+    request via [getaddrinfo]). [timeout] (default 10s) bounds each
+    socket operation; [retries] (default 3) caps transport-level
+    attempts; [keepalive] (default true) keeps the connection open
+    between requests — pass [false] to force one connection per
+    request (the pre-event-loop behaviour). *)
+
+val close : t -> unit
+(** Drop the cached connection, if any. The client stays usable (the
+    next request reconnects). *)
+
+(** {2 Typed transport errors} *)
+
+type error_kind =
+  | Resolve  (** host name did not resolve *)
+  | Connect  (** could not reach the server *)
+  | Io  (** the exchange failed on a fresh connection *)
+  | Stale_connection
+      (** a reused (kept-alive) connection died mid-request: the
+          server closed it between or during requests. Retryable by
+          reconnecting — but only for idempotent methods, which is
+          exactly what [transient] encodes. *)
+
+type error = {
+  kind : error_kind;
+  transient : bool;  (** safe to retry (method-aware) *)
+  message : string;
+  stage : string;  (** "resolve" | "connect" | "io" | "reuse" *)
+}
+
+val request_detailed :
+  t ->
+  meth:string ->
+  path:string ->
+  ?query:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * string, error) result
+(** {!request} with the typed transport error preserved. *)
 
 val versions : t -> ((int * int list * string) list, string) result
 (** [(id, parents, message)] per commit, newest first. *)

@@ -249,6 +249,7 @@ let handle ?cluster repo (req : Http.request) =
             content_type = "text/plain; charset=utf-8";
             headers = [];
             body;
+            stream = None;
           }
         else Http.ok body
     | Error e -> Http.error (status_of_error e) (e ^ "\n")
@@ -346,6 +347,7 @@ let handle ?cluster repo (req : Http.request) =
             content_type = "application/json";
             headers = [];
             body = Metrics.to_json ();
+            stream = None;
           }
       | _ ->
           {
@@ -353,6 +355,7 @@ let handle ?cluster repo (req : Http.request) =
             content_type = "text/plain; version=0.0.4; charset=utf-8";
             headers = [];
             body = Metrics.to_prometheus ();
+            stream = None;
           })
   | "GET", [ "trace"; rid ] -> (
       (* Debug endpoint: the span summary of a recent request. Only
@@ -370,10 +373,17 @@ let handle ?cluster repo (req : Http.request) =
   | "GET", [ "health" ] -> Http.ok (health_body ?cluster repo)
   (* ---- peer blob routes: always the node's LOCAL shard ---- *)
   | "GET", [ "blob"; digest ] ->
+      (* Streamed: raw-framed blobs go from disk to the socket in
+         fixed-size chunks without ever being materialized whole. *)
       valid_digest digest @@ fun () -> (
-        match Object_store.get local_store digest with
-        | Ok content ->
-            Http.ok ~content_type:"application/octet-stream" content
+        match Object_store.get_stream local_store digest with
+        | Ok s ->
+            Http.ok_stream
+              {
+                Http.stream_length = s.Object_store.bs_length;
+                read_chunk = s.Object_store.bs_read;
+                close_stream = s.Object_store.bs_close;
+              }
         | Error e -> Http.error 404 (e ^ "\n"))
   | "GET", [ "blob"; digest; "stat" ] ->
       valid_digest digest @@ fun () -> (
@@ -393,6 +403,7 @@ let handle ?cluster repo (req : Http.request) =
               content_type = "text/plain; charset=utf-8";
               headers = [];
               body = "stored\n";
+              stream = None;
             }
         | Error e -> Http.error 409 (e ^ "\n"))
   | "POST", [ "blob"; digest; "quarantine" ] ->
@@ -541,28 +552,97 @@ let handle_safe ?cluster repo req =
       ("X-Dsvc-Request-Id", ctx.Context.request_id) :: resp.Http.headers;
   }
 
+(* ---- event-driven serving (DESIGN.md §13) ----
+
+   One loop thread owns every socket: it accepts, reads, parses
+   incrementally, and writes — never blocking on any of them. Parsed
+   requests are handed to a small executor (systhreads; default one,
+   because the ambient trace {!Context} is domain-local and shared
+   between systhreads) whose responses are posted back to the loop.
+   Heavy handlers still parallelize internally: [Repo.optimize] fans
+   out across the [Pool] domains, so the loop stays responsive while a
+   solve runs. *)
+
+module Evloop = Versioning_util.Evloop
+module Faults = Versioning_util.Faults
+
+let env_float name default =
+  match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+  | Some v when v > 0.0 -> v
+  | _ -> default
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v > 0 -> v
+  | _ -> default
+
+(* How many complete pipelined requests may queue per connection
+   before the loop stops reading from it (backpressure). *)
+let max_pipeline = 16
+
+(* Routes served without the repo lock when [workers > 1]: pure
+   observability reads with their own internal synchronization. *)
+let lock_free_route = function
+  | "/metrics" | "/flight" | "/trace/:request_id" -> true
+  | _ -> false
+
+type out_slice = { o_data : string; mutable o_off : int }
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_parser : Http.Parser.t;
+  c_pending : Http.request Queue.t;  (* parsed, not yet dispatched *)
+  c_out : out_slice Queue.t;  (* serialized bytes awaiting the socket *)
+  mutable c_stream : Http.body_stream option;  (* body being streamed *)
+  mutable c_busy : bool;  (* a handler is running for this conn *)
+  mutable c_close_after : bool;  (* close once the out queue drains *)
+  mutable c_eof : bool;  (* peer closed its sending half *)
+  mutable c_closed : bool;
+  mutable c_last_activity : float;
+  mutable c_served : int;  (* responses enqueued on this connection *)
+}
+
+let record_rejected reason =
+  Metrics.counter "dsvc_server_rejected_total"
+    ~labels:[ ("reason", reason) ]
+    ~help:"Connections/requests refused by the server core, by reason"
+
 let serve ?cluster repo ~port ?(host = "127.0.0.1") ?max_requests
-    ?(request_timeout = 30.0) () =
+    ?(request_timeout = 30.0) ?idle_timeout ?max_connections ?workers
+    ?on_listen () =
   (* Serving is an operational mode: turn the observability layer on
      so GET /metrics has data, whatever the environment says. *)
   Obs.enable ();
+  let idle_timeout =
+    match idle_timeout with
+    | Some v -> v
+    | None -> env_float "DSVC_IDLE_TIMEOUT" 5.0
+  in
+  let max_connections =
+    match max_connections with
+    | Some v -> v
+    | None -> env_int "DSVC_MAX_CONNS" 1024
+  in
+  let workers =
+    max 1
+      (match workers with
+      | Some v -> v
+      | None -> env_int "DSVC_SERVER_WORKERS" 1)
+  in
   try
     let addr = Unix.inet_addr_of_string host in
-    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.setsockopt sock Unix.SO_REUSEADDR true;
-    Unix.bind sock (Unix.ADDR_INET (addr, port));
-    Unix.listen sock 16;
-    (* A receive timeout on the listening socket turns the blocking
-       [accept] into a poll, so shutdown requests are noticed promptly
-       even when no client ever connects. *)
-    (try Unix.setsockopt_float sock Unix.SO_RCVTIMEO 0.2
-     with Unix.Unix_error _ -> ());
+    let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+    Unix.bind lsock (Unix.ADDR_INET (addr, port));
+    Unix.listen lsock 128;
+    Unix.set_nonblock lsock;
     let actual_port =
-      match Unix.getsockname sock with
+      match Unix.getsockname lsock with
       | Unix.ADDR_INET (_, p) -> p
       | _ -> port
     in
     Printf.printf "dsvc server listening on %s:%d\n%!" host actual_port;
+    (match on_listen with Some f -> f actual_port | None -> ());
     let stop = ref false in
     let old_int = ref None and old_term = ref None in
     (try
@@ -587,45 +667,394 @@ let serve ?cluster repo ~port ?(host = "127.0.0.1") ?max_requests
       restore "SIGINT" Sys.sigint !old_int;
       restore "SIGTERM" Sys.sigterm !old_term
     in
+    let loop = Evloop.create () in
+    Log.info (fun m ->
+        m "event loop backend: %s, workers: %d" (Evloop.backend_name loop)
+          workers);
+    let conns : (int, conn) Hashtbl.t = Hashtbl.create 64 in
     let served = ref 0 in
-    let continue () =
-      (not !stop)
-      && match max_requests with None -> true | Some m -> !served < m
+    let stopping = ref false in
+    let listener_open = ref true in
+    let drain_deadline = ref infinity in
+    let rbuf = Bytes.create 65536 in
+    (* Executor: parsed requests run here so a slow handler never
+       blocks the loop. One worker by default — the ambient trace
+       context is domain-local, so concurrent handlers in one domain
+       would interleave their contexts (DSVC_SERVER_WORKERS opts in;
+       the repo lock below keeps state safe when they do). *)
+    let repo_mutex = Mutex.create () in
+    let with_repo_lock f =
+      Mutex.lock repo_mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock repo_mutex) f
     in
+    let jobs : (unit -> unit) Queue.t = Queue.create () in
+    let jobs_mutex = Mutex.create () in
+    let jobs_cond = Condition.create () in
+    let quit = ref false in
+    let submit job =
+      Mutex.lock jobs_mutex;
+      Queue.push job jobs;
+      Condition.signal jobs_cond;
+      Mutex.unlock jobs_mutex
+    in
+    let rec worker () =
+      Mutex.lock jobs_mutex;
+      while Queue.is_empty jobs && not !quit do
+        Condition.wait jobs_cond jobs_mutex
+      done;
+      let job = if Queue.is_empty jobs then None else Some (Queue.pop jobs) in
+      Mutex.unlock jobs_mutex;
+      match job with
+      | None -> ()
+      | Some job ->
+          (try job ()
+           with e ->
+             (* lint: swallow-ok a raising job must cost one response,
+                never the executor thread; handle_safe already maps
+                handler exceptions to 500s, so this is a backstop *)
+             Log.err (fun m -> m "executor job raised: %s" (Printexc.to_string e)));
+          worker ()
+    in
+    let threads = List.init workers (fun _ -> Thread.create worker ()) in
+    let conn_drained conn =
+      Queue.is_empty conn.c_out
+      && conn.c_stream = None && (not conn.c_busy)
+      && Queue.is_empty conn.c_pending
+      && not (Http.Parser.in_request conn.c_parser)
+    in
+    let gather conn =
+      let slices = ref [] and n = ref 0 in
+      (try
+         Queue.iter
+           (fun sl ->
+             if !n >= 8 then raise Exit;
+             slices :=
+               (sl.o_data, sl.o_off, String.length sl.o_data - sl.o_off)
+               :: !slices;
+             incr n)
+           conn.c_out
+       with Exit -> ());
+      Array.of_list (List.rev !slices)
+    in
+    let rec advance conn n =
+      if n > 0 then begin
+        let sl = Queue.peek conn.c_out in
+        let rem = String.length sl.o_data - sl.o_off in
+        if n >= rem then begin
+          ignore (Queue.pop conn.c_out);
+          advance conn (n - rem)
+        end
+        else sl.o_off <- sl.o_off + n
+      end
+    in
+    let rec close_conn conn =
+      if not conn.c_closed then begin
+        conn.c_closed <- true;
+        (match conn.c_stream with
+        | Some s -> s.Http.close_stream ()
+        | None -> ());
+        conn.c_stream <- None;
+        Evloop.remove loop conn.c_fd;
+        Hashtbl.remove conns (Evloop.fd_int conn.c_fd);
+        (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+      end
+    and update_interest conn =
+      if not conn.c_closed then begin
+        let want_write =
+          conn.c_stream <> None || not (Queue.is_empty conn.c_out)
+        in
+        let want_read =
+          (not conn.c_close_after)
+          && (not conn.c_eof)
+          && Queue.length conn.c_pending < max_pipeline
+        in
+        Evloop.modify loop conn.c_fd ~read:want_read ~write:want_write
+      end
+    and begin_shutdown () =
+      if not !stopping then begin
+        stopping := true;
+        drain_deadline := Unix.gettimeofday () +. 5.0;
+        if !listener_open then begin
+          listener_open := false;
+          Evloop.remove loop lsock;
+          (try Unix.close lsock with Unix.Unix_error _ -> ())
+        end;
+        let all = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
+        List.iter
+          (fun c ->
+            c.c_close_after <- true;
+            if conn_drained c then close_conn c else update_interest c)
+          all
+      end
+    and enqueue_response conn ~keep resp =
+      (* The fault site that makes the peer vanish instead of
+         responding — same observable failure as the old blocking
+         server's [Http.write_response] guard. *)
+      match Faults.guard "http.write_response" with
+      | exception Faults.Injected _ ->
+          (match resp.Http.stream with
+          | Some s -> s.Http.close_stream ()
+          | None -> ());
+          close_conn conn
+      | () ->
+          if conn.c_served > 0 then
+            Metrics.counter "dsvc_server_keepalive_reuse_total"
+              ~help:"Responses sent on an already-used (kept-alive) connection";
+          conn.c_served <- conn.c_served + 1;
+          incr served;
+          let header = Http.serialize_header ~keep_alive:keep resp in
+          Queue.push { o_data = header; o_off = 0 } conn.c_out;
+          (match resp.Http.stream with
+          | Some s -> conn.c_stream <- Some s
+          | None ->
+              if resp.Http.body <> "" then
+                Queue.push { o_data = resp.Http.body; o_off = 0 } conn.c_out);
+          if not keep then conn.c_close_after <- true;
+          (match max_requests with
+          | Some m when !served >= m -> begin_shutdown ()
+          | _ -> ())
+    and fill_from_stream conn =
+      match conn.c_stream with
+      | None -> ()
+      | Some s ->
+          if Queue.length conn.c_out < 4 then begin
+            match
+              Faults.guard "http.write_chunk";
+              s.Http.read_chunk ()
+            with
+            | exception Faults.Injected _ ->
+                (* the peer sees the connection die mid-body *)
+                close_conn conn
+            | Ok (Some chunk) ->
+                Queue.push { o_data = chunk; o_off = 0 } conn.c_out;
+                fill_from_stream conn
+            | Ok None ->
+                s.Http.close_stream ();
+                conn.c_stream <- None
+            | Error e ->
+                (* The status line is already on the wire: cut the body
+                   short so the Content-Length mismatch surfaces
+                   client-side instead of a complete-looking bad
+                   response. *)
+                Log.warn (fun m -> m "streamed body failed: %s" e);
+                s.Http.close_stream ();
+                conn.c_stream <- None;
+                Queue.clear conn.c_pending;
+                conn.c_close_after <- true
+          end
+    and dispatch conn =
+      if
+        (not conn.c_busy)
+        && (not conn.c_closed)
+        && (not conn.c_close_after)
+        && conn.c_stream = None
+        && not (Queue.is_empty conn.c_pending)
+      then begin
+        let req = Queue.pop conn.c_pending in
+        let keep = Http.keep_alive req in
+        conn.c_busy <- true;
+        conn.c_last_activity <- Unix.gettimeofday ();
+        let route = route_label req.Http.meth req.Http.path in
+        submit (fun () ->
+            let resp =
+              if lock_free_route route then handle_safe ?cluster repo req
+              else with_repo_lock (fun () -> handle_safe ?cluster repo req)
+            in
+            Evloop.post loop (fun () -> on_response conn keep resp))
+      end
+    and on_response conn keep resp =
+      conn.c_busy <- false;
+      if conn.c_closed then (
+        match resp.Http.stream with
+        | Some s -> s.Http.close_stream ()
+        | None -> ())
+      else begin
+        enqueue_response conn ~keep resp;
+        if not conn.c_closed then begin
+          dispatch conn;
+          update_interest conn;
+          try_flush conn
+        end
+      end
+    and try_flush conn =
+      if not conn.c_closed then begin
+        fill_from_stream conn;
+        let progress = ref true in
+        (try
+           while
+             !progress
+             && (not conn.c_closed)
+             && not (Queue.is_empty conn.c_out)
+           do
+             let slices = gather conn in
+             let n = Evloop.writev conn.c_fd slices in
+             if n <= 0 then progress := false
+             else begin
+               advance conn n;
+               fill_from_stream conn
+             end
+           done
+         with Unix.Unix_error _ -> close_conn conn);
+        if not conn.c_closed then
+          if Queue.is_empty conn.c_out && conn.c_stream = None then
+            if conn.c_close_after then close_conn conn
+            else begin
+              (* a finished stream unblocks the next pipelined response *)
+              dispatch conn;
+              if conn.c_eof && conn_drained conn then close_conn conn
+              else update_interest conn
+            end
+          else update_interest conn
+      end
+    and drain_parser conn =
+      if
+        (not conn.c_closed)
+        && (not conn.c_close_after)
+        && Queue.length conn.c_pending < max_pipeline
+      then
+        match Http.Parser.next conn.c_parser with
+        | `Request req ->
+            Queue.push req conn.c_pending;
+            drain_parser conn
+        | `Partial -> ()
+        | `Reject r ->
+            record_rejected "parse";
+            enqueue_response conn ~keep:false
+              (Http.error r.Http.Parser.reject_status
+                 (r.Http.Parser.reject_reason ^ "\n"))
+    and on_readable conn =
+      match Unix.read conn.c_fd rbuf 0 (Bytes.length rbuf) with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> close_conn conn
+      | 0 ->
+          conn.c_eof <- true;
+          if conn_drained conn then close_conn conn else update_interest conn
+      | n ->
+          conn.c_last_activity <- Unix.gettimeofday ();
+          Http.Parser.feed conn.c_parser rbuf 0 n;
+          drain_parser conn;
+          if not conn.c_closed then begin
+            dispatch conn;
+            update_interest conn;
+            (* a parse rejection enqueues its response directly *)
+            if not (Queue.is_empty conn.c_out) then try_flush conn
+          end
+    and on_event conn = function
+      | `Read -> on_readable conn
+      | `Write -> try_flush conn
+    in
+    let reject_overload fd =
+      record_rejected "max_connections";
+      let resp = Http.error 503 "server at connection capacity\n" in
+      let s = Http.serialize_header ~keep_alive:false resp ^ resp.Http.body in
+      (try ignore (Unix.write_substring fd s 0 (String.length s))
+       with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    in
+    let rec do_accept () =
+      match Unix.accept ~cloexec:true lsock with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception
+          Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE | Unix.ECONNABORTED), _, _)
+        ->
+          Log.warn (fun m -> m "accept failed transiently")
+      | fd, _ ->
+          if !stopping then (
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          else if Hashtbl.length conns >= max_connections then begin
+            reject_overload fd;
+            do_accept ()
+          end
+          else begin
+            Metrics.counter "dsvc_server_connections_total"
+              ~help:"TCP connections accepted";
+            (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            let conn =
+              {
+                c_fd = fd;
+                c_parser = Http.Parser.create ();
+                c_pending = Queue.create ();
+                c_out = Queue.create ();
+                c_stream = None;
+                c_busy = false;
+                c_close_after = false;
+                c_eof = false;
+                c_closed = false;
+                c_last_activity = Unix.gettimeofday ();
+                c_served = 0;
+              }
+            in
+            Hashtbl.replace conns (Evloop.fd_int fd) conn;
+            Evloop.add loop fd ~read:true ~write:false (on_event conn);
+            do_accept ()
+          end
+    in
+    let sweep now =
+      let expired =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if
+              c.c_closed || c.c_busy
+              || (not (Queue.is_empty c.c_out))
+              || c.c_stream <> None
+            then acc
+            else
+              let idle = now -. c.c_last_activity in
+              if Http.Parser.in_request c.c_parser then
+                if idle > request_timeout then `Timeout c :: acc else acc
+              else if Queue.is_empty c.c_pending && idle > idle_timeout then
+                `Idle c :: acc
+              else acc)
+          conns []
+      in
+      List.iter
+        (function
+          | `Idle c -> close_conn c
+          | `Timeout c ->
+              (* mid-request and silent for too long: a 408, then close *)
+              record_rejected "timeout";
+              enqueue_response c ~keep:false
+                (Http.error 408 "request timeout\n");
+              try_flush c)
+        expired
+    in
+    Evloop.add loop lsock ~read:true ~write:false (fun _ -> do_accept ());
     Fun.protect
       ~finally:(fun () ->
         restore_signals ();
-        try Unix.close sock with Unix.Unix_error _ -> ())
+        Mutex.lock jobs_mutex;
+        quit := true;
+        Condition.broadcast jobs_cond;
+        Mutex.unlock jobs_mutex;
+        List.iter Thread.join threads;
+        let all = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
+        List.iter close_conn all;
+        (* drain late-posted responses so their streams close *)
+        ignore (Evloop.wait loop ~timeout:0.0);
+        if !listener_open then begin
+          listener_open := false;
+          try Unix.close lsock with Unix.Unix_error _ -> ()
+        end;
+        Evloop.close loop)
       (fun () ->
-        while continue () do
-          match Unix.accept sock with
-          | exception
-              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-            ->
-              (* accept-poll timeout or signal: re-check [stop] *)
-              ()
-          | client, _ ->
-              incr served;
-              (* A stalled or dead peer must not wedge the server: cap
-                 both directions of per-connection I/O. *)
-              (try
-                 Unix.setsockopt_float client Unix.SO_RCVTIMEO request_timeout;
-                 Unix.setsockopt_float client Unix.SO_SNDTIMEO request_timeout
-               with Unix.Unix_error _ -> ());
-              let ic = Unix.in_channel_of_descr client in
-              let oc = Unix.out_channel_of_descr client in
-              (try
-                 (match Http.read_request ic with
-                 | Ok req -> Http.write_response oc (handle_safe ?cluster repo req)
-                 | Error e -> Http.write_response oc (Http.error 400 (e ^ "\n")));
-                 flush oc
-               with e ->
-                 (* The peer vanished mid-exchange (EPIPE, reset,
-                    timeout) — its connection dies, the accept loop
-                    must not. *)
-                 Log.warn (fun m ->
-                     m "connection aborted: %s" (Printexc.to_string e)));
-              (try Unix.close client with Unix.Unix_error _ -> ())
+        while
+          (not !stop)
+          &&
+          if !stopping then
+            Hashtbl.length conns > 0
+            && Unix.gettimeofday () < !drain_deadline
+          else true
+        do
+          ignore (Evloop.wait loop ~timeout:0.2);
+          sweep (Unix.gettimeofday ())
         done);
     if !stop then begin
       (* Signal-driven shutdown is a flight-dump trigger: persist the

@@ -77,18 +77,39 @@ val serve :
   ?host:string ->
   ?max_requests:int ->
   ?request_timeout:float ->
+  ?idle_timeout:float ->
+  ?max_connections:int ->
+  ?workers:int ->
+  ?on_listen:(int -> unit) ->
   unit ->
   (unit, string) result
-(** Serve sequentially on [host] (default 127.0.0.1). [max_requests]
-    stops the loop after that many connections (tests); default runs
-    forever. The bound port is printed to stdout once listening.
+(** Event-driven serving on [host] (default 127.0.0.1): one loop
+    thread owns every socket ({!Versioning_util.Evloop} — epoll where
+    available), connections persist across requests (HTTP/1.1
+    keep-alive, pipelining up to a bounded depth), and blob responses
+    stream from disk in fixed-size chunks through vectored writes.
+    Parsed requests execute on a small worker pool so a slow handler
+    never blocks the loop; [workers] (default [DSVC_SERVER_WORKERS] or
+    1 — the ambient trace context is domain-local, so more workers may
+    interleave trace ids) — non-observability routes additionally
+    serialize on an internal repo lock.
 
-    Resilience: every connection gets [SO_RCVTIMEO]/[SO_SNDTIMEO] of
-    [request_timeout] seconds (default 30) so a stalled peer cannot
-    wedge the loop; SIGINT/SIGTERM request a graceful shutdown (the
-    current request finishes, the listening socket closes, previous
-    signal handlers are restored, and [serve] returns [Ok ()]). A
-    signal-initiated shutdown also dumps the flight recorder to
+    [max_requests] stops the server after that many responses have
+    been enqueued (tests), draining open connections briefly. The
+    bound port is printed to stdout once listening, and [on_listen]
+    (if any) receives it — useful with [port:0] for an ephemeral port.
+
+    Overload and stalls: at most [max_connections] ([DSVC_MAX_CONNS]
+    or 1024) connections are served concurrently — beyond that new
+    connections get an immediate [503]; a connection idle mid-request
+    for [request_timeout] seconds (default 30) gets a [408] and is
+    closed; one idle {e between} requests for [idle_timeout]
+    ([DSVC_IDLE_TIMEOUT] or 5) seconds is closed silently.
+
+    SIGINT/SIGTERM request a graceful shutdown (in-flight work
+    finishes, the listening socket closes, previous signal handlers
+    are restored, and [serve] returns [Ok ()]). A signal-initiated
+    shutdown also dumps the flight recorder to
     {!Versioning_obs.Flight.default_path} when it holds any events. *)
 
 val parse_strategy : string -> (Repo.strategy, string) result

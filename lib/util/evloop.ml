@@ -1,0 +1,268 @@
+(* Readiness reactor behind the event-driven server (DESIGN.md §13).
+
+   One thread owns a loop instance and calls [wait]; callbacks run on
+   that thread. Other threads talk to the loop only through [post],
+   which enqueues a job and wakes the poller via a self-pipe.
+
+   Three interchangeable poller backends sit behind the same table of
+   registered fds: epoll(7) where the platform has it (persistent
+   interest set, O(ready) per wait), poll(2) as the portable default
+   (no FD_SETSIZE ceiling), and select(2) as a pure-stdlib reference
+   backend kept around so the equivalence is testable. DSVC_EVLOOP
+   picks explicitly; "auto" prefers epoll, then poll. *)
+
+external has_epoll : unit -> bool = "dsvc_has_epoll"
+external fd_int : Unix.file_descr -> int = "dsvc_fd_int"
+external epoll_create : unit -> Unix.file_descr = "dsvc_epoll_create"
+
+external epoll_ctl : Unix.file_descr -> int -> Unix.file_descr -> int -> int
+  = "dsvc_epoll_ctl"
+
+external epoll_wait : Unix.file_descr -> int -> int array = "dsvc_epoll_wait"
+
+external raw_poll : int array -> int array -> int -> int array = "dsvc_poll"
+
+external raw_writev : Unix.file_descr -> (string * int * int) array -> int
+  = "dsvc_writev"
+
+(* Event bits shared with the stubs. *)
+let ev_read = 1
+
+let ev_write = 2
+
+type event = [ `Read | `Write ]
+
+type entry = {
+  e_fd : Unix.file_descr;
+  e_num : int;
+  mutable e_read : bool;
+  mutable e_write : bool;
+  e_cb : event -> unit;
+}
+
+type backend = Epoll of Unix.file_descr | Poll | Select
+
+type t = {
+  backend : backend;
+  table : (int, entry) Hashtbl.t;
+  jobs : (unit -> unit) Queue.t;
+  jobs_mutex : Mutex.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable closed : bool;
+}
+
+let backend_name t =
+  match t.backend with Epoll _ -> "epoll" | Poll -> "poll" | Select -> "select"
+
+let bits_of entry =
+  (if entry.e_read then ev_read else 0)
+  lor if entry.e_write then ev_write else 0
+
+let ctl_check what rc =
+  if rc < 0 then
+    failwith (Printf.sprintf "Evloop.%s: epoll_ctl failed (errno %d)" what (-rc))
+
+let choose_backend = function
+  | Some "select" -> Select
+  | Some "poll" -> Poll
+  | Some "epoll" | Some "auto" | Some "" | None ->
+      if has_epoll () then begin
+        let ep = epoll_create () in
+        if fd_int ep >= 0 then Epoll ep else Poll
+      end
+      else Poll
+  | Some other ->
+      failwith
+        (Printf.sprintf
+           "DSVC_EVLOOP=%s: expected auto, epoll, poll, or select" other)
+
+let create ?backend () =
+  let backend =
+    choose_backend
+      (match backend with
+      | Some _ as b -> b
+      | None -> Sys.getenv_opt "DSVC_EVLOOP")
+  in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      backend;
+      table = Hashtbl.create 64;
+      jobs = Queue.create ();
+      jobs_mutex = Mutex.create ();
+      wake_r;
+      wake_w;
+      closed = false;
+    }
+  in
+  (* The wakeup pipe is a normal registration: draining it is all the
+     callback does; the posted jobs run from [wait] itself. *)
+  let drain _ =
+    let buf = Bytes.create 64 in
+    let rec go () =
+      match Unix.read wake_r buf 0 64 with
+      | n when n = 64 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  let entry =
+    { e_fd = wake_r; e_num = fd_int wake_r; e_read = true; e_write = false;
+      e_cb = drain }
+  in
+  Hashtbl.replace t.table entry.e_num entry;
+  (match backend with
+  | Epoll ep -> ctl_check "create" (epoll_ctl ep 0 wake_r ev_read)
+  | Poll | Select -> ());
+  t
+
+let add t fd ~read ~write cb =
+  let entry =
+    { e_fd = fd; e_num = fd_int fd; e_read = read; e_write = write; e_cb = cb }
+  in
+  Hashtbl.replace t.table entry.e_num entry;
+  match t.backend with
+  | Epoll ep -> ctl_check "add" (epoll_ctl ep 0 fd (bits_of entry))
+  | Poll | Select -> ()
+
+let modify t fd ~read ~write =
+  match Hashtbl.find_opt t.table (fd_int fd) with
+  | None -> ()
+  | Some entry ->
+      if entry.e_read <> read || entry.e_write <> write then begin
+        entry.e_read <- read;
+        entry.e_write <- write;
+        match t.backend with
+        | Epoll ep -> ctl_check "modify" (epoll_ctl ep 1 fd (bits_of entry))
+        | Poll | Select -> ()
+      end
+
+let remove t fd =
+  let num = fd_int fd in
+  if Hashtbl.mem t.table num then begin
+    Hashtbl.remove t.table num;
+    match t.backend with
+    | Epoll ep ->
+        (* Best effort: a descriptor closed before deregistration has
+           already left the epoll set. *)
+        ignore (epoll_ctl ep 2 fd 0)
+    | Poll | Select -> ()
+  end
+
+let post t job =
+  Mutex.lock t.jobs_mutex;
+  Queue.push job t.jobs;
+  Mutex.unlock t.jobs_mutex;
+  (* A full pipe already guarantees a pending wakeup. *)
+  match Unix.write_substring t.wake_w "x" 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _)
+    ->
+      ()
+
+let run_jobs t =
+  let pending = Queue.create () in
+  Mutex.lock t.jobs_mutex;
+  Queue.transfer t.jobs pending;
+  Mutex.unlock t.jobs_mutex;
+  let n = Queue.length pending in
+  Queue.iter (fun job -> job ()) pending;
+  n
+
+(* Dispatch one readiness report. The table is re-consulted (by
+   physical equality) before each callback: an earlier callback in the
+   same batch may have removed the entry, or even recycled the fd
+   number for a brand-new registration. *)
+let dispatch t entry bits =
+  let live () =
+    match Hashtbl.find_opt t.table entry.e_num with
+    | Some e -> e == entry
+    | None -> false
+  in
+  let n = ref 0 in
+  if bits land ev_read <> 0 && entry.e_read && live () then begin
+    incr n;
+    entry.e_cb `Read
+  end;
+  if bits land ev_write <> 0 && entry.e_write && live () then begin
+    incr n;
+    entry.e_cb `Write
+  end;
+  !n
+
+let timeout_ms timeout =
+  if timeout < 0.0 then -1 else int_of_float (Float.ceil (timeout *. 1000.0))
+
+let wait t ~timeout =
+  let dispatched = ref (run_jobs t) in
+  (match t.backend with
+  | Epoll ep ->
+      let evs = epoll_wait ep (timeout_ms timeout) in
+      let n = Array.length evs / 2 in
+      for i = 0 to n - 1 do
+        match Hashtbl.find_opt t.table evs.(i * 2) with
+        | Some entry -> dispatched := !dispatched + dispatch t entry evs.((i * 2) + 1)
+        | None -> ()
+      done
+  | Poll ->
+      let entries =
+        Hashtbl.fold
+          (fun _ e acc -> if e.e_read || e.e_write then e :: acc else acc)
+          t.table []
+      in
+      let arr = Array.of_list entries in
+      let fds = Array.map (fun e -> e.e_num) arr in
+      let bits = Array.map bits_of arr in
+      let res = raw_poll fds bits (timeout_ms timeout) in
+      Array.iteri
+        (fun i r -> if r <> 0 then dispatched := !dispatched + dispatch t arr.(i) r)
+        res
+  | Select ->
+      let rd, wr =
+        Hashtbl.fold
+          (fun _ e (rd, wr) ->
+            ( (if e.e_read then (e.e_fd, e) :: rd else rd),
+              if e.e_write then (e.e_fd, e) :: wr else wr ))
+          t.table ([], [])
+      in
+      let readable, writable, _ =
+        match Unix.select (List.map fst rd) (List.map fst wr) [] timeout with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          match List.assq_opt fd rd with
+          | Some e -> dispatched := !dispatched + dispatch t e ev_read
+          | None -> ())
+        readable;
+      List.iter
+        (fun fd ->
+          match List.assq_opt fd wr with
+          | Some e -> dispatched := !dispatched + dispatch t e ev_write
+          | None -> ())
+        writable);
+  dispatched := !dispatched + run_jobs t;
+  !dispatched
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.backend with
+    | Epoll ep -> (
+        match Unix.close ep with () -> () | exception Unix.Unix_error _ -> ())
+    | Poll | Select -> ());
+    List.iter
+      (fun fd ->
+        match Unix.close fd with
+        | () -> ()
+        | exception Unix.Unix_error _ -> ())
+      [ t.wake_r; t.wake_w ]
+  end
+
+let writev fd slices = raw_writev fd slices

@@ -1,0 +1,66 @@
+(** Readiness reactor for the event-driven server (DESIGN.md §13).
+
+    A loop is a table of registered file descriptors with per-fd
+    read/write interest and a callback, behind one of three poller
+    backends selected at creation time:
+
+    - ["epoll"] — Linux epoll(7): persistent kernel interest set,
+      O(ready) waits; the fast path where available.
+    - ["poll"] — poll(2) via a small C stub: the portable default; no
+      FD_SETSIZE ceiling on descriptor numbers.
+    - ["select"] — pure-stdlib [Unix.select]: reference backend, kept
+      so backend-equivalence stays testable (fds must stay below
+      FD_SETSIZE).
+
+    [DSVC_EVLOOP] (auto | epoll | poll | select) chooses when the
+    creator passes no explicit backend; "auto" prefers epoll, then
+    poll.
+
+    Threading contract: exactly one thread calls {!wait} (and
+    {!add}/{!modify}/{!remove}, directly or from callbacks). Any
+    thread may call {!post}; the job runs on the loop thread during
+    its next {!wait}, woken immediately via a self-pipe. *)
+
+type t
+
+type event = [ `Read | `Write ]
+
+val create : ?backend:string -> unit -> t
+(** Create a loop. Raises [Failure] on an unknown backend name. *)
+
+val backend_name : t -> string
+(** ["epoll"], ["poll"], or ["select"] — whatever creation resolved. *)
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> (event -> unit) -> unit
+(** Register [fd]. The callback fires on the loop thread whenever the
+    fd is ready in a direction of current interest; error and hangup
+    conditions are reported as [`Read] so the handler observes the
+    failure from its normal read path. *)
+
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Change interest for a registered fd. Unknown fds are ignored. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Deregister. Call before closing the fd. *)
+
+val post : t -> (unit -> unit) -> unit
+(** Thread-safe: enqueue a job for the loop thread and wake it. *)
+
+val wait : t -> timeout:float -> int
+(** Run one iteration: posted jobs, then up to [timeout] seconds of
+    readiness waiting (negative = forever), then callbacks for every
+    ready fd. Returns the number of callbacks plus jobs run. *)
+
+val close : t -> unit
+(** Release the poller and self-pipe. Registered fds are untouched. *)
+
+val writev : Unix.file_descr -> (string * int * int) array -> int
+(** Vectored write of [(string, offset, length)] slices (at most 16
+    are consumed per call). Returns bytes written, or [-1] when the
+    socket cannot accept data right now (EAGAIN/EINTR — retry when
+    writable). Raises [Unix.Unix_error] on hard failures (EPIPE,
+    ECONNRESET, …). *)
+
+val fd_int : Unix.file_descr -> int
+(** The numeric value of a descriptor (Unix only); handy as a table
+    key and for diagnostics. *)

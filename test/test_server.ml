@@ -61,7 +61,12 @@ let test_http_malformed () =
     ]
 
 let test_percent_decode () =
-  Alcotest.(check string) "basic" "a b" (Http.percent_decode "a+b");
+  (* in a path a plus is a plus; only query strings read '+' as space *)
+  Alcotest.(check string) "path plus preserved" "a+b" (Http.percent_decode "a+b");
+  Alcotest.(check string) "query plus is space" "a b"
+    (Http.percent_decode_query "a+b");
+  Alcotest.(check string) "encoded space in path" "a b"
+    (Http.percent_decode "a%20b");
   Alcotest.(check string) "hex" "a/b" (Http.percent_decode "a%2Fb");
   Alcotest.(check string) "malformed passthrough" "a%zqb"
     (Http.percent_decode "a%zqb");
@@ -70,7 +75,7 @@ let test_percent_decode () =
 (* ---- routing (pure, no sockets) ---- *)
 
 let mk_request ?(meth = "GET") ?(query = []) ?(headers = []) ?(body = "") path =
-  { Http.meth; path; query; headers; body }
+  { Http.meth; path; query; headers; body; version = "HTTP/1.1" }
 
 let mk_repo () =
   let repo = ok (Repo.init ~path:(temp_dir ())) in
@@ -266,7 +271,9 @@ let http_get host port path =
       Unix.connect sock addr;
       let oc = Unix.out_channel_of_descr sock in
       let ic = Unix.in_channel_of_descr sock in
-      output_string oc (Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\n\r\n" path);
+      output_string oc
+        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+           path);
       flush oc;
       let buf = Buffer.create 256 in
       (try
@@ -510,7 +517,10 @@ let test_blob_routes_roundtrip () =
   (* fetch + stat + list *)
   let r = Server.handle repo (mk_request ("/blob/" ^ digest)) in
   Alcotest.(check int) "found" 200 r.Http.status;
-  Alcotest.(check string) "bytes intact" content r.Http.body;
+  (* blob responses stream: the body must be materialized *)
+  Alcotest.(check int) "length known up front" (String.length content)
+    (Http.body_length r);
+  Alcotest.(check string) "bytes intact" content (ok (Http.response_body r));
   let r = Server.handle repo (mk_request ("/blob/" ^ digest ^ "/stat")) in
   Alcotest.(check int) "stat 200" 200 r.Http.status;
   let r = Server.handle repo (mk_request "/blobs") in
