@@ -892,6 +892,70 @@ let flight_dump_cmd =
           GET /flight, or this process's with --local)")
     Term.(const run $ host $ port $ output $ local)
 
+let lint_cmd =
+  let paths =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to scan (default: lib bin bench test \
+             tools, whichever exist).")
+  in
+  let config =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"FILE"
+          ~doc:"Lint configuration (default: ./lint.toml when present).")
+  in
+  let format =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,text), $(b,json), or $(b,github) (CI \
+             ::error annotations).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Also write the JSON report to FILE.")
+  in
+  let run paths config format json_out =
+    let format =
+      match Dsvc_lint.Lint_report.format_of_string format with
+      | Some f -> f
+      | None ->
+          Printf.eprintf "dsvc: unknown lint format %S\n" format;
+          exit 2
+    in
+    let paths =
+      match paths with
+      | [] ->
+          List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test"; "tools" ]
+      | ps -> ps
+    in
+    exit
+      (Dsvc_lint.Lint_driver.run
+         {
+           Dsvc_lint.Lint_driver.config_path = config;
+           format;
+           json_out;
+           paths;
+         })
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run dsvc-lint, the repository's static invariant checker \
+          (R1-R9: write confinement, unsafe indexing, domain spawns, \
+          swallowed exceptions, nondeterminism, shared mutable state, \
+          reactor blocking, lock discipline). Exit 0 when clean, 1 when \
+          findings were reported, 2 on usage or configuration errors.")
+    Term.(const run $ paths $ config $ format $ json_out)
+
 let () =
   (* Correlated logging for every subcommand: retry warnings, fault
      injections, journal recovery etc. are stamped with the active
@@ -929,6 +993,7 @@ let () =
         optimize_cmd;
         trace_cmd;
         flight_dump_cmd;
+        lint_cmd;
       ]
   in
   main_eval := (fun argv -> Cmd.eval ~argv group);

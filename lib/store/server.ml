@@ -609,7 +609,7 @@ let record_rejected reason =
 
 let serve ?cluster repo ~port ?(host = "127.0.0.1") ?max_requests
     ?(request_timeout = 30.0) ?idle_timeout ?max_connections ?workers
-    ?on_listen () =
+    ?backend ?on_listen () =
   (* Serving is an operational mode: turn the observability layer on
      so GET /metrics has data, whatever the environment says. *)
   Obs.enable ();
@@ -667,7 +667,7 @@ let serve ?cluster repo ~port ?(host = "127.0.0.1") ?max_requests
       restore "SIGINT" Sys.sigint !old_int;
       restore "SIGTERM" Sys.sigterm !old_term
     in
-    let loop = Evloop.create () in
+    let loop = Evloop.create ?backend () in
     Log.info (fun m ->
         m "event loop backend: %s, workers: %d" (Evloop.backend_name loop)
           workers);
@@ -923,6 +923,8 @@ let serve ?cluster repo ~port ?(host = "127.0.0.1") ?max_requests
               (Http.error r.Http.Parser.reject_status
                  (r.Http.Parser.reject_reason ^ "\n"))
     and on_readable conn =
+      (* lint: reactor-ok c_fd is O_NONBLOCK and the loop signalled
+         readability; this read returns immediately (EAGAIN handled) *)
       match Unix.read conn.c_fd rbuf 0 (Bytes.length rbuf) with
       | exception
           Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
@@ -950,11 +952,16 @@ let serve ?cluster repo ~port ?(host = "127.0.0.1") ?max_requests
       record_rejected "max_connections";
       let resp = Http.error 503 "server at connection capacity\n" in
       let s = Http.serialize_header ~keep_alive:false resp ^ resp.Http.body in
+      (* lint: reactor-ok best-effort single write of a tiny 503 to a
+         fresh socket whose buffer is empty; a short or failed write
+         just loses the courtesy body before the close below *)
       (try ignore (Unix.write_substring fd s 0 (String.length s))
        with Unix.Unix_error _ -> ());
       try Unix.close fd with Unix.Unix_error _ -> ()
     in
     let rec do_accept () =
+      (* lint: reactor-ok lsock is O_NONBLOCK and the loop signalled a
+         pending connection; EAGAIN from a raced-away one is handled *)
       match Unix.accept ~cloexec:true lsock with
       | exception
           Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)

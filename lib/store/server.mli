@@ -80,6 +80,7 @@ val serve :
   ?idle_timeout:float ->
   ?max_connections:int ->
   ?workers:int ->
+  ?backend:string ->
   ?on_listen:(int -> unit) ->
   unit ->
   (unit, string) result
@@ -105,6 +106,11 @@ val serve :
     for [request_timeout] seconds (default 30) gets a [408] and is
     closed; one idle {e between} requests for [idle_timeout]
     ([DSVC_IDLE_TIMEOUT] or 5) seconds is closed silently.
+
+    [backend] pins the reactor poller ("epoll", "poll", "select");
+    unset, [DSVC_EVLOOP] / auto-detection decide as documented in
+    {!Versioning_util.Evloop.create}. The backend-matrix tests use it
+    to assert the three backends agree on observable behavior.
 
     SIGINT/SIGTERM request a graceful shutdown (in-flight work
     finishes, the listening socket closes, previous signal handlers

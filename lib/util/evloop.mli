@@ -28,6 +28,11 @@ type event = [ `Read | `Write ]
 val create : ?backend:string -> unit -> t
 (** Create a loop. Raises [Failure] on an unknown backend name. *)
 
+val has_epoll : unit -> bool
+(** Whether this build can create epoll loops (Linux). Lets the
+    backend-matrix tests skip the epoll leg elsewhere instead of
+    failing on it. *)
+
 val backend_name : t -> string
 (** ["epoll"], ["poll"], or ["select"] — whatever creation resolved. *)
 

@@ -5,6 +5,7 @@
 
 open Versioning_store
 module Faults = Versioning_util.Faults
+module Evloop = Versioning_util.Evloop
 
 let temp_dir () =
   let path = Filename.temp_file "dsvc_evsrv" "" in
@@ -164,7 +165,7 @@ let test_parser_content_length_hygiene () =
    max_requests so it shuts itself down once the expected responses
    have been enqueued (503 rejections don't count — they never reach
    the response path). *)
-let start_server ?request_timeout ?idle_timeout ?max_connections
+let start_server ?request_timeout ?idle_timeout ?max_connections ?backend
     ~max_requests repo =
   let mu = Mutex.create () in
   let cv = Condition.create () in
@@ -174,7 +175,7 @@ let start_server ?request_timeout ?idle_timeout ?max_connections
       (fun () ->
         match
           Server.serve repo ~port:0 ?request_timeout ?idle_timeout
-            ?max_connections ~max_requests
+            ?max_connections ?backend ~max_requests
             ~on_listen:(fun p ->
               Mutex.lock mu;
               port := p;
@@ -349,6 +350,64 @@ let test_max_connections_503 () =
   Alcotest.(check int) "admitted connection still served" 200 s1;
   Thread.join server
 
+(* ---- backend matrix: the three pollers must agree ---- *)
+
+(* One probe run against a server pinned to [backend], collecting the
+   status codes of the three limit behaviors: oversized headers (413),
+   an over-capacity connect (503), and a mid-request stall (408). The
+   server core is backend-agnostic, so the triples must be identical
+   whatever poller drives the loop. *)
+let probe_backend backend =
+  let repo = mk_repo () in
+  (* max_requests:2 — the 413 and the 408 go through the response
+     path; the 503 is written straight to the fresh socket and does
+     not count. *)
+  let port, server =
+    start_server ~backend ~request_timeout:0.4 ~max_connections:1
+      ~max_requests:2 repo
+  in
+  (* 413: a request line that blows the 16 KiB header cap *)
+  let sock1, ic1, oc1 = tcp_connect port in
+  let s413 =
+    Fun.protect ~finally:(fun () -> close_sock sock1) @@ fun () ->
+    send oc1 ("GET /" ^ String.make 20_000 'a');
+    let s, _ = read_response ic1 in
+    expect_eof (backend ^ ": closed after 413") ic1;
+    s
+  in
+  (* let the loop retire the closed connection before filling the
+     single connection slot again *)
+  Unix.sleepf 0.05;
+  let sock2, ic2, oc2 = tcp_connect port in
+  Fun.protect ~finally:(fun () -> close_sock sock2) @@ fun () ->
+  Unix.sleepf 0.05;
+  (* 503: sock2 holds the only slot, so a second connect is rejected *)
+  let sock3, ic3, _ = tcp_connect port in
+  let s503 =
+    Fun.protect ~finally:(fun () -> close_sock sock3) @@ fun () ->
+    let s, _ = read_response ic3 in
+    expect_eof (backend ^ ": overload connection closed") ic3;
+    s
+  in
+  (* 408: the admitted connection stalls mid-request *)
+  send oc2 "GET /stats HTT";
+  let s408, _ = read_response ic2 in
+  expect_eof (backend ^ ": closed after 408") ic2;
+  Thread.join server;
+  (s413, s503, s408)
+
+let test_backend_matrix () =
+  let backends =
+    [ "select"; "poll" ] @ (if Evloop.has_epoll () then [ "epoll" ] else [])
+  in
+  List.iter
+    (fun backend ->
+      let s413, s503, s408 = probe_backend backend in
+      Alcotest.(check int) (backend ^ ": oversized header is 413") 413 s413;
+      Alcotest.(check int) (backend ^ ": over capacity is 503") 503 s503;
+      Alcotest.(check int) (backend ^ ": stalled request is 408") 408 s408)
+    backends
+
 (* ---- streamed blob bodies under fault ---- *)
 
 let test_streamed_blob_fault () =
@@ -454,6 +513,8 @@ let suite =
       test_idle_close_silent;
     Alcotest.test_case "connection cap gets 503" `Quick
       test_max_connections_503;
+    Alcotest.test_case "backend matrix agrees on 408/413/503" `Quick
+      test_backend_matrix;
     Alcotest.test_case "streamed blob cut mid-body" `Quick
       test_streamed_blob_fault;
     Alcotest.test_case "client reuse and stale error" `Quick

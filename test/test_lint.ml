@@ -161,6 +161,237 @@ let work x = incr seen; x|});
     [ ("lib/store/b.ml", "R6-toplevel-mutable") ]
     (List.map (fun d -> (d.Lint_rules.file, d.Lint_rules.rule)) diags)
 
+(* ---- the interprocedural rules: R7/R8/R9 over the call graph ---- *)
+
+(* check_tree runs every rule; the helpers below project the result
+   down to one rule family so an R9 fixture's expected list is not
+   polluted by the R6 diagnostics the same mutable binding earns. *)
+let tree_rules ?(only = "") ?(cfg = config) files =
+  Lint_rules.check_tree ~config:cfg files
+  |> List.filter (fun d -> String.starts_with ~prefix:only d.Lint_rules.rule)
+  |> List.map (fun d -> (d.Lint_rules.file, d.Lint_rules.rule))
+
+let check_tree_rules msg ?only ?cfg files expected =
+  Alcotest.(check (list (pair string string)))
+    msg expected
+    (tree_rules ?only ?cfg files)
+
+let parse_cfg s =
+  match Lint_config.parse s with Ok c -> c | Error e -> failwith e
+
+(* The callgraph/effects engine itself: nested nodes get dotted names,
+   Blocks propagates over direct calls but never over deferred ones,
+   Locks stays below Blocks, and the transitive acquire set and the
+   witness chain come out of the same fixpoint. *)
+let test_callgraph_engine () =
+  let g =
+    Callgraph.build
+      [
+        ( "lib/store/eng.ml",
+          {|let leaf () = Unix.sleepf 0.1
+let mid () = leaf ()
+let top () = mid ()
+let handoff () = Thread.create (fun () -> leaf ()) ()
+let locker m = Mutex.lock m; Mutex.unlock m|}
+        );
+      ]
+  in
+  let eff = Effects.compute g in
+  let lvl id = Effects.level_name (Effects.node_level eff id) in
+  Alcotest.(check string) "seeded leaf blocks" "blocks" (lvl "Eng.leaf");
+  Alcotest.(check string) "one hop propagates" "blocks" (lvl "Eng.mid");
+  Alcotest.(check string) "fixpoint reaches the top" "blocks" (lvl "Eng.top");
+  Alcotest.(check string) "deferred body does not leak into the spawner"
+    "pure" (lvl "Eng.handoff");
+  Alcotest.(check string) "locking stays below blocking" "locks"
+    (lvl "Eng.locker");
+  Alcotest.(check (list string))
+    "witness chain bottoms out at the external seed"
+    [ "Eng.top"; "Eng.mid"; "Eng.leaf"; "Unix.sleepf" ]
+    (Effects.chain g eff "Eng.top");
+  Alcotest.(check (list string))
+    "transitive acquire set" [ "Eng.m" ]
+    (Effects.SS.elements (Effects.node_acq eff "Eng.locker"))
+
+(* R7: the acceptance fixture — a reactor callback that calls the
+   request handler directly (the executor dispatch deleted) must trip;
+   routing the same call through the worker handoff must not. *)
+let test_r7 () =
+  let direct_dispatch =
+    {|let handle fd = Repo.commit fd
+
+let serve loop fd =
+  Evloop.add loop fd ~read:true ~write:false (fun _ -> handle fd)|}
+  in
+  check_tree_rules "handler called directly from the reactor trips R7"
+    ~only:"R7-"
+    [ ("lib/store/srv.ml", direct_dispatch) ]
+    [ ("lib/store/srv.ml", "R7-no-blocking-in-reactor") ];
+  check_tree_rules "executor handoff keeps the reactor clean" ~only:"R7-"
+    [
+      ( "lib/store/srv.ml",
+        {|let handle fd = Repo.commit fd
+
+let serve loop fd =
+  Evloop.add loop fd ~read:true ~write:false (fun _ ->
+      submit (fun () -> handle fd))|}
+      );
+    ]
+    [];
+  (* blocking callee in another file: the finding lands on the call
+     edge in the reactor's file, not inside the callee (which is fine
+     for executor-side callers) *)
+  check_tree_rules "cross-file blocking callee reported at the call edge"
+    ~only:"R7-"
+    [
+      ( "lib/store/srv.ml",
+        {|let serve loop fd =
+  Evloop.add loop fd ~read:true ~write:false (fun _ -> Work.slow fd)|}
+      );
+      ("lib/store/work.ml", {|let slow fd = Unix.sleep fd|});
+    ]
+    [ ("lib/store/srv.ml", "R7-no-blocking-in-reactor") ];
+  check_tree_rules "reactor-ok suppression honoured" ~only:"R7-"
+    [
+      ( "lib/store/srv.ml",
+        {|(* lint: reactor-ok fixture justification *)
+let handle fd = Repo.commit fd
+
+let serve loop fd =
+  Evloop.add loop fd ~read:true ~write:false (fun _ -> handle fd)|}
+      );
+    ]
+    []
+
+(* R8: unreleased locks, double acquisition (direct and through a
+   callee), and the configured global lock order. *)
+let test_r8 () =
+  check_tree_rules "lock without unlock on some path" ~only:"R8-"
+    [
+      ( "lib/store/locky.ml",
+        {|let m = Mutex.create ()
+let f () = Mutex.lock m|} );
+    ]
+    [ ("lib/store/locky.ml", "R8-unreleased-lock") ];
+  check_tree_rules "balanced lock/unlock is fine" ~only:"R8-"
+    [
+      ( "lib/store/locky.ml",
+        {|let m = Mutex.create ()
+let f () = Mutex.lock m; Mutex.unlock m|} );
+    ]
+    [];
+  check_tree_rules "Fun.protect ~finally counts as the release" ~only:"R8-"
+    [
+      ( "lib/store/locky.ml",
+        {|let m = Mutex.create ()
+let f g =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) g|} );
+    ]
+    [];
+  check_tree_rules "relock while held" ~only:"R8-"
+    [
+      ( "lib/store/locky.ml",
+        {|let m = Mutex.create ()
+let f () = Mutex.lock m; Mutex.lock m; Mutex.unlock m; Mutex.unlock m|}
+      );
+    ]
+    [ ("lib/store/locky.ml", "R8-double-acquire") ];
+  check_tree_rules "double acquire through a callee" ~only:"R8-"
+    [
+      ( "lib/store/locky.ml",
+        {|let m = Mutex.create ()
+let g () = Mutex.lock m; Mutex.unlock m
+let f () = Mutex.lock m; g (); Mutex.unlock m|}
+      );
+    ]
+    [ ("lib/store/locky.ml", "R8-double-acquire") ];
+  let cfg_order =
+    parse_cfg "[R8-lock-order]\norder = [\"Locky.outer\", \"Locky.inner\"]"
+  in
+  check_tree_rules "acquiring against the declared order" ~only:"R8-"
+    ~cfg:cfg_order
+    [
+      ( "lib/store/locky.ml",
+        {|let outer = Mutex.create ()
+let inner = Mutex.create ()
+let f () =
+  Mutex.lock inner;
+  Mutex.lock outer;
+  Mutex.unlock outer;
+  Mutex.unlock inner|}
+      );
+    ]
+    [ ("lib/store/locky.ml", "R8-lock-order") ];
+  check_tree_rules "acquiring along the declared order is fine" ~only:"R8-"
+    ~cfg:cfg_order
+    [
+      ( "lib/store/locky.ml",
+        {|let outer = Mutex.create ()
+let inner = Mutex.create ()
+let f () =
+  Mutex.lock outer;
+  Mutex.lock inner;
+  Mutex.unlock inner;
+  Mutex.unlock outer|}
+      );
+    ]
+    [];
+  check_tree_rules "lock-ok suppression honoured" ~only:"R8-"
+    [
+      ( "lib/store/locky.ml",
+        {|let m = Mutex.create ()
+(* lint: lock-ok fixture justification *)
+let f () = Mutex.lock m|} );
+    ]
+    []
+
+(* R9: a toplevel mutable binding reached from both the pool-task side
+   and the thread side of the program, in a module with no mutex. *)
+let r9_driver =
+  {|let run xs =
+  let t = Thread.create (fun () -> Shared.bump ()) () in
+  let ys = Pool.parallel_map (fun x -> Shared.bump (); x) xs in
+  Thread.join t;
+  ys|}
+
+let test_r9 () =
+  check_tree_rules "unguarded state reached from both sides" ~only:"R9-"
+    [
+      ("lib/store/shared.ml", {|let seen = ref 0
+let bump () = incr seen|});
+      ("lib/store/drv.ml", r9_driver);
+    ]
+    [ ("lib/store/shared.ml", "R9-shared-state") ];
+  check_tree_rules "a mutex in the module counts as guarded" ~only:"R9-"
+    [
+      ( "lib/store/shared.ml",
+        {|let m = Mutex.create ()
+let seen = ref 0
+let bump () = Mutex.lock m; incr seen; Mutex.unlock m|}
+      );
+      ("lib/store/drv.ml", r9_driver);
+    ]
+    [];
+  check_tree_rules "task-only access is not shared" ~only:"R9-"
+    [
+      ("lib/store/shared.ml", {|let seen = ref 0
+let bump () = incr seen|});
+      ( "lib/store/drv.ml",
+        {|let run xs = Pool.parallel_map (fun x -> Shared.bump (); x) xs|}
+      );
+    ]
+    [];
+  check_tree_rules "shared-ok suppression honoured" ~only:"R9-"
+    [
+      ( "lib/store/shared.ml",
+        {|(* lint: shared-ok fixture justification *)
+let seen = ref 0
+let bump () = incr seen|} );
+      ("lib/store/drv.ml", r9_driver);
+    ]
+    []
+
 (* ---- parse errors and config errors ---- *)
 
 let test_parse_error () =
@@ -174,9 +405,52 @@ let test_config_errors () =
   (match Lint_config.parse "allow = [\"x\"]" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "key outside a section must be rejected");
+  (match Lint_config.parse "[R99-bogus]\nallow = [\"x\"]" with
+  | Error e ->
+      Alcotest.(check bool) "unknown section error names the section" true
+        (let rec has i =
+           i + 9 <= String.length e
+           && (String.sub e i 9 = "R99-bogus" || has (i + 1))
+         in
+         has 0)
+  | Ok _ -> Alcotest.fail "unknown section must be rejected");
+  (match Lint_config.parse "[R1-raw-write]\nregister = [\"Evloop.add\"]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "key invalid for its section must be rejected");
+  (match
+     Lint_config.parse "[R7-no-blocking-in-reactor]\nregister = [\"Evloop.add\"]"
+   with
+  | Ok c ->
+      Alcotest.(check (list string))
+        "register list round-trips" [ "Evloop.add" ]
+        (Lint_config.names_for c ~rule:"R7-no-blocking-in-reactor"
+           ~key:"register" ~default:[])
+  | Error e -> Alcotest.failf "register in its own section must parse: %s" e);
   match Lint_config.parse "# only comments\n\n" with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "empty config must parse: %s" e
+
+let test_config_stale_path () =
+  (* an allow entry pointing at nothing on disk is a hard config
+     error, not a silently-dead exemption *)
+  let stale = parse_cfg "[R1-raw-write]\nallow = [\"lib/nope/gone.ml\"]" in
+  (match Lint_config.validate ~root:".." stale with
+  | Error e ->
+      Alcotest.(check bool) "error names the stale path" true
+        (let needle = "gone.ml" in
+         let rec has i =
+           i + String.length needle <= String.length e
+           && (String.sub e i (String.length needle) = needle || has (i + 1))
+         in
+         has 0)
+  | Ok () -> Alcotest.fail "stale allow path must fail validation");
+  (* the same check accepts a path that exists (run against the
+     mirrored source tree when present) *)
+  if Sys.file_exists "../lib/util/fsutil.ml" then
+    let live = parse_cfg "[R1-raw-write]\nallow = [\"lib/util/fsutil.ml\"]" in
+    match Lint_config.validate ~root:".." live with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "live path must validate: %s" e
 
 let test_suppression_window () =
   (* a suppression covers its own lines and the line right after; two
@@ -214,9 +488,9 @@ let test_real_tree_clean () =
   let roots =
     List.filter
       (fun d -> Sys.file_exists d && Sys.is_directory d)
-      [ "../lib"; "../bin"; "../bench"; "../test" ]
+      [ "../lib"; "../bin"; "../bench"; "../test"; "../tools" ]
   in
-  if List.length roots < 4 then ()
+  if List.length roots < 5 then ()
   else begin
     let cfg =
       if Sys.file_exists "../lint.toml" then
@@ -244,8 +518,15 @@ let suite =
     Alcotest.test_case "R4 exception swallowing" `Quick test_r4;
     Alcotest.test_case "R5 nondeterminism" `Quick test_r5;
     Alcotest.test_case "R6 toplevel mutable state" `Quick test_r6;
+    Alcotest.test_case "callgraph and effect fixpoint" `Quick
+      test_callgraph_engine;
+    Alcotest.test_case "R7 blocking in the reactor" `Quick test_r7;
+    Alcotest.test_case "R8 lock discipline" `Quick test_r8;
+    Alcotest.test_case "R9 shared-state reachability" `Quick test_r9;
     Alcotest.test_case "parse errors surface" `Quick test_parse_error;
     Alcotest.test_case "config validation" `Quick test_config_errors;
+    Alcotest.test_case "stale config paths rejected" `Quick
+      test_config_stale_path;
     Alcotest.test_case "suppression window" `Quick test_suppression_window;
     Alcotest.test_case "real tree is clean" `Quick test_real_tree_clean;
   ]

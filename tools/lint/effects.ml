@@ -1,0 +1,196 @@
+(* Fixpoint effect propagation over the call graph.
+
+   Every node gets a level in the lattice
+
+       Pure  <  Locks  <  Blocks
+
+   seeded from external calls (Unix.read blocks, Mutex.lock only
+   locks, ...) and joined over Direct and Task edges: if f calls g and
+   g may block, f may block. Deferred edges do not propagate — handing
+   a closure to the executor or a thread is exactly how blocking work
+   is kept off the caller's thread, and R7 checks the deferred body
+   from its own root instead.
+
+   The distinction between Locks and Blocks is what keeps R7 usable:
+   the reactor may take short mutex-protected critical sections
+   (metrics counters, the executor's job-queue push), so only Blocks —
+   operations with unbounded wait: file and socket I/O, sleeps,
+   condition waits, joins — is an R7 finding.
+
+   The same fixpoint also computes each node's transitive acquire set
+   (every mutex a call into it may take, itself released or not),
+   which R8 uses for double-acquire and lock-order checks. *)
+
+module SS = Set.Make (String)
+
+type level = Pure | Locks | Blocks
+
+let level_rank = function Pure -> 0 | Locks -> 1 | Blocks -> 2
+let level_max a b = if level_rank a >= level_rank b then a else b
+let level_name = function Pure -> "pure" | Locks -> "locks" | Blocks -> "blocks"
+
+(* ------------------------------------------------------------------ *)
+(* Seed sets                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let blocking_ext =
+  [
+    ( "Unix",
+      [
+        "read"; "write"; "write_substring"; "single_write"; "select";
+        "sleep"; "sleepf"; "connect"; "accept"; "recv"; "send"; "sendto";
+        "recvfrom"; "getaddrinfo"; "gethostbyname"; "system"; "waitpid";
+        "wait"; "openfile";
+      ] );
+    ("Thread", [ "delay"; "join" ]);
+    ("Condition", [ "wait" ]);
+    ("Domain", [ "join" ]);
+    ("Pool", [ "parallel_init"; "parallel_map" ]);
+    ( "In_channel",
+      [
+        "open_bin"; "open_text"; "open_gen"; "with_open_bin";
+        "with_open_text"; "with_open_gen"; "input"; "input_char";
+        "input_line"; "input_all"; "really_input"; "really_input_string";
+      ] );
+    ( "Out_channel",
+      [
+        "open_bin"; "open_text"; "open_gen"; "with_open_bin";
+        "with_open_text"; "with_open_gen"; "output"; "output_string";
+        "output_bytes"; "flush";
+      ] );
+    ( "",
+      [
+        "open_in"; "open_in_bin"; "open_out"; "open_out_bin"; "input_line";
+        "input_value"; "really_input"; "really_input_string";
+        "output_string"; "output_bytes"; "output_value"; "flush";
+      ] );
+  ]
+
+(* Whole modules whose *unresolved* externals count as blocking: every
+   Fsutil entry point touches the filesystem and every Repo entry point
+   may. Calls that resolve to scanned nodes get their real level from
+   their bodies instead. *)
+let blocking_modules = [ "Fsutil"; "Repo" ]
+let locks_ext = [ ("Mutex", [ "lock"; "protect" ]) ]
+
+let ext_level ~modpath ~name =
+  let m =
+    match List.rev (String.split_on_char '.' modpath) with
+    | last :: _ -> last
+    | [] -> ""
+  in
+  if List.mem m blocking_modules then Blocks
+  else if
+    List.exists (fun (em, ns) -> em = m && List.mem name ns) blocking_ext
+  then Blocks
+  else if List.exists (fun (em, ns) -> em = m && List.mem name ns) locks_ext
+  then Locks
+  else Pure
+
+let target_name = function
+  | Callgraph.Node id -> id
+  | Callgraph.Ext ("", x) -> x
+  | Callgraph.Ext (m, x) -> m ^ "." ^ x
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  level : (string, level) Hashtbl.t;
+  acq : (string, SS.t) Hashtbl.t;  (* transitive acquires *)
+}
+
+let node_level t id =
+  match Hashtbl.find_opt t.level id with Some l -> l | None -> Pure
+
+let node_acq t id =
+  match Hashtbl.find_opt t.acq id with Some s -> s | None -> SS.empty
+
+let call_level t (c : Callgraph.call) =
+  match c.Callgraph.ct with
+  | Callgraph.Node id -> node_level t id
+  | Callgraph.Ext (m, x) -> ext_level ~modpath:m ~name:x
+
+let call_acq t (c : Callgraph.call) =
+  match c.Callgraph.ct with
+  | Callgraph.Node id -> node_acq t id
+  | Callgraph.Ext _ -> SS.empty
+
+let compute (g : Callgraph.t) =
+  let t = { level = Hashtbl.create 256; acq = Hashtbl.create 256 } in
+  let propagating (c : Callgraph.call) =
+    match c.Callgraph.ckind with
+    | Callgraph.Direct | Callgraph.Task -> true
+    | Callgraph.Deferred -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun id (nd : Callgraph.node) ->
+        let lvl = if nd.Callgraph.acquires = [] then Pure else Locks in
+        let lvl =
+          List.fold_left
+            (fun lvl c ->
+              if propagating c then level_max lvl (call_level t c) else lvl)
+            lvl nd.Callgraph.calls
+        in
+        let acq =
+          List.fold_left
+            (fun s (a : Callgraph.acquire) -> SS.add a.Callgraph.am s)
+            SS.empty nd.Callgraph.acquires
+        in
+        let acq =
+          List.fold_left
+            (fun s c -> if propagating c then SS.union s (call_acq t c) else s)
+            acq nd.Callgraph.calls
+        in
+        if node_level t id <> lvl then begin
+          Hashtbl.replace t.level id lvl;
+          changed := true
+        end;
+        if not (SS.equal (node_acq t id) acq) then begin
+          Hashtbl.replace t.acq id acq;
+          changed := true
+        end)
+      g.Callgraph.nodes
+  done;
+  t
+
+(* A witness chain for a node's level: follow, at each step, the first
+   call (in source order) that carries the level, down to the external
+   seed. Bounded — the graph may have cycles. *)
+let chain (g : Callgraph.t) t id0 =
+  let rec go id depth acc =
+    if depth > 8 then List.rev ("..." :: acc)
+    else
+      match Hashtbl.find_opt g.Callgraph.nodes id with
+      | None -> List.rev acc
+      | Some nd -> (
+          let lvl = node_level t id in
+          let candidates =
+            List.filter
+              (fun c ->
+                (match c.Callgraph.ckind with
+                | Callgraph.Direct | Callgraph.Task -> true
+                | Callgraph.Deferred -> false)
+                && level_rank (call_level t c) >= level_rank lvl)
+              nd.Callgraph.calls
+          in
+          let first =
+            List.sort
+              (fun a b -> compare a.Callgraph.cline b.Callgraph.cline)
+              candidates
+          in
+          match first with
+          | [] -> List.rev acc
+          | c :: _ -> (
+              let name = target_name c.Callgraph.ct in
+              match c.Callgraph.ct with
+              | Callgraph.Ext _ -> List.rev (name :: acc)
+              | Callgraph.Node id' ->
+                  if List.mem name acc then List.rev acc
+                  else go id' (depth + 1) (name :: acc)))
+  in
+  go id0 0 [ id0 ]

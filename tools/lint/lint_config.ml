@@ -1,12 +1,21 @@
 (* Configuration for dsvc-lint: a checked-in TOML-subset file mapping
-   rule ids to per-file allowlists and path scopes.
+   rule ids to per-file allowlists, path scopes, and the callgraph
+   rules' name lists.
 
    Grammar (one entry per line):
 
      # comment
      [rule-id]
-     allow = ["path", "path", ...]
-     scope = ["path-fragment", ...]
+     allow    = ["path", "path", ...]   files exempted from the rule
+     scope    = ["path-fragment", ...]  files the rule applies to
+     register = ["Evloop.add", ...]     R7: callback-registration fns
+     defer    = ["submit", ...]         R7: fns whose fn-args run later
+     order    = ["Mod.mutex", ...]      R8: global lock order
+
+   Section names and their keys are validated against the rule table —
+   a typo in either is a hard error, not a silently ignored entry.
+   [validate] additionally checks that every allow/scope path still
+   names something on disk, so entries cannot go stale.
 
    Paths match by *containment* after separator normalization, so the
    same entry matches a file whether the tool is invoked from the repo
@@ -15,9 +24,27 @@
 type t = {
   allow : (string * string list) list;  (* rule id -> path fragments *)
   scope : (string * string list) list;  (* rule id -> path fragments *)
+  names : (string * string * string list) list;  (* rule, key, names *)
 }
 
-let empty = { allow = []; scope = [] }
+let empty = { allow = []; scope = []; names = [] }
+
+(* Which keys each section may carry. Path-valued keys (allow/scope)
+   are legal everywhere; name lists only where a rule consumes them. *)
+let known_sections =
+  [
+    ("R1-raw-write", []);
+    ("R2-unsafe-index", []);
+    ("R3-domain-spawn", []);
+    ("R3-fork", []);
+    ("R4-catch-all", []);
+    ("R5-nondet", []);
+    ("R6-toplevel-mutable", []);
+    ("R7-no-blocking-in-reactor", [ "register"; "defer" ]);
+    ("R8-lock-discipline", []);
+    ("R8-lock-order", [ "order" ]);
+    ("R9-shared-state", []);
+  ]
 
 let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
 
@@ -57,7 +84,7 @@ let parse_string_list line =
 let parse source =
   let lines = String.split_on_char '\n' source in
   let section = ref None in
-  let allow = ref [] and scope = ref [] in
+  let allow = ref [] and scope = ref [] and names = ref [] in
   let err = ref None in
   List.iteri
     (fun idx raw ->
@@ -74,7 +101,17 @@ let parse source =
           String.length line >= 2
           && line.[0] = '['
           && line.[String.length line - 1] = ']'
-        then section := Some (strip (String.sub line 1 (String.length line - 2)))
+        then begin
+          let sect = strip (String.sub line 1 (String.length line - 2)) in
+          if not (List.mem_assoc sect known_sections) then
+            err :=
+              Some
+                (Printf.sprintf
+                   "line %d: unknown rule section [%s] (known: %s)" lineno
+                   sect
+                   (String.concat ", " (List.map fst known_sections)))
+          else section := Some sect
+        end
         else
           match (String.index_opt line '=', !section) with
           | Some eq, Some sect -> (
@@ -82,17 +119,26 @@ let parse source =
               let value =
                 strip (String.sub line (eq + 1) (String.length line - eq - 1))
               in
+              let extra_keys =
+                try List.assoc sect known_sections with Not_found -> []
+              in
+              let key_ok =
+                List.mem key [ "allow"; "scope" ] || List.mem key extra_keys
+              in
               match (key, parse_string_list value) with
-              | "allow", Some vs -> allow := (sect, vs) :: !allow
-              | "scope", Some vs -> scope := (sect, vs) :: !scope
+              | _, _ when not key_ok ->
+                  err :=
+                    Some
+                      (Printf.sprintf "line %d: key %S is not valid in [%s]"
+                         lineno key sect)
               | _, None ->
                   err :=
                     Some
                       (Printf.sprintf "line %d: expected a [\"...\"] list"
                          lineno)
-              | k, Some _ ->
-                  err :=
-                    Some (Printf.sprintf "line %d: unknown key %S" lineno k))
+              | "allow", Some vs -> allow := (sect, vs) :: !allow
+              | "scope", Some vs -> scope := (sect, vs) :: !scope
+              | k, Some vs -> names := (sect, k, vs) :: !names)
           | Some _, None ->
               err :=
                 Some
@@ -104,7 +150,13 @@ let parse source =
     lines;
   match !err with
   | Some e -> Error ("lint config: " ^ e)
-  | None -> Ok { allow = List.rev !allow; scope = List.rev !scope }
+  | None ->
+      Ok
+        {
+          allow = List.rev !allow;
+          scope = List.rev !scope;
+          names = List.rev !names;
+        }
 
 let load path =
   try
@@ -116,6 +168,31 @@ let load path =
     in
     parse content
   with Sys_error e -> Error e
+
+(* Every allow/scope entry must still point at something on disk under
+   [root] (the directory the config file lives in): a renamed file
+   would otherwise leave a stale exemption silently matching nothing. *)
+let validate ~root t =
+  let check_entry (rule, fragments) =
+    List.filter_map
+      (fun fragment ->
+        let frag = normalize fragment in
+        let frag =
+          let n = String.length frag in
+          if n > 0 && frag.[n - 1] = '/' then String.sub frag 0 (n - 1)
+          else frag
+        in
+        let path = Filename.concat root frag in
+        if Sys.file_exists path then None
+        else
+          Some
+            (Printf.sprintf "[%s]: path %S does not exist (under %s)" rule
+               fragment root))
+      fragments
+  in
+  match List.concat_map check_entry (t.allow @ t.scope) with
+  | [] -> Ok ()
+  | e :: _ -> Error ("lint config: stale entry " ^ e)
 
 let fragments_for entries rule =
   List.concat_map (fun (r, fs) -> if r = rule then fs else []) entries
@@ -130,3 +207,13 @@ let in_scope t ~rule ~file ~default =
   match fragments_for t.scope rule with
   | [] -> List.exists (fun f -> path_matches ~fragment:f file) default
   | fs -> List.exists (fun f -> path_matches ~fragment:f file) fs
+
+(* Name lists for the callgraph rules ([default] when unset). *)
+let names_for t ~rule ~key ~default =
+  match
+    List.concat_map
+      (fun (r, k, vs) -> if r = rule && k = key then vs else [])
+      t.names
+  with
+  | [] -> default
+  | vs -> vs

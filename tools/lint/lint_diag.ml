@@ -1,0 +1,25 @@
+(* The diagnostic record shared by every dsvc-lint rule, per-file and
+   interprocedural alike: file:line:col, a stable rule id, and a
+   human-oriented message. Kept in its own module so the callgraph
+   rules (R7-R9) and the Parsetree rules (R1-R6) can both emit without
+   a dependency cycle. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+let compare_diag a b =
+  match compare a.file b.file with
+  | 0 -> (
+      match compare a.line b.line with
+      | 0 -> (
+          match compare a.col b.col with 0 -> compare a.rule b.rule | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d [%s] %s" d.file d.line d.col d.rule d.msg

@@ -1,0 +1,104 @@
+(* Shared driver for the two dsvc-lint front ends (tools/lint/main.exe
+   and `dsvc lint`): file collection, config loading + validation,
+   running the rules, and rendering the report.
+
+   Exit codes (the tool's contract, used by CI and the @lint alias):
+     0  clean
+     1  diagnostics emitted
+     2  usage error, unreadable path, or invalid lint.toml *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Collect .ml files under [path] (or [path] itself), skipping _build
+   and dot-directories. Sorted for stable output. *)
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (entry <> "" && entry.[0] = '.') then acc
+           else collect acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+type opts = {
+  config_path : string option;  (* None: ./lint.toml when present *)
+  format : Lint_report.format;
+  json_out : string option;  (* also write a JSON report here *)
+  paths : string list;
+}
+
+let default_opts =
+  { config_path = None; format = Lint_report.Text; json_out = None; paths = [] }
+
+(* Returns the exit code; all output goes to stdout/stderr. *)
+let run opts =
+  if opts.paths = [] then begin
+    prerr_endline "dsvc-lint: no paths to scan";
+    2
+  end
+  else begin
+    let config_file =
+      match opts.config_path with
+      | Some p -> Some p
+      | None -> if Sys.file_exists "lint.toml" then Some "lint.toml" else None
+    in
+    let config_result =
+      match config_file with
+      | None -> Ok Lint_config.empty
+      | Some p -> (
+          match Lint_config.load p with
+          | Error e -> Error (Printf.sprintf "%s: %s" p e)
+          | Ok c -> (
+              (* allow/scope paths are resolved relative to the config
+                 file's directory, so `--config ../lint.toml` works
+                 from a dune sandbox *)
+              match Lint_config.validate ~root:(Filename.dirname p) c with
+              | Ok () -> Ok c
+              | Error e -> Error (Printf.sprintf "%s: %s" p e)))
+    in
+    match config_result with
+    | Error e ->
+        Printf.eprintf "dsvc-lint: %s\n" e;
+        2
+    | Ok config -> (
+        let missing =
+          List.filter (fun p -> not (Sys.file_exists p)) opts.paths
+        in
+        if missing <> [] then begin
+          List.iter (Printf.eprintf "dsvc-lint: no such path: %s\n") missing;
+          2
+        end
+        else
+          let files =
+            List.fold_left collect [] opts.paths |> List.sort_uniq compare
+          in
+          let sources = List.map (fun f -> (f, read_file f)) files in
+          let diags = Lint_rules.check_tree ~config sources in
+          let files_scanned = List.length files in
+          Lint_report.print opts.format ~files_scanned diags;
+          (match opts.json_out with
+          | None -> ()
+          | Some path ->
+              (* lint: raw-write-ok CI report artifact, not repository
+                 state: atomicity and fsync would buy nothing here *)
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () ->
+                  output_string oc (Lint_report.to_json ~files_scanned diags)));
+          match diags with
+          | [] -> 0
+          | _ :: _ ->
+              Printf.eprintf "dsvc-lint: %d diagnostic%s in %d file%s scanned\n"
+                (List.length diags)
+                (if List.length diags = 1 then "" else "s")
+                files_scanned
+                (if files_scanned = 1 then "" else "s");
+              1)
+  end

@@ -1,0 +1,62 @@
+(* Output formats for dsvc-lint diagnostics.
+
+   text    file:line:col [rule] message            (human, default)
+   json    {"version":1,"files_scanned":N,
+            "diagnostics":[{file,line,col,rule,msg}]}
+   github  ::error file=F,line=L,col=C::[rule] msg (CI annotations)
+
+   The JSON form is the machine interface: CI turns it into ::error
+   annotations and archives it as an artifact, so its field names are
+   part of the tool's contract. *)
+
+type format = Text | Json | Github
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | "github" -> Some Github
+  | _ -> None
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let diag_json (d : Lint_diag.t) =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"msg\":\"%s\"}"
+    (json_escape d.Lint_diag.file)
+    d.Lint_diag.line d.Lint_diag.col
+    (json_escape d.Lint_diag.rule)
+    (json_escape d.Lint_diag.msg)
+
+let to_json ~files_scanned diags =
+  Printf.sprintf "{\"version\":1,\"files_scanned\":%d,\"diagnostics\":[%s]}\n"
+    files_scanned
+    (String.concat "," (List.map diag_json diags))
+
+(* One physical line per annotation: GitHub's parser stops at the
+   first newline. *)
+let oneline s = String.map (fun c -> if c = '\n' then ' ' else c) s
+
+let github_line (d : Lint_diag.t) =
+  Printf.sprintf "::error file=%s,line=%d,col=%d::[%s] %s" d.Lint_diag.file
+    d.Lint_diag.line d.Lint_diag.col d.Lint_diag.rule
+    (oneline d.Lint_diag.msg)
+
+let print format ~files_scanned diags =
+  match format with
+  | Text -> List.iter (fun d -> print_endline (Lint_diag.to_string d)) diags
+  | Github -> List.iter (fun d -> print_endline (github_line d)) diags
+  | Json -> print_string (to_json ~files_scanned diags)

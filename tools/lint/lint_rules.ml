@@ -13,11 +13,20 @@
    R6-toplevel-mutable module-level mutable state in any module
                        reachable from a Pool-parallel call site
 
+   The interprocedural rules live in their own modules on top of the
+   Callgraph/Effects engine and run from [check_tree]:
+
+   R7-no-blocking-in-reactor   rule_reactor.ml   (reactor-ok)
+   R8-unreleased-lock /
+   R8-double-acquire /
+   R8-lock-order               rule_locks.ml     (lock-ok)
+   R9-shared-state             rule_shared.ml    (shared-ok)
+
    Diagnostics carry file:line:col and a rule id; suppression comments
    ([lint: <key> <reason>]) on the same line or the line above silence
    a single finding, and lint.toml carries the per-file allowlists. *)
 
-type diagnostic = {
+type diagnostic = Lint_diag.t = {
   file : string;
   line : int;
   col : int;
@@ -25,17 +34,8 @@ type diagnostic = {
   msg : string;
 }
 
-let compare_diag a b =
-  match compare a.file b.file with
-  | 0 -> (
-      match compare a.line b.line with
-      | 0 -> (
-          match compare a.col b.col with 0 -> compare a.rule b.rule | c -> c)
-      | c -> c)
-  | c -> c
-
-let to_string d =
-  Printf.sprintf "%s:%d:%d [%s] %s" d.file d.line d.col d.rule d.msg
+let compare_diag = Lint_diag.compare_diag
+let to_string = Lint_diag.to_string
 
 (* ------------------------------------------------------------------ *)
 (* Comment scanning: suppressions live in comments, which the parser
@@ -196,6 +196,8 @@ let suppressions src = List.filter_map suppression_of_comment (scan_comments src
 
 open Parsetree
 
+(* lint: swallow-ok Longident.flatten fatals on Lapply paths, which
+   cannot name an identifier any rule tracks; an empty path is right *)
 let flatten lid = try Longident.flatten lid with _ -> []
 
 let loc_pos (loc : Location.t) =
@@ -548,8 +550,59 @@ let analyze ~config ~filename source =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Cross-file pass: R6 reachability from Pool call sites               *)
+(* Cross-file passes: R6 reachability, then the callgraph rules        *)
 (* ------------------------------------------------------------------ *)
+
+(* Suppression key for a tree-rule diagnostic, by rule-id prefix. *)
+let tree_sup_key rule =
+  let has_prefix p =
+    String.length rule >= String.length p
+    && String.sub rule 0 (String.length p) = p
+  in
+  if has_prefix "R7-" then Some "reactor-ok"
+  else if has_prefix "R8-" then Some "lock-ok"
+  else if has_prefix "R9-" then Some "shared-ok"
+  else None
+
+let check_callgraph ~config files =
+  let names key default =
+    Lint_config.names_for config ~rule:"R7-no-blocking-in-reactor" ~key
+      ~default
+  in
+  let register = names "register" Callgraph.default_register in
+  let defer = names "defer" Callgraph.default_defer in
+  let order =
+    Lint_config.names_for config ~rule:"R8-lock-order" ~key:"order"
+      ~default:[]
+  in
+  let g = Callgraph.build ~register ~defer files in
+  let eff = Effects.compute g in
+  let diags =
+    Rule_reactor.check g eff
+    @ Rule_locks.check g eff ~order
+    @ Rule_shared.check g
+  in
+  (* suppression comments filter here: the per-file pass never saw
+     these rules *)
+  let sups = Hashtbl.create 32 in
+  List.iter (fun (file, src) -> Hashtbl.replace sups file (suppressions src))
+    files;
+  List.filter
+    (fun (d : Lint_diag.t) ->
+      match tree_sup_key d.rule with
+      | None -> true
+      | Some key ->
+          let file_sups =
+            match Hashtbl.find_opt sups d.file with
+            | Some s -> s
+            | None -> []
+          in
+          not
+            (List.exists
+               (fun s ->
+                 s.key = key && s.s_line <= d.line && d.line <= s.e_line + 1)
+               file_sups))
+    diags
 
 let check_tree ~config files =
   let facts =
@@ -572,6 +625,7 @@ let check_tree ~config files =
       f.fdiags
       @ (if Hashtbl.mem reachable f.fmodule then f.fmutables else []))
     facts
+  @ check_callgraph ~config files
   |> List.sort compare_diag
 
 let check_source ~config ~filename source =

@@ -1,87 +1,49 @@
 (* dsvc-lint CLI: scan .ml files / trees and report invariant
-   violations as file:line:col [rule-id] message.
+   violations. Also reachable as `dsvc lint` (bin/dsvc.ml) and via the
+   `dune build @lint` alias.
 
-   Usage: dsvc_lint [--config lint.toml] PATH...
+   Usage: dsvc_lint [--config FILE] [--format text|json|github]
+                    [--json-out FILE] PATH...
    Exit:  0 clean, 1 diagnostics emitted, 2 usage/config error. *)
 
 open Dsvc_lint
 
-let usage = "usage: dsvc_lint [--config FILE] PATH..."
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* Collect .ml files under [path] (or [path] itself), skipping _build
-   and dot-directories. Sorted for stable output. *)
-let rec collect acc path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.fold_left
-         (fun acc entry ->
-           if entry = "_build" || (entry <> "" && entry.[0] = '.') then acc
-           else collect acc (Filename.concat path entry))
-         acc
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
+let usage =
+  "usage: dsvc_lint [--config FILE] [--format text|json|github] [--json-out \
+   FILE] PATH..."
 
 let () =
-  let config_path = ref None in
-  let paths = ref [] in
+  let opts = ref Lint_driver.default_opts in
   let rec parse_args = function
     | [] -> ()
     | "--config" :: file :: rest ->
-        config_path := Some file;
+        opts := { !opts with Lint_driver.config_path = Some file };
         parse_args rest
-    | "--config" :: [] ->
+    | "--format" :: fmt :: rest -> (
+        match Lint_report.format_of_string fmt with
+        | Some f ->
+            opts := { !opts with Lint_driver.format = f };
+            parse_args rest
+        | None ->
+            Printf.eprintf "dsvc_lint: unknown format %S\n%s\n" fmt usage;
+            exit 2)
+    | "--json-out" :: file :: rest ->
+        opts := { !opts with Lint_driver.json_out = Some file };
+        parse_args rest
+    | [ ("--config" | "--format" | "--json-out") ] ->
         prerr_endline usage;
         exit 2
     | ("-h" | "--help") :: _ ->
         print_endline usage;
         exit 0
     | p :: rest ->
-        paths := p :: !paths;
+        opts :=
+          { !opts with Lint_driver.paths = !opts.Lint_driver.paths @ [ p ] };
         parse_args rest
   in
   parse_args (List.tl (Array.to_list Sys.argv));
-  if !paths = [] then begin
+  if !opts.Lint_driver.paths = [] then begin
     prerr_endline usage;
     exit 2
   end;
-  let config =
-    let explicit = !config_path in
-    let path =
-      match explicit with
-      | Some p -> Some p
-      | None -> if Sys.file_exists "lint.toml" then Some "lint.toml" else None
-    in
-    match path with
-    | None -> Lint_config.empty
-    | Some p -> (
-        match Lint_config.load p with
-        | Ok c -> c
-        | Error e ->
-            Printf.eprintf "dsvc_lint: %s: %s\n" p e;
-            exit 2)
-  in
-  let missing = List.filter (fun p -> not (Sys.file_exists p)) !paths in
-  if missing <> [] then begin
-    List.iter (Printf.eprintf "dsvc_lint: no such path: %s\n") missing;
-    exit 2
-  end;
-  let files =
-    List.fold_left collect [] (List.rev !paths) |> List.sort_uniq compare
-  in
-  let sources = List.map (fun f -> (f, read_file f)) files in
-  let diags = Lint_rules.check_tree ~config sources in
-  List.iter (fun d -> print_endline (Lint_rules.to_string d)) diags;
-  if diags <> [] then begin
-    Printf.eprintf "dsvc_lint: %d diagnostic%s in %d file%s scanned\n"
-      (List.length diags)
-      (if List.length diags = 1 then "" else "s")
-      (List.length files)
-      (if List.length files = 1 then "" else "s");
-    exit 1
-  end
+  exit (Lint_driver.run !opts)

@@ -1,0 +1,126 @@
+(* R8 lock discipline, three checks over the call graph:
+
+   R8-unreleased-lock   a raw `Mutex.lock m` whose function body shows
+                        no `Mutex.unlock m` on any exit — neither
+                        inline nor in a `Fun.protect ~finally`. Use
+                        Mutex.protect, or pair the lock with a finally.
+
+   R8-double-acquire    a call made while holding m into code whose
+                        transitive acquire set contains m again (OCaml
+                        mutexes are not reentrant: this is a guaranteed
+                        deadlock on the path that reaches it), or a
+                        literal re-lock of a held mutex.
+
+   R8-lock-order        the checked-in global order (lint.toml
+                        [R8-lock-order] order = [...]) is violated: a
+                        mutex earlier in the list is acquired while a
+                        later one is held. Only mutexes named in the
+                        order list participate; everything else is
+                        unordered by design.
+
+   Held sets come from the builder: Mutex.lock/unlock sequencing,
+   Mutex.protect bodies, Fun.protect finallys, and the with_lock
+   wrapper inference (a lambda handed to a callee that itself acquires
+   a mutex is analyzed with that mutex held). *)
+
+module SS = Set.Make (String)
+
+let rule_release = "R8-unreleased-lock"
+let rule_double = "R8-double-acquire"
+let rule_order = "R8-lock-order"
+
+let check (g : Callgraph.t) (eff : Effects.t) ~(order : string list) :
+    Lint_diag.t list =
+  let diags = ref [] in
+  let add (nd : Callgraph.node) line col rule msg =
+    diags :=
+      { Lint_diag.file = nd.Callgraph.nd_file; line; col; rule; msg }
+      :: !diags
+  in
+  let idx m =
+    let rec go i = function
+      | [] -> None
+      | x :: tl -> if x = m then Some i else go (i + 1) tl
+    in
+    go 0 order
+  in
+  let order_violation ~held ~acquired =
+    (* acquiring [acquired] while holding [held]: out of order when the
+       acquired mutex sorts strictly before a held one *)
+    List.filter_map
+      (fun h ->
+        match (idx h, idx acquired) with
+        | Some ih, Some ia when ia < ih -> Some h
+        | _ -> None)
+      held
+  in
+  Hashtbl.iter
+    (fun _ (nd : Callgraph.node) ->
+      (* R8a: raw locks need a visible release in the same function *)
+      List.iter
+        (fun (a : Callgraph.acquire) ->
+          if
+            (not a.Callgraph.aprotected)
+            && not (SS.mem a.Callgraph.am nd.Callgraph.releases)
+          then
+            add nd a.Callgraph.aline a.Callgraph.acol rule_release
+              (Printf.sprintf
+                 "Mutex.lock %s with no Mutex.unlock on this function's \
+                  exits; use Mutex.protect or Fun.protect ~finally:(fun () \
+                  -> Mutex.unlock ...)"
+                 a.Callgraph.am);
+          (* literal re-lock of a held mutex *)
+          if List.mem a.Callgraph.am a.Callgraph.aheld then
+            add nd a.Callgraph.aline a.Callgraph.acol rule_double
+              (Printf.sprintf
+                 "%s is re-acquired while already held (OCaml mutexes are \
+                  not reentrant: this deadlocks)"
+                 a.Callgraph.am);
+          List.iter
+            (fun h ->
+              add nd a.Callgraph.aline a.Callgraph.acol rule_order
+                (Printf.sprintf
+                   "%s is acquired while %s is held, violating the declared \
+                    lock order (lint.toml [R8-lock-order])"
+                   a.Callgraph.am h))
+            (order_violation ~held:a.Callgraph.aheld
+               ~acquired:a.Callgraph.am))
+        nd.Callgraph.acquires;
+      (* R8b/R8c across calls: what might the callee acquire while we
+         hold something? *)
+      List.iter
+        (fun (c : Callgraph.call) ->
+          match c.Callgraph.ckind with
+          | Callgraph.Deferred -> ()
+          | Callgraph.Direct | Callgraph.Task ->
+              if c.Callgraph.cheld <> [] then begin
+                let callee_acq = Effects.call_acq eff c in
+                if not (SS.is_empty callee_acq) then begin
+                  let name = Effects.target_name c.Callgraph.ct in
+                  List.iter
+                    (fun h ->
+                      if SS.mem h callee_acq then
+                        add nd c.Callgraph.cline c.Callgraph.ccol rule_double
+                          (Printf.sprintf
+                             "call into %s may re-acquire %s, already held \
+                              here (deadlock on that path)"
+                             name h))
+                    c.Callgraph.cheld;
+                  SS.iter
+                    (fun acquired ->
+                      List.iter
+                        (fun h ->
+                          add nd c.Callgraph.cline c.Callgraph.ccol
+                            rule_order
+                            (Printf.sprintf
+                               "call into %s acquires %s while %s is held, \
+                                violating the declared lock order \
+                                (lint.toml [R8-lock-order])"
+                               name acquired h))
+                        (order_violation ~held:c.Callgraph.cheld ~acquired))
+                    callee_acq
+                end
+              end)
+        nd.Callgraph.calls)
+    g.Callgraph.nodes;
+  List.sort Lint_diag.compare_diag !diags

@@ -1,0 +1,93 @@
+(* R7-no-blocking-in-reactor: nothing transitively blocking may run on
+   the event-loop thread.
+
+   Roots are every closure registered as an Evloop callback
+   (`Evloop.add` fd handlers, `Evloop.post` jobs). From each root we
+   walk Direct (and Task) edges — the code the reactor itself executes
+   — and report the first frontier where it crosses into Blocks
+   territory:
+
+     - an external blocking call (`Unix.read`) is reported at its own
+       site, where a (* lint: reactor-ok <reason> *) comment can sit
+       next to the evidence that the fd is nonblocking;
+     - a call into a *scanned* blocking function in the same file is
+       descended into, so the finding again lands on the primitive;
+     - a call into a blocking function in another module (the
+       handler-called-directly-from-the-callback mistake) is reported
+       at the call site with the witness chain, because the callee is
+       legitimately blocking for its executor-side callers and must
+       not be the thing annotated.
+
+   Locks-level calls (short mutex sections: metrics counters, the
+   executor's queue push) pass — that is the flag's designed
+   threshold, documented in DESIGN.md section 14. *)
+
+let rule = "R7-no-blocking-in-reactor"
+
+let check (g : Callgraph.t) (eff : Effects.t) : Lint_diag.t list =
+  let diags = ref [] in
+  let visited = Hashtbl.create 64 in
+  let add (nd : Callgraph.node) (c : Callgraph.call) (root : Callgraph.root)
+      msg =
+    diags :=
+      {
+        Lint_diag.file = nd.Callgraph.nd_file;
+        line = c.Callgraph.cline;
+        col = c.Callgraph.ccol;
+        rule;
+        msg =
+          Printf.sprintf
+            "%s [reactor callback registered at %s:%d]; defer the work \
+             (submit / Evloop.post) or justify with (* lint: reactor-ok \
+             <reason> *)"
+            msg root.Callgraph.r_file root.Callgraph.r_line;
+      }
+      :: !diags
+  in
+  let rec visit root id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.replace visited id ();
+      match Hashtbl.find_opt g.Callgraph.nodes id with
+      | None -> ()
+      | Some nd ->
+          List.iter
+            (fun (c : Callgraph.call) ->
+              match c.Callgraph.ckind with
+              | Callgraph.Deferred -> ()
+              | Callgraph.Direct | Callgraph.Task -> (
+                  let lvl = Effects.call_level eff c in
+                  match c.Callgraph.ct with
+                  | Callgraph.Ext (m, x) ->
+                      if lvl = Effects.Blocks then
+                        add nd c root
+                          (Printf.sprintf "blocking call %s on the reactor \
+                                           thread"
+                             (if m = "" then x else m ^ "." ^ x))
+                  | Callgraph.Node id' -> (
+                      match Hashtbl.find_opt g.Callgraph.nodes id' with
+                      | None -> ()
+                      | Some tgt ->
+                          if lvl <> Effects.Blocks then visit root id'
+                          else if
+                            tgt.Callgraph.nd_file = nd.Callgraph.nd_file
+                          then visit root id'
+                          else
+                            add nd c root
+                              (Printf.sprintf
+                                 "call into %s, which may block (%s), on \
+                                  the reactor thread"
+                                 id'
+                                 (String.concat " -> "
+                                    (Effects.chain g eff id'))))))
+            nd.Callgraph.calls
+    end
+  in
+  let seen_roots = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Callgraph.root) ->
+      if not (Hashtbl.mem seen_roots r.Callgraph.r_id) then begin
+        Hashtbl.replace seen_roots r.Callgraph.r_id ();
+        visit r r.Callgraph.r_id
+      end)
+    g.Callgraph.reactor_roots;
+  List.rev !diags

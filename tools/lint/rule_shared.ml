@@ -1,0 +1,90 @@
+(* R9-shared-state: the interprocedural upgrade of R6.
+
+   A module-level mutable binding (ref / Hashtbl / Buffer / ...) is a
+   finding when, in a module that never touches Mutex, it is reachable
+   from BOTH sides of a concurrency boundary:
+
+     - from a Pool task body (code handed to Pool.parallel_init /
+       parallel_map, running on a worker domain), and
+     - from thread/reactor code (bodies handed to Thread.create,
+       submit, Domain.spawn, or registered as Evloop callbacks).
+
+   R6 flags any mutable state in a module referenced from a
+   Pool-using file — syntactic, so it cannot tell a read-only lookup
+   table from genuinely shared state. R9 walks the call graph instead:
+   only state that concurrent executors can actually reach, in a
+   module with no mutex to guard it, is reported. The finding sits on
+   the binding; (* lint: shared-ok <reason> *) suppresses it there. *)
+
+module SS = Set.Make (String)
+
+let rule = "R9-shared-state"
+
+(* Direct+Task closure from a root set. Deferred targets are their own
+   roots, collected by the builder, so following Direct edges is
+   enough to stay on one executor's side of the boundary. *)
+let closure (g : Callgraph.t) roots =
+  let seen = Hashtbl.create 64 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      match Hashtbl.find_opt g.Callgraph.nodes id with
+      | None -> ()
+      | Some nd ->
+          List.iter
+            (fun (c : Callgraph.call) ->
+              match (c.Callgraph.ckind, c.Callgraph.ct) with
+              | (Callgraph.Direct | Callgraph.Task), Callgraph.Node id' ->
+                  visit id'
+              | _ -> ())
+            nd.Callgraph.calls
+    end
+  in
+  List.iter (fun (r : Callgraph.root) -> visit r.Callgraph.r_id) roots;
+  seen
+
+let check (g : Callgraph.t) : Lint_diag.t list =
+  let task_side = closure g g.Callgraph.task_roots in
+  let thread_side =
+    closure g (g.Callgraph.thread_roots @ g.Callgraph.reactor_roots)
+  in
+  let refs_from side mb_id =
+    Hashtbl.fold
+      (fun id (nd : Callgraph.node) acc ->
+        if Hashtbl.mem side id then
+          List.fold_left
+            (fun acc (m, line, _) ->
+              if m = mb_id then (nd.Callgraph.id, line) :: acc else acc)
+            acc nd.Callgraph.mut_refs
+        else acc)
+      g.Callgraph.nodes []
+    |> List.sort compare
+  in
+  let diags = ref [] in
+  Hashtbl.iter
+    (fun _ (mb : Callgraph.mutable_binding) ->
+      if not (Hashtbl.mem g.Callgraph.guarded mb.Callgraph.mb_module) then begin
+        let from_task = refs_from task_side mb.Callgraph.mb_id in
+        let from_thread = refs_from thread_side mb.Callgraph.mb_id in
+        match (from_task, from_thread) with
+        | (t_id, t_line) :: _, (th_id, th_line) :: _ ->
+            diags :=
+              {
+                Lint_diag.file = mb.Callgraph.mb_file;
+                line = mb.Callgraph.mb_line;
+                col = mb.Callgraph.mb_col;
+                rule;
+                msg =
+                  Printf.sprintf
+                    "module-level mutable state %s (%s) is reached from a \
+                     Pool task (%s, line %d) and from thread/reactor code \
+                     (%s, line %d) but %s has no mutex; guard it or \
+                     justify with (* lint: shared-ok <reason> *)"
+                    mb.Callgraph.mb_id mb.Callgraph.mb_ctor t_id t_line
+                    th_id th_line mb.Callgraph.mb_module;
+              }
+              :: !diags
+        | _ -> ()
+      end)
+    g.Callgraph.mutables;
+  List.sort Lint_diag.compare_diag !diags
