@@ -6,6 +6,7 @@ module Repo = Versioning_store.Repo
 module Fsutil = Versioning_util.Fsutil
 module Obs = Versioning_obs.Obs
 module Metrics = Versioning_obs.Metrics
+module Telemetry = Versioning_obs.Telemetry
 module Trace = Versioning_obs.Trace
 module Context = Versioning_obs.Context
 module Flight = Versioning_obs.Flight
@@ -46,7 +47,13 @@ let repo_dir =
   let doc = "Repository directory." in
   Arg.(value & opt string "." & info [ "C"; "repo" ] ~docv:"DIR" ~doc)
 
-let open_repo dir = or_die (Repo.open_repo ~path:dir)
+let open_repo dir =
+  let repo = or_die (Repo.open_repo ~path:dir) in
+  (* Close at process exit, whatever the command: the workload
+     telemetry ledger is persisted by [Repo.close] (only when the
+     observability gate is on), and a second close is a no-op. *)
+  at_exit (fun () -> Repo.close repo);
+  repo
 
 let read_file path =
   try
@@ -563,6 +570,30 @@ let optimize_cmd =
              accounting) before rewriting any object; refuse to \
              optimize if verification fails.")
   in
+  let weights =
+    let conv_weights s =
+      match String.lowercase_ascii s with
+      | "uniform" -> Ok Repo.Uniform
+      | "observed" -> Ok Repo.Observed
+      | _ -> Error (`Msg "expected uniform | observed")
+    in
+    let pp ppf = function
+      | Repo.Uniform -> Format.fprintf ppf "uniform"
+      | Repo.Observed -> Format.fprintf ppf "observed"
+    in
+    Arg.(
+      value
+      & opt (Arg.conv (conv_weights, pp)) Repo.Uniform
+      & info [ "weights" ] ~docv:"MODE"
+          ~doc:
+            "Version weighting for the balanced (LMG) strategy: uniform \
+             (every version equally likely — the paper's default model) \
+             or observed (the telemetry ledger's decayed access \
+             frequencies weight each version's recreation cost, the \
+             workload-aware objective of the paper's Figure 16). With an \
+             empty ledger or any other strategy, observed falls back to \
+             the uniform plan.")
+  in
   let profile =
     Arg.(
       value & flag
@@ -587,9 +618,11 @@ let optimize_cmd =
         aggs
     end
   in
-  let run dir strat hops jobs check profile =
+  let run dir strat hops jobs check weights profile =
     let repo = open_repo dir in
-    let work () = or_die (Repo.optimize repo ~max_hops:hops ~jobs ~check strat) in
+    let work () =
+      or_die (Repo.optimize repo ~max_hops:hops ~jobs ~check ~weights strat)
+    in
     let stats =
       if profile then
         Obs.with_enabled true (fun () ->
@@ -605,7 +638,158 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Re-plan version storage with one of the paper's algorithms")
-    Term.(const run $ repo_dir $ strat $ hops $ jobs $ check $ profile)
+    Term.(const run $ repo_dir $ strat $ hops $ jobs $ check $ weights $ profile)
+
+(* -- advise: read-only re-optimization recommendation -- *)
+
+let advise_cmd =
+  let hops =
+    Arg.(value & opt int 3 & info [ "hops" ] ~docv:"N" ~doc:"Reveal deltas within N hops.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Versioning_util.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for the reveal phase.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "threshold" ] ~docv:"D"
+          ~doc:
+            "Drift score above which a re-plan is worth recommending \
+             (0 = workload matches the uniform planning assumption).")
+  in
+  let k =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K" ~doc:"How many mispriced versions to list.")
+  in
+  let run dir hops jobs threshold k =
+    let repo = open_repo dir in
+    let (a : Repo.advice) =
+      or_die (Repo.advise repo ~max_hops:hops ~jobs ~threshold ~k ())
+    in
+    Printf.printf "drift %.3f (threshold %.2f, %d ledger accesses)\n" a.a_drift
+      a.a_threshold a.a_events;
+    if a.a_top <> [] then begin
+      print_newline ();
+      Printf.printf "%-8s %8s %14s %16s\n" "version" "share" "phi (bytes)"
+        "drift term";
+      List.iter
+        (fun (d : Repo.drifted) ->
+          Printf.printf "%-8d %7.1f%% %14.0f %16.0f\n" d.d_version
+            (100.0 *. d.d_share) d.d_phi d.d_contribution)
+        a.a_top;
+      print_newline ()
+    end;
+    Printf.printf
+      "weighted recreation: current plan %.0f, observed-weight re-plan %.0f \
+       (saving %.1f%%)\n"
+      a.a_current_weighted a.a_candidate_weighted (100.0 *. a.a_saving);
+    if a.a_recommend then
+      print_endline
+        "recommendation: re-plan for this workload — dsvc optimize \
+         --strategy balanced=1.5 --weights observed"
+    else print_endline "recommendation: keep the current plan"
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Score workload drift against the current storage plan and say \
+          whether an observed-weight re-optimization would pay off \
+          (read-only: no object is rewritten)")
+    Term.(const run $ repo_dir $ hops $ jobs $ threshold $ k)
+
+(* -- top: the ledger's live text view -- *)
+
+let top_cmd =
+  let percentile xs p =
+    match xs with
+    | [] -> 0.0
+    | xs ->
+        let a = Array.of_list xs in
+        Array.sort compare a;
+        let i =
+          int_of_float (Float.ceil (p *. float_of_int (Array.length a))) - 1
+        in
+        a.(max 0 (min (Array.length a - 1) i))
+  in
+  let k =
+    Arg.(
+      value & opt int 10
+      & info [ "n" ] ~docv:"K" ~doc:"How many hot versions to show.")
+  in
+  let run dir k =
+    let repo = open_repo dir in
+    let t = Repo.telemetry repo in
+    if Telemetry.is_empty t then
+      print_endline
+        "telemetry: ledger is empty — run some checkouts first (observed \
+         recreation costs additionally need DSVC_OBS=on)"
+    else begin
+      let entries = Telemetry.entries t in
+      let checkouts =
+        List.fold_left (fun n (_, e) -> n + e.Telemetry.checkouts) 0 entries
+      in
+      let hits =
+        List.fold_left (fun n (_, e) -> n + e.Telemetry.cache_hits) 0 entries
+      in
+      Printf.printf
+        "events %d   versions %d   cache-hit %.1f%%   drift %.3f\n\n"
+        (Telemetry.events t) (List.length entries)
+        (100.0 *. float_of_int hits /. float_of_int (max 1 checkouts))
+        (Repo.drift_score repo);
+      let phi = Repo.predicted_costs repo in
+      let total_freq =
+        List.fold_left (fun s (v, _) -> s +. Telemetry.freq_of t v) 0.0 entries
+      in
+      Printf.printf "%-4s %8s %7s %10s %6s %13s %13s  %s\n" "rank" "version"
+        "share" "checkouts" "hits" "obs (bytes)" "pred (bytes)" "trace";
+      List.iteri
+        (fun i (v, (e : Telemetry.entry)) ->
+          let share =
+            if total_freq > 0.0 then Telemetry.freq_of t v /. total_freq
+            else 0.0
+          in
+          let obs_mean =
+            if e.observations > 0 then
+              e.bytes /. float_of_int e.observations
+            else 0.0
+          in
+          Printf.printf "%-4d %8d %6.1f%% %10d %6d %13.0f %13.0f  %s\n"
+            (i + 1) v (100.0 *. share) e.checkouts e.cache_hits obs_mean
+            (Option.value (List.assoc_opt v phi) ~default:0.0)
+            (if e.exemplar = "" then "-" else e.exemplar))
+        (Telemetry.hot t ~k);
+      match Telemetry.samples t with
+      | [] ->
+          print_endline
+            "\nno recreation samples yet (cost observation needs DSVC_OBS=on)"
+      | ss ->
+          let col f = List.map f ss in
+          let secs = col (fun (s : Telemetry.sample) -> s.s_seconds) in
+          let obs = col (fun (s : Telemetry.sample) -> s.s_bytes) in
+          let pred = col (fun (s : Telemetry.sample) -> s.s_predicted) in
+          Printf.printf
+            "\nrecreation over the last %d samples:\n\
+            \  wall-clock  p50 %8.3f ms   p99 %8.3f ms\n\
+            \  observed    p50 %8.0f B    p99 %8.0f B\n\
+            \  predicted   p50 %8.0f B    p99 %8.0f B\n"
+            (List.length ss)
+            (1000.0 *. percentile secs 0.5)
+            (1000.0 *. percentile secs 0.99)
+            (percentile obs 0.5) (percentile obs 0.99) (percentile pred 0.5)
+            (percentile pred 0.99)
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Show the workload telemetry ledger: hot versions, cache hit \
+          ratio, observed vs predicted recreation cost, and the drift \
+          score")
+    Term.(const run $ repo_dir $ k)
 
 (* -- metrics -- *)
 
@@ -627,15 +811,26 @@ let metrics_cmd =
             "Print this process's own metric registry instead of \
              querying a server (only interesting under DSVC_OBS=on).")
   in
-  let run host port json local =
+  let cluster =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:
+            "Scrape GET /metrics/cluster instead: the whole cluster's \
+             samples through one node, each labelled with its origin \
+             peer.")
+  in
+  let run host port json local cluster =
     if local then
-      print_string (if json then Metrics.to_json () else Metrics.to_prometheus ())
+      print_string
+        (if json then Versioning_store.Server.metrics_json_with_meta ()
+         else Metrics.to_prometheus ())
     else begin
       let client = Versioning_store.Client.connect ~host ~port () in
-      let query = if json then [ ("format", "json") ] else [] in
+      let path = if cluster then "/metrics/cluster" else "/metrics" in
+      let query = if json && not cluster then [ ("format", "json") ] else [] in
       match
-        Versioning_store.Client.request client ~meth:"GET" ~path:"/metrics"
-          ~query ()
+        Versioning_store.Client.request client ~meth:"GET" ~path ~query ()
       with
       | Ok (200, body) -> print_string body
       | Ok (status, body) ->
@@ -649,7 +844,7 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"Fetch a served repository's /metrics exposition")
-    Term.(const run $ host $ port $ json $ local)
+    Term.(const run $ host $ port $ json $ local $ cluster)
 
 (* -- remote (HTTP client) -- *)
 
@@ -991,6 +1186,8 @@ let () =
         metrics_cmd;
         remote_cmd;
         optimize_cmd;
+        advise_cmd;
+        top_cmd;
         trace_cmd;
         flight_dump_cmd;
         lint_cmd;

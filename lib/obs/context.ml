@@ -63,13 +63,10 @@ let fresh_request_id () = Printf.sprintf "%016Lx" (next_word ())
 
 let default_sample_interval = 8
 
+(* [min:0]: zero is meaningful here (sampling off); negatives and
+   garbage are rejected with a message by the shared parser. *)
 let sample_interval () =
-  match Sys.getenv_opt "DSVC_FLIGHT_SAMPLE" with
-  | None -> default_sample_interval
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 0 -> n
-      | _ -> default_sample_interval)
+  Obs.env_int "DSVC_FLIGHT_SAMPLE" ~min:0 ~default:default_sample_interval
 
 let sample_counter = Atomic.make 0
 

@@ -36,3 +36,31 @@ let with_enabled b f =
   let saved = Atomic.get state in
   Atomic.set state b;
   Fun.protect ~finally:(fun () -> Atomic.set state saved) f
+
+(* Validated integer environment knobs (DSVC_FLIGHT_SAMPLE,
+   DSVC_TRACE_RING, DSVC_MAX_CONNS, ...). Unset or blank means the
+   default; garbage, or a value outside [min..max], is rejected out
+   loud — one line on stderr naming the variable, the constraint and
+   the offending value — rather than silently falling back and leaving
+   an operator's typo undiagnosed. *)
+let env_int ?(min = 1) ?max ~default name =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some raw when String.trim raw = "" -> default
+  | Some raw -> (
+      let reject msg =
+        Printf.eprintf "dsvc: %s; using default %d\n%!" msg default;
+        default
+      in
+      match int_of_string_opt (String.trim raw) with
+      | None -> reject (Printf.sprintf "%s must be an integer (got %S)" name raw)
+      | Some n -> (
+          match max with
+          | Some hi when n < min || n > hi ->
+              reject
+                (Printf.sprintf "%s must be between %d and %d (got %d)" name
+                   min hi n)
+          | _ when n < min ->
+              reject
+                (Printf.sprintf "%s must be at least %d (got %d)" name min n)
+          | _ -> n))

@@ -23,3 +23,12 @@ val trace_path : unit -> string option
 (** The [DSVC_TRACE] destination, if set to a non-empty path. The
     library never writes the file itself — callers dump
     {!Trace.to_chrome_json} through [Fsutil]. *)
+
+val env_int : ?min:int -> ?max:int -> default:int -> string -> int
+(** [env_int name ~default] reads an integer knob from the
+    environment. Unset or blank yields [default]; a non-integer or a
+    value outside [[min] .. [max]] (default [min] 1, so zero and
+    negatives are rejected; no upper bound unless given) prints a
+    clear one-line complaint to stderr and yields [default]. The one
+    shared parser behind [DSVC_FLIGHT_SAMPLE], [DSVC_TRACE_RING],
+    [DSVC_MAX_CONNS] and [DSVC_SERVER_WORKERS]. *)

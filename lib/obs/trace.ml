@@ -45,15 +45,11 @@ let capacity_of_string s =
   | None ->
       Error (Printf.sprintf "DSVC_TRACE_RING must be an integer (got %S)" s)
 
+(* Same validation as [capacity_of_string] (kept as the test hook /
+   [set_capacity] guard), through the shared env parser. *)
 let env_capacity =
-  match Sys.getenv_opt "DSVC_TRACE_RING" with
-  | None -> default_capacity
-  | Some s -> (
-      match capacity_of_string s with
-      | Ok n -> n
-      | Error msg ->
-          Printf.eprintf "dsvc: %s; using default %d\n%!" msg default_capacity;
-          default_capacity)
+  Obs.env_int "DSVC_TRACE_RING" ~min:min_capacity ~max:max_capacity
+    ~default:default_capacity
 
 let mutex = Mutex.create ()
 

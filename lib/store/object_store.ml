@@ -22,6 +22,10 @@ let record_verify result =
     ~labels:[ ("result", result) ]
     ~help:"Digest verifications on object reads, by outcome"
 
+let record_stream ~bytes =
+  Metrics.counter "dsvc_store_stream_bytes_total" ~by:(float_of_int bytes)
+    ~help:"Logical bytes served chunk-wise by Object_store.get_stream"
+
 let create ~dir =
   let* backend = Backend.fs ~dir in
   Ok { backend; fs_dir = Some dir }
@@ -143,13 +147,28 @@ let stream_raw_file ~chunk path digest =
   in
   { bs_length = length; bs_read = read; bs_close = close }
 
+(* Count chunks as they are actually handed to the caller, so the
+   stream-bytes counter reflects what went out on the wire (a stream
+   abandoned after one chunk only counts that chunk). *)
+let counted stream =
+  {
+    stream with
+    bs_read =
+      (fun () ->
+        match stream.bs_read () with
+        | Ok (Some piece) as r ->
+            record_stream ~bytes:(String.length piece);
+            r
+        | r -> r);
+  }
+
 let get_stream ?(chunk = default_chunk_size) t digest =
   if not (Content_hash.is_valid digest) then
     Error (Printf.sprintf "invalid digest %S" digest)
   else
     let fallback () =
       let* content = get t digest in
-      Ok (stream_of_string ~chunk content)
+      Ok (counted (stream_of_string ~chunk content))
     in
     match t.fs_dir with
     | None -> fallback ()
@@ -164,7 +183,7 @@ let get_stream ?(chunk = default_chunk_size) t digest =
             match tag with
             | Some 'R' -> (
                 match stream_raw_file ~chunk path digest with
-                | s -> Ok s
+                | s -> Ok (counted s)
                 | exception Sys_error e -> Error e)
             | Some _ | None -> fallback ()))
 

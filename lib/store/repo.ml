@@ -6,6 +6,9 @@ module Aux_graph = Versioning_core.Aux_graph
 module Storage_graph = Versioning_core.Storage_graph
 module Metrics = Versioning_obs.Metrics
 module Trace = Versioning_obs.Trace
+module Obs = Versioning_obs.Obs
+module Telemetry = Versioning_obs.Telemetry
+module Context = Versioning_obs.Context
 
 let log_src = Logs.Src.create "dsvc.repo" ~doc:"Repository store"
 
@@ -56,6 +59,22 @@ type t = {
   mutable cache_hits : int;
   mutable cache_partial_hits : int;
   mutable cache_misses : int;
+  (* workload telemetry (DESIGN.md §15): per-version access ledger.
+     Counting is unconditional and clock-free; cost observation and
+     persistence only happen while the Obs gate is on. *)
+  mutable telemetry : Telemetry.t;
+  mutable telemetry_dirty : bool;
+  (* Per-handle memo of the current plan's predicted recreation bytes,
+     learned from full cache-miss chain walks; reset whenever the
+     storage plan changes. Observability only — never feeds
+     decisions. *)
+  phi_memo : (int, float) Hashtbl.t;
+  (* lint: mutable-ok last drift score computed by [drift_score];
+     cached so [export_telemetry] stays memory-only — recomputing
+     walks every stored object, which a server must never do per
+     request (in cluster mode those are remote reads taken under the
+     repository lock). *)
+  mutable last_drift : float;
 }
 
 type stats = {
@@ -75,6 +94,26 @@ type strategy =
   | Bounded_max of float
   | Git_window of int * int
   | Svn_skip
+
+type weights = Uniform | Observed
+
+type drifted = {
+  d_version : int;
+  d_share : float;
+  d_phi : float;
+  d_contribution : float;
+}
+
+type advice = {
+  a_drift : float;
+  a_threshold : float;
+  a_events : int;
+  a_top : drifted list;
+  a_current_weighted : float;
+  a_candidate_weighted : float;
+  a_saving : float;
+  a_recommend : bool;
+}
 
 type repair_report = {
   quarantined : string list;
@@ -112,6 +151,10 @@ let mk_repo ~root ~store ~commits ~stored ~branches ~tag_list ~head_branch
     cache_hits = 0;
     cache_partial_hits = 0;
     cache_misses = 0;
+    telemetry = Telemetry.create ();
+    telemetry_dirty = false;
+    phi_memo = Hashtbl.create 16;
+    last_drift = 0.0;
   }
 
 let meta_dir path = Filename.concat path ".dsvc"
@@ -119,6 +162,7 @@ let meta_file path = Filename.concat (meta_dir path) "meta"
 let backup_file path = meta_file path ^ ".bak"
 let objects_dir path = Filename.concat (meta_dir path) "objects"
 let journal_file path = Filename.concat (meta_dir path) "journal"
+let telemetry_file path = Filename.concat (meta_dir path) "telemetry"
 let lock_file path = Filename.concat (meta_dir path) "lock"
 
 let root t = t.root
@@ -185,7 +229,48 @@ let release_lock path =
           Hashtbl.remove lock_table key
       | _ -> ())
 
-let close t = release_lock t.root
+(* ---- telemetry ledger persistence ----
+
+   The access ledger lives beside the metadata (.dsvc/telemetry) and
+   accumulates across sessions: [open] merges whatever a previous
+   session persisted into the fresh in-memory ledger, and [close]
+   writes the union back — but only when the Obs gate is on, so an
+   un-instrumented run performs no extra I/O whatsoever. A torn or
+   corrupt ledger is ignored (telemetry must never make a repository
+   unopenable). *)
+
+let telemetry t = t.telemetry
+
+let load_telemetry t =
+  if Sys.file_exists (telemetry_file t.root) then
+    match Fsutil.read_file (telemetry_file t.root) with
+    | Error _ -> ()
+    | Ok content -> (
+        match Telemetry.parse content with
+        | Ok ledger -> t.telemetry <- Telemetry.merge t.telemetry ledger
+        | Error e ->
+            Log.warn (fun m ->
+                m "ignoring unreadable telemetry ledger: %s" e))
+
+let flush_telemetry t =
+  if Telemetry.is_empty t.telemetry then Ok ()
+  else
+    match
+      Fsutil.write_file_atomic ~site:"telemetry.save" (telemetry_file t.root)
+        (Telemetry.render t.telemetry)
+    with
+    | Ok () ->
+        t.telemetry_dirty <- false;
+        Ok ()
+    | Error _ as e -> e
+
+let close t =
+  if t.telemetry_dirty && Obs.enabled () then
+    (match flush_telemetry t with
+    | Ok () -> ()
+    | Error e ->
+        Log.warn (fun m -> m "telemetry ledger not persisted: %s" e));
+  release_lock t.root
 
 (* ---- reference-name validation ----
 
@@ -393,11 +478,21 @@ let load path store =
 
 (* ---- retrieval ---- *)
 
-let replay_deltas t base deltas =
+(* [bytes], when given, accumulates the logical size of every object
+   read along the replay — the observed recreation cost the telemetry
+   ledger records. Callers pass it only while the Obs gate is on, so
+   the plain path does no extra work. *)
+let replay_deltas ?bytes t base deltas =
+  let count n =
+    match bytes with
+    | Some r -> r := !r +. float_of_int n
+    | None -> ()
+  in
   List.fold_left
     (fun acc digest ->
       let* content = acc in
       let* encoded = Object_store.get t.store digest in
+      count (String.length encoded);
       match Line_diff.decode encoded with
       | d -> (
           try Ok (Line_diff.apply content d)
@@ -469,18 +564,51 @@ let cache_stats t =
     misses = t.cache_misses;
   }
 
+(* Observed-recreation bookkeeping for one checkout: wall-clock since
+   [t0] plus the bytes read along the chain go into the ledger, with
+   the plan's predicted Φ (learned from full cache-miss walks — on a
+   miss the chain bytes *are* the plan's recreation cost) and the
+   ambient trace id as an exemplar. Only reached when [Telemetry.clock]
+   yielded a [Some], i.e. while the gate is on. *)
+let note_recreation t version ~t0 ~bytes ~miss =
+  let seconds =
+    match Telemetry.clock () with Some t1 -> t1 -. t0 | None -> 0.0
+  in
+  if miss then Hashtbl.replace t.phi_memo version bytes;
+  let predicted =
+    match Hashtbl.find_opt t.phi_memo version with
+    | Some p -> p
+    | None -> bytes
+  in
+  match Context.current_trace_id () with
+  | Some trace ->
+      Telemetry.record_recreation t.telemetry version ~seconds ~bytes
+        ~predicted ~trace ()
+  | None ->
+      Telemetry.record_recreation t.telemetry version ~seconds ~bytes
+        ~predicted ()
+
 (* Cached checkout: walk the chain backwards only until a materialized
    prefix is found — the version itself (pure hit), a cached ancestor
    (replay only the suffix), or the stored full object (cold). The
    result is cached, so a scan along a chain pays each delta once
    instead of replaying every prefix from the root. *)
 let checkout t version =
+  (* [None] while the Obs gate is off: the whole cost-observation path
+     below collapses and the ledger bump stays the only extra work. *)
+  let t0 = Telemetry.clock () in
   match cache_find t version with
   | Some content ->
       t.cache_hits <- t.cache_hits + 1;
       record_cache "hit";
+      Telemetry.bump_checkout t.telemetry version ~cached:true;
+      t.telemetry_dirty <- true;
+      (match t0 with
+      | Some t0 -> note_recreation t version ~t0 ~bytes:0.0 ~miss:false
+      | None -> ());
       Ok content
   | None ->
+      let counter = match t0 with Some _ -> Some (ref 0.0) | None -> None in
       let rec chain v acc =
         match if v = version then None else cache_find t v with
         | Some content -> Ok (`Content content, acc)
@@ -494,6 +622,9 @@ let checkout t version =
                 else chain p (digest :: acc))
       in
       let* base, deltas = chain version [] in
+      Telemetry.bump_checkout t.telemetry version ~cached:false;
+      t.telemetry_dirty <- true;
+      let miss = match base with `Digest _ -> true | `Content _ -> false in
       let* base_content =
         match base with
         | `Content c ->
@@ -503,10 +634,18 @@ let checkout t version =
         | `Digest d ->
             t.cache_misses <- t.cache_misses + 1;
             record_cache "miss";
-            Object_store.get t.store d
+            let r = Object_store.get t.store d in
+            (match (counter, r) with
+            | Some c, Ok content ->
+                c := !c +. float_of_int (String.length content)
+            | _ -> ());
+            r
       in
-      let* content = replay_deltas t base_content deltas in
+      let* content = replay_deltas ?bytes:counter t base_content deltas in
       cache_put t version content;
+      (match (t0, counter) with
+      | Some t0, Some c -> note_recreation t version ~t0 ~bytes:!c ~miss
+      | _ -> ());
       Ok content
 
 (* every version must reconstruct — the invariant [optimize] and
@@ -650,6 +789,7 @@ let recover_journal t =
             let finish outcome =
               let* () = save t in
               remove_journal t;
+              Hashtbl.reset t.phi_memo;
               ignore (gc t);
               Ok outcome
             in
@@ -706,6 +846,7 @@ let open_opt store ~path =
     let* store = resolve_store store path in
     let* t = load path store in
     let* _outcome = recover_journal t in
+    load_telemetry t;
     Ok t
 
 let open_repo ~path = open_opt None ~path
@@ -739,6 +880,8 @@ let adopt_meta t content =
     (* Version contents are immutable so cached strings stay valid,
        but ids unknown to the new metadata must not linger. *)
     Hashtbl.reset t.cache;
+    (* the adopted metadata may carry a different storage plan *)
+    Hashtbl.reset t.phi_memo;
     Ok true
 
 (* ---- commits & branches ---- *)
@@ -1017,6 +1160,73 @@ let storage_parents t =
     t.stored []
   |> List.sort (fun (_, a) (_, b) -> compare a b)
 
+(* ---- workload telemetry: drift and observed weights ---- *)
+
+(* The current plan's per-version recreation cost in stored bytes
+   (Σ object sizes along the delta chain): the predicted Φ the drift
+   score and [dsvc top] compare observations against. Cheap relative
+   to [reveal_graph] — it reads only the objects the plan references. *)
+let predicted_costs t =
+  let memo = Hashtbl.create 64 in
+  let rec cost v =
+    match Hashtbl.find_opt memo v with
+    | Some c -> c
+    | None ->
+        let c =
+          match Hashtbl.find_opt t.stored v with
+          | Some (Full d) -> float_of_int (object_size t d)
+          | Some (Delta_from (p, d)) ->
+              float_of_int (object_size t d) +. cost p
+          | None -> 0.0
+        in
+        Hashtbl.replace memo v c;
+        c
+  in
+  Hashtbl.fold (fun v _ acc -> (v, cost v) :: acc) t.stored []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let drift_score t =
+  let d = Telemetry.drift t.telemetry ~costs:(predicted_costs t) in
+  t.last_drift <- d;
+  d
+
+(* Observed access frequencies for the solver, indexed 1..n: the
+   ledger's decayed weights normalized to a distribution, then floored
+   at 1% of uniform so never-accessed versions keep a nonzero weight
+   (their recreation still matters, just 100× less than an even
+   share). [None] while the ledger is empty — callers fall back to
+   uniform, which is the same plan as not passing frequencies at
+   all. *)
+let observed_freqs t =
+  let n = t.next_id - 1 in
+  if n <= 0 then None
+  else begin
+    let raw =
+      Array.init (n + 1) (fun v ->
+          if v = 0 then 0.0 else Telemetry.freq_of t.telemetry v)
+    in
+    let sum = Array.fold_left ( +. ) 0.0 raw in
+    if sum <= 0.0 then None
+    else begin
+      let floor_w = 0.01 /. float_of_int n in
+      Some
+        (Array.mapi
+           (fun v r -> if v = 0 then 0.0 else (r /. sum) +. floor_w)
+           raw)
+    end
+  end
+
+(* Memory-only on purpose: the drift gauge reuses the last
+   [drift_score] result (0 until one is computed — GET /stats,
+   [advise], `dsvc top` and the bench all compute one) rather than
+   re-walking every stored object here. A server calls this under the
+   repository lock after each repo-touching request; in cluster mode a
+   fresh walk would mean remote blob reads under that lock — the
+   recipe for a cross-node lock cycle. *)
+let export_telemetry t =
+  if Obs.enabled () then
+    Telemetry.export t.telemetry ~repo:t.root ~drift:t.last_drift
+
 (* ---- optimization ---- *)
 
 (* Hop-bounded pairs over the commit DAG (both directions). *)
@@ -1140,7 +1350,7 @@ let strategy_name = function
   | Svn_skip -> "svn_skip"
 
 let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
-    ?(check = false) strategy =
+    ?(check = false) ?(weights = Uniform) strategy =
   Trace.with_span "optimize" @@ fun () ->
   Metrics.counter "dsvc_store_optimize_total"
     ~labels:[ ("strategy", strategy_name strategy) ]
@@ -1148,6 +1358,26 @@ let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
   let n = t.next_id - 1 in
   if n = 0 then Error "empty repository"
   else begin
+    (* Observed weights only change the workload-aware LMG objective;
+       every other strategy's optimum is frequency-independent. An
+       empty ledger degrades to uniform — the identical plan. *)
+    let freqs =
+      match weights with Uniform -> None | Observed -> observed_freqs t
+    in
+    (match (weights, freqs, strategy) with
+    | Observed, None, _ ->
+        Log.warn (fun m ->
+            m
+              "optimize: observed weights requested but the access ledger \
+               is empty; planning with uniform weights")
+    | Observed, Some _, Budgeted_sum _ -> ()
+    | Observed, Some _, _ ->
+        Log.warn (fun m ->
+            m
+              "optimize: observed weights only affect the budgeted_sum \
+               (LMG) strategy; %s plans ignore them"
+              (strategy_name strategy))
+    | Uniform, _, _ -> ());
     (* The SVN baseline dictates its own delta pairs, which may lie
        outside the hop window. *)
     let extra_pairs =
@@ -1168,7 +1398,7 @@ let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
           with
           | Ok base, Ok spt ->
               let budget = factor *. Storage_graph.storage_cost base in
-              Ok (Versioning_core.Lmg.solve aux ~base ~spt ~budget ())
+              Ok (Versioning_core.Lmg.solve aux ~base ~spt ~budget ?freqs ())
           | (Error _ as e), _ | _, (Error _ as e) -> e)
       | Bounded_max factor -> (
           let dist = Versioning_core.Spt.distances aux in
@@ -1268,9 +1498,110 @@ let optimize t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
     | Ok () ->
         (* Phase 5: the swap is durable — clean up. *)
         remove_journal t;
+        (* new plan, new predicted recreation costs *)
+        Hashtbl.reset t.phi_memo;
         Faults.guard "optimize.before_gc";
         ignore (Trace.with_span "optimize.gc" (fun () -> gc t));
         Ok (stats t)
+  end
+
+(* ---- advise: should this repository re-optimize? ----
+
+   Re-derives the current plan's predicted Φ on the revealed ⟨Δ, Φ⟩
+   instance (forcing the plan's own edges into the reveal so Lemma-1 /
+   Solution_check accounting applies to it), scores the workload drift
+   against the ledger, and prices a candidate LMG re-plan under the
+   observed frequencies at the storage budget the current plan already
+   spends. Read-only: nothing is rewritten. *)
+let advise t ?(max_hops = 3) ?(jobs = Pool.default_jobs ())
+    ?(threshold = 0.5) ?(k = 5) () =
+  let n = t.next_id - 1 in
+  if n = 0 then Error "empty repository"
+  else begin
+    let current_pairs =
+      List.filter (fun (p, _) -> p <> 0) (storage_parents t)
+    in
+    let* aux, _contents =
+      reveal_graph t ~max_hops ~extra_pairs:current_pairs ~jobs ()
+    in
+    let check_str sg =
+      Result.map_error
+        (fun problems -> String.concat "; " problems)
+        (Versioning_core.Solution_check.check aux sg)
+    in
+    let* current =
+      Storage_graph.of_parents ~jobs aux ~parents:(storage_parents t)
+    in
+    let* _report = check_str current in
+    let phi = Storage_graph.recreation_costs current in
+    let costs = List.init n (fun i -> (i + 1, phi.(i + 1))) in
+    let a_drift = Telemetry.drift t.telemetry ~costs in
+    let uniform = Array.make (n + 1) (1.0 /. float_of_int n) in
+    let freqs = Option.value (observed_freqs t) ~default:uniform in
+    let a_current_weighted =
+      Storage_graph.weighted_recreation current ~freqs
+    in
+    let* candidate =
+      match
+        (Versioning_core.Mca.solve aux, Versioning_core.Spt.solve aux)
+      with
+      | Ok base, Ok spt ->
+          let budget =
+            Float.max
+              (Storage_graph.storage_cost current)
+              (Storage_graph.storage_cost base)
+          in
+          Ok (Versioning_core.Lmg.solve aux ~base ~spt ~budget ~freqs ())
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+    in
+    let* _report = check_str candidate in
+    let a_candidate_weighted =
+      Storage_graph.weighted_recreation candidate ~freqs
+    in
+    (* Top drifted versions: the largest |p̂(v) − 1/n|·Φ(v) terms of
+       the drift numerator — where the plan most misprices the actual
+       workload. *)
+    let raw =
+      Array.init (n + 1) (fun v ->
+          if v = 0 then 0.0 else Telemetry.freq_of t.telemetry v)
+    in
+    let rawsum = Array.fold_left ( +. ) 0.0 raw in
+    let share v = if rawsum > 0.0 then raw.(v) /. rawsum else 0.0 in
+    let a_top =
+      List.init n (fun i ->
+          let v = i + 1 in
+          {
+            d_version = v;
+            d_share = share v;
+            d_phi = phi.(v);
+            d_contribution =
+              Float.abs (share v -. (1.0 /. float_of_int n)) *. phi.(v);
+          })
+      |> List.sort (fun a b ->
+             match compare b.d_contribution a.d_contribution with
+             | 0 -> compare a.d_version b.d_version
+             | c -> c)
+      |> List.filteri (fun i _ -> i < k)
+    in
+    let a_saving =
+      if a_current_weighted > 0.0 then
+        (a_current_weighted -. a_candidate_weighted) /. a_current_weighted
+      else 0.0
+    in
+    let a_events = Telemetry.events t.telemetry in
+    Ok
+      {
+        a_drift;
+        a_threshold = threshold;
+        a_events;
+        a_top;
+        a_current_weighted;
+        a_candidate_weighted;
+        a_saving;
+        a_recommend =
+          a_events > 0 && a_drift > threshold
+          && a_candidate_weighted < a_current_weighted;
+      }
   end
 
 (* ---- repair ---- *)

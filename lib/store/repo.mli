@@ -57,6 +57,12 @@ type strategy =
   | Git_window of int * int  (** GitH with (window, max_depth) *)
   | Svn_skip  (** skip-delta chains in commit order *)
 
+type weights =
+  | Uniform  (** every version equally likely — the classic model *)
+  | Observed
+      (** the telemetry ledger's decayed access frequencies (DESIGN.md
+          §15) feed LMG's workload-aware objective (Figure 16) *)
+
 val init : path:string -> (t, string) result
 (** Create an empty repository at [path] (directory is created; fails
     if a repository already exists there). The default branch is
@@ -209,6 +215,7 @@ val optimize :
   ?max_hops:int ->
   ?jobs:int ->
   ?check:bool ->
+  ?weights:weights ->
   strategy ->
   (stats, string) result
 (** Re-plan storage for all versions: reveal deltas between versions
@@ -229,7 +236,86 @@ val optimize :
     the metadata is atomically swapped, then every version is
     verified to reconstruct — only after all of that are the journal
     and unreferenced blobs removed. A crash in between is recovered
-    by the next {!open_repo}; a verification failure rolls back. *)
+    by the next {!open_repo}; a verification failure rolls back.
+
+    [weights] (default [Uniform], [dsvc optimize --weights]) switches
+    the [Budgeted_sum] (LMG) objective to the access-frequency-
+    weighted recreation sum using {!observed_freqs}; with an empty
+    ledger, or for any other strategy, the plan is identical to the
+    uniform one. *)
+
+(* -- workload telemetry (DESIGN.md §15) -- *)
+
+val telemetry : t -> Versioning_obs.Telemetry.t
+(** The handle's per-version access ledger. Checkouts are counted
+    unconditionally (clock-free); recreation costs are observed only
+    while [Obs.enabled]. Loaded from [.dsvc/telemetry] at open and
+    merged across sessions; persisted at {!close} when the gate is
+    on. *)
+
+val flush_telemetry : t -> (unit, string) result
+(** Persist the ledger now ([Fsutil.write_file_atomic
+    ~site:"telemetry.save"]). No-op on an empty ledger. *)
+
+val predicted_costs : t -> (int * float) list
+(** The current plan's per-version recreation cost in stored bytes
+    (Σ object sizes along each delta chain), ascending id — the
+    predicted Φ that observations are calibrated against. *)
+
+val drift_score : t -> float
+(** {!Versioning_obs.Telemetry.drift} of the ledger against
+    {!predicted_costs}: 0 for a workload matching the uniform planning
+    assumption, growing as accesses concentrate on expensive versions.
+    Walks every stored object (remote reads in cluster mode); the
+    result is cached on the handle for {!export_telemetry}. *)
+
+val observed_freqs : t -> float array option
+(** Normalized decayed access frequencies indexed [1..n] (index 0
+    unused), floored at 1% of uniform; [None] while the ledger is
+    empty. This is what [weights:Observed] feeds LMG. *)
+
+val export_telemetry : t -> unit
+(** Push ledger gauges and the drift score into the default metrics
+    registry (labelled by repository root). No-op while the gate is
+    off. Memory-only: the drift gauge carries the last {!drift_score}
+    result (0 until one has been computed) — safe to call per request
+    under the server's repository lock, even in cluster mode. *)
+
+type drifted = {
+  d_version : int;
+  d_share : float;  (** observed access share p̂(v) *)
+  d_phi : float;  (** predicted recreation cost under the current plan *)
+  d_contribution : float;  (** |p̂(v) − 1/n|·Φ(v), its drift-numerator term *)
+}
+
+type advice = {
+  a_drift : float;
+  a_threshold : float;
+  a_events : int;  (** ledger accesses the advice is based on *)
+  a_top : drifted list;  (** most-mispriced versions, worst first *)
+  a_current_weighted : float;
+      (** access-weighted Σ recreation of the current plan *)
+  a_candidate_weighted : float;
+      (** same, for an LMG re-plan under observed frequencies at the
+          storage budget the current plan already spends *)
+  a_saving : float;  (** relative saving of the candidate, 0..1 *)
+  a_recommend : bool;
+      (** drift past threshold and the candidate actually cheaper *)
+}
+
+val advise :
+  t ->
+  ?max_hops:int ->
+  ?jobs:int ->
+  ?threshold:float ->
+  ?k:int ->
+  unit ->
+  (advice, string) result
+(** Read-only re-optimization advice: re-derive the current plan's
+    predicted Φ on the revealed graph (validated by [Solution_check]),
+    score workload drift, and price a candidate re-plan under observed
+    frequencies. [threshold] (default 0.5) gates the recommendation;
+    [k] (default 5) bounds [a_top]. *)
 
 (* -- repair -- *)
 

@@ -7,6 +7,7 @@ module Trace = Versioning_obs.Trace
 module Context = Versioning_obs.Context
 module Flight = Versioning_obs.Flight
 module Fsutil = Versioning_util.Fsutil
+module Build_info = Versioning_util.Build_info
 
 let parse_strategy s =
   match String.split_on_char '=' s with
@@ -47,6 +48,7 @@ let route_label meth path =
   | "POST", [ "optimize" ] -> "/optimize"
   | "GET", [ "verify" ] -> "/verify"
   | "GET", [ "metrics" ] -> "/metrics"
+  | "GET", [ "metrics"; "cluster" ] -> "/metrics/cluster"
   | "GET", [ "trace"; _ ] -> "/trace/:request_id"
   | "GET", [ "flight" ] -> "/flight"
   | "GET", [ "health" ] -> "/health"
@@ -174,6 +176,18 @@ let mutating_route = function
       true
   | _ -> false
 
+(* Routes served without the repo lock when [workers > 1]: pure
+   observability reads with their own internal synchronization.
+   /metrics/cluster belongs here because its peer fan-out can stall on
+   a dead peer for the full client timeout — which is why it reads
+   only the (mutex-guarded) metrics registry, never the repo: the
+   telemetry gauges it serves are refreshed by [handle_safe] under the
+   repo lock after each repo-touching request. *)
+let lock_free_route = function
+  | "/metrics" | "/metrics/cluster" | "/flight" | "/trace/:request_id" ->
+      true
+  | _ -> false
+
 let push_meta_to_peers cluster repo =
   match Repo.export_meta repo with
   | Error e -> Log.warn (fun m -> m "meta push skipped: %s" e)
@@ -203,6 +217,11 @@ let health_body ?cluster repo =
     (Printf.sprintf "journal %s\n"
        (if Repo.journal_pending repo then "pending" else "clean"));
   Buffer.add_string b (Printf.sprintf "generation %d\n" (Repo.generation repo));
+  (* Build/process provenance — the same stamps dsvc metrics --json and
+     the bench record carry, so all three are diffable. *)
+  Buffer.add_string b (Printf.sprintf "build %s\n" (Build_info.git_rev ()));
+  Buffer.add_string b (Printf.sprintf "ocaml %s\n" Build_info.ocaml_version);
+  Buffer.add_string b (Printf.sprintf "uptime_s %.0f\n" (Build_info.uptime ()));
   (match cluster with
   | None -> ()
   | Some c ->
@@ -225,6 +244,52 @@ let health_body ?cluster repo =
                (if err = "" then "" else " " ^ err)))
         (Replicated.peers r));
   Buffer.contents b
+
+(* Re-label one node's Prometheus exposition for the cluster-wide
+   scrape: drop the # HELP/# TYPE comment lines (the same family
+   repeats across peers, and its comments may appear at most once in
+   one exposition) and tag every sample with peer="<name>" as its
+   first label. *)
+let relabel_prometheus ~peer body =
+  let b = Buffer.create (String.length body + 256) in
+  let tag = Printf.sprintf "peer=%S" peer in
+  List.iter
+    (fun line ->
+      if line = "" || line.[0] = '#' then ()
+      else begin
+        (match (String.index_opt line '{', String.index_opt line ' ') with
+        | Some i, Some j when i < j ->
+            (* name{a="b"} v  ->  name{peer="p",a="b"} v *)
+            Buffer.add_string b (String.sub line 0 (i + 1));
+            Buffer.add_string b tag;
+            if i + 1 < String.length line && line.[i + 1] <> '}' then
+              Buffer.add_char b ',';
+            Buffer.add_string b
+              (String.sub line (i + 1) (String.length line - i - 1))
+        | _, Some j ->
+            (* name v  ->  name{peer="p"} v *)
+            Buffer.add_string b (String.sub line 0 j);
+            Buffer.add_char b '{';
+            Buffer.add_string b tag;
+            Buffer.add_char b '}';
+            Buffer.add_string b (String.sub line j (String.length line - j))
+        | _, None -> Buffer.add_string b line);
+        Buffer.add_char b '\n'
+      end)
+    (String.split_on_char '\n' body);
+  Buffer.contents b
+
+(* The JSON metrics document with a build/process meta block spliced
+   in front of [Metrics.to_json]'s {"metrics":[...]} — shared with
+   `dsvc metrics --json`, and shaped like the BENCH_2.json meta stamps
+   so the two are diffable. *)
+let metrics_json_with_meta () =
+  let base = Metrics.to_json () in
+  let tail = String.sub base 1 (String.length base - 1) in
+  Printf.sprintf {|{"meta":{"git_rev":"%s","ocaml":"%s","uptime_s":%.3f},%s|}
+    (Metrics.json_escape (Build_info.git_rev ()))
+    (Metrics.json_escape Build_info.ocaml_version)
+    (Build_info.uptime ()) tail
 
 let handle ?cluster repo (req : Http.request) =
   let local_store =
@@ -289,7 +354,13 @@ let handle ?cluster repo (req : Http.request) =
           of_result ~created:true
             (Result.map string_of_int
                (Repo.commit repo ~message ?parents req.Http.body)))
-  | "GET", [ "stats" ] -> Http.ok (stats_body (Repo.stats repo))
+  | "GET", [ "stats" ] ->
+      (* Stats already walks every stored object; refreshing the drift
+         score here (same walk) is where the telemetry drift gauge
+         gets its value — the per-request gauge refresh in
+         [handle_safe] is memory-only. *)
+      if Obs.enabled () then ignore (Repo.drift_score repo);
+      Http.ok (stats_body (Repo.stats repo))
   | "GET", [ "branches" ] ->
       Http.ok
         (String.concat "\n"
@@ -346,7 +417,7 @@ let handle ?cluster repo (req : Http.request) =
             Http.status = 200;
             content_type = "application/json";
             headers = [];
-            body = Metrics.to_json ();
+            body = metrics_json_with_meta ();
             stream = None;
           }
       | _ ->
@@ -357,6 +428,58 @@ let handle ?cluster repo (req : Http.request) =
             body = Metrics.to_prometheus ();
             stream = None;
           })
+  | "GET", [ "metrics"; "cluster" ] ->
+      (* Cluster-wide scrape: this node's registry plus a live fan-out
+         to every peer's GET /metrics, each sample tagged with its
+         origin peer. A peer that cannot be reached contributes a
+         dsvc_cluster_scrape_up 0 gauge and an annotation line rather
+         than failing the whole scrape — partial results beat none. *)
+      let self_name =
+        match cluster with
+        | Some c -> Replicated.self c.replicated
+        | None -> "self"
+      in
+      let b = Buffer.create 8192 in
+      Buffer.add_string b
+        "# Cluster-wide scrape: every sample carries a peer label naming \
+         its origin node.\n";
+      let add_up peer ok =
+        Buffer.add_string b
+          (Printf.sprintf "dsvc_cluster_scrape_up{peer=%S} %d\n" peer
+             (if ok then 1 else 0))
+      in
+      Buffer.add_string b
+        (relabel_prometheus ~peer:self_name (Metrics.to_prometheus ()));
+      add_up self_name true;
+      (match cluster with
+      | None -> ()
+      | Some c ->
+          List.iter
+            (fun (name, client) ->
+              match Client.request client ~meth:"GET" ~path:"/metrics" () with
+              | Ok (200, body) ->
+                  Buffer.add_string b (relabel_prometheus ~peer:name body);
+                  add_up name true
+              | Ok (status, _) ->
+                  Buffer.add_string b
+                    (Printf.sprintf "# peer %s unreachable: HTTP %d\n" name
+                       status);
+                  add_up name false
+              | Error e ->
+                  Buffer.add_string b
+                    (Printf.sprintf "# peer %s unreachable: %s\n" name
+                       (String.map
+                          (fun ch -> if ch = '\n' then ' ' else ch)
+                          e));
+                  add_up name false)
+            c.peer_clients);
+      {
+        Http.status = 200;
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+        headers = [];
+        body = Buffer.contents b;
+        stream = None;
+      }
   | "GET", [ "trace"; rid ] -> (
       (* Debug endpoint: the span summary of a recent request. Only
          requests still in the bounded ring are answerable. *)
@@ -504,6 +627,13 @@ let handle_safe ?cluster repo req =
     Trace.with_span ?parent:ctx.Context.parent_span "server.request" run
   in
   let dur = Unix.gettimeofday () -. t0 in
+  (* Refresh the workload-telemetry gauges while this thread still
+     holds the repo lock (lock-free routes skip it — they must not
+     touch repo state). The refresh is memory-only: the drift value is
+     whatever the last explicit [Repo.drift_score] computed (GET
+     /stats refreshes it). *)
+  if Obs.enabled () && not (lock_free_route route) then
+    Repo.export_telemetry repo;
   if Obs.enabled () then begin
     (* Per-route count/latency/status; the route template keeps label
        cardinality bounded. *)
@@ -571,20 +701,14 @@ let env_float name default =
   | Some v when v > 0.0 -> v
   | _ -> default
 
-let env_int name default =
-  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
-  | Some v when v > 0 -> v
-  | _ -> default
+(* Integer knobs go through the shared validating parser: a typo'd
+   DSVC_MAX_CONNS complains on stderr instead of silently running with
+   the default. *)
+let env_int name default = Obs.env_int name ~default
 
 (* How many complete pipelined requests may queue per connection
    before the loop stops reading from it (backpressure). *)
 let max_pipeline = 16
-
-(* Routes served without the repo lock when [workers > 1]: pure
-   observability reads with their own internal synchronization. *)
-let lock_free_route = function
-  | "/metrics" | "/flight" | "/trace/:request_id" -> true
-  | _ -> false
 
 type out_slice = { o_data : string; mutable o_off : int }
 

@@ -19,8 +19,16 @@
       handled request (bounded in-memory table; [404] once evicted)
     - [GET /flight] — the {!Versioning_obs.Flight} ring as JSON
     - [GET /health] — liveness/cluster view: store reachability,
-      journal state, metadata generation, and (cluster mode) ring
-      epoch, replica count, pending hints and per-peer up/down/probe
+      journal state, metadata generation, build/process provenance
+      ([build]/[ocaml]/[uptime_s] — the same stamps as the metrics
+      meta block and the bench record), and (cluster mode) ring epoch,
+      replica count, pending hints and per-peer up/down/probe
+    - [GET /metrics/cluster] — cluster-wide Prometheus scrape: this
+      node's registry plus a live fan-out to every peer's
+      [GET /metrics], each sample re-labelled with [peer="<name>"],
+      one [dsvc_cluster_scrape_up{peer=…}] gauge per node, and a
+      [# peer <name> unreachable: …] annotation for each peer that
+      could not be scraped (partial results, never a hard failure)
 
     Cluster-mode routes (DESIGN.md §12). The [/blob] family always
     serves the node's {e local} shard — never the replicated view —
@@ -120,3 +128,10 @@ val serve :
 
 val parse_strategy : string -> (Repo.strategy, string) result
 (** The [strategy] query values, shared with the CLI. *)
+
+val metrics_json_with_meta : unit -> string
+(** The {!Versioning_obs.Metrics.to_json} document with a
+    [{"meta":{"git_rev":…,"ocaml":…,"uptime_s":…}}] block spliced in
+    front of the ["metrics"] array — what [GET /metrics?format=json]
+    serves, shared with [dsvc metrics --json] so local and remote
+    snapshots carry the same provenance stamps. *)

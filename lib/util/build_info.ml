@@ -1,0 +1,41 @@
+(* Build and process provenance for /health, metrics meta, and the
+   bench record. *)
+
+(* The commit the binary runs from, read straight from .git (no
+   subprocess — the harness may run where git(1) is absent).
+   "unknown" outside a checkout. *)
+let git_rev () =
+  let read path =
+    match Fsutil.read_file path with
+    | Ok s -> Some (String.trim s)
+    | Error _ -> None
+  in
+  match read ".git/HEAD" with
+  | None -> "unknown"
+  | Some head ->
+      if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
+        let r = String.trim (String.sub head 5 (String.length head - 5)) in
+        match read (Filename.concat ".git" r) with
+        | Some rev -> rev
+        | None -> (
+            match read ".git/packed-refs" with
+            | None -> "unknown"
+            | Some packed ->
+                let matches line =
+                  match String.index_opt line ' ' with
+                  | Some i
+                    when String.sub line (i + 1) (String.length line - i - 1)
+                         = r ->
+                      Some (String.sub line 0 i)
+                  | _ -> None
+                in
+                List.find_map matches (String.split_on_char '\n' packed)
+                |> Option.value ~default:"unknown")
+      end
+      else head
+
+let ocaml_version = Sys.ocaml_version
+
+let start_time = Unix.gettimeofday ()
+
+let uptime () = Float.max 0.0 (Unix.gettimeofday () -. start_time)

@@ -1,0 +1,21 @@
+(** Build and process provenance: which commit this binary was run
+    from, which compiler built it, and how long the process has been
+    up. Stamped into [GET /health], the [dsvc metrics --json] meta
+    block, and the bench record, so all three are diffable against
+    each other. *)
+
+val git_rev : unit -> string
+(** The current commit, read straight from [.git] relative to the
+    working directory (HEAD → ref file → packed-refs) — no subprocess,
+    so it works where git(1) is absent. ["unknown"] outside a
+    checkout. *)
+
+val ocaml_version : string
+(** [Sys.ocaml_version] of the compiler that built this binary. *)
+
+val start_time : float
+(** Process start, seconds since the epoch (captured when this module
+    initialized). *)
+
+val uptime : unit -> float
+(** Seconds since {!start_time}, never negative. *)

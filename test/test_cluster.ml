@@ -213,6 +213,40 @@ let test_chaos () =
     [ 1; 5; 7 ];
   ignore (must "optimize (primary dead)" (Cluster_client.optimize cc "min-storage"));
   ignore (must "verify (primary dead)" (Cluster_client.verify cc));
+  (* ---- cluster-wide scrape with the primary still dead: per-peer
+     families from the live node, scrape_up 0 + an annotation for the
+     dead one — partial results, never a failed request ---- *)
+  (let scraper = List.nth nodes 1 in
+   let other = List.nth nodes 2 in
+   match
+     must "cluster metrics scrape (primary dead)"
+       (Client.request (node_client scraper) ~meth:"GET"
+          ~path:"/metrics/cluster" ())
+   with
+   | None -> ()
+   | Some (status, body) ->
+       Alcotest.(check int) "scrape 200" 200 status;
+       let contains needle =
+         let nn = String.length needle and nb = String.length body in
+         let rec go i =
+           i + nn <= nb && (String.sub body i nn = needle || go (i + 1))
+         in
+         go 0
+       in
+       Alcotest.(check bool) "scraping node reports itself up" true
+         (contains
+            (Printf.sprintf "dsvc_cluster_scrape_up{peer=%S} 1" scraper.name));
+       Alcotest.(check bool) "live peer reported up" true
+         (contains
+            (Printf.sprintf "dsvc_cluster_scrape_up{peer=%S} 1" other.name));
+       Alcotest.(check bool) "dead primary reported down" true
+         (contains
+            (Printf.sprintf "dsvc_cluster_scrape_up{peer=%S} 0" primary.name));
+       Alcotest.(check bool) "dead primary annotated" true
+         (contains (Printf.sprintf "# peer %s unreachable" primary.name));
+       Alcotest.(check bool) "live peer's families carry its label" true
+         (contains
+            (Printf.sprintf "dsvc_server_requests_total{peer=%S" other.name)));
   (* ---- determinism: the cluster's plan is byte-identical to a
      single-node repository given the same history ---- *)
   let reference = ok (Repo.init ~path:(temp_dir ())) in

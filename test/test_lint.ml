@@ -118,6 +118,18 @@ let test_r5 () =
     ~file:"lib/core/heur.ml" {|let f x = compare x 1.0|} [ "R5-nondet" ];
   check_rules "same code outside the scope is fine" ~file:"lib/store/repo.ml"
     {|let f () = Unix.gettimeofday ()|} [];
+  (* telemetry lives in lib/obs on purpose: the identical clock read
+     inside a solver tier must still trip, ledger or no ledger *)
+  check_rules "telemetry-style clock read in lib/core still flagged"
+    ~file:"lib/core/lmg.ml"
+    {|let observe_recreation () =
+  let t0 = Unix.gettimeofday () in
+  t0|}
+    [ "R5-nondet" ];
+  check_rules "telemetry's own clock read in lib/obs is fine"
+    ~file:"lib/obs/telemetry.ml"
+    {|let clock () = if enabled () then Some (Unix.gettimeofday ()) else None|}
+    [];
   check_rules "nondet-ok suppression honoured" ~file:"lib/core/heur.ml"
     {|(* lint: nondet-ok wall-clock deadline only *)
 let f () = Unix.gettimeofday ()|}

@@ -257,7 +257,47 @@ let test_route_metrics () =
   let r = Server.handle_safe repo (mk_request ~query:[ ("format", "json") ] "/metrics") in
   Alcotest.(check int) "json 200" 200 r.Http.status;
   Alcotest.(check bool) "json envelope" true
-    (contains r.Http.body {|{"metrics":[|});
+    (contains r.Http.body {|"metrics":[|});
+  (* provenance meta block (same stamps as /health and the bench json) *)
+  Alcotest.(check bool) "meta block leads" true
+    (contains r.Http.body {|{"meta":{"git_rev":"|});
+  Alcotest.(check bool) "meta has uptime" true
+    (contains r.Http.body {|"uptime_s":|});
+  Metrics.reset ()
+
+(* ---- GET /metrics/cluster, single-node ---- *)
+
+let test_route_metrics_cluster_single () =
+  let module Obs = Versioning_obs.Obs in
+  let module Metrics = Versioning_obs.Metrics in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Obs.with_enabled true @@ fun () ->
+  Metrics.reset ();
+  let repo = mk_repo () in
+  let r = Server.handle_safe repo (mk_request "/checkout/1") in
+  Alcotest.(check int) "checkout ok" 200 r.Http.status;
+  let r = Server.handle_safe repo (mk_request "/metrics/cluster") in
+  Alcotest.(check int) "cluster scrape 200" 200 r.Http.status;
+  (* without --peers the node scrapes itself under the "self" label *)
+  Alcotest.(check bool) "self re-labelled" true
+    (contains r.Http.body {|peer="self"|});
+  Alcotest.(check bool) "self marked up" true
+    (contains r.Http.body {|dsvc_cluster_scrape_up{peer="self"} 1|});
+  (* samples with pre-existing labels get peer injected first *)
+  Alcotest.(check bool) "peer label composes with route labels" true
+    (contains r.Http.body {|dsvc_server_requests_total{peer="self",route=|});
+  (* the repo-lock-holding request refreshed the telemetry gauges, so
+     the lock-free scrape can serve the drift score *)
+  Alcotest.(check bool) "drift gauge present" true
+    (contains r.Http.body "dsvc_store_drift_score{");
+  (* HELP/TYPE comments are dropped; only the scrape's own annotation
+     comment survives *)
+  Alcotest.(check bool) "family comments dropped" false
+    (contains r.Http.body "# TYPE");
   Metrics.reset ()
 
 (* ---- end-to-end over a real socket ---- *)
@@ -493,6 +533,11 @@ let test_route_health () =
     (List.assoc_opt "journal" kv);
   Alcotest.(check bool) "generation present" true
     (List.mem_assoc "generation" kv);
+  (* build/process provenance (same stamps as metrics meta and bench) *)
+  Alcotest.(check bool) "build rev present" true (List.mem_assoc "build" kv);
+  Alcotest.(check (option string)) "compiler version" (Some Sys.ocaml_version)
+    (List.assoc_opt "ocaml" kv);
+  Alcotest.(check bool) "uptime present" true (List.mem_assoc "uptime_s" kv);
   (* single-node: no cluster fields *)
   Alcotest.(check bool) "no ring epoch without --peers" false
     (List.mem_assoc "ring_epoch" kv)
@@ -583,6 +628,8 @@ let suite =
     Alcotest.test_case "raising handler yields 500" `Quick
       test_raising_handler_yields_500;
     Alcotest.test_case "route /metrics" `Quick test_route_metrics;
+    Alcotest.test_case "route /metrics/cluster single-node" `Quick
+      test_route_metrics_cluster_single;
     Alcotest.test_case "socket end-to-end" `Quick test_socket_end_to_end;
     Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
     Alcotest.test_case "trace propagation end-to-end" `Quick
