@@ -39,6 +39,8 @@ module Fsutil = Versioning_util.Fsutil
 module Obs = Versioning_obs.Obs
 module Metrics = Versioning_obs.Metrics
 module Telemetry = Versioning_obs.Telemetry
+module Timeseries = Versioning_obs.Timeseries
+module Alerts = Versioning_obs.Alerts
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -126,6 +128,20 @@ type telemetry_run = {
 }
 
 let telemetry_runs : telemetry_run list ref = ref []
+
+type timeseries_run = {
+  zseries : int;
+  zticks : int;
+  zrecord_wall : float;
+  zrecords_per_s : float;
+  zquery_wall : float;
+  zrender_bytes : int;
+  zroundtrip_ok : bool;
+  zalert_evals : int;
+  zalert_wall : float;
+}
+
+let timeseries_runs : timeseries_run list ref = ref []
 
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6f" f else "0.0"
@@ -239,6 +255,20 @@ let emit_bench_json path ~quick ~jobs =
         (json_float t.tobserved_weighted)
         (json_float t.tsaving))
     (List.rev !telemetry_runs);
+  add "\n  ],\n";
+  (* Rows lead with "series" for the same scanner-safety reason. *)
+  add "  \"timeseries\": [";
+  comma_sep
+    (fun z ->
+      add
+        "\n    {\"series\": %d, \"ticks\": %d, \"record_wall_s\": %s, \
+         \"records_per_s\": %s, \"query_wall_s\": %s, \"render_bytes\": %d, \
+         \"roundtrip_ok\": %b, \"alert_evals\": %d, \"alert_wall_s\": %s}"
+        z.zseries z.zticks (json_float z.zrecord_wall)
+        (json_float z.zrecords_per_s)
+        (json_float z.zquery_wall) z.zrender_bytes z.zroundtrip_ok
+        z.zalert_evals (json_float z.zalert_wall))
+    (List.rev !timeseries_runs);
   add "\n  ],\n";
   add "  \"connection_reuse\": [";
   comma_sep
@@ -1637,6 +1667,115 @@ let telemetry ~quick seed =
      the same storage budget."
 
 (* ------------------------------------------------------------------ *)
+(* timeseries: sampling ring throughput and persistence (§16).          *)
+(* ------------------------------------------------------------------ *)
+
+(* The cluster-health observatory's hot paths in isolation: record
+   cost per sample across many series (every reactor tick pays this,
+   so it must stay far below the sampling step), query cost across all
+   three downsampling tiers, the render/parse persistence roundtrip,
+   and the alert engine's evaluation cost over a populated ring. *)
+let timeseries_bench ~quick () =
+  header "timeseries: metric ring throughput, downsampling, alert evaluation";
+  let nseries = if quick then 32 else 128 in
+  let ticks = if quick then 2_000 else 10_000 in
+  let names =
+    Array.init nseries (fun i -> Printf.sprintf "bench_metric_%03d" i)
+  in
+  let ts = Timeseries.create ~step:1.0 ~cap:360 () in
+  let (), record_wall =
+    time (fun () ->
+        for tick = 0 to ticks - 1 do
+          let now = float_of_int tick in
+          Array.iteri
+            (fun i name ->
+              Timeseries.record ts ~now ~metric:name
+                (float_of_int ((tick + i) mod 97)))
+            names
+        done)
+  in
+  let records = nseries * ticks in
+  let records_per_s =
+    if record_wall > 0.0 then float_of_int records /. record_wall else 0.0
+  in
+  (* Three spans per series, one per downsampling tier: 60 s hits the
+     fine tier, 1 h the x10 tier, 10 h the x100 tier. *)
+  let now = float_of_int ticks in
+  let (), query_wall =
+    time (fun () ->
+        Array.iter
+          (fun name ->
+            List.iter
+              (fun span ->
+                ignore
+                  (Timeseries.query ts ~metric:name ~since:(now -. span) ~now ()))
+              [ 60.0; 3600.0; 36000.0 ])
+          names)
+  in
+  let rendered = Timeseries.render ts in
+  let roundtrip_ok =
+    match Timeseries.parse rendered with
+    | Ok ts' -> Timeseries.equal ts ts'
+    | Error _ -> false
+  in
+  (* Alert engine over a flapping scrape-up SLI: every eval reads the
+     short and long burn windows plus the threshold rules. *)
+  let alerts = Alerts.create ~rules:(Alerts.default_rules ()) in
+  let evals = if quick then 500 else 2_000 in
+  for tick = 0 to evals - 1 do
+    Timeseries.record ts
+      ~now:(float_of_int tick)
+      ~metric:"sli:scrape_up"
+      (if tick mod 7 = 0 then 0.5 else 1.0)
+  done;
+  let (), alert_wall =
+    time (fun () ->
+        for tick = 0 to evals - 1 do
+          Alerts.eval alerts ~ts ~now:(float_of_int tick)
+        done)
+  in
+  Printf.printf "%-28s %12s\n" "" "value";
+  Printf.printf "%-28s %12d\n" "series x ticks" records;
+  Printf.printf "%-28s %12.0f\n" "records/s" records_per_s;
+  Printf.printf "%-28s %12.3f\n" "query wall (s)" query_wall;
+  Printf.printf "%-28s %12d\n" "render bytes" (String.length rendered);
+  Printf.printf "%-28s %12s\n" "roundtrip"
+    (if roundtrip_ok then "ok" else "FAILED");
+  Printf.printf "%-28s %12.1f\n" "alert evals/ms"
+    (if alert_wall > 0.0 then float_of_int evals /. alert_wall /. 1000.0
+     else 0.0);
+  timeseries_runs :=
+    {
+      zseries = nseries;
+      zticks = ticks;
+      zrecord_wall = record_wall;
+      zrecords_per_s = records_per_s;
+      zquery_wall = query_wall;
+      zrender_bytes = String.length rendered;
+      zroundtrip_ok = roundtrip_ok;
+      zalert_evals = evals;
+      zalert_wall = alert_wall;
+    }
+    :: !timeseries_runs;
+  csv_write "timeseries"
+    [ "series"; "ticks"; "record_wall_s"; "records_per_s"; "query_wall_s" ]
+    [
+      [
+        string_of_int nseries;
+        string_of_int ticks;
+        Printf.sprintf "%.4f" record_wall;
+        Printf.sprintf "%.0f" records_per_s;
+        Printf.sprintf "%.4f" query_wall;
+      ];
+    ];
+  print_endline
+    "\nshape check: the ring is bounded (render size stays fixed once\n\
+     every tier is full), parse o render is the identity, and one\n\
+     record is orders of magnitude cheaper than any plausible sampling\n\
+     step.";
+  if not roundtrip_ok then failwith "timeseries render/parse roundtrip failed"
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1740,6 +1879,7 @@ let () =
   run_exp "cluster" (fun () -> cluster ~quick seed);
   run_exp "concurrency" (fun () -> concurrency ~quick seed);
   run_exp "telemetry" (fun () -> telemetry ~quick seed);
+  run_exp "timeseries" (fun () -> timeseries_bench ~quick ());
   emit_bench_json bench_out ~quick ~jobs;
   if check then begin
     let timings = List.rev !exp_timings in

@@ -10,6 +10,7 @@ module Telemetry = Versioning_obs.Telemetry
 module Trace = Versioning_obs.Trace
 module Context = Versioning_obs.Context
 module Flight = Versioning_obs.Flight
+module Timeseries = Versioning_obs.Timeseries
 module Logctx = Versioning_obs.Logctx
 
 (* If DSVC_TRACE=file.json is set, dump the span ring as Chrome
@@ -846,6 +847,154 @@ let metrics_cmd =
        ~doc:"Fetch a served repository's /metrics exposition")
     Term.(const run $ host $ port $ json $ local $ cluster)
 
+(* -- dash: live cluster-health TUI -- *)
+
+let dash_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let port =
+    Arg.(value & opt int 8077 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render one frame and exit (no screen clearing) — what \
+                scripts and the CI smoke test use.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let run host port once interval =
+    let module C = Versioning_store.Client in
+    let client = C.connect ~host ~port () in
+    let fetch path query =
+      match C.request client ~meth:"GET" ~path ~query () with
+      | Ok (200, body) -> Some body
+      | Ok _ | Error _ -> None
+    in
+    let lines = function
+      | None -> []
+      | Some body ->
+          String.split_on_char '\n' body |> List.filter (fun l -> l <> "")
+    in
+    (* One sampled series -> (sparkline of bucket averages, last value).
+       GET /timeseries?metric=… lines are `time count avg min max last`. *)
+    let series_cell metric =
+      match fetch "/timeseries" [ ("metric", metric) ] with
+      | None -> None
+      | Some body ->
+          let values =
+            List.filter_map
+              (fun l ->
+                match String.split_on_char ' ' l with
+                | [ _; _; avg; _; _; _ ] -> float_of_string_opt avg
+                | _ -> None)
+              (lines (Some body))
+          in
+          if values = [] then None
+          else
+            Some
+              ( Timeseries.sparkline values,
+                List.nth values (List.length values - 1) )
+    in
+    let render () =
+      let b = Buffer.create 4096 in
+      let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      add "dsvc dash — %s:%d\n\n" host port;
+      (match fetch "/health" [] with
+      | None -> add "health: UNREACHABLE\n"
+      | Some body ->
+          add "health:\n";
+          List.iter (fun l -> add "  %s\n" l) (lines (Some body)));
+      add "\nalerts:\n";
+      (match fetch "/alerts" [] with
+      | None -> add "  (unavailable)\n"
+      | Some body ->
+          let ls = lines (Some body) in
+          if ls = [] then add "  (none)\n"
+          else
+            List.iter
+              (fun l ->
+                let mark =
+                  let has needle =
+                    let nl = String.length needle and ll = String.length l in
+                    let rec go i =
+                      i + nl <= ll && (String.sub l i nl = needle || go (i + 1))
+                    in
+                    go 0
+                  in
+                  if has " firing" then "!! "
+                  else if has " pending" then " ~ "
+                  else "   "
+                in
+                add "  %s%s\n" mark l)
+              ls);
+      add "\nseries:\n";
+      let names =
+        match fetch "/timeseries" [] with
+        | None -> []
+        | Some body -> lines (Some body)
+      in
+      let interesting n =
+        let prefix p =
+          String.length n >= String.length p && String.sub n 0 (String.length p) = p
+        in
+        prefix "sli:" || prefix "dsvc_cluster_hint_queue_depth"
+        || prefix "dsvc_cluster_hint_oldest_age_seconds"
+      in
+      let shown = List.filter interesting names in
+      if shown = [] then add "  (no samples yet)\n"
+      else
+        List.iter
+          (fun n ->
+            match series_cell n with
+            | None -> ()
+            | Some (spark, last) -> add "  %-44s %s last=%.4g\n" n spark last)
+          shown;
+      (match fetch "/metrics/cluster" [] with
+      | None -> ()
+      | Some body ->
+          let ups =
+            List.filter_map
+              (fun l ->
+                let p = "dsvc_cluster_scrape_up{" in
+                let pl = String.length p in
+                if String.length l > pl && String.sub l 0 pl = p then
+                  Some (String.sub l pl (String.length l - pl))
+                else None)
+              (lines (Some body))
+          in
+          if ups <> [] then begin
+            add "\ncluster scrape:\n";
+            List.iter (fun l -> add "  %s\n" l) ups
+          end);
+      Buffer.contents b
+    in
+    if once then print_string (render ())
+    else begin
+      (try
+         while true do
+           let frame = render () in
+           (* clear + home, then the frame: one write per refresh *)
+           Printf.printf "\x1b[2J\x1b[H%s%!" frame;
+           Unix.sleepf interval
+         done
+       with Sys.Break -> ());
+      print_newline ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "dash"
+       ~doc:
+         "Live cluster-health dashboard over a served repository: \
+          sparklines of the sampled SLI series, firing alerts, per-peer \
+          replication health, and the cluster-wide scrape-up view")
+    Term.(const run $ host $ port $ once $ interval)
+
 (* -- remote (HTTP client) -- *)
 
 let remote_cmd =
@@ -1184,6 +1333,7 @@ let () =
         export_graph_cmd;
         serve_cmd;
         metrics_cmd;
+        dash_cmd;
         remote_cmd;
         optimize_cmd;
         advise_cmd;

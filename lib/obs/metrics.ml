@@ -359,6 +359,42 @@ let snapshot_values ?registry () =
             (sorted_series f))
         (sorted_families t))
 
+(* Raw histogram snapshots for the metrics sampler: windowed quantiles
+   need the per-bucket counts, which the flat [snapshot_values] view
+   collapses to _sum/_count. Counts are non-cumulative, matching the
+   in-memory representation; arrays are copied so the caller can diff
+   two snapshots without racing later observations. *)
+type hist_snapshot = {
+  hs_name : string;
+  hs_labels : (string * string) list;
+  hs_bounds : float array;
+  hs_counts : int array; (* length bounds + 1 (+Inf), non-cumulative *)
+  hs_sum : float;
+  hs_count : int;
+}
+
+let histograms ?registry () =
+  let t = match registry with Some r -> r | None -> default in
+  with_lock t (fun () ->
+      List.concat_map
+        (fun f ->
+          List.filter_map
+            (fun (labels, s) ->
+              match s with
+              | SCounter _ | SGauge _ -> None
+              | SHist h ->
+                  Some
+                    {
+                      hs_name = f.fname;
+                      hs_labels = labels;
+                      hs_bounds = Array.copy h.bounds;
+                      hs_counts = Array.copy h.buckets;
+                      hs_sum = h.sum;
+                      hs_count = h.count;
+                    })
+            (sorted_series f))
+        (sorted_families t))
+
 let family_names ?registry () =
   let t = match registry with Some r -> r | None -> default in
   with_lock t (fun () -> List.map (fun f -> f.fname) (sorted_families t))

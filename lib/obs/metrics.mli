@@ -79,6 +79,29 @@ val snapshot_values : ?registry:t -> unit -> (string * float) list
 val family_names : ?registry:t -> unit -> string list
 (** Sorted distinct metric family names. *)
 
+type hist_snapshot = {
+  hs_name : string;  (** family name *)
+  hs_labels : (string * string) list;  (** canonical (sorted) labels *)
+  hs_bounds : float array;  (** strictly increasing upper bounds *)
+  hs_counts : int array;
+      (** per-bucket counts, non-cumulative; length [bounds + 1], the
+          last entry being the implicit [+Inf] bucket *)
+  hs_sum : float;
+  hs_count : int;
+}
+
+val histograms : ?registry:t -> unit -> hist_snapshot list
+(** Copied snapshots of every histogram series, families sorted by
+    name and series by label key. The {!Versioning_obs.Sampler} diffs
+    consecutive snapshots to derive windowed quantiles (e.g. checkout
+    p99) from the cumulative process-lifetime histograms. *)
+
 val json_escape : string -> string
 (** Escape a string for embedding in a JSON string literal (shared
     with {!Trace.to_chrome_json} and the bench emitter). *)
+
+val escape_label : string -> string
+(** Escape a label {e value} per the Prometheus text exposition spec
+    (backslash, double quote, and newline). Exposed for code that splices labels
+    into an exposition by hand — the server's cluster-scrape
+    relabeler must not invent its own quoting. *)

@@ -32,6 +32,14 @@ let disable () = set_enabled false
 
 let trace_path = trace_path_of_env
 
+(* Re-read the environment on every call: [Server.serve] force-enables
+   the gate for scrape data, and this is how an operator still vetoes
+   the background sampler (DSVC_OBS=0 dsvc serve). *)
+let forced_off () =
+  match Sys.getenv_opt "DSVC_OBS" with
+  | Some s when String.trim s <> "" -> not (parse_bool s)
+  | _ -> false
+
 let with_enabled b f =
   let saved = Atomic.get state in
   Atomic.set state b;
@@ -64,3 +72,32 @@ let env_int ?(min = 1) ?max ~default name =
               reject
                 (Printf.sprintf "%s must be at least %d (got %d)" name min n)
           | _ -> n))
+
+(* The float/duration sibling of [env_int], same contract: unset or
+   blank yields the default, anything unparsable or out of range
+   complains once on stderr and yields the default. Durations
+   (DSVC_TS_STEP, alert windows) go through here so a typo'd knob
+   never silently disables sampling. *)
+let env_float ?(min = 1e-6) ?max ~default name =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some raw when String.trim raw = "" -> default
+  | Some raw -> (
+      let reject msg =
+        Printf.eprintf "dsvc: %s; using default %g\n%!" msg default;
+        default
+      in
+      match float_of_string_opt (String.trim raw) with
+      | None -> reject (Printf.sprintf "%s must be a number (got %S)" name raw)
+      | Some v when Float.is_nan v ->
+          reject (Printf.sprintf "%s must be a number (got %S)" name raw)
+      | Some v -> (
+          match max with
+          | Some hi when v < min || v > hi ->
+              reject
+                (Printf.sprintf "%s must be between %g and %g (got %g)" name
+                   min hi v)
+          | _ when v < min ->
+              reject
+                (Printf.sprintf "%s must be at least %g (got %g)" name min v)
+          | _ -> v))

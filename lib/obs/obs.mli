@@ -24,6 +24,14 @@ val trace_path : unit -> string option
     library never writes the file itself — callers dump
     {!Trace.to_chrome_json} through [Fsutil]. *)
 
+val forced_off : unit -> bool
+(** True when the environment {e explicitly} vetoes observability
+    ([DSVC_OBS] set to a falsy value). Read fresh on every call —
+    [Server.serve] force-enables the gate so scrapes have data, and
+    this is how [DSVC_OBS=0 dsvc serve] still keeps the background
+    metrics sampler (and the [.dsvc/timeseries] ledger it feeds)
+    disarmed. *)
+
 val env_int : ?min:int -> ?max:int -> default:int -> string -> int
 (** [env_int name ~default] reads an integer knob from the
     environment. Unset or blank yields [default]; a non-integer or a
@@ -32,3 +40,9 @@ val env_int : ?min:int -> ?max:int -> default:int -> string -> int
     clear one-line complaint to stderr and yields [default]. The one
     shared parser behind [DSVC_FLIGHT_SAMPLE], [DSVC_TRACE_RING],
     [DSVC_MAX_CONNS] and [DSVC_SERVER_WORKERS]. *)
+
+val env_float : ?min:float -> ?max:float -> default:float -> string -> float
+(** [env_float name ~default] — the float/duration sibling of
+    {!env_int}, same validation contract ([min] defaults to [1e-6] so
+    zero, negatives and NaN are rejected). Behind [DSVC_TS_STEP],
+    [DSVC_IDLE_TIMEOUT] and the alert-rule windows. *)

@@ -1,0 +1,184 @@
+(* Periodic metrics sampler (DESIGN.md §16).
+
+   One [tick] snapshots the metrics registry into the time-series
+   (every counter/gauge sample, histograms as _sum/_count), derives
+   the SLI series the alert rules watch under the reserved "sli:"
+   prefix, and runs one alert evaluation:
+
+   - sli:checkout_p99_seconds — windowed p99 of checkout latency,
+     interpolated from the diff of consecutive cumulative histogram
+     snapshots (the registry's histograms are process-lifetime; the
+     diff is exactly the window between ticks);
+   - sli:quorum_write_success — fraction of quorum writes since the
+     previous tick that reached quorum (idle windows count as healthy:
+     no writes means no errors, and the burn-rate math needs the
+     series to keep flowing);
+   - sli:drift_score — the max dsvc_store_drift_score gauge, freed of
+     its repo-path label so alert rules have a stable name;
+   - sli:scrape_up — the injected cluster scrape-up fraction, when
+     serving with peers (the prober runs on its own thread, never
+     here — the injection point is how this module stays clock- and
+     socket-free).
+
+   Effect discipline (lint R7): [tick] runs inside the server's
+   reactor timer, so everything here is Pure/Locks — registry and
+   time-series mutexes only; no I/O, no clock (the caller passes
+   [~now]), no blocking. Persistence is the server's job, dispatched
+   to the executor. *)
+
+type t = {
+  registry : Metrics.t option; (* None = the implicit default registry *)
+  ts : Timeseries.t;
+  alerts : Alerts.t option;
+  up_fraction : (unit -> float option) option;
+  mutex : Mutex.t;
+  mutable prev_values : (string * float) list;
+  mutable prev_hists : Metrics.hist_snapshot list;
+}
+
+let create ?registry ?alerts ?up_fraction ~ts () =
+  {
+    registry;
+    ts;
+    alerts;
+    up_fraction;
+    mutex = Mutex.create ();
+    prev_values = [];
+    prev_hists = [];
+  }
+
+let timeseries t = t.ts
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* p99 over the observations that arrived since the previous
+   snapshot, merged across every series of [family] that passes
+   [keep] (same family = same bounds). The quantile is read from the
+   cumulative bucket diff: the smallest bound whose cumulative count
+   reaches 99% of the window's total (the +Inf bucket reports the
+   highest finite bound — a floor, but a stable one). *)
+let p99_diff ~prev ~cur ~family ~keep =
+  let key h = (h.Metrics.hs_name, h.Metrics.hs_labels) in
+  let in_scope h = h.Metrics.hs_name = family && keep h.Metrics.hs_labels in
+  let relevant = List.filter in_scope cur in
+  match relevant with
+  | [] -> None
+  | first :: _ ->
+      let bounds = first.Metrics.hs_bounds in
+      let nb = Array.length bounds + 1 in
+      let diff = Array.make nb 0 in
+      List.iter
+        (fun h ->
+          if Array.length h.Metrics.hs_counts = nb then begin
+            let old =
+              List.find_opt (fun p -> key p = key h) (List.filter in_scope prev)
+            in
+            Array.iteri
+              (fun i c ->
+                let o =
+                  match old with
+                  | Some p -> p.Metrics.hs_counts.(i)
+                  | None -> 0
+                in
+                diff.(i) <- diff.(i) + max 0 (c - o))
+              h.Metrics.hs_counts
+          end)
+        relevant;
+      let total = Array.fold_left ( + ) 0 diff in
+      if total = 0 then None
+      else begin
+        let target =
+          int_of_float (Float.ceil (0.99 *. float_of_int total))
+        in
+        let acc = ref 0 and answer = ref None in
+        Array.iteri
+          (fun i c ->
+            acc := !acc + c;
+            if !answer = None && !acc >= target then
+              answer :=
+                Some
+                  (if i < Array.length bounds then bounds.(i)
+                   else bounds.(Array.length bounds - 1)))
+          diff;
+        !answer
+      end
+
+(* The window's quorum-write success ratio from the counter diffs.
+   [None] when the counters do not exist at all (not a cluster);
+   [Some 1.0] when they exist but nothing happened in the window. *)
+let quorum_success ~prev ~cur =
+  let value l name = Option.value (List.assoc_opt name l) ~default:0.0 in
+  let series outcome =
+    Printf.sprintf "dsvc_cluster_quorum_total{op=\"put\",outcome=\"%s\"}"
+      outcome
+  in
+  let exists =
+    List.exists
+      (fun (n, _) ->
+        String.length n >= 24 && String.sub n 0 24 = "dsvc_cluster_quorum_tota")
+      cur
+  in
+  if not exists then None
+  else begin
+    let d outcome =
+      Float.max 0.0 (value cur (series outcome) -. value prev (series outcome))
+    in
+    let ok = d "ok" +. d "degraded" in
+    let total = ok +. d "failed" in
+    if total <= 0.0 then Some 1.0 else Some (ok /. total)
+  end
+
+let drift_max values =
+  let prefix = "dsvc_store_drift_score" in
+  let plen = String.length prefix in
+  List.fold_left
+    (fun acc (n, v) ->
+      if String.length n >= plen && String.sub n 0 plen = prefix then
+        match acc with Some m -> Some (Float.max m v) | None -> Some v
+      else acc)
+    None values
+
+let checkout_route = [ ("route", "/checkout/:name") ]
+
+let tick t ~now =
+  let registry = t.registry in
+  let values = Metrics.snapshot_values ?registry () in
+  let hists = Metrics.histograms ?registry () in
+  let derived =
+    with_lock t (fun () ->
+        let prev_values = t.prev_values and prev_hists = t.prev_hists in
+        t.prev_values <- values;
+        t.prev_hists <- hists;
+        let p99 =
+          match
+            p99_diff ~prev:prev_hists ~cur:hists
+              ~family:"dsvc_server_request_seconds"
+              ~keep:(fun labels -> labels = checkout_route)
+          with
+          | Some v -> Some v
+          | None ->
+              p99_diff ~prev:prev_hists ~cur:hists
+                ~family:"dsvc_obs_recreation_seconds" ~keep:(fun _ -> true)
+        in
+        List.filter_map
+          (fun (name, v) -> Option.map (fun v -> (name, v)) v)
+          [
+            ("sli:checkout_p99_seconds", p99);
+            ( "sli:quorum_write_success",
+              quorum_success ~prev:prev_values ~cur:values );
+            ("sli:drift_score", drift_max values);
+          ])
+  in
+  List.iter (fun (metric, v) -> Timeseries.record t.ts ~now ~metric v) values;
+  List.iter (fun (metric, v) -> Timeseries.record t.ts ~now ~metric v) derived;
+  (match t.up_fraction with
+  | Some f -> (
+      match f () with
+      | Some up -> Timeseries.record t.ts ~now ~metric:"sli:scrape_up" up
+      | None -> ())
+  | None -> ());
+  match t.alerts with
+  | Some alerts -> Alerts.eval alerts ~ts:t.ts ~now
+  | None -> ()

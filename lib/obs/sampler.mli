@@ -1,0 +1,37 @@
+(** Periodic metrics sampler: one {!tick} snapshots the registry into
+    the {!Timeseries}, derives the SLI series the {!Alerts} rules
+    watch (reserved ["sli:"] prefix), and runs one alert evaluation
+    (DESIGN.md §16).
+
+    Derived series: [sli:checkout_p99_seconds] (windowed p99 from
+    consecutive cumulative-histogram diffs — checkout route latency,
+    falling back to observed recreation wall-clock outside a server),
+    [sli:quorum_write_success] (quorum writes reaching quorum since
+    the last tick; an idle window is healthy), [sli:drift_score]
+    (max drift gauge, label-free), and [sli:scrape_up] via the
+    injected [up_fraction] (measured elsewhere — the server's
+    dedicated probe thread — never here).
+
+    Reactor-safe by construction (lint R7): no clock ([~now] is
+    injected), no I/O, no blocking — mutex-guarded reads and writes
+    only. Persisting the time-series is the caller's job. *)
+
+type t
+
+val create :
+  ?registry:Metrics.t ->
+  ?alerts:Alerts.t ->
+  ?up_fraction:(unit -> float option) ->
+  ts:Timeseries.t ->
+  unit ->
+  t
+(** Without [?registry] the implicit default registry is sampled
+    (tests pass a private one). [up_fraction] must be non-blocking:
+    it runs inside the reactor tick — return the last fraction some
+    other thread measured, never measure here. *)
+
+val timeseries : t -> Timeseries.t
+
+val tick : t -> now:float -> unit
+(** Sample, derive, evaluate. Deterministic for a given registry
+    state, previous-tick state and [now]. *)

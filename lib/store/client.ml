@@ -295,6 +295,27 @@ let attempt t ~ctx ~meth ~path ~query ~body =
                 transient = idempotent meth;
                 message = "unexpected end of response";
                 stage = "io";
+              }
+      | Sys_blocked_io ->
+          (* SO_RCVTIMEO expiring under a buffered channel read raises
+             Sys_blocked_io, not Unix_error EAGAIN — same transport
+             timeout, same mapping (a raw exception here would crash
+             the failover path instead of trying the next node) *)
+          if !reused then
+            Error
+              {
+                kind = Stale_connection;
+                transient = idempotent meth;
+                message = "reused connection timed out mid-response";
+                stage = "reuse";
+              }
+          else
+            Error
+              {
+                kind = Io;
+                transient = idempotent meth;
+                message = "response timed out";
+                stage = (if !sent then "io" else "connect");
               })
 
 let request_detailed t ~meth ~path ?(query = []) ?(body = "") () =

@@ -45,6 +45,12 @@ let gauge name up =
     (if up then 1.0 else 0.0)
     ~help:"1 when the failure detector considers the peer usable"
 
+let strikes_gauge name n =
+  Metrics.gauge "dsvc_cluster_peer_strikes"
+    ~labels:[ ("peer", name) ]
+    (float_of_int n)
+    ~help:"Consecutive failed exchanges since the peer's last success"
+
 let ok t ~name =
   with_lock t @@ fun () ->
   let p = peer t name in
@@ -52,13 +58,15 @@ let ok t ~name =
   p.down_until <- 0.0;
   p.downs <- 0;
   p.last_error <- "";
-  gauge name true
+  gauge name true;
+  strikes_gauge name 0
 
 let fail t ~name msg =
   with_lock t @@ fun () ->
   let p = peer t name in
   p.strikes <- p.strikes + 1;
   p.last_error <- msg;
+  strikes_gauge name p.strikes;
   if p.strikes >= t.threshold && p.down_until <= t.now () then begin
     (* Exponential probation: each completed probation that ends in
        another failure doubles the cool-off, capped. *)

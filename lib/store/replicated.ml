@@ -11,17 +11,24 @@ type t = {
   ring : Ring.t;
   backends : (string * Backend.t) list;  (* ring order irrelevant; incl self *)
   detector : Detector.t;
+  now : unit -> float;
   mutex : Mutex.t;
   (* Hinted handoff ledger: [(intended_owner, digest)] copies parked on
      a stand-in node while the owner was down, delivered by
-     {!anti_entropy}. In-memory only — a hint lost to a process death
-     is re-derived by the full anti-entropy sweep. *)
-  hints : (string * string, unit) Hashtbl.t;
+     {!anti_entropy}; the value is the hint's creation time so
+     {!export_lag_metrics} can report per-owner queue age. In-memory
+     only — a hint lost to a process death is re-derived by the full
+     anti-entropy sweep. *)
+  hints : (string * string, float) Hashtbl.t;
+  (* Owners that have ever had a hint parked: drained queues must keep
+     reporting depth 0 / age 0 instead of a stale last value. *)
+  lag_owners : (string, unit) Hashtbl.t;
 }
 
 type report = { checked : int; repaired : int; failed : string list }
 
-let create ?(replicas = 2) ?vnodes ?detector ~self ~self_backend ~peers () =
+let create ?(replicas = 2) ?vnodes ?detector ?(now = Unix.gettimeofday) ~self
+    ~self_backend ~peers () =
   let backends = (self, self_backend) :: peers in
   let members = List.map fst backends in
   let ring = Ring.create ?vnodes ~members () in
@@ -34,8 +41,10 @@ let create ?(replicas = 2) ?vnodes ?detector ~self ~self_backend ~peers () =
     ring;
     backends;
     detector;
+    now;
     mutex = Mutex.create ();
     hints = Hashtbl.create 16;
+    lag_owners = Hashtbl.create 4;
   }
 
 let self t = t.self
@@ -66,12 +75,53 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let add_hint t ~owner ~digest =
-  with_lock t (fun () -> Hashtbl.replace t.hints (owner, digest) ());
+  let created = t.now () in
+  with_lock t (fun () ->
+      (* A re-parked copy keeps its original timestamp: the owner's
+         debt is as old as its first miss. *)
+      if not (Hashtbl.mem t.hints (owner, digest)) then
+        Hashtbl.replace t.hints (owner, digest) created;
+      Hashtbl.replace t.lag_owners owner ());
   Metrics.counter "dsvc_cluster_hints_total"
     ~labels:[ ("owner", owner) ]
     ~help:"Hinted-handoff copies parked for a down owner"
 
 let pending_hints t = with_lock t (fun () -> Hashtbl.length t.hints)
+
+(* Replication-lag gauges from the hint ledger: per-owner queue depth
+   and oldest-hint age. Owners whose queue has fully drained are
+   reported as 0/0 (not dropped) so dashboards and the sampler see the
+   recovery, not a stale last value. Gauges are emitted after the
+   ledger lock is released — the with_lock region stays Hashtbl-only. *)
+let export_lag_metrics t =
+  let now = t.now () in
+  let depth : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let oldest : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let owners =
+    with_lock t (fun () ->
+        Hashtbl.iter
+          (fun (owner, _) created ->
+            Hashtbl.replace depth owner
+              (1 + Option.value (Hashtbl.find_opt depth owner) ~default:0);
+            let age = Float.max 0.0 (now -. created) in
+            match Hashtbl.find_opt oldest owner with
+            | Some a when a >= age -> ()
+            | _ -> Hashtbl.replace oldest owner age)
+          t.hints;
+        Hashtbl.fold (fun o () acc -> o :: acc) t.lag_owners [])
+  in
+  List.iter
+    (fun owner ->
+      Metrics.gauge "dsvc_cluster_hint_queue_depth"
+        ~labels:[ ("owner", owner) ]
+        ~help:"Hinted-handoff copies still parked, by intended owner"
+        (float_of_int
+           (Option.value (Hashtbl.find_opt depth owner) ~default:0));
+      Metrics.gauge "dsvc_cluster_hint_oldest_age_seconds"
+        ~labels:[ ("owner", owner) ]
+        ~help:"Age of the oldest parked hint, by intended owner"
+        (Option.value (Hashtbl.find_opt oldest owner) ~default:0.0))
+    (List.sort compare owners)
 
 (* Run one backend operation against one member, feeding the failure
    detector. Failover decisions elsewhere key off the updated state. *)
@@ -280,7 +330,7 @@ let probe t =
 
 let deliver_hints t =
   let entries =
-    with_lock t (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) t.hints [])
+    with_lock t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.hints [])
   in
   List.fold_left
     (fun delivered (owner, digest) ->
@@ -300,12 +350,18 @@ let deliver_hints t =
                     Hashtbl.remove t.hints (owner, digest));
                 Metrics.counter "dsvc_cluster_hints_delivered_total"
                   ~help:"Hinted-handoff copies delivered to their owner";
+                Metrics.counter "dsvc_cluster_anti_entropy_repaired_bytes_total"
+                  ~by:(float_of_int (String.length content))
+                  ~help:"Bytes rewritten restoring replication (repairs + delivered hints)";
                 delivered + 1
             | Error _ -> delivered))
     0 entries
 
 let anti_entropy t ~digests =
   Trace.with_span "cluster.anti_entropy" @@ fun () ->
+  Metrics.time "dsvc_cluster_anti_entropy_seconds"
+    ~help:"Wall-clock duration of anti-entropy sweeps"
+  @@ fun () ->
   probe t;
   let delivered = deliver_hints t in
   let repaired = ref delivered in
@@ -331,7 +387,12 @@ let anti_entropy t ~digests =
                 if not healthy then begin
                   b.Backend.delete ~digest;
                   match probe_result t owner (b.Backend.put ~digest content) with
-                  | Ok () -> incr repaired
+                  | Ok () ->
+                      incr repaired;
+                      Metrics.counter
+                        "dsvc_cluster_anti_entropy_repaired_bytes_total"
+                        ~by:(float_of_int (String.length content))
+                        ~help:"Bytes rewritten restoring replication (repairs + delivered hints)"
                   | Error e ->
                       failed := (digest ^ " on " ^ owner ^ ": " ^ e) :: !failed
                 end)

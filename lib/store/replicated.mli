@@ -44,6 +44,7 @@ val create :
   ?replicas:int ->
   ?vnodes:int ->
   ?detector:Detector.t ->
+  ?now:(unit -> float) ->
   self:string ->
   self_backend:Backend.t ->
   peers:(string * Backend.t) list ->
@@ -52,7 +53,10 @@ val create :
 (** A cluster view from this node's perspective. [self]/[peers] names
     must match what every other node uses (host:port by convention) or
     ring epochs diverge. [replicas] defaults to 2 and is clamped to
-    the member count. The local backend is always considered up. *)
+    the member count. The local backend is always considered up.
+    [now] (default [Unix.gettimeofday]) timestamps parked hints and is
+    read by {!export_lag_metrics} — injectable so lag-age tests are
+    deterministic. *)
 
 val backend : t -> Backend.t
 (** The quorum view as a plain {!Backend.t} — plug into
@@ -85,6 +89,14 @@ val deliver_hints : t -> int
     how many were delivered. *)
 
 val pending_hints : t -> int
+
+val export_lag_metrics : t -> unit
+(** Publish replication-lag gauges from the hint ledger:
+    [dsvc_cluster_hint_queue_depth{owner}] and
+    [dsvc_cluster_hint_oldest_age_seconds{owner}]. Owners whose queue
+    has drained keep reporting 0 so the recovery is visible. Called
+    periodically by the server's sampler plumbing (executor side —
+    this reads the injected clock). *)
 
 val self : t -> string
 val members : t -> string list

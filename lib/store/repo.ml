@@ -8,6 +8,7 @@ module Metrics = Versioning_obs.Metrics
 module Trace = Versioning_obs.Trace
 module Obs = Versioning_obs.Obs
 module Telemetry = Versioning_obs.Telemetry
+module Timeseries = Versioning_obs.Timeseries
 module Context = Versioning_obs.Context
 
 let log_src = Logs.Src.create "dsvc.repo" ~doc:"Repository store"
@@ -64,6 +65,10 @@ type t = {
      persistence only happen while the Obs gate is on. *)
   mutable telemetry : Telemetry.t;
   mutable telemetry_dirty : bool;
+  (* metrics time-series ring (DESIGN.md §16): sampled by the server's
+     reactor timer, persisted beside the metadata like the telemetry
+     ledger. Replaced wholesale when a prior session's file loads. *)
+  mutable timeseries : Timeseries.t;
   (* Per-handle memo of the current plan's predicted recreation bytes,
      learned from full cache-miss chain walks; reset whenever the
      storage plan changes. Observability only — never feeds
@@ -153,6 +158,7 @@ let mk_repo ~root ~store ~commits ~stored ~branches ~tag_list ~head_branch
     cache_misses = 0;
     telemetry = Telemetry.create ();
     telemetry_dirty = false;
+    timeseries = Timeseries.create ();
     phi_memo = Hashtbl.create 16;
     last_drift = 0.0;
   }
@@ -163,6 +169,7 @@ let backup_file path = meta_file path ^ ".bak"
 let objects_dir path = Filename.concat (meta_dir path) "objects"
 let journal_file path = Filename.concat (meta_dir path) "journal"
 let telemetry_file path = Filename.concat (meta_dir path) "telemetry"
+let timeseries_file path = Filename.concat (meta_dir path) "timeseries"
 let lock_file path = Filename.concat (meta_dir path) "lock"
 
 let root t = t.root
@@ -264,12 +271,45 @@ let flush_telemetry t =
         Ok ()
     | Error _ as e -> e
 
+(* ---- metrics time-series persistence ----
+
+   Same contract as the telemetry ledger: a .dsvc/timeseries file
+   beside the metadata, written atomically at its own fault site,
+   ignored when torn or corrupt (observability must never make a
+   repository unopenable). Unlike telemetry there is no merge — a
+   loaded ring replaces the fresh empty one wholesale; the rings are
+   bounded so a union would just double-count buckets. *)
+
+let timeseries t = t.timeseries
+
+let load_timeseries t =
+  if Sys.file_exists (timeseries_file t.root) then
+    match Fsutil.read_file (timeseries_file t.root) with
+    | Error _ -> ()
+    | Ok content -> (
+        match Timeseries.parse content with
+        | Ok ts -> t.timeseries <- ts
+        | Error e ->
+            Log.warn (fun m ->
+                m "ignoring unreadable timeseries ledger: %s" e))
+
+let flush_timeseries t =
+  if Timeseries.is_empty t.timeseries then Ok ()
+  else
+    Fsutil.write_file_atomic ~site:"timeseries.save" (timeseries_file t.root)
+      (Timeseries.render t.timeseries)
+
 let close t =
   if t.telemetry_dirty && Obs.enabled () then
     (match flush_telemetry t with
     | Ok () -> ()
     | Error e ->
         Log.warn (fun m -> m "telemetry ledger not persisted: %s" e));
+  if Obs.enabled () && not (Timeseries.is_empty t.timeseries) then
+    (match flush_timeseries t with
+    | Ok () -> ()
+    | Error e ->
+        Log.warn (fun m -> m "timeseries ledger not persisted: %s" e));
   release_lock t.root
 
 (* ---- reference-name validation ----
@@ -847,6 +887,7 @@ let open_opt store ~path =
     let* t = load path store in
     let* _outcome = recover_journal t in
     load_telemetry t;
+    load_timeseries t;
     Ok t
 
 let open_repo ~path = open_opt None ~path

@@ -257,6 +257,17 @@ val flush_telemetry : t -> (unit, string) result
 (** Persist the ledger now ([Fsutil.write_file_atomic
     ~site:"telemetry.save"]). No-op on an empty ledger. *)
 
+val timeseries : t -> Versioning_obs.Timeseries.t
+(** The handle's metrics time-series ring (DESIGN.md §16), fed by the
+    server's reactor sampler. Loaded from [.dsvc/timeseries] at open
+    (a readable file replaces the fresh ring; a corrupt one is
+    ignored); persisted at {!close} when the Obs gate is on and the
+    ring is non-empty — with the gate off the file is never written. *)
+
+val flush_timeseries : t -> (unit, string) result
+(** Persist the ring now ([Fsutil.write_file_atomic
+    ~site:"timeseries.save"]). No-op on an empty ring. *)
+
 val predicted_costs : t -> (int * float) list
 (** The current plan's per-version recreation cost in stored bytes
     (Σ object sizes along each delta chain), ascending id — the

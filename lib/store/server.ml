@@ -6,6 +6,9 @@ module Metrics = Versioning_obs.Metrics
 module Trace = Versioning_obs.Trace
 module Context = Versioning_obs.Context
 module Flight = Versioning_obs.Flight
+module Timeseries = Versioning_obs.Timeseries
+module Alerts = Versioning_obs.Alerts
+module Sampler = Versioning_obs.Sampler
 module Fsutil = Versioning_util.Fsutil
 module Build_info = Versioning_util.Build_info
 
@@ -49,6 +52,8 @@ let route_label meth path =
   | "GET", [ "verify" ] -> "/verify"
   | "GET", [ "metrics" ] -> "/metrics"
   | "GET", [ "metrics"; "cluster" ] -> "/metrics/cluster"
+  | "GET", [ "timeseries" ] -> "/timeseries"
+  | "GET", [ "alerts" ] -> "/alerts"
   | "GET", [ "trace"; _ ] -> "/trace/:request_id"
   | "GET", [ "flight" ] -> "/flight"
   | "GET", [ "health" ] -> "/health"
@@ -184,7 +189,8 @@ let mutating_route = function
    telemetry gauges it serves are refreshed by [handle_safe] under the
    repo lock after each repo-touching request. *)
 let lock_free_route = function
-  | "/metrics" | "/metrics/cluster" | "/flight" | "/trace/:request_id" ->
+  | "/metrics" | "/metrics/cluster" | "/flight" | "/trace/:request_id"
+  | "/timeseries" | "/alerts" ->
       true
   | _ -> false
 
@@ -252,7 +258,10 @@ let health_body ?cluster repo =
    first label. *)
 let relabel_prometheus ~peer body =
   let b = Buffer.create (String.length body + 256) in
-  let tag = Printf.sprintf "peer=%S" peer in
+  (* Prometheus quoting, not OCaml %S: a peer name with a backslash,
+     quote, or newline must escape per the exposition spec (%S would
+     emit decimal escapes like \255 that scrapers reject). *)
+  let tag = Printf.sprintf "peer=\"%s\"" (Metrics.escape_label peer) in
   List.iter
     (fun line ->
       if line = "" || line.[0] = '#' then ()
@@ -278,6 +287,52 @@ let relabel_prometheus ~peer body =
       end)
     (String.split_on_char '\n' body);
   Buffer.contents b
+
+(* ---- alert engine (DESIGN.md §16) ----
+
+   One process-global rule engine over the repo's time-series,
+   evaluated by the sampler tick. Built lazily so a server that never
+   arms the sampler (Obs forced off) pays nothing; GET /alerts still
+   answers with every rule Inactive. DSVC_ALERT_SUPPRESS is a
+   comma-separated list of rule names to annotate as suppressed —
+   they keep evaluating and reporting, but a dashboard can drop
+   them. *)
+let alerts_engine =
+  lazy
+    (let t = Alerts.create ~rules:(Alerts.default_rules ()) in
+     (match Sys.getenv_opt "DSVC_ALERT_SUPPRESS" with
+     | None -> ()
+     | Some spec ->
+         List.iter
+           (fun name ->
+             let name = String.trim name in
+             if name <> "" then
+               Alerts.suppress t ~name ~reason:"DSVC_ALERT_SUPPRESS")
+           (String.split_on_char ',' spec));
+     t)
+
+(* GET /timeseries body: without [metric], the sorted series names;
+   with one, `time count avg min max last` lines for the finest tier
+   covering [since] seconds back (default: the fine tier's whole
+   retention). *)
+let timeseries_body ts ~metric ~since ~now =
+  match metric with
+  | None -> (
+      match Timeseries.metrics ts with
+      | [] -> ""
+      | names -> String.concat "\n" names ^ "\n")
+  | Some metric ->
+      let since = Option.map (fun s -> now -. s) since in
+      let samples = Timeseries.query ts ~metric ?since ~now () in
+      let b = Buffer.create 1024 in
+      List.iter
+        (fun (s : Timeseries.sample) ->
+          Buffer.add_string b
+            (Printf.sprintf "%.3f %d %.6g %.6g %.6g %.6g\n" s.Timeseries.s_time
+               s.Timeseries.s_count s.Timeseries.s_avg s.Timeseries.s_min
+               s.Timeseries.s_max s.Timeseries.s_last))
+        samples;
+      Buffer.contents b
 
 (* The JSON metrics document with a build/process meta block spliced
    in front of [Metrics.to_json]'s {"metrics":[...]} — shared with
@@ -445,7 +500,8 @@ let handle ?cluster repo (req : Http.request) =
          its origin node.\n";
       let add_up peer ok =
         Buffer.add_string b
-          (Printf.sprintf "dsvc_cluster_scrape_up{peer=%S} %d\n" peer
+          (Printf.sprintf "dsvc_cluster_scrape_up{peer=\"%s\"} %d\n"
+             (Metrics.escape_label peer)
              (if ok then 1 else 0))
       in
       Buffer.add_string b
@@ -454,6 +510,12 @@ let handle ?cluster repo (req : Http.request) =
       (match cluster with
       | None -> ()
       | Some c ->
+          (* annotation comments must stay one line each — a newline
+             anywhere in the peer name or the error would inject a
+             non-comment line and corrupt the scrape *)
+          let one_line s =
+            String.map (fun ch -> if ch = '\n' then ' ' else ch) s
+          in
           List.iter
             (fun (name, client) ->
               match Client.request client ~meth:"GET" ~path:"/metrics" () with
@@ -462,15 +524,13 @@ let handle ?cluster repo (req : Http.request) =
                   add_up name true
               | Ok (status, _) ->
                   Buffer.add_string b
-                    (Printf.sprintf "# peer %s unreachable: HTTP %d\n" name
-                       status);
+                    (Printf.sprintf "# peer %s unreachable: HTTP %d\n"
+                       (one_line name) status);
                   add_up name false
               | Error e ->
                   Buffer.add_string b
-                    (Printf.sprintf "# peer %s unreachable: %s\n" name
-                       (String.map
-                          (fun ch -> if ch = '\n' then ' ' else ch)
-                          e));
+                    (Printf.sprintf "# peer %s unreachable: %s\n"
+                       (one_line name) (one_line e));
                   add_up name false)
             c.peer_clients);
       {
@@ -480,6 +540,20 @@ let handle ?cluster repo (req : Http.request) =
         body = Buffer.contents b;
         stream = None;
       }
+  | "GET", [ "timeseries" ] ->
+      (* The repo's sampled metric history. Lock-free: the ring has
+         its own mutex and the handle's field is only replaced at
+         open. An un-sampled server answers with an empty body. *)
+      let metric = List.assoc_opt "metric" req.Http.query in
+      let since =
+        Option.bind (List.assoc_opt "since" req.Http.query) float_of_string_opt
+      in
+      Http.ok
+        (timeseries_body (Repo.timeseries repo) ~metric ~since
+           ~now:(Unix.gettimeofday ()))
+  | "GET", [ "alerts" ] ->
+      (* One line per rule: name, state, since, value, suppression. *)
+      Http.ok (Alerts.render (Lazy.force alerts_engine))
   | "GET", [ "trace"; rid ] -> (
       (* Debug endpoint: the span summary of a recent request. Only
          requests still in the bounded ring are answerable. *)
@@ -696,14 +770,10 @@ let handle_safe ?cluster repo req =
 module Evloop = Versioning_util.Evloop
 module Faults = Versioning_util.Faults
 
-let env_float name default =
-  match Option.bind (Sys.getenv_opt name) float_of_string_opt with
-  | Some v when v > 0.0 -> v
-  | _ -> default
-
-(* Integer knobs go through the shared validating parser: a typo'd
-   DSVC_MAX_CONNS complains on stderr instead of silently running with
-   the default. *)
+(* Numeric knobs go through the shared validating parsers: a typo'd
+   DSVC_MAX_CONNS or DSVC_IDLE_TIMEOUT complains on stderr instead of
+   silently running with the default. *)
+let env_float name default = Obs.env_float name ~default
 let env_int name default = Obs.env_int name ~default
 
 (* How many complete pipelined requests may queue per connection
@@ -840,6 +910,96 @@ let serve ?cluster repo ~port ?(host = "127.0.0.1") ?max_requests
           worker ()
     in
     let threads = List.init workers (fun _ -> Thread.create worker ()) in
+    (* ---- cluster health sampler (DESIGN.md §16) ----
+
+       A reactor timer ticks the sampler every DSVC_TS_STEP seconds:
+       the tick itself is Locks-only (lint R7 — snapshot the registry,
+       fold into the repo's time-series ring, evaluate alerts), while
+       everything that can block — peer probing and ring persistence —
+       is handed to the executor. DSVC_OBS=0 keeps the timer unarmed
+       entirely: no clock reads, no samples, no .dsvc/timeseries. *)
+    let sampler_armed = not (Obs.forced_off ()) in
+    let up_cell = Atomic.make (None : float option) in
+    let sampler =
+      Sampler.create
+        ~alerts:(Lazy.force alerts_engine)
+        ?up_fraction:
+          (match cluster with
+          | Some _ -> Some (fun () -> Atomic.get up_cell)
+          | None -> None)
+        ~ts:(Repo.timeseries repo) ()
+    in
+    (* Executor side: ping every peer (single attempt — the scrape-up
+       fraction must see real deadness, not a retried success), read
+       reachable peers' ring epochs, refresh hint-queue lag gauges. *)
+    let probe_cluster () =
+      match cluster with
+      | None -> ()
+      | Some c ->
+          let self_epoch = Replicated.ring_epoch c.replicated in
+          let up = ref 1 and total = ref 1 in
+          List.iter
+            (fun (name, client) ->
+              incr total;
+              match Client.ping client with
+              | Error _ -> ()
+              | Ok () ->
+                  incr up;
+                  let mismatch =
+                    match Client.health client with
+                    | Ok fields -> (
+                        match List.assoc_opt "ring_epoch" fields with
+                        | Some e when e = self_epoch -> 0.0
+                        | _ -> 1.0)
+                    | Error _ -> 1.0
+                  in
+                  Metrics.gauge "dsvc_cluster_ring_epoch_mismatch"
+                    ~labels:[ ("peer", name) ]
+                    ~help:"1 when the peer reports a different ring epoch"
+                    mismatch)
+            c.peer_clients;
+          Atomic.set up_cell
+            (Some (float_of_int !up /. float_of_int !total));
+          Replicated.export_lag_metrics c.replicated
+    in
+    let tick_count = ref 0 in
+    (* The probe gets its own short-lived thread, never the request
+       executor: probing a peer waits on that peer's HTTP responses,
+       and two nodes probing each other from their (single-worker)
+       executors would each be stuck waiting for a worker the other
+       cannot free — a distributed stall that starves real requests
+       until the socket timeout. At most one probe thread is alive at
+       a time; a tick that finds the previous probe still running
+       records and evaluates as usual but skips spawning another. *)
+    let probe_inflight = Atomic.make false in
+    let sampler_tick () =
+      Sampler.tick sampler ~now:(Unix.gettimeofday ());
+      incr tick_count;
+      let flush = !tick_count mod 12 = 0 in
+      if Atomic.compare_and_set probe_inflight false true then
+        ignore
+          (Thread.create
+             (fun () ->
+               Fun.protect
+                 ~finally:(fun () -> Atomic.set probe_inflight false)
+                 (fun () ->
+                   try
+                     probe_cluster ();
+                     if flush then
+                       match
+                         with_repo_lock (fun () -> Repo.flush_timeseries repo)
+                       with
+                       | Ok () -> ()
+                       | Error e ->
+                           Log.warn (fun m ->
+                               m "timeseries ring not persisted: %s" e)
+                   with e ->
+                     (* lint: swallow-ok a failed probe costs one
+                        sample, never the server *)
+                     Log.warn (fun m ->
+                         m "cluster probe failed: %s" (Printexc.to_string e))))
+             ())
+    in
     let conn_drained conn =
       Queue.is_empty conn.c_out
       && conn.c_stream = None && (not conn.c_busy)
@@ -1158,6 +1318,11 @@ let serve ?cluster repo ~port ?(host = "127.0.0.1") ?max_requests
         expired
     in
     Evloop.add loop lsock ~read:true ~write:false (fun _ -> do_accept ());
+    if sampler_armed then
+      ignore
+        (Evloop.add_timer loop
+           ~period:(Timeseries.step (Repo.timeseries repo))
+           sampler_tick);
     Fun.protect
       ~finally:(fun () ->
         restore_signals ();

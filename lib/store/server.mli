@@ -25,10 +25,19 @@
       replica count, pending hints and per-peer up/down/probe
     - [GET /metrics/cluster] — cluster-wide Prometheus scrape: this
       node's registry plus a live fan-out to every peer's
-      [GET /metrics], each sample re-labelled with [peer="<name>"],
-      one [dsvc_cluster_scrape_up{peer=…}] gauge per node, and a
+      [GET /metrics], each sample re-labelled with [peer="<name>"]
+      (escaped per the exposition spec), one
+      [dsvc_cluster_scrape_up{peer=…}] gauge per node, and a
       [# peer <name> unreachable: …] annotation for each peer that
       could not be scraped (partial results, never a hard failure)
+    - [GET /timeseries] — the sampled metric history (DESIGN.md §16):
+      without parameters, the sorted series names one per line; with
+      [?metric=…&since=<seconds-back>], one
+      [time count avg min max last] line per bucket from the finest
+      downsampling tier that covers the span
+    - [GET /alerts] — one line per alert rule:
+      [name state since=… value=…] plus a [suppressed="…"] annotation
+      for rules muted via [DSVC_ALERT_SUPPRESS]
 
     Cluster-mode routes (DESIGN.md §12). The [/blob] family always
     serves the node's {e local} shard — never the replicated view —
@@ -124,7 +133,15 @@ val serve :
     finishes, the listening socket closes, previous signal handlers
     are restored, and [serve] returns [Ok ()]). A signal-initiated
     shutdown also dumps the flight recorder to
-    {!Versioning_obs.Flight.default_path} when it holds any events. *)
+    {!Versioning_obs.Flight.default_path} when it holds any events.
+
+    Sampling (DESIGN.md §16): unless [DSVC_OBS] is explicitly off, a
+    reactor timer ticks a {!Versioning_obs.Sampler} every
+    [DSVC_TS_STEP] seconds (default 5) into the repo's time-series
+    ring and evaluates the alert rules; peer probing and periodic ring
+    persistence run on the executor, never on the loop thread. With
+    [DSVC_OBS=0] the timer is never armed and [.dsvc/timeseries] is
+    never written. *)
 
 val parse_strategy : string -> (Repo.strategy, string) result
 (** The [strategy] query values, shared with the CLI. *)

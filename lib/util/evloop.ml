@@ -42,11 +42,19 @@ type entry = {
 
 type backend = Epoll of Unix.file_descr | Poll | Select
 
+type timer = {
+  tm_period : float;
+  tm_cb : unit -> unit;
+  mutable tm_next : float; (* absolute deadline *)
+}
+
 type t = {
   backend : backend;
   table : (int, entry) Hashtbl.t;
   jobs : (unit -> unit) Queue.t;
   jobs_mutex : Mutex.t;
+  timers : (int, timer) Hashtbl.t;
+  mutable next_timer_id : int;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   mutable closed : bool;
@@ -93,6 +101,8 @@ let create ?backend () =
       table = Hashtbl.create 64;
       jobs = Queue.create ();
       jobs_mutex = Mutex.create ();
+      timers = Hashtbl.create 4;
+      next_timer_id = 0;
       wake_r;
       wake_w;
       closed = false;
@@ -165,6 +175,47 @@ let post t job =
     ->
       ()
 
+(* ---- periodic timers ----
+
+   Loop-thread only, like [add]/[modify]/[remove]: a timer is armed
+   with an absolute deadline and re-armed from its own firing, so it
+   ticks at most once per [wait] and never accumulates a backlog
+   after a stall (a late loop fires once, then resumes cadence from
+   now). A loop with no timers never reads the clock — behaviour is
+   bit-identical to before timers existed. *)
+
+let add_timer t ~period cb =
+  if not (period > 0.0) then invalid_arg "Evloop.add_timer: period must be > 0";
+  let id = t.next_timer_id in
+  t.next_timer_id <- id + 1;
+  Hashtbl.replace t.timers id
+    { tm_period = period; tm_cb = cb; tm_next = Unix.gettimeofday () +. period };
+  id
+
+let cancel_timer t id = Hashtbl.remove t.timers id
+
+let next_timer_deadline t =
+  Hashtbl.fold
+    (fun _ tm acc -> Float.min tm.tm_next acc)
+    t.timers infinity
+
+let run_due_timers t =
+  if Hashtbl.length t.timers = 0 then 0
+  else begin
+    let now = Unix.gettimeofday () in
+    let due =
+      Hashtbl.fold
+        (fun _ tm acc -> if tm.tm_next <= now then tm :: acc else acc)
+        t.timers []
+    in
+    List.iter
+      (fun tm ->
+        tm.tm_next <- now +. tm.tm_period;
+        tm.tm_cb ())
+      due;
+    List.length due
+  end
+
 let run_jobs t =
   let pending = Queue.create () in
   Mutex.lock t.jobs_mutex;
@@ -200,6 +251,16 @@ let timeout_ms timeout =
 
 let wait t ~timeout =
   let dispatched = ref (run_jobs t) in
+  (* An armed timer caps the poll: the loop must wake for its
+     deadline even when no fd turns ready. Timer-free loops keep the
+     caller's timeout untouched (and read no clock). *)
+  let timeout =
+    if Hashtbl.length t.timers = 0 then timeout
+    else begin
+      let until = Float.max 0.0 (next_timer_deadline t -. Unix.gettimeofday ()) in
+      if timeout < 0.0 then until else Float.min timeout until
+    end
+  in
   (match t.backend with
   | Epoll ep ->
       let evs = epoll_wait ep (timeout_ms timeout) in
@@ -247,6 +308,7 @@ let wait t ~timeout =
           | Some e -> dispatched := !dispatched + dispatch t e ev_write
           | None -> ())
         writable);
+  dispatched := !dispatched + run_due_timers t;
   dispatched := !dispatched + run_jobs t;
   !dispatched
 

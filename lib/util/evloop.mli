@@ -51,6 +51,20 @@ val remove : t -> Unix.file_descr -> unit
 val post : t -> (unit -> unit) -> unit
 (** Thread-safe: enqueue a job for the loop thread and wake it. *)
 
+val add_timer : t -> period:float -> (unit -> unit) -> int
+(** Register a periodic timer (loop thread only, like {!add}). The
+    callback fires on the loop thread during {!wait} whenever its
+    deadline has passed, then re-arms [period] seconds from {e now} —
+    at most one firing per wait, no backlog after a stall. {!wait}
+    caps its poll timeout at the nearest timer deadline. Callbacks
+    run under the same lint-R7 contract as fd callbacks: nothing
+    Blocks-level may be reachable from them (hand blocking work to an
+    executor). Raises [Invalid_argument] on a non-positive period.
+    Returns an id for {!cancel_timer}. *)
+
+val cancel_timer : t -> int -> unit
+(** Deregister a timer (loop thread only). Unknown ids are ignored. *)
+
 val wait : t -> timeout:float -> int
 (** Run one iteration: posted jobs, then up to [timeout] seconds of
     readiness waiting (negative = forever), then callbacks for every

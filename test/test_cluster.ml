@@ -159,6 +159,15 @@ let test_chaos () =
       nodes
   in
   Fun.protect ~finally @@ fun () ->
+  (* a fast sampling step (inherited by the children) so the health
+     observatory reacts within the test's timescale *)
+  let old_step = Sys.getenv_opt "DSVC_TS_STEP" in
+  Unix.putenv "DSVC_TS_STEP" "0.2";
+  let restore_step () =
+    Unix.putenv "DSVC_TS_STEP"
+      (match old_step with Some s -> s | None -> "")
+  in
+  Fun.protect ~finally:restore_step @@ fun () ->
   List.iter spawn nodes;
   List.iter wait_healthy nodes;
   let cc = ok (Cluster_client.connect (List.map (fun n -> n.name) nodes)) in
@@ -247,6 +256,108 @@ let test_chaos () =
        Alcotest.(check bool) "live peer's families carry its label" true
          (contains
             (Printf.sprintf "dsvc_server_requests_total{peer=%S" other.name)));
+  (* ---- the health observatory sees the outage (DESIGN.md §16):
+     within a few sampling steps the scrape-up SLI drops below 1, the
+     immediate cluster_scrape_up threshold fires, and the failover-era
+     hints show up as replication-lag series ---- *)
+  (let scraper = List.nth nodes 1 in
+   let client = node_client scraper in
+   let contains hay needle =
+     let nn = String.length needle and nb = String.length hay in
+     let rec go i = i + nn <= nb && (String.sub hay i nn = needle || go (i + 1)) in
+     go 0
+   in
+   let deadline = Unix.gettimeofday () +. 10.0 in
+   let rec poll_firing () =
+     match Client.request client ~meth:"GET" ~path:"/alerts" () with
+     | Ok (200, body) when contains body "cluster_scrape_up firing" -> body
+     | _ when Unix.gettimeofday () > deadline ->
+         Alcotest.failf
+           "cluster_scrape_up never fired with the primary dead; log tail:\n%s"
+           (tail_log scraper)
+     | _ ->
+         Unix.sleepf 0.2;
+         poll_firing ()
+   in
+   ignore (poll_firing ());
+   (match
+      Client.request client ~meth:"GET" ~path:"/timeseries" ()
+    with
+   | Ok (200, body) ->
+       Alcotest.(check bool) "sampled series exist" true
+         (String.trim body <> "");
+       Alcotest.(check bool) "scrape-up SLI series present" true
+         (contains body "sli:scrape_up")
+   | r ->
+       Alcotest.failf "GET /timeseries failed: %s"
+         (match r with
+         | Ok (status, _) -> Printf.sprintf "HTTP %d" status
+         | Error e -> e));
+   (* Hints for the dead primary are parked on whichever survivor
+      coordinated the failover-era commits, and the lag gauge reaches
+      that node's ring one sampling step after its probe exports it —
+      so poll both survivors rather than assuming the scraper. *)
+   (let survivors = [ List.nth nodes 1; List.nth nodes 2 ] in
+    let lag_deadline = Unix.gettimeofday () +. 10.0 in
+    let has_lag n =
+      match
+        Client.request (node_client n) ~meth:"GET" ~path:"/timeseries" ()
+      with
+      | Ok (200, body) -> contains body "dsvc_cluster_hint_queue_depth"
+      | _ -> false
+    in
+    let rec poll_lag () =
+      if List.exists has_lag survivors then ()
+      else if Unix.gettimeofday () > lag_deadline then
+        Alcotest.fail
+          "no survivor ever recorded a dsvc_cluster_hint_queue_depth series"
+      else (
+        Unix.sleepf 0.2;
+        poll_lag ())
+    in
+    poll_lag ());
+   (match
+      Client.request client ~meth:"GET" ~path:"/timeseries"
+        ~query:[ ("metric", "sli:scrape_up"); ("since", "60") ]
+        ()
+    with
+   | Ok (200, body) ->
+       Alcotest.(check bool) "scrape-up history non-empty" true
+         (String.trim body <> "")
+   | _ -> Alcotest.fail "GET /timeseries?metric=sli:scrape_up failed");
+   (* the dashboard renders one frame off the same endpoints *)
+   let dash_out = scraper.dir ^ ".dash" in
+   let out =
+     (* lint: raw-write-ok throwaway capture of the dash frame for
+        failure diagnostics, not repository data *)
+     Unix.openfile dash_out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+   in
+   let pid =
+     Unix.create_process dsvc_exe
+       [|
+         dsvc_exe; "dash"; "--host"; "127.0.0.1";
+         "-p"; string_of_int scraper.port; "--once";
+       |]
+       Unix.stdin out out
+   in
+   Unix.close out;
+   (match Unix.waitpid [] pid with
+   | _, Unix.WEXITED 0 -> ()
+   | _ ->
+       let frame =
+         try
+           let ic = open_in_bin dash_out in
+           Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () -> really_input_string ic (in_channel_length ic))
+         with
+         (* lint: swallow-ok best-effort read of the failed dash
+            frame for the failure message — the test fails either
+            way on the next line *)
+         | _ -> "(no output)"
+       in
+       Alcotest.failf "dsvc dash --once failed; output:\n%s" frame);
+   Sys.remove dash_out);
   (* ---- determinism: the cluster's plan is byte-identical to a
      single-node repository given the same history ---- *)
   let reference = ok (Repo.init ~path:(temp_dir ())) in

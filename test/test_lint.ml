@@ -273,6 +273,32 @@ let serve loop fd =
   Evloop.add loop fd ~read:true ~write:false (fun _ -> handle fd)|}
       );
     ]
+    [];
+  (* timer callbacks are reactor roots too (DESIGN.md §16): a sampler
+     tick that persists the ring in-line blocks the loop and trips R7;
+     handing the flush to the executor keeps the tick Locks-only. *)
+  check_tree_rules "blocking sampler tick trips R7" ~only:"R7-"
+    [
+      ( "lib/store/srv.ml",
+        {|let flush repo = Fsutil.write_file "ts" repo
+
+let serve loop repo =
+  ignore (Evloop.add_timer loop ~period:5.0 (fun () -> flush repo))|}
+      );
+    ]
+    [ ("lib/store/srv.ml", "R7-no-blocking-in-reactor") ];
+  check_tree_rules "sampler tick defers persistence to the executor"
+    ~only:"R7-"
+    [
+      ( "lib/store/srv.ml",
+        {|let flush repo = Fsutil.write_file "ts" repo
+
+let serve loop repo =
+  ignore
+    (Evloop.add_timer loop ~period:5.0 (fun () ->
+         submit (fun () -> flush repo)))|}
+      );
+    ]
     []
 
 (* R8: unreleased locks, double acquisition (direct and through a

@@ -254,6 +254,50 @@ let test_quorum_metrics_observable () =
     (contains text {|dsvc_cluster_hints_total{owner="b"} 1|});
   Metrics.reset ()
 
+(* Replication-lag gauges (DESIGN.md §16): the ledger keeps each
+   hint's park time, so with an injected clock the oldest-age gauge is
+   exact; a drained owner is explicitly zeroed, not dropped, so the
+   time-series records the recovery instead of a gap. *)
+let test_lag_metrics () =
+  let module Obs = Versioning_obs.Obs in
+  let module Metrics = Versioning_obs.Metrics in
+  let clock = ref 1000.0 in
+  let a = Backend.memory () in
+  let b, b_down, _ = flaky "b" in
+  let c, _, _ = flaky "c" in
+  let r =
+    Replicated.create ~replicas:2
+      ~now:(fun () -> !clock)
+      ~self:"a" ~self_backend:a
+      ~peers:[ ("b", b); ("c", c) ]
+      ()
+  in
+  let ring = Ring.create ~members:[ "a"; "b"; "c" ] () in
+  let content = find_content ring ~n:2 (fun owners -> List.mem "b" owners) in
+  b_down := true;
+  ok (Replicated.put r ~digest:(digest_of content) content);
+  Obs.with_enabled true @@ fun () ->
+  Metrics.reset ();
+  clock := 1042.0;
+  Replicated.export_lag_metrics r;
+  let value name =
+    match List.assoc_opt name (Metrics.snapshot_values ()) with
+    | Some v -> v
+    | None -> Alcotest.failf "gauge %s missing" name
+  in
+  Alcotest.(check (float 1e-9)) "queue depth" 1.0
+    (value {|dsvc_cluster_hint_queue_depth{owner="b"}|});
+  Alcotest.(check (float 1e-9)) "oldest age from the injected clock" 42.0
+    (value {|dsvc_cluster_hint_oldest_age_seconds{owner="b"}|});
+  b_down := false;
+  Alcotest.(check int) "hint delivered" 1 (Replicated.deliver_hints r);
+  Replicated.export_lag_metrics r;
+  Alcotest.(check (float 1e-9)) "drained owner zeroed, not dropped" 0.0
+    (value {|dsvc_cluster_hint_queue_depth{owner="b"}|});
+  Alcotest.(check (float 1e-9)) "age zeroed too" 0.0
+    (value {|dsvc_cluster_hint_oldest_age_seconds{owner="b"}|});
+  Metrics.reset ()
+
 let suite =
   [
     Alcotest.test_case "put replicates to ring owners" `Quick
@@ -276,4 +320,6 @@ let suite =
       test_anti_entropy_replaces_corrupt_copy;
     Alcotest.test_case "quorum and hints are observable" `Quick
       test_quorum_metrics_observable;
+    Alcotest.test_case "hint-lag gauges track the ledger" `Quick
+      test_lag_metrics;
   ]

@@ -300,6 +300,242 @@ let test_route_metrics_cluster_single () =
     (contains r.Http.body "# TYPE");
   Metrics.reset ()
 
+(* ---- GET /metrics/cluster with unreachable peers and hostile
+   peer names (DESIGN.md §16) ---- *)
+
+let test_cluster_scrape_dead_peers_and_escaping () =
+  let module Obs = Versioning_obs.Obs in
+  let module Metrics = Versioning_obs.Metrics in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Obs.with_enabled true @@ fun () ->
+  Metrics.reset ();
+  let repo = mk_repo () in
+  ignore (Server.handle_safe repo (mk_request "/checkout/1"));
+  (* a ring-member name is host:port in production, but nothing
+     enforces that — the exposition must survive the worst case *)
+  let self_name = {|se"lf\node|} in
+  let dead name =
+    (* nothing listens on the discard port: every scrape attempt fails *)
+    (name, Client.connect ~timeout:0.5 ~retries:1 ~host:"127.0.0.1" ~port:9 ())
+  in
+  let evil_peer = "evil\"peer\\x\ny" in
+  let cluster =
+    {
+      Server.local_store = Object_store.memory ();
+      replicated =
+        Replicated.create ~replicas:1 ~self:self_name
+          ~self_backend:(Backend.memory ()) ~peers:[] ();
+      peer_clients = [ dead "peer-b"; dead evil_peer ];
+    }
+  in
+  let r = Server.handle_safe ~cluster repo (mk_request "/metrics/cluster") in
+  Alcotest.(check int) "partial scrape still 200" 200 r.Http.status;
+  let body = r.Http.body in
+  (* Prometheus escaping, not OCaml %S: backslash and quote get a
+     backslash prefix, a newline becomes backslash-n *)
+  Alcotest.(check bool) "self label escaped per the exposition spec" true
+    (contains body {|dsvc_cluster_scrape_up{peer="se\"lf\\node"} 1|});
+  Alcotest.(check bool) "relabelled samples carry the escaped name" true
+    (contains body {|dsvc_server_requests_total{peer="se\"lf\\node",route=|});
+  Alcotest.(check bool) "no raw %S decimal escapes anywhere" false
+    (contains body {|se\"lf\\node\255|} || contains body "peer=\"se\\\"lf\\\\node\\n");
+  (* one scrape_up 0 line per dead peer, names escaped *)
+  Alcotest.(check bool) "first dead peer reported down" true
+    (contains body {|dsvc_cluster_scrape_up{peer="peer-b"} 0|});
+  Alcotest.(check bool) "hostile dead peer reported down, escaped" true
+    (contains body
+       ("dsvc_cluster_scrape_up{peer=\"evil\\\"peer\\\\x\\ny\"} 0"));
+  let scrape_up_lines =
+    String.split_on_char '\n' body
+    |> List.filter (fun l ->
+           String.length l > 21 && String.sub l 0 21 = "dsvc_cluster_scrape_u")
+  in
+  Alcotest.(check int) "exactly one scrape_up line per node" 3
+    (List.length scrape_up_lines);
+  (* the body stays machine-parseable around the failures: every
+     non-comment line is `name[{labels}] value` with a float value *)
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "unparseable sample line: %S" line
+           | Some i -> (
+               let v =
+                 String.sub line (i + 1) (String.length line - i - 1)
+               in
+               match float_of_string_opt v with
+               | Some _ -> ()
+               | None -> Alcotest.failf "non-numeric sample value: %S" line));
+  Metrics.reset ()
+
+(* ---- GET /timeseries and GET /alerts ---- *)
+
+let test_route_timeseries_and_alerts () =
+  let module Timeseries = Versioning_obs.Timeseries in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let repo = mk_repo () in
+  (* an un-sampled server answers with an empty listing, not an error *)
+  let r = Server.handle_safe repo (mk_request "/timeseries") in
+  Alcotest.(check int) "empty listing 200" 200 r.Http.status;
+  Alcotest.(check string) "empty body" "" r.Http.body;
+  let ts = Repo.timeseries repo in
+  let now = Unix.gettimeofday () in
+  Timeseries.record ts ~now ~metric:"sli:scrape_up" 1.0;
+  Timeseries.record ts ~now ~metric:"other series" 3.5;
+  let r = Server.handle_safe repo (mk_request "/timeseries") in
+  Alcotest.(check string) "series listing, sorted" "other series\nsli:scrape_up\n"
+    r.Http.body;
+  let r =
+    Server.handle_safe repo
+      (mk_request ~query:[ ("metric", "sli:scrape_up"); ("since", "60") ]
+         "/timeseries")
+  in
+  Alcotest.(check int) "series query 200" 200 r.Http.status;
+  (match String.split_on_char '\n' (String.trim r.Http.body) with
+  | [ line ] -> (
+      match String.split_on_char ' ' line with
+      | [ _time; count; avg; _min; _max; _last ] ->
+          Alcotest.(check (option int)) "count column" (Some 1)
+            (int_of_string_opt count);
+          Alcotest.(check (option (float 1e-9))) "avg column" (Some 1.0)
+            (float_of_string_opt avg)
+      | cols -> Alcotest.failf "expected 6 columns, got %d" (List.length cols))
+  | ls -> Alcotest.failf "expected one bucket line, got %d" (List.length ls));
+  let r =
+    Server.handle_safe repo
+      (mk_request ~query:[ ("metric", "no such series") ] "/timeseries")
+  in
+  Alcotest.(check string) "unknown series is empty, not 404" "" r.Http.body;
+  (* the alert engine answers even when the sampler never ran: every
+     stock rule present, inactive *)
+  let r = Server.handle_safe repo (mk_request "/alerts") in
+  Alcotest.(check int) "alerts 200" 200 r.Http.status;
+  Alcotest.(check bool) "stock rules listed" true
+    (contains r.Http.body "cluster_scrape_up");
+  Alcotest.(check bool) "quiet engine reports inactive" true
+    (contains r.Http.body "inactive")
+
+(* ---- the DSVC_OBS=0 kill switch and the sampler timer ---- *)
+
+let with_env name v f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name v;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv name (match old with Some s -> s | None -> ""))
+    f
+
+(* Boot serve on the loop thread, give its reactor a few hundred
+   milliseconds of idle time, then satisfy max_requests so it exits.
+   A local socket helper because http_get is defined further down. *)
+let serve_briefly repo ~port =
+  let server =
+    Thread.create
+      (fun () -> ignore (Server.serve repo ~port ~max_requests:1 ()))
+      ()
+  in
+  Unix.sleepf 0.5;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock addr;
+      let oc = Unix.out_channel_of_descr sock in
+      output_string oc "GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+      flush oc;
+      let ic = Unix.in_channel_of_descr sock in
+      try
+        while true do
+          ignore (input_char ic)
+        done
+      with End_of_file -> ());
+  Thread.join server
+
+let test_obs_off_never_arms_the_sampler () =
+  let module Obs = Versioning_obs.Obs in
+  let module Timeseries = Versioning_obs.Timeseries in
+  let was_enabled = Obs.enabled () in
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was_enabled) @@ fun () ->
+  (* a step far below the serve window: if the timer were armed the
+     ring could not stay empty *)
+  with_env "DSVC_TS_STEP" "0.05" @@ fun () ->
+  with_env "DSVC_OBS" "0" @@ fun () ->
+  let dir = temp_dir () in
+  let repo = ok (Repo.init ~path:dir) in
+  let _ = ok (Repo.commit repo ~message:"first" "alpha\nbeta") in
+  serve_briefly repo ~port:(18501 + (Unix.getpid () mod 700));
+  Alcotest.(check bool) "ring stayed empty" true
+    (Timeseries.is_empty (Repo.timeseries repo));
+  Repo.close repo;
+  Alcotest.(check bool) "no timeseries ledger written" false
+    (Sys.file_exists (Filename.concat (Filename.concat dir ".dsvc") "timeseries"))
+
+let test_sampler_ticks_under_serve () =
+  let module Obs = Versioning_obs.Obs in
+  let module Timeseries = Versioning_obs.Timeseries in
+  let was_enabled = Obs.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled was_enabled;
+      Versioning_obs.Metrics.reset ())
+    (fun () ->
+      with_env "DSVC_TS_STEP" "0.05" @@ fun () ->
+      with_env "DSVC_OBS" "1" @@ fun () ->
+      let dir = temp_dir () in
+      let repo = ok (Repo.init ~path:dir) in
+      let _ = ok (Repo.commit repo ~message:"first" "alpha\nbeta") in
+      serve_briefly repo ~port:(19201 + (Unix.getpid () mod 700));
+      (* several 50 ms steps elapsed inside serve_briefly: the reactor
+         timer must have sampled the registry into the ring *)
+      Alcotest.(check bool) "sampler recorded series" false
+        (Timeseries.is_empty (Repo.timeseries repo));
+      (* the ring survives close/open through .dsvc/timeseries *)
+      let names = Timeseries.metrics (Repo.timeseries repo) in
+      Repo.close repo;
+      Alcotest.(check bool) "ledger written on close" true
+        (Sys.file_exists
+           (Filename.concat (Filename.concat dir ".dsvc") "timeseries"));
+      let repo2 = ok (Repo.open_repo ~path:dir) in
+      Alcotest.(check (list string)) "series survive reopen" names
+        (Timeseries.metrics (Repo.timeseries repo2));
+      Repo.close repo2)
+
+let test_timeseries_save_fault () =
+  let module Obs = Versioning_obs.Obs in
+  let module Timeseries = Versioning_obs.Timeseries in
+  Faults.reset ();
+  let dir = temp_dir () in
+  let repo = ok (Repo.init ~path:dir) in
+  let _ = ok (Repo.commit repo ~message:"a" "alpha\n") in
+  Obs.with_enabled true (fun () ->
+      Timeseries.record (Repo.timeseries repo) ~now:100.0 ~metric:"m" 1.0;
+      Faults.arm ~site:"timeseries.save" (Faults.Fail "injected: disk full");
+      (match Repo.flush_timeseries repo with
+      | Ok () -> Alcotest.fail "flush must surface the injected failure"
+      | Error _ -> ());
+      Faults.reset ();
+      ok (Repo.flush_timeseries repo));
+  Repo.close repo;
+  (* the failed flush corrupted nothing: the repo reopens, verifies,
+     and the ring from the successful flush is intact *)
+  let repo2 = ok (Repo.open_repo ~path:dir) in
+  (match Repo.verify repo2 with
+  | Ok () -> ()
+  | Error problems ->
+      Alcotest.failf "repo must still verify: %s" (String.concat "; " problems));
+  Alcotest.(check (list string)) "ring recovered" [ "m" ]
+    (Timeseries.metrics (Repo.timeseries repo2));
+  Repo.close repo2
+
 (* ---- end-to-end over a real socket ---- *)
 
 let http_get host port path =
@@ -630,6 +866,16 @@ let suite =
     Alcotest.test_case "route /metrics" `Quick test_route_metrics;
     Alcotest.test_case "route /metrics/cluster single-node" `Quick
       test_route_metrics_cluster_single;
+    Alcotest.test_case "cluster scrape: dead peers and label escaping" `Quick
+      test_cluster_scrape_dead_peers_and_escaping;
+    Alcotest.test_case "routes /timeseries and /alerts" `Quick
+      test_route_timeseries_and_alerts;
+    Alcotest.test_case "DSVC_OBS=0 never arms the sampler" `Quick
+      test_obs_off_never_arms_the_sampler;
+    Alcotest.test_case "sampler ticks under serve and persists" `Quick
+      test_sampler_ticks_under_serve;
+    Alcotest.test_case "injected fault at timeseries.save" `Quick
+      test_timeseries_save_fault;
     Alcotest.test_case "socket end-to-end" `Quick test_socket_end_to_end;
     Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
     Alcotest.test_case "trace propagation end-to-end" `Quick

@@ -83,12 +83,13 @@ type t = {
   nodes : (string, node) Hashtbl.t;
   mutables : (string, mutable_binding) Hashtbl.t;
   guarded : (string, unit) Hashtbl.t;  (* modules that use Mutex at all *)
-  mutable reactor_roots : root list;  (* Evloop.add / Evloop.post callbacks *)
+  mutable reactor_roots : root list;
+      (* Evloop.add / Evloop.post / Evloop.add_timer callbacks *)
   mutable thread_roots : root list;  (* submit / Thread.create bodies *)
   mutable task_roots : root list;  (* Pool.parallel_* task bodies *)
 }
 
-let default_register = [ "Evloop.add"; "Evloop.post" ]
+let default_register = [ "Evloop.add"; "Evloop.post"; "Evloop.add_timer" ]
 let default_defer = [ "Thread.create"; "Domain.spawn"; "submit" ]
 let default_pool = [ "Pool.parallel_init"; "Pool.parallel_map" ]
 
